@@ -1,0 +1,39 @@
+// Ablation — DRAM map-cache budget vs map traffic (§4.2.4's mechanism).
+// Sweeps the CMT size for MRSM and Across-FTL: MRSM's larger sub-page table
+// falls out of cache first, which is where its flash map traffic (and read
+// latency penalty) comes from.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "trace/profiles.h"
+
+int main() {
+  using namespace af;
+  const auto base_config = bench::device(8);
+  bench::print_header("Ablation: map-cache budget (lun1)", base_config);
+  const auto tr =
+      bench::lun_trace(0, bench::addressable_sectors(base_config));
+
+  Table table({"cache (B/logical page)", "scheme", "map writes", "map reads",
+               "CMT hit rate", "read ms", "I/O time (s)"});
+  for (std::uint64_t bytes_per_page : {1u, 2u, 3u, 4u, 8u}) {
+    for (auto kind : {ftl::SchemeKind::kMrsm, ftl::SchemeKind::kAcrossFtl}) {
+      auto config = base_config;
+      config.map_cache_bytes = config.logical_pages() * bytes_per_page;
+      const auto result = trace::replay(config, kind, tr);
+      const double hits = static_cast<double>(result.map_cache_hits);
+      const double total =
+          hits + static_cast<double>(result.map_cache_misses);
+      table.add_row(
+          {Table::num(bytes_per_page), result.scheme,
+           Table::num(result.stats.flash_ops(ssd::OpKind::kMapWrite)),
+           Table::num(result.stats.flash_ops(ssd::OpKind::kMapRead)),
+           Table::percent(total > 0 ? hits / total : 0.0),
+           Table::num(result.read_latency_ms(), 3),
+           Table::num(result.io_time_s, 1)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,80 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "trace/profiles.h"
+#include "trace/synth.h"
+
+namespace af::bench {
+
+const Knobs& knobs() {
+  static const Knobs kKnobs = [] {
+    Knobs k;
+    if (const char* reqs = std::getenv("ACROSS_FTL_BENCH_REQS")) {
+      k.requests = std::strtoull(reqs, nullptr, 10);
+    }
+    if (const char* blocks = std::getenv("ACROSS_FTL_BENCH_BLOCKS")) {
+      k.blocks_per_plane =
+          static_cast<std::uint32_t>(std::strtoul(blocks, nullptr, 10));
+    }
+    return k;
+  }();
+  return kKnobs;
+}
+
+ssd::SsdConfig device(std::uint32_t page_kb) {
+  return ssd::SsdConfig::paper(page_kb, knobs().blocks_per_plane);
+}
+
+std::uint64_t addressable_sectors(const ssd::SsdConfig& config) {
+  return static_cast<std::uint64_t>(
+             0.398 * static_cast<double>(config.geometry.total_pages())) *
+         config.geometry.sectors_per_page();
+}
+
+trace::Trace lun_trace(std::size_t idx, std::uint64_t addressable) {
+  return trace::generate(trace::lun_profile(idx, knobs().requests),
+                         addressable);
+}
+
+std::vector<trace::ReplayResult> run_schemes(const ssd::SsdConfig& config,
+                                             const trace::Trace& tr) {
+  std::vector<trace::ReplayResult> results;
+  results.reserve(all_schemes().size());
+  for (auto kind : all_schemes()) {
+    results.push_back(trace::replay(config, kind, tr));
+  }
+  return results;
+}
+
+void print_header(const std::string& title, const ssd::SsdConfig& config) {
+  const auto& geom = config.geometry;
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf(
+      "device: %llu blocks x %u pages x %u KiB page = %.1f GiB "
+      "(ch=%u chips=%u dies=%u planes=%u), GC threshold %.0f%%\n",
+      static_cast<unsigned long long>(geom.total_blocks()),
+      geom.pages_per_block, geom.page_bytes / 1024,
+      static_cast<double>(geom.capacity_bytes()) / (1ull << 30), geom.channels,
+      geom.chips_per_channel, geom.dies_per_chip, geom.planes_per_die,
+      config.gc_threshold * 100);
+  std::printf(
+      "timing: read %.3f ms, program %.3f ms, erase %.1f ms, cache access "
+      "%.3f ms (Table 1)\n",
+      static_cast<double>(config.timing.read_ns) / 1e6,
+      static_cast<double>(config.timing.program_ns) / 1e6,
+      static_cast<double>(config.timing.erase_ns) / 1e6,
+      static_cast<double>(config.timing.dram_access_ns) / 1e6);
+  std::printf("scale: %llu requests/trace, %u blocks/plane "
+              "(ACROSS_FTL_BENCH_REQS / ACROSS_FTL_BENCH_BLOCKS to change)\n\n",
+              static_cast<unsigned long long>(knobs().requests),
+              knobs().blocks_per_plane);
+}
+
+std::string normalised(double value, double baseline) {
+  if (baseline == 0) return "n/a";
+  return Table::num(value / baseline, 3);
+}
+
+}  // namespace af::bench

@@ -1,0 +1,58 @@
+// Shared bench harness: device construction, trace materialisation and the
+// scheme-grid replay every figure bench builds on.
+//
+// Runtime knobs (environment):
+//   ACROSS_FTL_BENCH_REQS    requests per trace      (default 40000)
+//   ACROSS_FTL_BENCH_BLOCKS  blocks per plane        (default 32)
+// Raise both to approach the paper's full-scale runs; the published traces
+// have 633k-868k requests each (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "ftl/scheme.h"
+#include "ssd/config.h"
+#include "trace/event.h"
+#include "trace/replayer.h"
+
+namespace af::bench {
+
+struct Knobs {
+  std::uint64_t requests = 40'000;
+  std::uint32_t blocks_per_plane = 32;
+};
+
+/// Reads the environment knobs (once).
+const Knobs& knobs();
+
+/// Table-1-shaped device at the bench scale.
+ssd::SsdConfig device(std::uint32_t page_kb = 8);
+
+/// Sector span of the aged live region — traces are confined to it so reads
+/// find data after warm-up (§4.1 ages the device to 39.8% live).
+std::uint64_t addressable_sectors(const ssd::SsdConfig& config);
+
+/// Synthetic trace for Table-2 row `idx` at the bench request count.
+trace::Trace lun_trace(std::size_t idx, std::uint64_t addressable);
+
+inline const std::vector<ftl::SchemeKind>& all_schemes() {
+  static const std::vector<ftl::SchemeKind> kSchemes = {
+      ftl::SchemeKind::kPageFtl, ftl::SchemeKind::kMrsm,
+      ftl::SchemeKind::kAcrossFtl};
+  return kSchemes;
+}
+
+/// Replays `tr` on a fresh aged device per scheme.
+std::vector<trace::ReplayResult> run_schemes(const ssd::SsdConfig& config,
+                                             const trace::Trace& tr);
+
+/// Prints the bench banner: experiment id + Table-1 style settings.
+void print_header(const std::string& title, const ssd::SsdConfig& config);
+
+/// "0.92" style normalisation against the baseline (first element).
+std::string normalised(double value, double baseline);
+
+}  // namespace af::bench

@@ -1,0 +1,62 @@
+// Figure 8 — Across-FTL across-page statistics: (a) ARollback ratio
+// (paper: 3.9% average), (b) component distribution of across-page writes
+// (Direct-write / Profitable-AMerge / Unprofitable-AMerge; paper: only 8.9%
+// unprofitable). Also prints the §4.2.1 merged-read share (paper: 0.12% of
+// total flash reads).
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "trace/profiles.h"
+
+int main() {
+  using namespace af;
+  const auto config = bench::device(8);
+  bench::print_header("Figure 8: across-page access statistics (Across-FTL)",
+                      config);
+  const auto addressable = bench::addressable_sectors(config);
+
+  Table table({"trace", "ARollback ratio", "Direct-write", "Profitable-AMerge",
+               "Unprofitable-AMerge", "merged-read reads / total reads"});
+  double rollback_sum = 0, unprofit_sum = 0, merged_sum = 0;
+
+  for (std::size_t i = 0; i < trace::table2_targets().size(); ++i) {
+    const auto tr = bench::lun_trace(i, addressable);
+    const auto result =
+        trace::replay(config, ftl::SchemeKind::kAcrossFtl, tr);
+    const auto& across = result.stats.across();
+
+    const double rollback_ratio =
+        across.areas_created
+            ? static_cast<double>(across.rollbacks) /
+                  static_cast<double>(across.areas_created)
+            : 0.0;
+    const double total_writes =
+        static_cast<double>(across.total_across_writes());
+    const double direct = static_cast<double>(across.direct_writes) / total_writes;
+    const double profit =
+        static_cast<double>(across.profitable_amerge) / total_writes;
+    const double unprofit =
+        static_cast<double>(across.unprofitable_amerge) / total_writes;
+    const double merged_share =
+        static_cast<double>(across.merged_read_flash_reads) /
+        static_cast<double>(result.stats.flash_reads());
+
+    rollback_sum += rollback_ratio;
+    unprofit_sum += unprofit;
+    merged_sum += merged_share;
+
+    table.add_row({trace::table2_targets()[i].name,
+                   Table::percent(rollback_ratio),
+                   Table::percent(direct), Table::percent(profit),
+                   Table::percent(unprofit), Table::percent(merged_share, 3)});
+  }
+  table.print(std::cout);
+  const double n = static_cast<double>(trace::table2_targets().size());
+  std::printf("\naverages: ARollback ratio %.1f%% (paper 3.9%%), "
+              "Unprofitable-AMerge %.1f%% (paper 8.9%%), merged-read flash "
+              "reads %.3f%% of reads (paper 0.12%%).\n",
+              rollback_sum / n * 100, unprofit_sum / n * 100,
+              merged_sum / n * 100);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 10 — flash operation counts, split into Data and Map components,
+// normalized to the baseline FTL. The paper reports: Across-FTL issues 15.9%
+// fewer flash writes than FTL and 30.9% fewer than MRSM; map writes are
+// 36.9% of MRSM's writes but only 2.6% of Across-FTL's; map reads are 34.4%
+// vs 0.74% of reads; and Across-FTL removes 62.2% of update-triggered reads.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "trace/profiles.h"
+
+namespace {
+
+std::uint64_t data_writes(const af::trace::ReplayResult& result) {
+  using af::ssd::OpKind;
+  return result.stats.flash_ops(OpKind::kDataWrite) +
+         result.stats.flash_ops(OpKind::kGcWrite);
+}
+std::uint64_t data_reads(const af::trace::ReplayResult& result) {
+  using af::ssd::OpKind;
+  return result.stats.flash_ops(OpKind::kDataRead) +
+         result.stats.flash_ops(OpKind::kGcRead);
+}
+
+}  // namespace
+
+int main() {
+  using namespace af;
+  const auto config = bench::device(8);
+  bench::print_header(
+      "Figure 10: flash write/read counts, Data vs Map split (normalized)",
+      config);
+  const auto addressable = bench::addressable_sectors(config);
+
+  Table writes({"trace", "FTL total (10K)", "FTL map%", "MRSM norm",
+                "MRSM map%", "Across norm", "Across map%"});
+  Table reads({"trace", "FTL total (10K)", "FTL map%", "MRSM norm",
+               "MRSM map%", "Across norm", "Across map%"});
+  double w_gain_ftl = 0, w_gain_mrsm = 0, r_gain_ftl = 0, r_gain_mrsm = 0;
+  double mrsm_mapw = 0, across_mapw = 0, mrsm_mapr = 0, across_mapr = 0;
+  double rmw_gain = 0;
+
+  for (std::size_t i = 0; i < trace::table2_targets().size(); ++i) {
+    const auto tr = bench::lun_trace(i, addressable);
+    const auto results = bench::run_schemes(config, tr);
+    const char* name = trace::table2_targets()[i].name;
+
+    auto total_w = [](const trace::ReplayResult& r) {
+      return static_cast<double>(r.stats.flash_writes());
+    };
+    auto total_r = [](const trace::ReplayResult& r) {
+      return static_cast<double>(r.stats.flash_reads());
+    };
+    auto map_w_share = [&](const trace::ReplayResult& r) {
+      return static_cast<double>(r.stats.flash_ops(ssd::OpKind::kMapWrite)) /
+             total_w(r);
+    };
+    auto map_r_share = [&](const trace::ReplayResult& r) {
+      return static_cast<double>(r.stats.flash_ops(ssd::OpKind::kMapRead)) /
+             total_r(r);
+    };
+
+    writes.add_row({name, Table::num(total_w(results[0]) / 1e4, 2),
+                    Table::percent(map_w_share(results[0])),
+                    bench::normalised(total_w(results[1]), total_w(results[0])),
+                    Table::percent(map_w_share(results[1])),
+                    bench::normalised(total_w(results[2]), total_w(results[0])),
+                    Table::percent(map_w_share(results[2]))});
+    reads.add_row({name, Table::num(total_r(results[0]) / 1e4, 2),
+                   Table::percent(map_r_share(results[0])),
+                   bench::normalised(total_r(results[1]), total_r(results[0])),
+                   Table::percent(map_r_share(results[1])),
+                   bench::normalised(total_r(results[2]), total_r(results[0])),
+                   Table::percent(map_r_share(results[2]))});
+
+    w_gain_ftl += 1.0 - total_w(results[2]) / total_w(results[0]);
+    w_gain_mrsm += 1.0 - total_w(results[2]) / total_w(results[1]);
+    r_gain_ftl += 1.0 - total_r(results[2]) / total_r(results[0]);
+    r_gain_mrsm += 1.0 - total_r(results[2]) / total_r(results[1]);
+    mrsm_mapw += map_w_share(results[1]);
+    across_mapw += map_w_share(results[2]);
+    mrsm_mapr += map_r_share(results[1]);
+    across_mapr += map_r_share(results[2]);
+    rmw_gain += 1.0 - static_cast<double>(results[2].stats.rmw_reads()) /
+                          static_cast<double>(results[0].stats.rmw_reads());
+    (void)data_writes;
+    (void)data_reads;
+  }
+
+  std::printf("(a) flash write count\n");
+  writes.print(std::cout);
+  std::printf("\n(b) flash read count\n");
+  reads.print(std::cout);
+
+  const double n = static_cast<double>(trace::table2_targets().size());
+  std::printf(
+      "\naverages — Across-FTL writes: %.1f%% fewer than FTL (paper 15.9%%), "
+      "%.1f%% fewer than MRSM (paper 30.9%%)\n"
+      "           Across-FTL reads:  %.1f%% fewer than FTL (paper 9.7%%), "
+      "%.1f%% fewer than MRSM (paper 16.1%%)\n"
+      "map-write share: MRSM %.1f%% (paper 36.9%%), Across-FTL %.1f%% (paper "
+      "2.6%%)\n"
+      "map-read share:  MRSM %.1f%% (paper 34.4%%), Across-FTL %.2f%% (paper "
+      "0.74%%)\n"
+      "update-triggered (RMW) reads removed by Across-FTL vs FTL: %.1f%% "
+      "(paper 62.2%%)\n",
+      w_gain_ftl / n * 100, w_gain_mrsm / n * 100, r_gain_ftl / n * 100,
+      r_gain_mrsm / n * 100, mrsm_mapw / n * 100, across_mapw / n * 100,
+      mrsm_mapr / n * 100, across_mapr / n * 100, rmw_gain / n * 100);
+  return 0;
+}

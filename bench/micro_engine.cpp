@@ -1,0 +1,104 @@
+// Micro-benchmarks of the simulator engine itself: request service rates per
+// scheme, mapping-directory touch costs, and GC throughput. These bound how
+// fast the figure benches can replay traces.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "common/rng.h"
+#include "sim/ssd.h"
+
+namespace {
+
+using namespace af;
+
+ssd::SsdConfig micro_config() {
+  auto config = ssd::SsdConfig::paper(8, 16);
+  config.track_payload = false;
+  return config;
+}
+
+void run_scheme_writes(benchmark::State& state, ftl::SchemeKind kind) {
+  sim::Ssd ssd(micro_config(), kind);
+  const auto spp = ssd.config().geometry.sectors_per_page();
+  const auto pages = ssd.config().logical_pages();
+  Rng rng(7);
+  SimTime t = 0;
+  for (auto _ : state) {
+    const std::uint64_t p = rng.below(pages / 2);
+    const bool across = rng.chance(0.25);
+    SectorRange range =
+        across && p > 0
+            ? SectorRange::of(p * spp - rng.between(1, 7), 8)
+            : SectorRange::of(p * spp, spp);
+    ftl::IoRequest req{t, true, range};
+    t += 10'000;
+    benchmark::DoNotOptimize(ssd.submit(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_WriteRequests_PageFtl(benchmark::State& state) {
+  run_scheme_writes(state, ftl::SchemeKind::kPageFtl);
+}
+void BM_WriteRequests_Mrsm(benchmark::State& state) {
+  run_scheme_writes(state, ftl::SchemeKind::kMrsm);
+}
+void BM_WriteRequests_AcrossFtl(benchmark::State& state) {
+  run_scheme_writes(state, ftl::SchemeKind::kAcrossFtl);
+}
+BENCHMARK(BM_WriteRequests_PageFtl);
+BENCHMARK(BM_WriteRequests_Mrsm);
+BENCHMARK(BM_WriteRequests_AcrossFtl);
+
+void BM_ReadRequests_AcrossFtl(benchmark::State& state) {
+  sim::Ssd ssd(micro_config(), ftl::SchemeKind::kAcrossFtl);
+  const auto spp = ssd.config().geometry.sectors_per_page();
+  Rng rng(9);
+  SimTime t = 0;
+  for (std::uint64_t p = 0; p < 512; ++p) {
+    ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
+  }
+  for (std::uint64_t b = 2; b < 500; b += 2) {
+    ssd.submit({t++, true, SectorRange::of(b * spp - 4, 10)});
+  }
+  for (auto _ : state) {
+    const std::uint64_t p = rng.below(500);
+    benchmark::DoNotOptimize(
+        ssd.submit({t, false, SectorRange::of(p * spp + 4, 10)}));
+    t += 10'000;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadRequests_AcrossFtl);
+
+void BM_MapDirectoryTouch(benchmark::State& state) {
+  sim::Ssd ssd(micro_config(), ftl::SchemeKind::kPageFtl);
+  auto& engine = ssd.engine();
+  Rng rng(11);
+  const auto span = static_cast<std::uint64_t>(state.range(0));
+  SimTime t = 0;
+  for (auto _ : state) {
+    t = engine.map_touch(rng.below(span), rng.chance(0.5), t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+// Small span: pure CMT hits. Large span (the scheme's whole translation
+// table, exceeding the cache): miss/evict traffic.
+BENCHMARK(BM_MapDirectoryTouch)->Arg(4)->Arg(12);
+
+void BM_GcChurn(benchmark::State& state) {
+  sim::Ssd ssd(micro_config(), ftl::SchemeKind::kPageFtl);
+  const auto spp = ssd.config().geometry.sectors_per_page();
+  const auto footprint = ssd.config().logical_pages() / 3;
+  Rng rng(13);
+  SimTime t = 0;
+  for (auto _ : state) {
+    ssd.submit({t++, true, SectorRange::of(rng.below(footprint) * spp, spp)});
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["gc_runs"] =
+      static_cast<double>(ssd.engine().gc_runs());
+}
+BENCHMARK(BM_GcChurn);
+
+}  // namespace

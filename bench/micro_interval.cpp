@@ -1,0 +1,55 @@
+// Micro-benchmarks of the sector-interval algebra and request splitting —
+// the per-request hot path of every FTL scheme.
+#include <benchmark/benchmark.h>
+
+#include "common/interval.h"
+#include "common/rng.h"
+#include "ftl/request.h"
+
+namespace {
+
+using namespace af;
+
+void BM_IntervalIntersect(benchmark::State& state) {
+  Rng rng(1);
+  const SectorRange a{100, 130};
+  for (auto _ : state) {
+    const SectorRange b = SectorRange::of(rng.below(200), 1 + rng.below(40));
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+}
+BENCHMARK(BM_IntervalIntersect);
+
+void BM_IntervalSubtract(benchmark::State& state) {
+  Rng rng(2);
+  SectorRange a{100, 130};
+  for (auto _ : state) {
+    const SectorRange b = SectorRange::of(rng.below(200), 1 + rng.below(40));
+    benchmark::DoNotOptimize(a.subtract(b));
+  }
+}
+BENCHMARK(BM_IntervalSubtract);
+
+void BM_AcrossClassification(benchmark::State& state) {
+  Rng rng(3);
+  const PageGeometry geom{16};
+  for (auto _ : state) {
+    const SectorAddr off = rng.below(1 << 20);
+    const SectorCount len = 1 + rng.below(32);
+    benchmark::DoNotOptimize(geom.is_across_page(SectorRange::of(off, len)));
+  }
+}
+BENCHMARK(BM_AcrossClassification);
+
+void BM_RequestSplit(benchmark::State& state) {
+  Rng rng(4);
+  const PageGeometry geom{16};
+  const auto span = static_cast<SectorCount>(state.range(0));
+  for (auto _ : state) {
+    const SectorAddr off = rng.below(1 << 20);
+    benchmark::DoNotOptimize(ftl::split(SectorRange::of(off, span), geom));
+  }
+}
+BENCHMARK(BM_RequestSplit)->Arg(8)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace

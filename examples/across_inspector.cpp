@@ -1,0 +1,104 @@
+// Across-FTL mechanism inspector: walks the §3.3 scenarios step by step and
+// dumps the two-level mapping table (PMT AIdx marks + AMT entries) after
+// each, so you can watch areas being created, merged, shrunk and rolled back.
+//
+//   $ ./across_inspector
+#include <cstdio>
+
+#include "ftl/across_ftl.h"
+#include "sim/ssd.h"
+
+namespace {
+
+using namespace af;
+
+void dump_state(sim::Ssd& ssd, Lpn first, Lpn last) {
+  auto& scheme = dynamic_cast<ftl::AcrossFtl&>(ssd.scheme());
+  std::printf("    PMT: ");
+  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+    const auto& pe = scheme.pmt(Lpn{l});
+    if (pe.aidx == ftl::AcrossFtl::kNoArea) {
+      std::printf("[%llu: ppn=%s aidx=-1] ", static_cast<unsigned long long>(l),
+                  pe.ppn.valid() ? std::to_string(pe.ppn.get()).c_str() : "-");
+    } else {
+      std::printf("[%llu: ppn=%s aidx=%u] ", static_cast<unsigned long long>(l),
+                  pe.ppn.valid() ? std::to_string(pe.ppn.get()).c_str() : "-",
+                  pe.aidx);
+    }
+  }
+  std::printf("\n    AMT: ");
+  bool any = false;
+  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+    const auto aidx = scheme.pmt(Lpn{l}).aidx;
+    if (aidx == ftl::AcrossFtl::kNoArea) continue;
+    const auto& area = scheme.amt(aidx);
+    std::printf("{AIdx=%u Off=%llu Size=%llu APPN=%llu} ", aidx,
+                static_cast<unsigned long long>(area.range.begin),
+                static_cast<unsigned long long>(area.range.size()),
+                static_cast<unsigned long long>(area.appn.get()));
+    any = true;
+    break;  // the pair shares one entry
+  }
+  if (!any) std::printf("(no live area)");
+  std::printf("\n");
+  scheme.check_invariants();
+}
+
+}  // namespace
+
+int main() {
+  auto config = ssd::SsdConfig::tiny();
+  sim::Ssd ssd(config, ftl::SchemeKind::kAcrossFtl);
+  SimTime t = 0;
+
+  auto step = [&](const char* what, bool write, SectorAddr off,
+                  SectorCount len) {
+    ftl::IoRequest req{t, write, SectorRange::of(off, len)};
+    t += kMsec;
+    const auto before_writes =
+        ssd.stats().flash_ops(ssd::OpKind::kDataWrite);
+    const auto before_reads = ssd.stats().flash_ops(ssd::OpKind::kDataRead);
+    ssd.submit(req);
+    std::printf("\n%s  →  %s [%llu, %llu)  (+%llu programs, +%llu reads)\n",
+                what, write ? "write" : "read",
+                static_cast<unsigned long long>(off),
+                static_cast<unsigned long long>(off + len),
+                static_cast<unsigned long long>(
+                    ssd.stats().flash_ops(ssd::OpKind::kDataWrite) -
+                    before_writes),
+                static_cast<unsigned long long>(
+                    ssd.stats().flash_ops(ssd::OpKind::kDataRead) -
+                    before_reads));
+    dump_state(ssd, Lpn{128}, Lpn{130});
+  };
+
+  std::printf("Across-FTL walkthrough (8 KiB pages = 16 sectors; the pair is "
+              "LPNs 128/129, sectors 2048..2080)\n");
+
+  step("1. normal fills of the pair", true, 128 * 16, 32);
+  step("2. DIRECT WRITE: across write(2056, 12 sectors)", true, 2056, 12);
+  step("3. DIRECT READ inside the area", false, 2060, 8);
+  step("4. MERGED READ spilling past the area", false, 2060, 16);
+  step("5. Profitable AMERGE: across update, union fits one page", true, 2060,
+       12);
+  step("6. Unprofitable AMERGE: small in-page update over the area", true,
+       2058, 4);
+  step("7. AROLLBACK: update makes the union outgrow a page", true, 2052, 16);
+  step("8. fresh area again", true, 2056, 12);
+  step("9. SHRINK: full overwrite of page 128 trims the area", true, 128 * 16,
+       16);
+
+  std::printf("\nsummary: direct=%llu, amerge(profit)=%llu, "
+              "amerge(unprofit)=%llu, rollback=%llu, shrink=%llu\n",
+              static_cast<unsigned long long>(ssd.stats().across().direct_writes),
+              static_cast<unsigned long long>(
+                  ssd.stats().across().profitable_amerge),
+              static_cast<unsigned long long>(
+                  ssd.stats().across().unprofitable_amerge),
+              static_cast<unsigned long long>(ssd.stats().across().rollbacks),
+              static_cast<unsigned long long>(ssd.stats().across().area_shrinks));
+  std::printf("every read above was verified against the oracle (%llu "
+              "sectors).\n",
+              static_cast<unsigned long long>(ssd.verified_sectors()));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// VDI workload comparison: generate a synthetic enterprise-VDI trace (or load
+// a real systor'17 CSV) and replay it on all three FTL schemes, printing the
+// paper's headline metrics side by side.
+//
+//   $ ./vdi_replay                 # synthetic lun1, 30k requests
+//   $ ./vdi_replay lun6 50000      # another profile / request count
+//   $ ./vdi_replay path/to/trace.csv
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "trace/characterize.h"
+#include "trace/profiles.h"
+#include "trace/reader.h"
+#include "trace/replayer.h"
+
+int main(int argc, char** argv) {
+  using namespace af;
+
+  const std::string arg = argc > 1 ? argv[1] : "lun1";
+  const std::uint64_t requests =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 30'000;
+
+  auto config = ssd::SsdConfig::paper(/*page_kb=*/8, /*blocks_per_plane=*/48);
+  const std::uint64_t addressable =
+      static_cast<std::uint64_t>(
+          0.398 * static_cast<double>(config.geometry.total_pages())) *
+      config.geometry.sectors_per_page();
+
+  trace::Trace tr;
+  if (arg.size() > 4 && arg.substr(arg.size() - 4) == ".csv") {
+    tr = trace::read_file(arg);
+    if (tr.empty()) {
+      std::fprintf(stderr, "could not read %s\n", arg.c_str());
+      return 1;
+    }
+  } else {
+    std::size_t idx = 0;
+    if (arg.size() == 4 && arg.rfind("lun", 0) == 0) {
+      idx = static_cast<std::size_t>(arg[3] - '1');
+    }
+    if (idx > 5) idx = 0;
+    tr = trace::generate(trace::lun_profile(idx, requests), addressable);
+  }
+
+  const auto shape = trace::characterize(tr, config.geometry.sectors_per_page());
+  std::printf("trace: %llu requests, write %.1f%%, avg write %.1f KB, "
+              "across %.1f%%\n\n",
+              static_cast<unsigned long long>(shape.requests),
+              shape.write_ratio * 100, shape.avg_write_kb,
+              shape.across_ratio * 100);
+
+  Table table({"scheme", "read ms", "write ms", "I/O time s", "flash W",
+               "flash R", "erases", "map MB"});
+  for (auto kind : {ftl::SchemeKind::kPageFtl, ftl::SchemeKind::kMrsm,
+                    ftl::SchemeKind::kAcrossFtl}) {
+    std::printf("replaying on %s...\n", ftl::to_string(kind));
+    const auto result = trace::replay(config, kind, tr);
+    table.add_row({result.scheme, Table::num(result.read_latency_ms(), 3),
+                   Table::num(result.write_latency_ms(), 3),
+                   Table::num(result.io_time_s, 2),
+                   Table::num(result.stats.flash_writes()),
+                   Table::num(result.stats.flash_reads()),
+                   Table::num(result.stats.erases()),
+                   Table::num(static_cast<double>(result.map_bytes) / (1 << 20),
+                              2)});
+  }
+  std::printf("\n");
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Always-on invariant checking.
+//
+// Simulator state is cheap to validate relative to flash-op costs, and a
+// silently corrupted mapping table produces plausible-looking but wrong
+// results, so checks stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace af {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace af
+
+#define AF_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::af::check_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define AF_CHECK_MSG(expr, msg)                                   \
+  do {                                                            \
+    if (!(expr)) ::af::check_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,133 @@
+// Half-open sector interval algebra.
+//
+// Every piece of across-page logic — "does this read fall inside the across
+// area", "does the union of the area and the update still fit in one page",
+// "what remains valid after a partial overwrite" — is interval arithmetic on
+// sector ranges, so this is the workhorse type of the whole FTL layer.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace af {
+
+/// Half-open range of 512B sectors: [begin, end).
+struct SectorRange {
+  SectorAddr begin = 0;
+  SectorAddr end = 0;  // exclusive
+
+  constexpr SectorRange() = default;
+  constexpr SectorRange(SectorAddr b, SectorAddr e) : begin(b), end(e) {
+    AF_CHECK_MSG(b <= e, "SectorRange must be non-decreasing");
+  }
+
+  /// Build from an (offset, length) pair, the shape trace records arrive in.
+  static constexpr SectorRange of(SectorAddr offset, SectorCount len) {
+    return {offset, offset + len};
+  }
+
+  [[nodiscard]] constexpr SectorCount size() const { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const { return begin == end; }
+
+  [[nodiscard]] constexpr bool contains(SectorAddr s) const {
+    return begin <= s && s < end;
+  }
+  [[nodiscard]] constexpr bool contains(SectorRange o) const {
+    return o.empty() || (begin <= o.begin && o.end <= end);
+  }
+  [[nodiscard]] constexpr bool overlaps(SectorRange o) const {
+    return begin < o.end && o.begin < end;
+  }
+  /// True when the ranges touch or overlap, i.e. their union is contiguous.
+  [[nodiscard]] constexpr bool touches(SectorRange o) const {
+    return begin <= o.end && o.begin <= end;
+  }
+
+  [[nodiscard]] constexpr SectorRange intersect(SectorRange o) const {
+    SectorAddr b = std::max(begin, o.begin);
+    SectorAddr e = std::min(end, o.end);
+    return b < e ? SectorRange{b, e} : SectorRange{};
+  }
+
+  /// Smallest range covering both; only meaningful when touches(o).
+  [[nodiscard]] constexpr SectorRange hull(SectorRange o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(begin, o.begin), std::max(end, o.end)};
+  }
+
+  /// Union of two contiguous-or-overlapping ranges.
+  [[nodiscard]] constexpr std::optional<SectorRange> merge(SectorRange o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    if (!touches(o)) return std::nullopt;
+    return hull(o);
+  }
+
+  /// The (up to two) pieces of *this not covered by `o`.
+  struct Difference;
+  [[nodiscard]] constexpr Difference subtract(SectorRange o) const;
+
+  friend constexpr bool operator==(SectorRange, SectorRange) = default;
+};
+
+struct SectorRange::Difference {
+  SectorRange left;   // part of *this below o
+  SectorRange right;  // part of *this above o
+};
+
+constexpr SectorRange::Difference SectorRange::subtract(SectorRange o) const {
+  Difference d;
+  if (empty()) return d;
+  if (!overlaps(o)) {
+    d.left = *this;
+    return d;
+  }
+  if (begin < o.begin) d.left = {begin, std::min(end, o.begin)};
+  if (o.end < end) d.right = {std::max(begin, o.end), end};
+  return d;
+}
+
+inline std::ostream& operator<<(std::ostream& os, SectorRange r) {
+  return os << "[" << r.begin << "," << r.end << ")";
+}
+
+/// Geometry helpers for mapping sector ranges onto SSD pages. Pure functions
+/// of sectors-per-page so they are usable before a device exists (e.g. in the
+/// trace characteriser).
+struct PageGeometry {
+  std::uint32_t sectors_per_page = 16;  // 8 KiB pages by default
+
+  [[nodiscard]] constexpr Lpn lpn_of(SectorAddr s) const {
+    return Lpn{s / sectors_per_page};
+  }
+  [[nodiscard]] constexpr SectorRange page_range(Lpn lpn) const {
+    SectorAddr b = lpn.get() * sectors_per_page;
+    return {b, b + sectors_per_page};
+  }
+  /// First and last LPN a sector range touches. Range must be non-empty.
+  [[nodiscard]] constexpr std::pair<Lpn, Lpn> lpn_span(SectorRange r) const {
+    AF_CHECK(!r.empty());
+    return {lpn_of(r.begin), lpn_of(r.end - 1)};
+  }
+  [[nodiscard]] constexpr std::uint64_t pages_touched(SectorRange r) const {
+    if (r.empty()) return 0;
+    auto [first, last] = lpn_span(r);
+    return last.get() - first.get() + 1;
+  }
+  /// An across-page request: size is at most one page, yet it spans exactly
+  /// two logical pages (paper §1, Figure 1).
+  [[nodiscard]] constexpr bool is_across_page(SectorRange r) const {
+    return !r.empty() && r.size() <= sectors_per_page && pages_touched(r) == 2;
+  }
+  /// Fully page-aligned request: starts and ends on page boundaries.
+  [[nodiscard]] constexpr bool is_aligned(SectorRange r) const {
+    return r.begin % sectors_per_page == 0 && r.end % sectors_per_page == 0;
+  }
+};
+
+}  // namespace af

@@ -1,0 +1,23 @@
+// Minimal leveled logger. The simulator is a library first, so logging is
+// quiet by default and controlled by a global level (benches bump it for
+// progress lines, tests leave it at kWarn).
+#pragma once
+
+#include <cstdarg>
+
+namespace af {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; drops messages below the current level.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace af
+
+#define AF_LOG_DEBUG(...) ::af::logf(::af::LogLevel::kDebug, __VA_ARGS__)
+#define AF_LOG_INFO(...) ::af::logf(::af::LogLevel::kInfo, __VA_ARGS__)
+#define AF_LOG_WARN(...) ::af::logf(::af::LogLevel::kWarn, __VA_ARGS__)
+#define AF_LOG_ERROR(...) ::af::logf(::af::LogLevel::kError, __VA_ARGS__)

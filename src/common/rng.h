@@ -1,0 +1,146 @@
+// Deterministic random number generation for workload synthesis.
+//
+// Benches and tests must be reproducible run-to-run and machine-to-machine,
+// so we carry our own xoshiro256** implementation instead of relying on
+// std::mt19937 + libstdc++ distribution internals (distributions are not
+// standardised bit-for-bit).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace af {
+
+/// SplitMix64 — used to seed xoshiro from a single 64-bit value.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  std::uint64_t below(std::uint64_t bound) {
+    AF_CHECK(bound > 0);
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    AF_CHECK(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf-distributed sampler over {0, .., n-1} with exponent `theta`,
+/// implemented with an inverse-CDF table (O(log n) per sample). Used to model
+/// the hot/cold skew of VDI block traces.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta) : n_(n) {
+    AF_CHECK(n > 0);
+    cdf_.reserve(static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_.push_back(sum);
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  std::uint64_t sample(Rng& rng) const {
+    double u = rng.uniform();
+    // Binary search for the first CDF entry >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] std::uint64_t size() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::vector<double> cdf_;
+};
+
+/// Sampler over a small discrete distribution given as (value, weight) pairs.
+/// Used for request-size mixes (4K / 8K / 16K / 64K ...).
+template <class T>
+class WeightedSampler {
+ public:
+  void add(T value, double weight) {
+    AF_CHECK(weight >= 0);
+    total_ += weight;
+    entries_.push_back({value, total_});
+  }
+
+  T sample(Rng& rng) const {
+    AF_CHECK_MSG(!entries_.empty() && total_ > 0, "empty weighted sampler");
+    double u = rng.uniform() * total_;
+    for (const auto& e : entries_) {
+      if (u < e.cumulative) return e.value;
+    }
+    return entries_.back().value;
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    T value;
+    double cumulative;
+  };
+  std::vector<Entry> entries_;
+  double total_ = 0;
+};
+
+}  // namespace af

@@ -1,0 +1,24 @@
+#include "common/stats.h"
+
+namespace af {
+
+double LogHistogram::percentile(double p) const {
+  AF_CHECK(p > 0 && p <= 100);
+  if (count_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      p / 100.0 * static_cast<double>(count_) + 0.5);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      // Midpoint of bucket i: bucket 0 holds {0}, bucket i>0 holds
+      // [2^(i-1), 2^i).
+      if (i == 0) return 0.0;
+      const double lo = static_cast<double>(1ULL << (i - 1));
+      return lo * 1.5;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace af

@@ -1,0 +1,71 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace af {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  AF_CHECK_MSG(cells.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+
+std::string Table::percent(double fraction, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", digits, fraction * 100.0);
+  return buf;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    os << '+';
+    for (auto w : width) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c];
+      for (std::size_t i = row[c].size(); i < width[c]; ++i) os << ' ';
+      os << " |";
+    }
+    os << '\n';
+  };
+
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  t.print(os);
+  return os;
+}
+
+}  // namespace af

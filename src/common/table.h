@@ -1,0 +1,33 @@
+// ASCII table rendering for bench output. Every figure/table bench prints its
+// result as one of these so the reproduction output is directly comparable to
+// the paper's rows.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace af {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` places — convenience for callers.
+  static std::string num(double v, int digits = 3);
+  static std::string num(std::uint64_t v);
+  static std::string percent(double fraction, int digits = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace af

@@ -1,0 +1,71 @@
+// Fundamental identifier and time types shared across the simulator.
+//
+// Logical and physical page numbers are distinct strong types so that an LPN
+// can never be passed where a PPN is expected — the entire point of an FTL is
+// that these spaces are different.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace af {
+
+/// Simulated time in nanoseconds. 64 bits covers ~584 years of simulated time.
+using SimTime = std::uint64_t;
+
+/// Duration in nanoseconds.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration kUsec = 1'000;
+constexpr SimDuration kMsec = 1'000'000;
+constexpr SimDuration kSec = 1'000'000'000;
+
+/// 512-byte sector index within the logical address space (LBA).
+using SectorAddr = std::uint64_t;
+
+/// Number of 512-byte sectors.
+using SectorCount = std::uint64_t;
+
+constexpr std::uint32_t kSectorBytes = 512;
+
+namespace detail {
+
+/// CRTP-free strong integer wrapper. Tag makes each instantiation unique.
+template <class Tag>
+struct StrongId {
+  std::uint64_t v = kInvalid;
+
+  static constexpr std::uint64_t kInvalid =
+      std::numeric_limits<std::uint64_t>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t value) : v(value) {}
+
+  [[nodiscard]] constexpr bool valid() const { return v != kInvalid; }
+  [[nodiscard]] constexpr std::uint64_t get() const { return v; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+};
+
+}  // namespace detail
+
+/// Logical page number: index of an SSD-page-sized window of the LBA space.
+using Lpn = detail::StrongId<struct LpnTag>;
+
+/// Physical page number: flat index of a flash page in the array.
+using Ppn = detail::StrongId<struct PpnTag>;
+
+/// Index of an entry in the across-page mapping table (AMT). The paper uses
+/// "-1" for "not remapped"; we use an invalid sentinel instead.
+using AmtIndex = detail::StrongId<struct AmtTag>;
+
+}  // namespace af
+
+template <class Tag>
+struct std::hash<af::detail::StrongId<Tag>> {
+  std::size_t operator()(af::detail::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.get());
+  }
+};

@@ -1,0 +1,578 @@
+#include "ftl/across_ftl.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace af::ftl {
+
+namespace {
+// PMT entries carry the PPN plus the paper's AIdx field (4 + 2 bytes); AMT
+// entries hold {AIdx, Off, Size, APPN} (16 bytes, §3.2).
+constexpr std::uint64_t kPmtEntryBytes = 6;
+constexpr std::uint64_t kAmtEntryBytes = 16;
+}  // namespace
+
+AcrossFtl::AcrossFtl(ssd::Engine& engine) : FtlScheme(engine) {
+  const std::uint64_t logical = engine.config().logical_pages();
+  pmt_.assign(static_cast<std::size_t>(logical), PmtEntry{});
+  pmt_entries_per_tpage_ = engine.geometry().page_bytes / kPmtEntryBytes;
+  amt_entries_per_tpage_ = engine.geometry().page_bytes / kAmtEntryBytes;
+  pmt_tpages_ = (logical + pmt_entries_per_tpage_ - 1) / pmt_entries_per_tpage_;
+  // At most one live area per LPN pair; size the id space generously.
+  max_amt_entries_ = logical;
+  const std::uint64_t amt_tpages =
+      (max_amt_entries_ + amt_entries_per_tpage_ - 1) / amt_entries_per_tpage_;
+  engine.init_map_space(pmt_tpages_ + amt_tpages);
+
+  // Valve watermark: stop minting areas before live data reaches the level
+  // where a plane can no longer keep gc_trigger_blocks() free (plus margin
+  // for GC/map active blocks and rollback transients).
+  const double bpp = engine.geometry().blocks_per_plane;
+  pressure_watermark_ =
+      1.0 - (static_cast<double>(engine.gc_trigger_blocks()) + 2.0) / bpp;
+}
+
+bool AcrossFtl::under_pressure() const {
+  return engine_.array().valid_fraction() >= pressure_watermark_;
+}
+
+SimTime AcrossFtl::drain_one_area(SimTime ready) {
+  while (!area_fifo_.empty()) {
+    const auto [aidx, generation] = area_fifo_.front();
+    area_fifo_.pop_front();
+    if (amt_[aidx].live && amt_[aidx].generation == generation) {
+      ++engine_.stats().across().pressure_evictions;
+      return rollback(aidx, std::nullopt, ready);
+    }
+  }
+  return ready;
+}
+
+SimTime AcrossFtl::touch_pmt(Lpn lpn, bool dirty, SimTime ready) {
+  return engine_.map_touch(pmt_tpage_of(lpn), dirty, ready);
+}
+
+SimTime AcrossFtl::touch_amt(std::uint32_t aidx, bool dirty, SimTime ready) {
+  return engine_.map_touch(amt_tpage_of(aidx), dirty, ready);
+}
+
+std::uint32_t AcrossFtl::alloc_area() {
+  std::uint32_t aidx;
+  if (!amt_free_.empty()) {
+    aidx = amt_free_.back();
+    amt_free_.pop_back();
+  } else {
+    AF_CHECK_MSG(amt_.size() < max_amt_entries_, "AMT id space exhausted");
+    aidx = static_cast<std::uint32_t>(amt_.size());
+    amt_.emplace_back();
+  }
+  amt_[aidx].live = true;
+  ++amt_[aidx].generation;
+  area_fifo_.emplace_back(aidx, amt_[aidx].generation);
+  ++live_areas_;
+  auto& across = engine_.stats().across();
+  ++across.areas_created;
+  across.peak_live_areas = std::max(across.peak_live_areas, live_areas_);
+  return aidx;
+}
+
+void AcrossFtl::free_area(std::uint32_t aidx) {
+  AmtEntry& entry = amt_[aidx];
+  AF_CHECK(entry.live);
+  // Clear the AIdx marks of every LPN the area still covers.
+  auto [first, last] = pgeom_.lpn_span(entry.range);
+  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+    if (pmt_[l].aidx == aidx) pmt_[l].aidx = kNoArea;
+  }
+  const std::uint32_t generation = entry.generation;
+  entry = AmtEntry{};
+  entry.generation = generation;  // survives reuse: valve FIFO validity
+  amt_free_.push_back(aidx);
+  AF_CHECK(live_areas_ > 0);
+  --live_areas_;
+}
+
+// --- Write routines -----------------------------------------------------------
+
+SimTime AcrossFtl::direct_write(SectorRange w, SimTime ready) {
+  const std::uint32_t aidx = alloc_area();
+  auto [first, last] = pgeom_.lpn_span(w);
+  ready = touch_pmt(first, /*dirty=*/true, ready);
+  ready = touch_pmt(last, /*dirty=*/true, ready);
+  ready = touch_amt(aidx, /*dirty=*/true, ready);
+
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::across(AmtIndex{aidx}),
+      ssd::OpKind::kDataWrite, ready);
+
+  if (tracking()) {
+    for (std::uint32_t i = 0; i < w.size(); ++i) {
+      engine_.write_stamp(programmed.ppn, i, new_stamp(w.begin + i));
+    }
+  }
+
+  amt_[aidx].range = w;
+  amt_[aidx].appn = programmed.ppn;
+  amt_[aidx].slot_base = w.begin;
+  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+    pmt_[l].aidx = aidx;
+  }
+  ++engine_.stats().across().direct_writes;
+  return programmed.done;
+}
+
+SimTime AcrossFtl::amerge(std::uint32_t aidx, SectorRange w, bool profitable,
+                          SimTime ready) {
+  AmtEntry& entry = amt_[aidx];
+  AF_CHECK(entry.live && entry.range.touches(w));
+  const SectorRange merged = entry.range.hull(w);
+  AF_CHECK(merged.size() <= pgeom_.sectors_per_page);
+
+  ready = touch_amt(aidx, /*dirty=*/true, ready);
+  // The merged range may cover an LPN the old one did not (e.g. a degenerate
+  // single-page area re-growing across the boundary): re-mark the pair.
+  auto [first, last] = pgeom_.lpn_span(merged);
+  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+    if (pmt_[l].aidx != aidx) {
+      AF_CHECK_MSG(pmt_[l].aidx == kNoArea, "area collision during AMerge");
+      pmt_[l].aidx = aidx;
+      ready = touch_pmt(Lpn{l}, /*dirty=*/true, ready);
+    }
+  }
+  // Carry the not-overwritten part of the old area into the new page.
+  ready = engine_.flash_read(entry.appn, ssd::OpKind::kDataRead, ready);
+  engine_.stats().count_rmw_read();
+
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::across(AmtIndex{aidx}),
+      ssd::OpKind::kDataWrite, ready);
+
+  if (tracking()) {
+    for (std::uint32_t i = 0; i < merged.size(); ++i) {
+      const SectorAddr s = merged.begin + i;
+      if (w.contains(s)) {
+        engine_.write_stamp(programmed.ppn, i, new_stamp(s));
+      } else {
+        AF_CHECK(entry.range.contains(s));
+        engine_.write_stamp(programmed.ppn, i,
+                            engine_.read_stamp(entry.appn, entry.slot_of(s)));
+      }
+    }
+  }
+
+  engine_.invalidate(entry.appn);
+  entry.range = merged;
+  entry.appn = programmed.ppn;
+  entry.slot_base = merged.begin;
+
+  auto& across = engine_.stats().across();
+  if (profitable) {
+    ++across.profitable_amerge;
+  } else {
+    ++across.unprofitable_amerge;
+  }
+  return programmed.done;
+}
+
+SimTime AcrossFtl::rollback(std::uint32_t aidx, std::optional<SectorRange> u,
+                            SimTime ready) {
+  AmtEntry& area = amt_[aidx];
+  AF_CHECK(area.live);
+  const SectorRange hull = u ? area.range.hull(*u) : area.range;
+  auto [first, last] = pgeom_.lpn_span(hull);
+
+  ready = touch_amt(aidx, /*dirty=*/true, ready);
+  // Dependencies: the old area page, plus any *other* live areas and normal
+  // pages whose sectors feed the merged full-page writes.
+  ready = engine_.flash_read(area.appn, ssd::OpKind::kDataRead, ready);
+  engine_.stats().count_rmw_read();
+
+  SimTime done = ready;
+  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+    const Lpn lpn{l};
+    const SectorRange page = pgeom_.page_range(lpn);
+    PmtEntry& pe = pmt_[l];
+    const std::uint32_t other = (pe.aidx != aidx) ? pe.aidx : kNoArea;
+
+    SimTime cursor = touch_pmt(lpn, /*dirty=*/true, ready);
+    if (other != kNoArea) {
+      cursor = touch_amt(other, /*dirty=*/true, cursor);
+      cursor = engine_.flash_read(amt_[other].appn, ssd::OpKind::kDataRead,
+                                  cursor);
+      engine_.stats().count_rmw_read();
+    }
+    if (pe.ppn.valid()) {
+      cursor = engine_.flash_read(pe.ppn, ssd::OpKind::kDataRead, cursor);
+      engine_.stats().count_rmw_read();
+    }
+
+    auto programmed = engine_.flash_program(
+        ssd::Stream::kData, nand::PageOwner::data(lpn),
+        ssd::OpKind::kDataWrite, cursor);
+
+    if (tracking()) {
+      for (std::uint32_t i = 0; i < pgeom_.sectors_per_page; ++i) {
+        const SectorAddr s = page.begin + i;
+        std::uint64_t stamp = 0;
+        if (u && u->contains(s)) {
+          stamp = new_stamp(s);
+        } else if (area.range.contains(s)) {
+          stamp = engine_.read_stamp(area.appn, area.slot_of(s));
+        } else if (other != kNoArea && amt_[other].range.contains(s)) {
+          stamp = engine_.read_stamp(amt_[other].appn, amt_[other].slot_of(s));
+        } else if (pe.ppn.valid()) {
+          stamp = engine_.read_stamp(pe.ppn, i);
+        }
+        engine_.write_stamp(programmed.ppn, i, stamp);
+      }
+    }
+
+    if (pe.ppn.valid()) engine_.invalidate(pe.ppn);
+    pe.ppn = programmed.ppn;
+    done = std::max(done, programmed.done);
+
+    // This page was rewritten in full: any other area's share here is stale.
+    if (other != kNoArea) {
+      AmtEntry& oe = amt_[other];
+      const auto diff = oe.range.subtract(page);
+      const SectorRange rem = diff.left.empty() ? diff.right : diff.left;
+      if (rem.empty()) {
+        engine_.invalidate(oe.appn);
+        free_area(other);
+      } else {
+        oe.range = rem;
+        pe.aidx = kNoArea;
+      }
+      ++engine_.stats().across().area_shrinks;
+    }
+  }
+
+  engine_.invalidate(area.appn);
+  free_area(aidx);
+  ++engine_.stats().across().rollbacks;
+  return done;
+}
+
+SimTime AcrossFtl::write_normal_sub(const SubRequest& sub, SimTime ready) {
+  PmtEntry& pe = pmt_[sub.lpn.get()];
+  const SectorRange page = pgeom_.page_range(sub.lpn);
+  const bool full = sub.range == page;
+
+  if (!full && pe.ppn.valid()) {
+    ready = engine_.flash_read(pe.ppn, ssd::OpKind::kDataRead, ready);
+    engine_.stats().count_rmw_read();
+  }
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
+      ssd::OpKind::kDataWrite, ready);
+  // Re-fetch after the program: GC inside it may have relocated the old page
+  // (pe.ppn tracks the move).
+  const Ppn old = pe.ppn;
+
+  if (tracking()) {
+    for (std::uint32_t s = 0; s < pgeom_.sectors_per_page; ++s) {
+      const SectorAddr logical = page.begin + s;
+      if (sub.range.contains(logical)) {
+        engine_.write_stamp(programmed.ppn, s, new_stamp(logical));
+      } else if (old.valid()) {
+        engine_.write_stamp(programmed.ppn, s, engine_.read_stamp(old, s));
+      }
+    }
+  }
+
+  if (old.valid()) engine_.invalidate(old);
+  pe.ppn = programmed.ppn;
+  return programmed.done;
+}
+
+SimTime AcrossFtl::write_sub(const SubRequest& sub, SimTime ready) {
+  ready = touch_pmt(sub.lpn, /*dirty=*/true, ready);
+  const std::uint32_t aidx = pmt_[sub.lpn.get()].aidx;
+  if (aidx == kNoArea) return write_normal_sub(sub, ready);
+
+  AmtEntry& area = amt_[aidx];
+  const SectorRange page = pgeom_.page_range(sub.lpn);
+  const SectorRange share = area.range.intersect(page);
+  AF_CHECK_MSG(!share.empty(), "AIdx mark without coverage (invariant I1)");
+  const SectorRange r = sub.range;
+  const auto& policy = engine_.config().across;
+
+  if (r.contains(share)) {
+    if (!policy.enable_shrink) return rollback(aidx, r, ready);
+    // The area's entire share of this page is overwritten: shrink the area
+    // to its remainder in the neighbouring page (metadata only), or drop it.
+    ready = touch_amt(aidx, /*dirty=*/true, ready);
+    const auto diff = area.range.subtract(page);
+    const SectorRange rem = diff.left.empty() ? diff.right : diff.left;
+    if (rem.empty()) {
+      engine_.invalidate(area.appn);
+      free_area(aidx);
+    } else {
+      area.range = rem;
+      pmt_[sub.lpn.get()].aidx = kNoArea;
+    }
+    ++engine_.stats().across().area_shrinks;
+    return write_normal_sub(sub, ready);
+  }
+
+  if (r.overlaps(area.range) || r.touches(area.range)) {
+    const SectorRange hull = area.range.hull(r);
+    if (policy.enable_amerge && hull.size() <= pgeom_.sectors_per_page) {
+      return amerge(aidx, r, /*profitable=*/false, ready);
+    }
+    if (r.overlaps(area.range)) {
+      return rollback(aidx, r, ready);
+    }
+    // Adjacent but not mergeable: leave the area alone.
+  }
+  return write_normal_sub(sub, ready);
+}
+
+SimTime AcrossFtl::write_across(const IoRequest& req, SimTime ready) {
+  const auto [first, last] = pgeom_.lpn_span(req.range);
+  AF_CHECK(last.get() == first.get() + 1);
+  const std::uint32_t a1 = pmt_[first.get()].aidx;
+  const std::uint32_t a2 = pmt_[last.get()].aidx;
+
+  ready = touch_pmt(first, /*dirty=*/true, ready);
+  ready = touch_pmt(last, /*dirty=*/true, ready);
+
+  const bool amerge_on = engine_.config().across.enable_amerge;
+  if (a1 != kNoArea && a1 == a2) {
+    // The pair already has an area; both spanning the same page boundary,
+    // the ranges necessarily overlap.
+    const SectorRange hull = amt_[a1].range.hull(req.range);
+    if (amerge_on && hull.size() <= pgeom_.sectors_per_page) {
+      return amerge(a1, req.range, /*profitable=*/true, ready);  // §3.3 AMerge
+    }
+    return rollback(a1, req.range, ready);  // §3.3 ARollback
+  }
+
+  std::vector<std::uint32_t> candidates;
+  if (a1 != kNoArea) candidates.push_back(a1);
+  if (a2 != kNoArea && a2 != a1) candidates.push_back(a2);
+
+  if (candidates.size() == 1) {
+    const std::uint32_t a = candidates.front();
+    const SectorRange arange = amt_[a].range;
+    if (amerge_on && arange.touches(req.range) &&
+        arange.hull(req.range).size() <= pgeom_.sectors_per_page) {
+      // A degenerate (single-page) area re-growing across the boundary.
+      return amerge(a, req.range, /*profitable=*/true, ready);
+    }
+    if (arange.overlaps(req.range)) {
+      return rollback(a, req.range, ready);
+    }
+    // Disjoint conflict: the pair can hold only one area (one AIdx per LPN),
+    // so dissolve the old one first, then remap the new request.
+    ready = rollback(a, std::nullopt, ready);
+    return direct_write(req.range, ready);
+  }
+  if (candidates.size() == 2) {
+    // Both neighbours belong to different areas; dissolve both.
+    for (std::uint32_t a : candidates) {
+      if (amt_[a].live) ready = rollback(a, std::nullopt, ready);
+    }
+    return direct_write(req.range, ready);
+  }
+  return direct_write(req.range, ready);
+}
+
+SimTime AcrossFtl::write(const IoRequest& req, SimTime ready) {
+  if (pgeom_.is_across_page(req.range) && engine_.config().across.enable_remap) {
+    if (under_pressure()) {
+      // Too full to afford another remapped area: drain the oldest area and
+      // service this request baseline-style (write_sub still resolves any
+      // overlap with existing areas correctly).
+      ++engine_.stats().across().bypassed_writes;
+      ready = drain_one_area(ready);
+    } else {
+      return write_across(req, ready);
+    }
+  }
+  SimTime done = ready;
+  SimTime cursor = ready;
+  for (const auto& sub : split(req.range, pgeom_)) {
+    // Sub-requests are dispatched as their (serialised) mapping work
+    // completes; their flash ops then proceed in parallel across chips.
+    done = std::max(done, write_sub(sub, cursor));
+  }
+  return done;
+}
+
+// --- Read routine ----------------------------------------------------------------
+
+SimTime AcrossFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
+  const auto subs = split(req.range, pgeom_);
+
+  // Phase 1: all mapping-table touches. A CMT miss can evict a dirty
+  // translation page, whose write-back can run GC and relocate data pages —
+  // so no flash source may be captured before the touches are done.
+  SimTime map_ready = ready;
+  for (const auto& sub : subs) {
+    map_ready = touch_pmt(sub.lpn, /*dirty=*/false, map_ready);
+    if (pmt_[sub.lpn.get()].aidx != kNoArea) {
+      map_ready = touch_amt(pmt_[sub.lpn.get()].aidx, /*dirty=*/false,
+                            map_ready);
+    }
+  }
+
+  // Phase 2: plan and schedule the flash reads (no state mutations here).
+  std::vector<Ppn> sources;  // distinct flash pages to fetch
+  bool used_area = false;
+  bool used_normal = false;
+
+  auto add_source = [&sources](Ppn ppn) {
+    if (std::find(sources.begin(), sources.end(), ppn) == sources.end()) {
+      sources.push_back(ppn);
+    }
+  };
+
+  for (const auto& sub : subs) {
+    const PmtEntry& pe = pmt_[sub.lpn.get()];
+    const SectorRange page = pgeom_.page_range(sub.lpn);
+
+    SectorRange in_area;
+    const AmtEntry* area = nullptr;
+    if (pe.aidx != kNoArea) {
+      area = &amt_[pe.aidx];
+      in_area = sub.range.intersect(area->range);
+    }
+
+    if (!in_area.empty()) {
+      used_area = true;
+      add_source(area->appn);
+    }
+    // Pieces of the sub not covered by the area come from the normal page.
+    const auto rest = sub.range.subtract(in_area);
+    for (const SectorRange& piece : {rest.left, rest.right}) {
+      if (piece.empty()) continue;
+      if (pe.ppn.valid()) {
+        used_normal = true;
+        add_source(pe.ppn);
+      }
+    }
+
+    if (plan != nullptr && tracking()) {
+      for (SectorAddr s = sub.range.begin; s < sub.range.end; ++s) {
+        std::uint64_t stamp = 0;
+        if (area != nullptr && area->range.contains(s)) {
+          stamp = engine_.read_stamp(area->appn, area->slot_of(s));
+        } else if (pe.ppn.valid()) {
+          stamp = engine_.read_stamp(pe.ppn,
+                                     static_cast<std::uint32_t>(s - page.begin));
+        }
+        plan->observed.push_back({s, stamp});
+      }
+    }
+  }
+
+  SimTime done = map_ready;
+  for (Ppn src : sources) {
+    done = std::max(done,
+                    engine_.flash_read(src, ssd::OpKind::kDataRead, map_ready));
+  }
+
+  // §3.3.2's direct/merged classification concerns reads *of across-page
+  // data* (Figure 7 reads ≤ one page); multi-page sweeps that happen to
+  // gather an area along the way are ordinary reads.
+  if (pgeom_.is_across_page(req.range)) {
+    auto& across = engine_.stats().across();
+    if (used_area) {
+      if (used_normal) {
+        ++across.merged_reads;  // §3.3.2 merged read: area + normal pages
+        across.merged_read_flash_reads += sources.size();
+      } else {
+        ++across.direct_reads;  // §3.3.2 direct read: the area alone suffices
+      }
+    }
+  }
+  return done;
+}
+
+// --- GC ---------------------------------------------------------------------------
+
+void AcrossFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
+                            SimTime& clock) {
+  clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock);
+  auto moved =
+      engine_.gc_program(engine_.geometry().plane_of(victim), owner, clock);
+  clock = moved.done;
+  if (engine_.tracks_payload()) engine_.copy_stamps(victim, moved.ppn);
+  engine_.invalidate(victim);
+
+  switch (owner.kind) {
+    case nand::PageOwner::Kind::kData: {
+      const Lpn lpn{owner.id};
+      AF_CHECK_MSG(pmt_[lpn.get()].ppn == victim, "GC/PMT desync");
+      pmt_[lpn.get()].ppn = moved.ppn;
+      clock = touch_pmt(lpn, /*dirty=*/true, clock);
+      break;
+    }
+    case nand::PageOwner::Kind::kAcross: {
+      const auto aidx = static_cast<std::uint32_t>(owner.id);
+      AF_CHECK_MSG(amt_[aidx].live && amt_[aidx].appn == victim,
+                   "GC/AMT desync");
+      amt_[aidx].appn = moved.ppn;
+      clock = touch_amt(aidx, /*dirty=*/true, clock);
+      break;
+    }
+    default:
+      AF_CHECK_MSG(false, "unexpected page owner in Across-FTL GC");
+  }
+}
+
+std::uint64_t AcrossFtl::map_bytes() const {
+  const auto* dir = engine_.map_directory();
+  return dir ? dir->touched_pages() * engine_.geometry().page_bytes : 0;
+}
+
+// --- Introspection -----------------------------------------------------------------
+
+const AcrossFtl::PmtEntry& AcrossFtl::pmt(Lpn lpn) const {
+  AF_CHECK(lpn.get() < pmt_.size());
+  return pmt_[lpn.get()];
+}
+
+const AcrossFtl::AmtEntry& AcrossFtl::amt(std::uint32_t aidx) const {
+  AF_CHECK(aidx < amt_.size());
+  return amt_[aidx];
+}
+
+void AcrossFtl::check_invariants() const {
+  std::uint64_t live = 0;
+  for (std::uint32_t a = 0; a < amt_.size(); ++a) {
+    const AmtEntry& entry = amt_[a];
+    if (!entry.live) continue;
+    ++live;
+    AF_CHECK_MSG(!entry.range.empty(), "live area with empty range");
+    AF_CHECK_MSG(entry.range.size() <= pgeom_.sectors_per_page,
+                 "area larger than a page (I2)");
+    AF_CHECK_MSG(pgeom_.pages_touched(entry.range) <= 2,
+                 "area spanning more than two LPNs (I2)");
+    AF_CHECK_MSG(entry.range.begin >= entry.slot_base &&
+                     entry.range.end <= entry.slot_base + pgeom_.sectors_per_page,
+                 "area range outside its page slots");
+    AF_CHECK_MSG(entry.appn.valid(), "live area without a flash page (I3)");
+    AF_CHECK_MSG(engine_.array().state(entry.appn) == nand::PageState::kValid,
+                 "area page not valid on flash (I3)");
+    AF_CHECK_MSG(engine_.array().owner(entry.appn) ==
+                     nand::PageOwner::across(AmtIndex{a}),
+                 "area page owner mismatch (I3)");
+    auto [first, last] = pgeom_.lpn_span(entry.range);
+    for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+      AF_CHECK_MSG(pmt_[l].aidx == a, "covered LPN not marked (I1)");
+    }
+  }
+  AF_CHECK_MSG(live == live_areas_, "live-area count drift");
+  for (std::uint64_t l = 0; l < pmt_.size(); ++l) {
+    const std::uint32_t a = pmt_[l].aidx;
+    if (a == kNoArea) continue;
+    AF_CHECK_MSG(a < amt_.size() && amt_[a].live, "dangling AIdx (I1)");
+    AF_CHECK_MSG(
+        !amt_[a].range.intersect(pgeom_.page_range(Lpn{l})).empty(),
+        "marked LPN without area coverage (I1)");
+  }
+}
+
+}  // namespace af::ftl

@@ -1,0 +1,140 @@
+// Across-FTL — the paper's contribution (§3).
+//
+// An across-page write (size ≤ one page, spanning two logical pages) is
+// remapped onto a single freshly allocated physical page, the *across-page
+// area*. The two-level mapping table consists of:
+//
+//   PMT  — per-LPN entry {PPN, AIdx}; AIdx = kNoArea ("-1" in the paper)
+//          when the page has no remapped data, otherwise an AMT slot.
+//   AMT  — per-area entry {range (Off+Size in the paper), APPN}.
+//
+// Area data lives at page-internal slots [0, range.size()), i.e. slot k
+// holds logical sector range.begin + k.
+//
+// Lifecycle (§3.3): direct write creates an area; AMerge folds an update
+// into the area when the union still fits in one page (profitable when the
+// update itself is across-page); ARollback dissolves the area back into
+// normal pages when the union outgrows a page. Two behaviours the paper
+// leaves unspecified are documented in DESIGN.md: AIdx lives on *both* LPNs
+// of the pair, and a full overwrite of one LPN's share *shrinks* the area
+// (metadata-only) instead of forcing a rollback.
+//
+// Invariants (checked by check_invariants() in tests):
+//   I1  pmt[l].aidx == a  ⇔  amt[a] is live and amt[a].range ∩ page(l) ≠ ∅.
+//   I2  a live area covers 1 or 2 consecutive LPNs and ≤ one page of sectors.
+//   I3  amt[a].appn is a valid flash page owned by PageOwner::across(a).
+//   I4  area data is never stale: any write overlapping an area merges into
+//       it, shrinks it away, or rolls it back in the same request.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "ftl/scheme.h"
+
+namespace af::ftl {
+
+class AcrossFtl final : public FtlScheme {
+ public:
+  static constexpr std::uint32_t kNoArea = UINT32_MAX;
+
+  struct PmtEntry {
+    Ppn ppn;                      // normal data page (may be invalid)
+    std::uint32_t aidx = kNoArea; // the paper's AIdx field
+  };
+
+  struct AmtEntry {
+    SectorRange range;  // absolute sectors; the paper's Off + Size
+    Ppn appn;           // the across-page area
+    std::uint32_t generation = 0;  // bumped per reuse (valve FIFO validity)
+    /// Sector mapped to page slot 0 — fixed when the page is programmed.
+    /// After a shrink, `range` may start later than `slot_base`, so slot
+    /// lookups must use this, not range.begin.
+    SectorAddr slot_base = 0;
+    bool live = false;
+
+    [[nodiscard]] std::uint32_t slot_of(SectorAddr s) const {
+      return static_cast<std::uint32_t>(s - slot_base);
+    }
+  };
+
+  explicit AcrossFtl(ssd::Engine& engine);
+
+  [[nodiscard]] const char* name() const override { return "Across-FTL"; }
+  SimTime write(const IoRequest& req, SimTime ready) override;
+  SimTime read(const IoRequest& req, SimTime ready, ReadPlan* plan) override;
+  void gc_relocate(Ppn victim, const nand::PageOwner& owner,
+                   SimTime& clock) override;
+  [[nodiscard]] std::uint64_t map_bytes() const override;
+
+  // --- Introspection (tests, examples) --------------------------------------
+  [[nodiscard]] const PmtEntry& pmt(Lpn lpn) const;
+  [[nodiscard]] const AmtEntry& amt(std::uint32_t aidx) const;
+  [[nodiscard]] std::uint64_t live_areas() const { return live_areas_; }
+  /// Aborts on any violated invariant; O(table size), test-only.
+  void check_invariants() const;
+
+ private:
+  // --- Mapping-table address layout ------------------------------------------
+  // Translation pages: PMT pages first (6-byte entries: 4B PPN + 2B AIdx),
+  // then AMT pages (16-byte entries).
+  [[nodiscard]] std::uint64_t pmt_tpage_of(Lpn lpn) const {
+    return lpn.get() / pmt_entries_per_tpage_;
+  }
+  [[nodiscard]] std::uint64_t amt_tpage_of(std::uint32_t aidx) const {
+    return pmt_tpages_ + aidx / amt_entries_per_tpage_;
+  }
+  SimTime touch_pmt(Lpn lpn, bool dirty, SimTime ready);
+  SimTime touch_amt(std::uint32_t aidx, bool dirty, SimTime ready);
+
+  // --- Area lifecycle ---------------------------------------------------------
+  std::uint32_t alloc_area();
+  void free_area(std::uint32_t aidx);
+
+  /// First across-page write of a pair: one program, no reads.
+  SimTime direct_write(SectorRange w, SimTime ready);
+
+  /// Folds `w` into area `aidx`: read old area page, program merged area.
+  SimTime amerge(std::uint32_t aidx, SectorRange w, bool profitable,
+                 SimTime ready);
+
+  /// Dissolves area `aidx` back into normal pages, folding in the update `u`
+  /// (if any). Writes full pages for every LPN the area/update hull touches.
+  SimTime rollback(std::uint32_t aidx, std::optional<SectorRange> u,
+                   SimTime ready);
+
+  /// Baseline-style write of one sub-request (RMW over the old normal page).
+  SimTime write_normal_sub(const SubRequest& sub, SimTime ready);
+
+  /// Handles one sub-request of a non-across write against current state.
+  SimTime write_sub(const SubRequest& sub, SimTime ready);
+
+  /// Across-page write dispatch (direct / AMerge / ARollback / conflicts).
+  SimTime write_across(const IoRequest& req, SimTime ready);
+
+  /// Space-pressure valve. Every remapped area keeps the host's old normal
+  /// pages alive alongside one extra flash page, so an unbounded area pool
+  /// can push live data past what per-plane GC can ever reclaim (the paper
+  /// does not discuss area-pool sizing). Above the watermark new across
+  /// writes fall back to the normal path and the oldest areas are drained.
+  [[nodiscard]] bool under_pressure() const;
+  SimTime drain_one_area(SimTime ready);
+
+  std::vector<PmtEntry> pmt_;
+  std::vector<AmtEntry> amt_;
+  std::vector<std::uint32_t> amt_free_;
+  /// Creation-ordered (aidx, generation) pairs for valve eviction; entries
+  /// are validated lazily against the generation counter.
+  std::deque<std::pair<std::uint32_t, std::uint32_t>> area_fifo_;
+  double pressure_watermark_ = 1.0;
+  std::uint64_t live_areas_ = 0;
+
+  std::uint64_t pmt_entries_per_tpage_;
+  std::uint64_t amt_entries_per_tpage_;
+  std::uint64_t pmt_tpages_;
+  std::uint64_t max_amt_entries_;
+};
+
+}  // namespace af::ftl

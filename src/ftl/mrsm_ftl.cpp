@@ -1,0 +1,444 @@
+#include "ftl/mrsm_ftl.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace af::ftl {
+
+namespace {
+constexpr std::uint64_t kPageEntryBytes = 4;
+// Sub-mode entries record four (PPN, slot) pairs per LPN plus the per-piece
+// offset/size metadata the paper calls out ("a complicated mapping data
+// structure to record the offset and size information", §2.2).
+constexpr std::uint64_t kSubEntryBytes = 24;
+}  // namespace
+
+MrsmFtl::MrsmFtl(ssd::Engine& engine) : FtlScheme(engine) {
+  const std::uint64_t logical = engine.config().logical_pages();
+  pmt_.assign(static_cast<std::size_t>(logical), Ppn{});
+  subs_.assign(static_cast<std::size_t>(logical), {});
+  region_mode_.assign(
+      static_cast<std::size_t>((logical + kRegionLpns - 1) / kRegionLpns), 0);
+
+  const std::uint64_t page_bytes = engine.geometry().page_bytes;
+  page_entries_per_tpage_ = page_bytes / kPageEntryBytes;
+  sub_entries_per_tpage_ = page_bytes / kSubEntryBytes;
+  page_tpages_ =
+      (logical + page_entries_per_tpage_ - 1) / page_entries_per_tpage_;
+  const std::uint64_t sub_tpages =
+      (logical + sub_entries_per_tpage_ - 1) / sub_entries_per_tpage_;
+  engine.init_map_space(page_tpages_ + sub_tpages);
+
+  tree_depth_ = static_cast<std::uint64_t>(
+      std::ceil(std::log2(std::max<std::uint64_t>(2, region_mode_.size()))));
+
+  engine.set_gc_flush([this](std::uint64_t plane, SimTime& clock) {
+    flush_staged(plane, clock);
+  });
+
+  // Slot-aware GC victim scoring: a packed page with dead slots is partially
+  // reclaimable even though it is "valid" at page level. Without this the
+  // device wedges under sub-page fragmentation.
+  engine.set_victim_weight([this](Ppn ppn) -> std::uint32_t {
+    const auto it = packed_.find(ppn.get());
+    if (it != packed_.end()) {
+      return it->second.live_count() * (ssd::Engine::kFullPageWeight /
+                                        kSubsPerPage);
+    }
+    const nand::PageOwner& owner = engine_.array().owner(ppn);
+    if (owner.kind == nand::PageOwner::Kind::kData &&
+        region_is_sub(Lpn{owner.id})) {
+      // Converted page: weight by how many of the LPN's sub-pages still
+      // point here.
+      std::uint32_t live = 0;
+      for (std::uint32_t k = 0; k < kSubsPerPage; ++k) {
+        live += (subs_[owner.id][k].ppn == ppn) ? 1u : 0u;
+      }
+      return live * (ssd::Engine::kFullPageWeight / kSubsPerPage);
+    }
+    return ssd::Engine::kFullPageWeight;
+  });
+}
+
+SectorRange MrsmFtl::sub_range(Lpn lpn, std::uint32_t sub) const {
+  const SectorAddr base =
+      pgeom_.page_range(lpn).begin + std::uint64_t{sub} * sub_sectors();
+  return {base, base + sub_sectors()};
+}
+
+std::uint64_t MrsmFtl::page_tpage_of(Lpn lpn) const {
+  return lpn.get() / page_entries_per_tpage_;
+}
+
+std::uint64_t MrsmFtl::sub_tpage_of(Lpn lpn) const {
+  return page_tpages_ + lpn.get() / sub_entries_per_tpage_;
+}
+
+SimTime MrsmFtl::touch_map(Lpn lpn, bool dirty, SimTime ready) {
+  // Locating the region in MRSM's tree-structured index costs a walk of
+  // DRAM accesses before the translation entry itself is touched (§4.2.4).
+  engine_.dram_access(tree_depth_);
+  const std::uint64_t tpage =
+      region_is_sub(lpn) ? sub_tpage_of(lpn) : page_tpage_of(lpn);
+  return engine_.map_touch(tpage, dirty, ready);
+}
+
+void MrsmFtl::upgrade_region(std::uint64_t region) {
+  AF_CHECK(region_mode_[region] == 0);
+  region_mode_[region] = 1;
+  const std::uint64_t first = region * kRegionLpns;
+  const std::uint64_t last = std::min<std::uint64_t>(
+      first + kRegionLpns, pmt_.size());
+  // Existing page-mapped data converts in place: sub-page k of the LPN lives
+  // at slot k of its old page. No flash traffic — only the mapping changes.
+  for (std::uint64_t l = first; l < last; ++l) {
+    if (!pmt_[l].valid()) continue;
+    for (std::uint32_t k = 0; k < kSubsPerPage; ++k) {
+      subs_[l][k] = {pmt_[l], static_cast<std::uint8_t>(k)};
+    }
+    pmt_[l] = Ppn{};
+  }
+}
+
+void MrsmFtl::retire_subloc(Lpn lpn, std::uint32_t sub) {
+  const SubLoc loc = subs_[lpn.get()][sub];
+  if (!loc.valid()) return;
+  subs_[lpn.get()][sub] = SubLoc{};
+
+  auto it = packed_.find(loc.ppn.get());
+  if (it != packed_.end()) {
+    PackedPage::Slot& slot = it->second.slots[loc.slot];
+    AF_CHECK(slot.live && slot.lpn == lpn && slot.sub == sub);
+    slot.live = false;
+    if (it->second.live_count() == 0) {
+      engine_.invalidate(loc.ppn);
+      packed_.erase(it);
+    }
+    return;
+  }
+  // Page-mode-origin page (owner kData): it dies when no sub-page of its LPN
+  // points at it any more.
+  for (std::uint32_t k = 0; k < kSubsPerPage; ++k) {
+    if (subs_[lpn.get()][k].ppn == loc.ppn) return;
+  }
+  engine_.invalidate(loc.ppn);
+}
+
+ssd::Engine::Programmed MrsmFtl::program_packed(std::span<const Chunk> chunks,
+                                                SimTime ready, bool gc,
+                                                std::uint64_t gc_plane) {
+  AF_CHECK(!chunks.empty() && chunks.size() <= kSubsPerPage);
+  const nand::PageOwner owner = nand::PageOwner::packed(next_pack_id_++);
+  const ssd::Engine::Programmed programmed =
+      gc ? engine_.gc_program(gc_plane, owner, ready)
+         : engine_.flash_program(ssd::Stream::kData, owner,
+                                 ssd::OpKind::kDataWrite, ready);
+
+  PackedPage dir;
+  for (std::uint32_t i = 0; i < chunks.size(); ++i) {
+    const Chunk& chunk = chunks[i];
+    engine_.dram_access(1);  // per-sub-entry update within the cached page
+    const SubLoc old_loc = subs_[chunk.lpn.get()][chunk.sub];
+    if (tracking()) {
+      stamp_chunk(chunk, programmed.ppn, i, old_loc);
+    }
+    retire_subloc(chunk.lpn, chunk.sub);
+    subs_[chunk.lpn.get()][chunk.sub] = {programmed.ppn,
+                                         static_cast<std::uint8_t>(i)};
+    dir.slots[i] = {chunk.lpn, chunk.sub, true};
+  }
+  // Unfilled slots are dead on arrival — the packing tax MRSM pays.
+  const bool inserted = packed_.emplace(programmed.ppn.get(), dir).second;
+  AF_CHECK_MSG(inserted, "stale packed-page directory entry");
+  return programmed;
+}
+
+void MrsmFtl::stamp_chunk(const Chunk& chunk, Ppn dst, std::uint32_t dst_slot,
+                          SubLoc old_loc) {
+  const SectorRange whole = sub_range(chunk.lpn, chunk.sub);
+  for (std::uint32_t i = 0; i < sub_sectors(); ++i) {
+    const SectorAddr s = whole.begin + i;
+    std::uint64_t stamp = 0;
+    if (chunk.fresh.contains(s)) {
+      stamp = new_stamp(s);
+    } else if (old_loc.valid()) {
+      stamp = engine_.read_stamp(old_loc.ppn,
+                                 old_loc.slot * sub_sectors() + i);
+    }
+    engine_.write_stamp(dst, dst_slot * sub_sectors() + i, stamp);
+  }
+}
+
+SimTime MrsmFtl::write_page_mode(const SubRequest& sub, SimTime ready) {
+  const SectorRange page = pgeom_.page_range(sub.lpn);
+  const bool full = sub.range == page;
+
+  if (!full && pmt_[sub.lpn.get()].valid()) {
+    // Read-modify-write to preserve the untouched sectors.
+    ready = engine_.flash_read(pmt_[sub.lpn.get()], ssd::OpKind::kDataRead,
+                               ready);
+    engine_.stats().count_rmw_read();
+  }
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
+      ssd::OpKind::kDataWrite, ready);
+  // Re-fetched after the program: GC inside it may have moved the old page.
+  const Ppn old = pmt_[sub.lpn.get()];
+  if (tracking()) {
+    for (std::uint32_t s = 0; s < pgeom_.sectors_per_page; ++s) {
+      const SectorAddr logical = page.begin + s;
+      if (sub.range.contains(logical)) {
+        engine_.write_stamp(programmed.ppn, s, new_stamp(logical));
+      } else if (old.valid()) {
+        engine_.write_stamp(programmed.ppn, s, engine_.read_stamp(old, s));
+      }
+    }
+  }
+  if (old.valid()) engine_.invalidate(old);
+  pmt_[sub.lpn.get()] = programmed.ppn;
+  return programmed.done;
+}
+
+SimTime MrsmFtl::write(const IoRequest& req, SimTime ready) {
+  SimTime cursor = ready;
+  SimTime done = ready;
+  std::vector<Chunk> chunks;
+
+  for (const auto& sub : split(req.range, pgeom_)) {
+    const std::uint64_t region = sub.lpn.get() / kRegionLpns;
+    const bool full_page = sub.range == pgeom_.page_range(sub.lpn);
+
+    if (region_mode_[region] == 0) {
+      // Adaptive ("multiregional") switch: only truly misaligned behaviour —
+      // a request edge landing inside a sub-page — justifies the 4x mapping
+      // density. Sub-page-aligned partial writes (plain 4 KiB traffic) stay
+      // page-mapped, so cold/aligned regions keep the small table.
+      const bool subpage_aligned =
+          sub.range.begin % sub_sectors() == 0 &&
+          sub.range.end % sub_sectors() == 0;
+      if (full_page || subpage_aligned) {
+        cursor = touch_map(sub.lpn, /*dirty=*/true, cursor);
+        done = std::max(done, write_page_mode(sub, cursor));
+        continue;
+      }
+      upgrade_region(region);
+    }
+    cursor = touch_map(sub.lpn, /*dirty=*/true, cursor);
+
+    const SectorRange page = pgeom_.page_range(sub.lpn);
+    const auto first_sub = static_cast<std::uint32_t>(
+        (sub.range.begin - page.begin) / sub_sectors());
+    const auto last_sub = static_cast<std::uint32_t>(
+        (sub.range.end - 1 - page.begin) / sub_sectors());
+    for (std::uint32_t k = first_sub; k <= last_sub; ++k) {
+      chunks.push_back({sub.lpn, static_cast<std::uint8_t>(k),
+                        sub.range.intersect(sub_range(sub.lpn, k))});
+    }
+  }
+
+  // Pack sub-page chunks four to a physical page, RMW-reading the old copy
+  // of any chunk the request covers only partially.
+  for (std::size_t start = 0; start < chunks.size(); start += kSubsPerPage) {
+    const std::size_t count =
+        std::min<std::size_t>(kSubsPerPage, chunks.size() - start);
+    const std::span<const Chunk> group(chunks.data() + start, count);
+
+    SimTime group_ready = cursor;
+    std::vector<Ppn> rmw_sources;
+    for (const Chunk& chunk : group) {
+      if (chunk.fresh == sub_range(chunk.lpn, chunk.sub)) continue;
+      const SubLoc old_loc = subs_[chunk.lpn.get()][chunk.sub];
+      if (!old_loc.valid()) continue;
+      if (std::find(rmw_sources.begin(), rmw_sources.end(), old_loc.ppn) ==
+          rmw_sources.end()) {
+        rmw_sources.push_back(old_loc.ppn);
+        group_ready =
+            engine_.flash_read(old_loc.ppn, ssd::OpKind::kDataRead, group_ready);
+        engine_.stats().count_rmw_read();
+      }
+    }
+    done = std::max(done, program_packed(group, group_ready, /*gc=*/false, 0).done);
+  }
+  return done;
+}
+
+SimTime MrsmFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
+  const auto subs = split(req.range, pgeom_);
+
+  // Phase 1: mapping touches only — a dirty CMT eviction can run GC and
+  // relocate data pages, so sources are captured afterwards.
+  SimTime cursor = ready;
+  for (const auto& sub : subs) {
+    cursor = touch_map(sub.lpn, /*dirty=*/false, cursor);
+  }
+
+  std::vector<Ppn> sources;
+  auto add_source = [&sources](Ppn ppn) {
+    if (std::find(sources.begin(), sources.end(), ppn) == sources.end()) {
+      sources.push_back(ppn);
+    }
+  };
+
+  for (const auto& sub : subs) {
+    const SectorRange page = pgeom_.page_range(sub.lpn);
+
+    if (!region_is_sub(sub.lpn)) {
+      const Ppn ppn = pmt_[sub.lpn.get()];
+      if (ppn.valid()) add_source(ppn);
+      if (plan != nullptr && tracking()) {
+        for (SectorAddr s = sub.range.begin; s < sub.range.end; ++s) {
+          const std::uint64_t stamp =
+              ppn.valid() ? engine_.read_stamp(
+                                ppn, static_cast<std::uint32_t>(s - page.begin))
+                          : 0;
+          plan->observed.push_back({s, stamp});
+        }
+      }
+      continue;
+    }
+
+    const auto first_sub = static_cast<std::uint32_t>(
+        (sub.range.begin - page.begin) / sub_sectors());
+    const auto last_sub = static_cast<std::uint32_t>(
+        (sub.range.end - 1 - page.begin) / sub_sectors());
+    for (std::uint32_t k = first_sub; k <= last_sub; ++k) {
+      engine_.dram_access(1);  // per-sub-entry lookup
+      const SubLoc loc = subs_[sub.lpn.get()][k];
+      if (loc.valid()) add_source(loc.ppn);
+    }
+    if (plan != nullptr && tracking()) {
+      for (SectorAddr s = sub.range.begin; s < sub.range.end; ++s) {
+        const auto k = static_cast<std::uint32_t>((s - page.begin) /
+                                                  sub_sectors());
+        const SubLoc loc = subs_[sub.lpn.get()][k];
+        const std::uint64_t stamp =
+            loc.valid()
+                ? engine_.read_stamp(
+                      loc.ppn,
+                      loc.slot * sub_sectors() +
+                          static_cast<std::uint32_t>(
+                              (s - page.begin) % sub_sectors()))
+                : 0;
+        plan->observed.push_back({s, stamp});
+      }
+    }
+  }
+
+  SimTime done = cursor;
+  for (Ppn src : sources) {
+    done = std::max(done, engine_.flash_read(src, ssd::OpKind::kDataRead, cursor));
+  }
+  return done;
+}
+
+void MrsmFtl::stage_victim_chunks(Ppn victim, std::span<const Chunk> live,
+                                  std::uint64_t plane, SimTime& clock) {
+  AF_CHECK(!live.empty());
+  clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock);
+  for (const Chunk& chunk : live) {
+    StagedChunk staged{chunk.lpn, chunk.sub, {}};
+    if (engine_.tracks_payload()) {
+      const SubLoc loc = subs_[chunk.lpn.get()][chunk.sub];
+      AF_CHECK(loc.ppn == victim);
+      staged.stamps.resize(sub_sectors());
+      for (std::uint32_t i = 0; i < sub_sectors(); ++i) {
+        staged.stamps[i] =
+            engine_.read_stamp(victim, loc.slot * sub_sectors() + i);
+      }
+    }
+    retire_subloc(chunk.lpn, chunk.sub);
+    staged_.push_back(std::move(staged));
+    if (staged_.size() >= kSubsPerPage) flush_staged_group(plane, clock);
+  }
+  AF_CHECK_MSG(engine_.array().state(victim) == nand::PageState::kInvalid,
+               "staging left the victim live");
+}
+
+void MrsmFtl::flush_staged_group(std::uint64_t plane, SimTime& clock) {
+  const std::size_t count =
+      std::min<std::size_t>(kSubsPerPage, staged_.size());
+  AF_CHECK(count > 0);
+
+  const nand::PageOwner owner = nand::PageOwner::packed(next_pack_id_++);
+  const auto programmed = engine_.gc_program(plane, owner, clock);
+  clock = programmed.done;
+
+  PackedPage dir;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const StagedChunk& staged = staged_[i];
+    engine_.dram_access(1);
+    if (engine_.tracks_payload()) {
+      for (std::uint32_t s = 0; s < sub_sectors(); ++s) {
+        engine_.write_stamp(programmed.ppn, i * sub_sectors() + s,
+                            staged.stamps[s]);
+      }
+    }
+    subs_[staged.lpn.get()][staged.sub] = {programmed.ppn,
+                                           static_cast<std::uint8_t>(i)};
+    dir.slots[i] = {staged.lpn, staged.sub, true};
+    clock = touch_map(staged.lpn, /*dirty=*/true, clock);
+  }
+  const bool inserted = packed_.emplace(programmed.ppn.get(), dir).second;
+  AF_CHECK_MSG(inserted, "stale packed-page directory entry");
+  staged_.erase(staged_.begin(),
+                staged_.begin() + static_cast<std::ptrdiff_t>(count));
+}
+
+void MrsmFtl::flush_staged(std::uint64_t plane, SimTime& clock) {
+  while (!staged_.empty()) flush_staged_group(plane, clock);
+}
+
+void MrsmFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
+                          SimTime& clock) {
+  const std::uint64_t plane = engine_.geometry().plane_of(victim);
+
+  if (owner.kind == nand::PageOwner::Kind::kData) {
+    const Lpn lpn{owner.id};
+    if (!region_is_sub(lpn)) {
+      AF_CHECK_MSG(pmt_[lpn.get()] == victim, "GC/PMT desync");
+      clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock);
+      auto moved = engine_.gc_program(plane, owner, clock);
+      clock = moved.done;
+      if (engine_.tracks_payload()) engine_.copy_stamps(victim, moved.ppn);
+      engine_.invalidate(victim);
+      pmt_[lpn.get()] = moved.ppn;
+      clock = touch_map(lpn, /*dirty=*/true, clock);
+      return;
+    }
+    // Converted page: live slots are whatever sub-pages of the LPN still
+    // point here. Stage them for cross-page repacking.
+    std::vector<Chunk> live;
+    for (std::uint32_t k = 0; k < kSubsPerPage; ++k) {
+      if (subs_[lpn.get()][k].ppn == victim) {
+        live.push_back({lpn, static_cast<std::uint8_t>(k), SectorRange{}});
+      }
+    }
+    AF_CHECK_MSG(!live.empty(), "valid kData page with no live sub-pages");
+    stage_victim_chunks(victim, live, plane, clock);
+    return;
+  }
+
+  AF_CHECK_MSG(owner.kind == nand::PageOwner::Kind::kPacked,
+               "unexpected page owner in MRSM GC");
+  auto it = packed_.find(victim.get());
+  AF_CHECK_MSG(it != packed_.end(), "packed page without a slot directory");
+  std::vector<Chunk> live;
+  for (const auto& slot : it->second.slots) {
+    if (slot.live) live.push_back({slot.lpn, slot.sub, SectorRange{}});
+  }
+  AF_CHECK_MSG(!live.empty(), "valid packed page with no live slots");
+  stage_victim_chunks(victim, live, plane, clock);
+}
+
+std::uint64_t MrsmFtl::map_bytes() const {
+  const auto* dir = engine_.map_directory();
+  return dir ? dir->touched_pages() * engine_.geometry().page_bytes : 0;
+}
+
+std::uint64_t MrsmFtl::sub_regions() const {
+  std::uint64_t n = 0;
+  for (auto m : region_mode_) n += m;
+  return n;
+}
+
+}  // namespace af::ftl

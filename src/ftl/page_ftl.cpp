@@ -1,0 +1,124 @@
+#include "ftl/page_ftl.h"
+
+#include <algorithm>
+
+namespace af::ftl {
+
+namespace {
+constexpr std::uint64_t kPmtEntryBytes = 4;
+}
+
+PageFtl::PageFtl(ssd::Engine& engine) : FtlScheme(engine) {
+  const std::uint64_t logical = engine.config().logical_pages();
+  pmt_.assign(static_cast<std::size_t>(logical), Ppn{});
+  entries_per_tpage_ = engine.geometry().page_bytes / kPmtEntryBytes;
+  const std::uint64_t tpages =
+      (logical + entries_per_tpage_ - 1) / entries_per_tpage_;
+  engine.init_map_space(tpages);
+}
+
+SimTime PageFtl::write_sub(const SubRequest& sub, SimTime ready) {
+  const SectorRange page = pgeom_.page_range(sub.lpn);
+  const bool full = sub.range == page;
+
+  if (!full && pmt_[sub.lpn.get()].valid()) {
+    // Read-modify-write: fetch the old page to preserve untouched sectors.
+    ready = engine_.flash_read(pmt_[sub.lpn.get()], ssd::OpKind::kDataRead,
+                               ready);
+    engine_.stats().count_rmw_read();
+  }
+
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
+      ssd::OpKind::kDataWrite, ready);
+  // Re-fetch after the program: it may have run GC and relocated the old
+  // page (the PMT entry tracks the move).
+  const Ppn old = pmt_[sub.lpn.get()];
+
+  if (tracking()) {
+    for (std::uint32_t s = 0; s < pgeom_.sectors_per_page; ++s) {
+      const SectorAddr logical = page.begin + s;
+      if (sub.range.contains(logical)) {
+        engine_.write_stamp(programmed.ppn, s, new_stamp(logical));
+      } else if (old.valid()) {
+        engine_.write_stamp(programmed.ppn, s, engine_.read_stamp(old, s));
+      }
+    }
+  }
+
+  if (old.valid()) engine_.invalidate(old);
+  pmt_[sub.lpn.get()] = programmed.ppn;
+  return programmed.done;
+}
+
+SimTime PageFtl::write(const IoRequest& req, SimTime ready) {
+  const auto subs = split(req.range, pgeom_);
+  // Mapping lookups/updates serialise through the CMT …
+  SimTime map_ready = ready;
+  for (const auto& sub : subs) {
+    map_ready = engine_.map_touch(map_page_of(sub.lpn), /*dirty=*/true,
+                                  map_ready);
+  }
+  // … then page-level sub-requests proceed in parallel across chips.
+  SimTime done = map_ready;
+  for (const auto& sub : subs) {
+    done = std::max(done, write_sub(sub, map_ready));
+  }
+  return done;
+}
+
+SimTime PageFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
+  const auto subs = split(req.range, pgeom_);
+  SimTime map_ready = ready;
+  for (const auto& sub : subs) {
+    map_ready = engine_.map_touch(map_page_of(sub.lpn), /*dirty=*/false,
+                                  map_ready);
+  }
+  SimTime done = map_ready;
+  for (const auto& sub : subs) {
+    const Ppn ppn = pmt_[sub.lpn.get()];
+    if (ppn.valid()) {
+      done = std::max(done,
+                      engine_.flash_read(ppn, ssd::OpKind::kDataRead, map_ready));
+    }
+    if (plan != nullptr && tracking()) {
+      const SectorAddr base = pgeom_.page_range(sub.lpn).begin;
+      for (SectorAddr s = sub.range.begin; s < sub.range.end; ++s) {
+        const std::uint64_t stamp =
+            ppn.valid()
+                ? engine_.read_stamp(ppn, static_cast<std::uint32_t>(s - base))
+                : 0;
+        plan->observed.push_back({s, stamp});
+      }
+    }
+  }
+  return done;
+}
+
+void PageFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
+                          SimTime& clock) {
+  AF_CHECK(owner.kind == nand::PageOwner::Kind::kData);
+  const Lpn lpn{owner.id};
+  AF_CHECK_MSG(pmt_[lpn.get()] == victim, "GC owner out of sync with PMT");
+
+  clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock);
+  auto moved =
+      engine_.gc_program(engine_.geometry().plane_of(victim), owner, clock);
+  clock = moved.done;
+  if (engine_.tracks_payload()) engine_.copy_stamps(victim, moved.ppn);
+  engine_.invalidate(victim);
+  pmt_[lpn.get()] = moved.ppn;
+  clock = engine_.map_touch(map_page_of(lpn), /*dirty=*/true, clock);
+}
+
+std::uint64_t PageFtl::map_bytes() const {
+  const auto* dir = engine_.map_directory();
+  return dir ? dir->touched_pages() * engine_.geometry().page_bytes : 0;
+}
+
+Ppn PageFtl::mapping(Lpn lpn) const {
+  AF_CHECK(lpn.get() < pmt_.size());
+  return pmt_[lpn.get()];
+}
+
+}  // namespace af::ftl

@@ -1,0 +1,36 @@
+// Host I/O request model and the macro-request → page-level sub-request
+// splitter (§2.1: "a read/write request may be divided into a number of
+// page-level read/write operations, called sub-requests").
+#pragma once
+
+#include <vector>
+
+#include "common/interval.h"
+#include "common/types.h"
+#include "ssd/stats.h"
+
+namespace af::ftl {
+
+struct IoRequest {
+  SimTime arrival = 0;
+  bool write = false;
+  SectorRange range;
+
+  [[nodiscard]] SectorCount sectors() const { return range.size(); }
+};
+
+/// One logical page's slice of a macro request.
+struct SubRequest {
+  Lpn lpn;
+  SectorRange range;  // absolute sector addresses, confined to lpn's page
+};
+
+/// Splits a request into per-LPN sub-requests, in ascending LPN order.
+[[nodiscard]] std::vector<SubRequest> split(SectorRange range,
+                                            const PageGeometry& geom);
+
+/// Request classification for the paper's across-vs-normal comparisons.
+[[nodiscard]] ssd::ReqClass classify(const IoRequest& req,
+                                     const PageGeometry& geom);
+
+}  // namespace af::ftl

@@ -1,0 +1,65 @@
+#include "ftl/scheme.h"
+
+#include "ftl/across_ftl.h"
+#include "ftl/mrsm_ftl.h"
+#include "ftl/page_ftl.h"
+
+namespace af::ftl {
+
+FtlScheme::FtlScheme(ssd::Engine& engine) : engine_(engine) {
+  pgeom_.sectors_per_page = engine.geometry().sectors_per_page();
+}
+
+std::vector<SubRequest> split(SectorRange range, const PageGeometry& geom) {
+  std::vector<SubRequest> subs;
+  if (range.empty()) return subs;
+  auto [first, last] = geom.lpn_span(range);
+  subs.reserve(last.get() - first.get() + 1);
+  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+    const Lpn lpn{l};
+    SectorRange piece = range.intersect(geom.page_range(lpn));
+    AF_CHECK(!piece.empty());
+    subs.push_back({lpn, piece});
+  }
+  return subs;
+}
+
+ssd::ReqClass classify(const IoRequest& req, const PageGeometry& geom) {
+  const bool across = geom.is_across_page(req.range);
+  if (req.write) {
+    return across ? ssd::ReqClass::kAcrossWrite : ssd::ReqClass::kNormalWrite;
+  }
+  return across ? ssd::ReqClass::kAcrossRead : ssd::ReqClass::kNormalRead;
+}
+
+const char* to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kPageFtl: return "FTL";
+    case SchemeKind::kMrsm: return "MRSM";
+    case SchemeKind::kAcrossFtl: return "Across-FTL";
+  }
+  return "?";
+}
+
+std::unique_ptr<FtlScheme> make_scheme(SchemeKind kind, ssd::Engine& engine) {
+  std::unique_ptr<FtlScheme> scheme;
+  switch (kind) {
+    case SchemeKind::kPageFtl:
+      scheme = std::make_unique<PageFtl>(engine);
+      break;
+    case SchemeKind::kMrsm:
+      scheme = std::make_unique<MrsmFtl>(engine);
+      break;
+    case SchemeKind::kAcrossFtl:
+      scheme = std::make_unique<AcrossFtl>(engine);
+      break;
+  }
+  FtlScheme* raw = scheme.get();
+  engine.set_relocator([raw](Ppn victim, const nand::PageOwner& owner,
+                             SimTime& clock) {
+    raw->gc_relocate(victim, owner, clock);
+  });
+  return scheme;
+}
+
+}  // namespace af::ftl

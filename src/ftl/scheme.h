@@ -1,0 +1,95 @@
+// FtlScheme: the policy interface all three comparison schemes implement
+// (baseline page-level FTL, MRSM, Across-FTL). A scheme plans flash
+// operations through the Engine's services; the engine owns placement,
+// timing, GC and statistics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/types.h"
+#include "ftl/request.h"
+#include "ssd/engine.h"
+
+namespace af::ftl {
+
+/// Supplies the version stamp a write leaves on a logical sector. Present
+/// only when the device runs with payload tracking (the oracle); schemes use
+/// it to label newly-programmed sectors.
+class StampProvider {
+ public:
+  virtual ~StampProvider() = default;
+  [[nodiscard]] virtual std::uint64_t stamp_of(SectorAddr sector) const = 0;
+};
+
+/// Per-read verification record: the stamp each logical sector's data carried
+/// on flash at the location the scheme chose to read. Filled only when the
+/// caller passes a non-null plan.
+struct ReadPlan {
+  struct Observation {
+    SectorAddr sector;
+    std::uint64_t stamp;  // 0 for never-written sectors
+  };
+  std::vector<Observation> observed;
+};
+
+class FtlScheme {
+ public:
+  explicit FtlScheme(ssd::Engine& engine);
+  virtual ~FtlScheme() = default;
+
+  FtlScheme(const FtlScheme&) = delete;
+  FtlScheme& operator=(const FtlScheme&) = delete;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Services a write; returns the completion time of its last flash op.
+  virtual SimTime write(const IoRequest& req, SimTime ready) = 0;
+
+  /// Services a read; returns completion time. Fills `plan` when non-null
+  /// and the device tracks payload.
+  virtual SimTime read(const IoRequest& req, SimTime ready, ReadPlan* plan) = 0;
+
+  /// GC relocation hook: move live page `victim` owned by `owner`, update
+  /// the scheme's mapping, and advance `clock` past the copy operations.
+  virtual void gc_relocate(Ppn victim, const nand::PageOwner& owner,
+                           SimTime& clock) = 0;
+
+  /// Bytes of mapping state the scheme has materialised so far — the
+  /// quantity Figure 12(a) plots. Includes second-level structures (AMT,
+  /// MRSM sub-tables).
+  [[nodiscard]] virtual std::uint64_t map_bytes() const = 0;
+
+  void set_stamp_provider(const StampProvider* provider) {
+    stamps_ = provider;
+  }
+
+  [[nodiscard]] const PageGeometry& page_geometry() const { return pgeom_; }
+
+ protected:
+  [[nodiscard]] bool tracking() const {
+    return stamps_ != nullptr && engine_.tracks_payload();
+  }
+  /// Stamp for a sector freshly written by the current request.
+  [[nodiscard]] std::uint64_t new_stamp(SectorAddr s) const {
+    return stamps_->stamp_of(s);
+  }
+
+  ssd::Engine& engine_;
+  PageGeometry pgeom_;
+
+ private:
+  const StampProvider* stamps_ = nullptr;
+};
+
+enum class SchemeKind { kPageFtl, kMrsm, kAcrossFtl };
+
+const char* to_string(SchemeKind kind);
+
+/// Builds a scheme, sizes its mapping space on the engine, and registers its
+/// GC relocator.
+std::unique_ptr<FtlScheme> make_scheme(SchemeKind kind, ssd::Engine& engine);
+
+}  // namespace af::ftl

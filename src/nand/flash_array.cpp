@@ -1,0 +1,138 @@
+#include "nand/flash_array.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace af::nand {
+
+FlashArray::FlashArray(const Geometry& geometry, bool track_payload)
+    : geom_(geometry) {
+  AF_CHECK_MSG(geom_.valid(), "invalid flash geometry");
+  const auto total = static_cast<std::size_t>(geom_.total_pages());
+  pages_.assign(total, PageState::kFree);
+  owners_.assign(total, PageOwner{});
+  blocks_.assign(static_cast<std::size_t>(geom_.total_blocks()), BlockInfo{});
+  if (track_payload) {
+    stamps_.assign(total * geom_.sectors_per_page(), 0);
+  }
+  counters_.free_pages = total;
+}
+
+void FlashArray::program(Ppn ppn, PageOwner owner) {
+  const std::size_t i = index(ppn);
+  AF_CHECK_MSG(pages_[i] == PageState::kFree, "program of non-free page");
+  const std::uint64_t b = geom_.block_of(ppn);
+  BlockInfo& blk = blocks_[b];
+  const auto page_in_block =
+      static_cast<std::uint32_t>(ppn.get() % geom_.pages_per_block);
+  AF_CHECK_MSG(page_in_block == blk.written,
+               "NAND pages must be programmed in order within a block");
+  pages_[i] = PageState::kValid;
+  owners_[i] = owner;
+  ++blk.written;
+  ++blk.valid_pages;
+  ++counters_.programs;
+  ++counters_.valid_pages;
+  --counters_.free_pages;
+}
+
+void FlashArray::invalidate(Ppn ppn) {
+  const std::size_t i = index(ppn);
+  AF_CHECK_MSG(pages_[i] == PageState::kValid, "invalidate of non-valid page");
+  pages_[i] = PageState::kInvalid;
+  owners_[i] = PageOwner{};
+  BlockInfo& blk = blocks_[geom_.block_of(ppn)];
+  AF_CHECK(blk.valid_pages > 0);
+  --blk.valid_pages;
+  --counters_.valid_pages;
+  ++counters_.invalid_pages;
+}
+
+void FlashArray::erase_block(std::uint64_t flat_block) {
+  AF_CHECK(flat_block < blocks_.size());
+  BlockInfo& blk = blocks_[flat_block];
+  AF_CHECK_MSG(blk.valid_pages == 0, "erase of block holding valid pages");
+  const std::uint64_t first = flat_block * geom_.pages_per_block;
+  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    const std::size_t i = static_cast<std::size_t>(first + p);
+    if (pages_[i] == PageState::kInvalid) {
+      --counters_.invalid_pages;
+      ++counters_.free_pages;
+    }
+    pages_[i] = PageState::kFree;
+    owners_[i] = PageOwner{};
+    if (!stamps_.empty()) {
+      const std::size_t base = i * geom_.sectors_per_page();
+      std::fill_n(stamps_.begin() + static_cast<std::ptrdiff_t>(base),
+                  geom_.sectors_per_page(), 0);
+    }
+  }
+  blk.written = 0;
+  ++blk.erase_count;
+  ++counters_.erases;
+}
+
+Ppn FlashArray::write_frontier(std::uint64_t flat_block) const {
+  AF_CHECK(flat_block < blocks_.size());
+  const BlockInfo& blk = blocks_[flat_block];
+  if (blk.fully_written(geom_.pages_per_block)) return Ppn{};
+  return Ppn{flat_block * geom_.pages_per_block + blk.written};
+}
+
+std::vector<Ppn> FlashArray::valid_pages_in(std::uint64_t flat_block) const {
+  AF_CHECK(flat_block < blocks_.size());
+  std::vector<Ppn> out;
+  out.reserve(blocks_[flat_block].valid_pages);
+  const std::uint64_t first = flat_block * geom_.pages_per_block;
+  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    Ppn ppn{first + p};
+    if (state(ppn) == PageState::kValid) out.push_back(ppn);
+  }
+  return out;
+}
+
+double FlashArray::used_fraction() const {
+  const auto total = static_cast<double>(geom_.total_pages());
+  return 1.0 - static_cast<double>(counters_.free_pages) / total;
+}
+
+double FlashArray::valid_fraction() const {
+  const auto total = static_cast<double>(geom_.total_pages());
+  return static_cast<double>(counters_.valid_pages) / total;
+}
+
+std::uint64_t FlashArray::max_erase_count() const {
+  std::uint64_t m = 0;
+  for (const auto& b : blocks_) m = std::max(m, b.erase_count);
+  return m;
+}
+
+FlashArray::WearSummary FlashArray::wear() const {
+  WearSummary summary;
+  summary.min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t total = 0;
+  for (const auto& b : blocks_) {
+    summary.min = std::min(summary.min, b.erase_count);
+    summary.max = std::max(summary.max, b.erase_count);
+    total += b.erase_count;
+  }
+  if (blocks_.empty()) summary.min = 0;
+  summary.mean = blocks_.empty()
+                     ? 0.0
+                     : static_cast<double>(total) /
+                           static_cast<double>(blocks_.size());
+  return summary;
+}
+
+void FlashArray::set_stamp(Ppn ppn, std::uint32_t sector_in_page,
+                           std::uint64_t stamp) {
+  AF_CHECK_MSG(!stamps_.empty(), "payload tracking disabled");
+  stamps_[stamp_index(ppn, sector_in_page)] = stamp;
+}
+
+std::uint64_t FlashArray::stamp(Ppn ppn, std::uint32_t sector_in_page) const {
+  AF_CHECK_MSG(!stamps_.empty(), "payload tracking disabled");
+  return stamps_[stamp_index(ppn, sector_in_page)];
+}
+
+}  // namespace af::nand

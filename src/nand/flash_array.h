@@ -1,0 +1,142 @@
+// State machine of the flash array: page states, block bookkeeping, erase
+// semantics and (optionally) per-sector payload stamps used by the
+// correctness oracle.
+//
+// This layer is pure mechanism: it knows nothing about timing, queuing or
+// mapping. The SSD engine charges time; FTL schemes decide placement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "nand/geometry.h"
+
+namespace af::nand {
+
+enum class PageState : std::uint8_t { kFree, kValid, kInvalid };
+
+/// Back-pointer from a valid physical page to its logical owner, used by GC
+/// to relocate live data. `id` is an LPN for data pages, an AMT slot for
+/// across-page areas, and a translation-page index for map pages.
+struct PageOwner {
+  /// kPacked marks pages whose slots hold sub-page chunks from multiple LPNs
+  /// (MRSM's log-packed layout); the owning scheme keeps the slot directory.
+  enum class Kind : std::uint8_t { kNone, kData, kAcross, kMap, kPacked };
+  Kind kind = Kind::kNone;
+  std::uint64_t id = 0;
+
+  static PageOwner data(Lpn lpn) { return {Kind::kData, lpn.get()}; }
+  static PageOwner across(AmtIndex idx) { return {Kind::kAcross, idx.get()}; }
+  static PageOwner map(std::uint64_t map_page) { return {Kind::kMap, map_page}; }
+  static PageOwner packed(std::uint64_t log_id) { return {Kind::kPacked, log_id}; }
+
+  friend bool operator==(const PageOwner&, const PageOwner&) = default;
+};
+
+struct BlockInfo {
+  std::uint32_t valid_pages = 0;
+  /// Write frontier: pages [0, written) have been programmed since the last
+  /// erase. NAND requires in-order programming within a block.
+  std::uint32_t written = 0;
+  std::uint64_t erase_count = 0;
+
+  [[nodiscard]] bool fully_written(std::uint32_t pages_per_block) const {
+    return written == pages_per_block;
+  }
+};
+
+/// Aggregate state counters maintained incrementally.
+struct ArrayCounters {
+  std::uint64_t programs = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t free_pages = 0;
+  std::uint64_t valid_pages = 0;
+  std::uint64_t invalid_pages = 0;
+};
+
+class FlashArray {
+ public:
+  /// `track_payload` enables per-sector stamp storage (for the oracle);
+  /// benches leave it off to save memory.
+  explicit FlashArray(const Geometry& geometry, bool track_payload = false);
+
+  [[nodiscard]] const Geometry& geometry() const { return geom_; }
+
+  // --- State transitions -------------------------------------------------
+
+  /// Programs a free page. Enforces the in-order-within-block NAND rule:
+  /// `ppn` must be the next unwritten page of its block.
+  void program(Ppn ppn, PageOwner owner);
+
+  /// Marks a valid page as invalid (its logical owner moved elsewhere).
+  void invalidate(Ppn ppn);
+
+  /// Erases a block (flat block index): every page returns to kFree. All
+  /// pages must already be invalid or free — erasing live data is a bug in
+  /// the caller, not a legal operation.
+  void erase_block(std::uint64_t flat_block);
+
+  // --- Queries -------------------------------------------------------------
+
+  [[nodiscard]] PageState state(Ppn ppn) const { return pages_[index(ppn)]; }
+  [[nodiscard]] const PageOwner& owner(Ppn ppn) const {
+    return owners_[index(ppn)];
+  }
+  [[nodiscard]] const BlockInfo& block(std::uint64_t flat_block) const {
+    AF_CHECK(flat_block < blocks_.size());
+    return blocks_[flat_block];
+  }
+  [[nodiscard]] const ArrayCounters& counters() const { return counters_; }
+
+  /// Next programmable page of a block, or invalid Ppn if the block is full.
+  [[nodiscard]] Ppn write_frontier(std::uint64_t flat_block) const;
+
+  /// Valid pages currently in a block, by page offset.
+  [[nodiscard]] std::vector<Ppn> valid_pages_in(std::uint64_t flat_block) const;
+
+  /// Fraction of all pages that are not free ("used", the paper's aging
+  /// metric) and fraction that are valid.
+  [[nodiscard]] double used_fraction() const;
+  [[nodiscard]] double valid_fraction() const;
+
+  [[nodiscard]] std::uint64_t max_erase_count() const;
+  [[nodiscard]] std::uint64_t total_erases() const { return counters_.erases; }
+
+  /// Wear distribution across blocks — the endurance picture behind the
+  /// paper's erase-count metric.
+  struct WearSummary {
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean = 0;
+    /// max - min: how unevenly the scheme ages the flash.
+    [[nodiscard]] std::uint64_t spread() const { return max - min; }
+  };
+  [[nodiscard]] WearSummary wear() const;
+
+  // --- Payload stamps (oracle support) --------------------------------------
+
+  [[nodiscard]] bool tracks_payload() const { return !stamps_.empty(); }
+  void set_stamp(Ppn ppn, std::uint32_t sector_in_page, std::uint64_t stamp);
+  [[nodiscard]] std::uint64_t stamp(Ppn ppn, std::uint32_t sector_in_page) const;
+
+ private:
+  [[nodiscard]] std::size_t index(Ppn ppn) const {
+    AF_CHECK(ppn.valid() && ppn.get() < geom_.total_pages());
+    return static_cast<std::size_t>(ppn.get());
+  }
+  [[nodiscard]] std::size_t stamp_index(Ppn ppn, std::uint32_t sector) const {
+    AF_CHECK(sector < geom_.sectors_per_page());
+    return index(ppn) * geom_.sectors_per_page() + sector;
+  }
+
+  Geometry geom_;
+  std::vector<PageState> pages_;
+  std::vector<PageOwner> owners_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<std::uint64_t> stamps_;  // empty unless track_payload
+  ArrayCounters counters_;
+};
+
+}  // namespace af::nand

@@ -1,0 +1,126 @@
+// Physical geometry of the simulated flash array and the PPN address codec.
+//
+// The hierarchy follows the paper's description (§1): channel → chip → die →
+// plane → block → page. A PPN is a flat 64-bit index; the codec converts it
+// to and from a structured address.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace af::nand {
+
+/// Structured physical address of a flash page.
+struct PhysAddr {
+  std::uint32_t channel = 0;
+  std::uint32_t chip = 0;   // within channel
+  std::uint32_t die = 0;    // within chip
+  std::uint32_t plane = 0;  // within die
+  std::uint32_t block = 0;  // within plane
+  std::uint32_t page = 0;   // within block
+
+  friend constexpr bool operator==(const PhysAddr&, const PhysAddr&) = default;
+};
+
+struct Geometry {
+  std::uint32_t channels = 4;
+  std::uint32_t chips_per_channel = 2;
+  std::uint32_t dies_per_chip = 2;
+  std::uint32_t planes_per_die = 2;
+  std::uint32_t blocks_per_plane = 256;
+  std::uint32_t pages_per_block = 64;
+  std::uint32_t page_bytes = 8192;
+
+  [[nodiscard]] constexpr std::uint32_t sectors_per_page() const {
+    return page_bytes / kSectorBytes;
+  }
+  [[nodiscard]] constexpr std::uint64_t total_chips() const {
+    return std::uint64_t{channels} * chips_per_channel;
+  }
+  [[nodiscard]] constexpr std::uint64_t total_planes() const {
+    return total_chips() * dies_per_chip * planes_per_die;
+  }
+  [[nodiscard]] constexpr std::uint64_t total_blocks() const {
+    return total_planes() * blocks_per_plane;
+  }
+  [[nodiscard]] constexpr std::uint64_t total_pages() const {
+    return total_blocks() * pages_per_block;
+  }
+  [[nodiscard]] constexpr std::uint64_t capacity_bytes() const {
+    return total_pages() * page_bytes;
+  }
+  [[nodiscard]] constexpr std::uint64_t pages_per_plane() const {
+    return std::uint64_t{blocks_per_plane} * pages_per_block;
+  }
+
+  /// Flat plane index in [0, total_planes()).
+  [[nodiscard]] constexpr std::uint64_t plane_index(const PhysAddr& a) const {
+    return ((std::uint64_t{a.channel} * chips_per_channel + a.chip) *
+                dies_per_chip +
+            a.die) *
+               planes_per_die +
+           a.plane;
+  }
+  /// Flat chip index in [0, total_chips()).
+  [[nodiscard]] constexpr std::uint64_t chip_index(const PhysAddr& a) const {
+    return std::uint64_t{a.channel} * chips_per_channel + a.chip;
+  }
+
+  [[nodiscard]] constexpr Ppn encode(const PhysAddr& a) const {
+    AF_CHECK(a.channel < channels && a.chip < chips_per_channel &&
+             a.die < dies_per_chip && a.plane < planes_per_die &&
+             a.block < blocks_per_plane && a.page < pages_per_block);
+    std::uint64_t v = a.channel;
+    v = v * chips_per_channel + a.chip;
+    v = v * dies_per_chip + a.die;
+    v = v * planes_per_die + a.plane;
+    v = v * blocks_per_plane + a.block;
+    v = v * pages_per_block + a.page;
+    return Ppn{v};
+  }
+
+  [[nodiscard]] constexpr PhysAddr decode(Ppn ppn) const {
+    AF_CHECK(ppn.valid() && ppn.get() < total_pages());
+    std::uint64_t v = ppn.get();
+    PhysAddr a;
+    a.page = static_cast<std::uint32_t>(v % pages_per_block);
+    v /= pages_per_block;
+    a.block = static_cast<std::uint32_t>(v % blocks_per_plane);
+    v /= blocks_per_plane;
+    a.plane = static_cast<std::uint32_t>(v % planes_per_die);
+    v /= planes_per_die;
+    a.die = static_cast<std::uint32_t>(v % dies_per_chip);
+    v /= dies_per_chip;
+    a.chip = static_cast<std::uint32_t>(v % chips_per_channel);
+    v /= chips_per_channel;
+    a.channel = static_cast<std::uint32_t>(v);
+    return a;
+  }
+
+  /// PPN of page 0 of a (plane, block) pair identified by flat plane index.
+  [[nodiscard]] constexpr Ppn block_first_page(std::uint64_t plane_idx,
+                                               std::uint32_t block) const {
+    AF_CHECK(plane_idx < total_planes() && block < blocks_per_plane);
+    return Ppn{(plane_idx * blocks_per_plane + block) * pages_per_block};
+  }
+
+  /// Flat block index in [0, total_blocks()) of the block containing `ppn`.
+  [[nodiscard]] constexpr std::uint64_t block_of(Ppn ppn) const {
+    return ppn.get() / pages_per_block;
+  }
+
+  /// Flat plane index of the plane containing `ppn`.
+  [[nodiscard]] constexpr std::uint64_t plane_of(Ppn ppn) const {
+    return ppn.get() / pages_per_plane();
+  }
+
+  [[nodiscard]] constexpr bool valid() const {
+    return channels && chips_per_channel && dies_per_chip && planes_per_die &&
+           blocks_per_plane && pages_per_block && page_bytes &&
+           page_bytes % kSectorBytes == 0;
+  }
+};
+
+}  // namespace af::nand

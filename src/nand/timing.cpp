@@ -1,0 +1,30 @@
+#include "nand/timing.h"
+
+namespace af::nand {
+
+Timing Timing::preset(CellType cell, std::uint32_t page_bytes) {
+  Timing t;
+  switch (cell) {
+    case CellType::kSlc:
+      t.read_ns = 25'000;
+      t.program_ns = 300'000;
+      t.erase_ns = 2'000'000;
+      break;
+    case CellType::kMlc:
+      t.read_ns = 50'000;
+      t.program_ns = 900'000;
+      t.erase_ns = 5'000'000;
+      break;
+    case CellType::kTlc:
+      // Table 1 of the paper.
+      t.read_ns = 75'000;
+      t.program_ns = 2'000'000;
+      t.erase_ns = 15'000'000;
+      break;
+  }
+  // ~400 MB/s ONFI bus: ns per page = bytes / 0.4 bytes-per-ns.
+  t.transfer_ns_per_page = static_cast<SimDuration>(page_bytes) * 10 / 4;
+  return t;
+}
+
+}  // namespace af::nand

@@ -1,0 +1,30 @@
+// NAND operation latencies.
+//
+// The paper's Table 1 gives read = 0.075 ms and program = 2 ms for TLC cells
+// and a 0.001 ms DRAM/cache access; erase time is not listed, so we use the
+// 15 ms figure common to SSDsim TLC configurations. Channel transfer time is
+// derived from an ONFI-style bus rate.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace af::nand {
+
+enum class CellType { kSlc, kMlc, kTlc };
+
+struct Timing {
+  SimDuration read_ns = 75'000;         // cell sensing
+  SimDuration program_ns = 2'000'000;   // cell programming
+  SimDuration erase_ns = 15'000'000;    // block erase
+  /// Channel occupancy for moving one page between controller and chip.
+  SimDuration transfer_ns_per_page = 20'000;  // 8 KiB over ~400 MB/s
+  SimDuration dram_access_ns = 1'000;   // Table 1 "cache access" 0.001 ms
+
+  /// Presets matching common SSDsim cell configurations. `page_bytes` scales
+  /// the bus transfer window.
+  static Timing preset(CellType cell, std::uint32_t page_bytes);
+};
+
+}  // namespace af::nand

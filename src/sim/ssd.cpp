@@ -1,0 +1,119 @@
+#include "sim/ssd.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace af::sim {
+
+class Ssd::OracleStamps final : public ftl::StampProvider {
+ public:
+  explicit OracleStamps(const ssd::Oracle& oracle) : oracle_(oracle) {}
+  [[nodiscard]] std::uint64_t stamp_of(SectorAddr sector) const override {
+    return oracle_.expected(sector);
+  }
+
+ private:
+  const ssd::Oracle& oracle_;
+};
+
+Ssd::Ssd(const ssd::SsdConfig& config, ftl::SchemeKind kind)
+    : engine_(std::make_unique<ssd::Engine>(config)) {
+  scheme_ = ftl::make_scheme(kind, *engine_);
+  if (config.track_payload) {
+    oracle_ = std::make_unique<ssd::Oracle>(config.logical_sectors());
+    stamp_provider_ = std::make_unique<OracleStamps>(*oracle_);
+    scheme_->set_stamp_provider(stamp_provider_.get());
+  }
+}
+
+Ssd::~Ssd() = default;
+
+Ssd::Completion Ssd::submit(const ftl::IoRequest& req) {
+  AF_CHECK_MSG(!req.range.empty(), "empty request");
+  AF_CHECK_MSG(req.range.end <= engine_->config().logical_sectors(),
+               "request beyond logical capacity");
+
+  const ssd::ReqClass cls = ftl::classify(req, scheme_->page_geometry());
+  engine_->set_request_class(cls);
+
+  Completion completion;
+  completion.cls = cls;
+  if (req.write) {
+    if (oracle_) oracle_->on_write(req.range);
+    completion.done = scheme_->write(req, req.arrival);
+  } else {
+    ftl::ReadPlan plan;
+    completion.done =
+        scheme_->read(req, req.arrival, oracle_ ? &plan : nullptr);
+    if (oracle_) {
+      for (const auto& obs : plan.observed) {
+        const std::uint64_t expected = oracle_->expected(obs.sector);
+        AF_CHECK_MSG(obs.stamp == expected,
+                     "oracle mismatch: FTL returned stale or wrong data");
+        ++verified_sectors_;
+      }
+      AF_CHECK_MSG(plan.observed.size() == req.range.size(),
+                   "read plan did not cover the whole request");
+    }
+  }
+  engine_->set_request_class(std::nullopt);
+
+  AF_CHECK(completion.done >= req.arrival);
+  completion.latency = completion.done - req.arrival;
+  engine_->stats().record_request(cls, completion.latency, req.range.size());
+  return completion;
+}
+
+void Ssd::age(double used_fraction, double live_fraction, std::uint64_t seed) {
+  const auto& geom = engine_->geometry();
+  const std::uint64_t spp = geom.sectors_per_page();
+  // GC keeps gc_trigger_blocks() (plus up to 2 blocks of per-plane stagger)
+  // free per plane, so "used" cannot exceed that floor; clamp the target to
+  // what the device can actually reach.
+  const double achievable =
+      1.0 - (static_cast<double>(engine_->gc_trigger_blocks()) + 3.0) /
+                static_cast<double>(geom.blocks_per_plane);
+  used_fraction = std::min(used_fraction, achievable);
+  const std::uint64_t logical_pages = engine_->config().logical_pages();
+  const auto footprint = std::min<std::uint64_t>(
+      logical_pages,
+      static_cast<std::uint64_t>(live_fraction *
+                                 static_cast<double>(geom.total_pages())));
+  AF_CHECK(footprint > 0);
+
+  Rng rng(seed);
+  // Page-aligned fill: sequential first pass establishes the live set, then
+  // random overwrites age the device (invalidations + GC) until the used
+  // target is reached.
+  for (std::uint64_t p = 0; p < footprint; ++p) {
+    ftl::IoRequest req{0, /*write=*/true,
+                       SectorRange::of(p * spp, spp)};
+    submit(req);
+  }
+  const std::uint64_t max_overwrites = 4 * geom.total_pages();
+  std::uint64_t overwrites = 0;
+  while (engine_->array().used_fraction() < used_fraction &&
+         overwrites < max_overwrites) {
+    const std::uint64_t p = rng.below(footprint);
+    ftl::IoRequest req{0, /*write=*/true, SectorRange::of(p * spp, spp)};
+    submit(req);
+    ++overwrites;
+  }
+  AF_LOG_INFO("aged device: used=%.3f live=%.3f overwrites=%llu",
+              engine_->array().used_fraction(),
+              engine_->array().valid_fraction(),
+              static_cast<unsigned long long>(overwrites));
+}
+
+void Ssd::reset_measurement() {
+  engine_->stats().reset();
+  engine_->timeline().reset();
+}
+
+void Ssd::snapshot_map_footprint() {
+  engine_->stats().note_map_bytes(scheme_->map_bytes());
+}
+
+}  // namespace af::sim

@@ -1,0 +1,78 @@
+// Ssd — the public device facade a downstream user interacts with.
+//
+// Owns the engine, the chosen FTL scheme and (when payload tracking is on)
+// the verification oracle. Provides request submission with per-class
+// latency accounting, device aging (the paper warms the SSD to 90% used
+// capacity before measuring), and measurement snapshots.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "ftl/request.h"
+#include "ftl/scheme.h"
+#include "ssd/config.h"
+#include "ssd/engine.h"
+#include "ssd/oracle.h"
+
+namespace af::sim {
+
+class Ssd {
+ public:
+  Ssd(const ssd::SsdConfig& config, ftl::SchemeKind kind);
+  ~Ssd();
+
+  Ssd(const Ssd&) = delete;
+  Ssd& operator=(const Ssd&) = delete;
+
+  struct Completion {
+    SimTime done = 0;
+    SimDuration latency = 0;
+    ssd::ReqClass cls = ssd::ReqClass::kNormalRead;
+  };
+
+  /// Services one host request. When the oracle is active, writes update the
+  /// shadow space and reads are verified sector-by-sector (aborting on any
+  /// divergence).
+  Completion submit(const ftl::IoRequest& req);
+
+  /// Ages the device: fills `live_fraction` of raw capacity with valid data
+  /// and keeps overwriting it until `used_fraction` of all physical pages
+  /// have been consumed (GC active throughout), mirroring §4.1. Call
+  /// reset_measurement() afterwards.
+  void age(double used_fraction, double live_fraction, std::uint64_t seed);
+
+  /// Clears statistics and the timing backlog accumulated so far (used after
+  /// aging so measured runs start from a clean clock).
+  void reset_measurement();
+
+  [[nodiscard]] const ssd::DeviceStats& stats() const {
+    return engine_->stats();
+  }
+  [[nodiscard]] ssd::Engine& engine() { return *engine_; }
+  [[nodiscard]] const ssd::Engine& engine() const { return *engine_; }
+  [[nodiscard]] ftl::FtlScheme& scheme() { return *scheme_; }
+  [[nodiscard]] const ftl::FtlScheme& scheme() const { return *scheme_; }
+  [[nodiscard]] const ssd::Oracle* oracle() const { return oracle_.get(); }
+  [[nodiscard]] const ssd::SsdConfig& config() const {
+    return engine_->config();
+  }
+  [[nodiscard]] std::uint64_t verified_sectors() const {
+    return verified_sectors_;
+  }
+
+  /// Captures the scheme's current mapping footprint into the stats (peak).
+  void snapshot_map_footprint();
+
+ private:
+  class OracleStamps;  // adapts Oracle to ftl::StampProvider
+
+  std::unique_ptr<ssd::Engine> engine_;
+  std::unique_ptr<ftl::FtlScheme> scheme_;
+  std::unique_ptr<ssd::Oracle> oracle_;
+  std::unique_ptr<OracleStamps> stamp_provider_;
+  std::uint64_t verified_sectors_ = 0;
+};
+
+}  // namespace af::sim

@@ -1,0 +1,118 @@
+#include "sim/write_buffer.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace af::sim {
+
+BufferedSsd::BufferedSsd(Ssd& ssd, std::uint64_t capacity_sectors,
+                         SimDuration dram_access_ns)
+    : ssd_(ssd), capacity_(capacity_sectors), dram_ns_(dram_access_ns) {}
+
+void BufferedSsd::erase_entry(std::map<SectorAddr, Entry>::iterator it) {
+  held_ -= it->second.range.size();
+  fifo_.erase(it->second.fifo_pos);
+  entries_.erase(it);
+}
+
+void BufferedSsd::insert(SectorRange range) {
+  // Collect every buffered entry that overlaps or touches the new range and
+  // fold it into the hull (write-back coalescing).
+  SectorRange merged = range;
+  auto it = entries_.lower_bound(range.begin);
+  if (it != entries_.begin()) --it;
+  std::vector<std::map<SectorAddr, Entry>::iterator> victims;
+  while (it != entries_.end() && it->second.range.begin <= merged.end) {
+    if (it->second.range.touches(merged)) {
+      coalesced_ += it->second.range.intersect(range).size();
+      merged = merged.hull(it->second.range);
+      victims.push_back(it);
+    }
+    ++it;
+  }
+  for (auto victim : victims) erase_entry(victim);
+
+  auto fifo_pos = fifo_.insert(fifo_.end(), merged.begin);
+  entries_.emplace(merged.begin, Entry{merged, fifo_pos});
+  held_ += merged.size();
+}
+
+void BufferedSsd::write_out(SectorRange range, SimTime now) {
+  ++flushes_;
+  ssd_.submit({now, /*write=*/true, range});
+}
+
+void BufferedSsd::flush_overlapping(SectorRange range, SimTime now) {
+  auto it = entries_.lower_bound(range.begin);
+  if (it != entries_.begin()) --it;
+  std::vector<std::map<SectorAddr, Entry>::iterator> victims;
+  while (it != entries_.end() && it->second.range.begin < range.end) {
+    if (it->second.range.overlaps(range)) victims.push_back(it);
+    ++it;
+  }
+  for (auto victim : victims) {
+    const SectorRange flushed = victim->second.range;
+    erase_entry(victim);
+    write_out(flushed, now);
+  }
+}
+
+void BufferedSsd::enforce_capacity(SimTime now) {
+  while (held_ > capacity_) {
+    AF_CHECK(!fifo_.empty());
+    auto it = entries_.find(fifo_.front());
+    AF_CHECK(it != entries_.end());
+    const SectorRange oldest = it->second.range;
+    erase_entry(it);
+    write_out(oldest, now);
+  }
+}
+
+Ssd::Completion BufferedSsd::submit(const ftl::IoRequest& req) {
+  if (capacity_ == 0) return ssd_.submit(req);
+
+  if (req.write) {
+    ++write_hits_;
+    insert(req.range);
+    enforce_capacity(req.arrival);
+    // Write-back: the host write completes at DRAM speed; flush-out happens
+    // behind it (its flash time lands on the device's chip timelines).
+    Ssd::Completion completion;
+    completion.done = req.arrival + dram_ns_;
+    completion.latency = dram_ns_;
+    completion.cls = ftl::classify(req, ssd_.scheme().page_geometry());
+    return completion;
+  }
+
+  // Read: fully resident → DRAM; otherwise flush the overlapping entries and
+  // read through the device (oracle-checked there).
+  auto it = entries_.upper_bound(req.range.begin);
+  if (it != entries_.begin()) {
+    --it;
+    if (it->second.range.contains(req.range)) {
+      ++read_hits_;
+      Ssd::Completion completion;
+      completion.done = req.arrival + dram_ns_;
+      completion.latency = dram_ns_;
+      completion.cls = ftl::classify(req, ssd_.scheme().page_geometry());
+      return completion;
+    }
+  }
+  ++read_throughs_;
+  flush_overlapping(req.range, req.arrival);
+  return ssd_.submit(req);
+}
+
+void BufferedSsd::flush_all(SimTime now) {
+  while (!entries_.empty()) {
+    auto it = entries_.find(fifo_.front());
+    AF_CHECK(it != entries_.end());
+    const SectorRange flushed = it->second.range;
+    erase_entry(it);
+    write_out(flushed, now);
+  }
+  AF_CHECK(held_ == 0);
+}
+
+}  // namespace af::sim

@@ -1,0 +1,74 @@
+// Device configuration. The `paper()` preset mirrors Table 1 of the paper
+// (TLC timings, 64 pages/block, 8 KiB pages, 10% GC threshold) with a
+// scalable block count so benches can trade fidelity for runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "nand/geometry.h"
+#include "nand/timing.h"
+
+namespace af::ssd {
+
+struct SsdConfig {
+  nand::Geometry geometry;
+  nand::Timing timing;
+
+  /// GC triggers in a plane when its free-block fraction drops below this.
+  double gc_threshold = 0.10;
+  /// Hard reserve: blocks per plane GC itself may consume; allocations during
+  /// GC never trigger nested GC thanks to this margin.
+  std::uint32_t gc_reserve_blocks = 2;
+
+  /// Partial (resumable) GC: at most this many page migrations per GC
+  /// invocation; a half-collected victim is resumed by later invocations
+  /// (cf. Sha et al., TACO'21 — the paper's reference on GC-induced long
+  /// tails). Bounds the chip-time burst a single pass injects.
+  std::uint32_t gc_pages_per_pass = 8;
+
+  /// Fraction of raw capacity exported as logical space (the rest is
+  /// over-provisioning for GC headroom and Across-FTL's area pool).
+  double exported_fraction = 0.85;
+
+  /// DRAM budget for cached translation pages (the CMT). Schemes with larger
+  /// mapping tables (MRSM) thrash this; the baseline mostly fits (§4.2.4).
+  std::uint64_t map_cache_bytes = 0;  // 0 = sized at paper() time
+
+  /// Store per-sector version stamps for the verification oracle.
+  bool track_payload = false;
+
+  /// Across-FTL design-choice toggles (ablation knobs; DESIGN.md §ablations).
+  struct AcrossPolicy {
+    /// Remap across-page writes at all; false degrades to baseline servicing
+    /// (the scheme still pays its two-level-table footprint).
+    bool enable_remap = true;
+    /// Merge overlapping updates into the area when the union fits one page;
+    /// false rolls the area back on every overlapping update.
+    bool enable_amerge = true;
+    /// Metadata-only area shrink when an overwrite covers one page's share;
+    /// false rolls back instead.
+    bool enable_shrink = true;
+  };
+  AcrossPolicy across;
+
+  [[nodiscard]] std::uint64_t logical_pages() const {
+    return static_cast<std::uint64_t>(
+        static_cast<double>(geometry.total_pages()) * exported_fraction);
+  }
+  [[nodiscard]] std::uint64_t logical_sectors() const {
+    return logical_pages() * geometry.sectors_per_page();
+  }
+
+  /// Table-1-shaped TLC device. `blocks_per_plane` scales total capacity
+  /// (the paper's 262144 total blocks ≈ 128 GiB; benches default far smaller
+  /// so GC is exercised within seconds). `page_kb` ∈ {4, 8, 16} selects the
+  /// Figure 13/14 page-size variants.
+  static SsdConfig paper(std::uint32_t page_kb = 8,
+                         std::uint32_t blocks_per_plane = 128);
+
+  /// Miniature device for unit tests: few planes, tiny blocks, payload
+  /// tracking on.
+  static SsdConfig tiny();
+};
+
+}  // namespace af::ssd

@@ -1,0 +1,306 @@
+#include "ssd/engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace af::ssd {
+
+Engine::Engine(const SsdConfig& config)
+    : config_(config),
+      array_(config.geometry, config.track_payload),
+      timeline_(config.geometry, config.timing) {
+  const auto planes = config_.geometry.total_planes();
+  planes_.resize(planes);
+  for (auto& plane : planes_) {
+    plane.free_blocks.reserve(config_.geometry.blocks_per_plane);
+    // Pop from the back; seed in reverse so block 0 is used first.
+    for (std::uint32_t b = config_.geometry.blocks_per_plane; b-- > 0;) {
+      plane.free_blocks.push_back(b);
+    }
+    plane.active.fill(kNoBlock);
+    plane.gc_victim = kNoBlock;
+  }
+  AF_CHECK_MSG(gc_trigger_blocks() + 2 + config_.gc_reserve_blocks <
+                   config_.geometry.blocks_per_plane,
+               "GC threshold leaves no usable capacity");
+}
+
+Engine::~Engine() = default;
+
+// --- Flash operations --------------------------------------------------------
+
+SimTime Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
+  AF_CHECK_MSG(array_.state(ppn) == nand::PageState::kValid,
+               "flash read of non-valid page");
+  stats_.count_flash_op(kind);
+  return timeline_.schedule_read(config_.geometry.decode(ppn), ready);
+}
+
+Engine::Programmed Engine::flash_program(Stream stream, nand::PageOwner owner,
+                                         OpKind kind, SimTime ready) {
+  const std::uint64_t plane = pick_plane(stream);
+  const Ppn ppn = take_frontier(plane, stream);
+  array_.program(ppn, owner);
+  stats_.count_flash_op(kind);
+  if (kind == OpKind::kDataWrite && current_class_) {
+    stats_.count_class_flush(*current_class_);
+  }
+  const SimTime done =
+      timeline_.schedule_program(config_.geometry.decode(ppn), ready);
+
+  // Threshold GC is *background* work: the free-block reserve exists so the
+  // triggering request never has to wait for reclamation. The pass's flash
+  // operations are charged to the plane's chip behind this program, so later
+  // requests feel GC only as chip contention (the SSDsim model). State-wise
+  // the reclaim is immediate, so the free-block accounting never lags.
+  if (!in_gc_ && free_blocks(plane) < plane_trigger_blocks(plane)) {
+    (void)run_gc(plane, done);
+  }
+  return {ppn, done};
+}
+
+void Engine::invalidate(Ppn ppn) { array_.invalidate(ppn); }
+
+SimTime Engine::map_touch(std::uint64_t map_page, bool dirty, SimTime ready) {
+  AF_CHECK_MSG(map_ != nullptr, "init_map_space() not called");
+  return map_->touch(map_page, dirty, ready);
+}
+
+void Engine::dram_access(std::uint64_t n) { stats_.count_dram_access(n); }
+
+void Engine::init_map_space(std::uint64_t num_map_pages) {
+  const std::uint64_t cache_pages =
+      std::max<std::uint64_t>(1, config_.map_cache_bytes /
+                                     config_.geometry.page_bytes);
+  // Direct `new`: make_unique cannot convert to the private MapIo base.
+  map_.reset(new MapDirectory(*this, num_map_pages, cache_pages));
+}
+
+// --- MapIo ---------------------------------------------------------------------
+
+SimTime Engine::map_flash_read(Ppn ppn, SimTime ready) {
+  return flash_read(ppn, OpKind::kMapRead, ready);
+}
+
+std::pair<Ppn, SimTime> Engine::map_flash_program(std::uint64_t map_page,
+                                                  SimTime ready) {
+  auto programmed = flash_program(Stream::kMap, nand::PageOwner::map(map_page),
+                                  OpKind::kMapWrite, ready);
+  return {programmed.ppn, programmed.done};
+}
+
+void Engine::map_flash_invalidate(Ppn ppn) { invalidate(ppn); }
+
+void Engine::map_dram_access(std::uint64_t n) { stats_.count_dram_access(n); }
+
+// --- Allocation ------------------------------------------------------------------
+
+bool Engine::plane_has_space(std::uint64_t plane, Stream stream) const {
+  const PlaneState& st = planes_[plane];
+  const std::uint32_t active = st.active[static_cast<std::size_t>(stream)];
+  if (active != kNoBlock) {
+    const std::uint64_t flat =
+        plane * config_.geometry.blocks_per_plane + active;
+    if (!array_.block(flat).fully_written(config_.geometry.pages_per_block)) {
+      return true;
+    }
+  }
+  return !st.free_blocks.empty();
+}
+
+std::uint64_t Engine::pick_plane(Stream stream) {
+  const std::uint64_t planes = config_.geometry.total_planes();
+  for (std::uint64_t i = 0; i < planes; ++i) {
+    const std::uint64_t plane = (rr_plane_ + i) % planes;
+    if (plane_has_space(plane, stream)) {
+      rr_plane_ = (plane + 1) % planes;
+      return plane;
+    }
+  }
+  AF_CHECK_MSG(false, "no plane has free space — device over-filled");
+  return 0;
+}
+
+Ppn Engine::take_frontier(std::uint64_t plane, Stream stream) {
+  PlaneState& st = planes_[plane];
+  std::uint32_t& active = st.active[static_cast<std::size_t>(stream)];
+
+  if (active != kNoBlock) {
+    const std::uint64_t flat =
+        plane * config_.geometry.blocks_per_plane + active;
+    const Ppn frontier = array_.write_frontier(flat);
+    if (frontier.valid()) return frontier;
+    active = kNoBlock;  // block filled up
+  }
+  AF_CHECK_MSG(!st.free_blocks.empty(), "plane out of free blocks");
+  active = st.free_blocks.back();
+  st.free_blocks.pop_back();
+  const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + active;
+  const Ppn frontier = array_.write_frontier(flat);
+  AF_CHECK(frontier.valid());
+  return frontier;
+}
+
+std::uint64_t Engine::free_blocks(std::uint64_t plane) const {
+  return planes_[plane].free_blocks.size();
+}
+
+std::uint32_t Engine::gc_trigger_blocks() const {
+  const auto threshold = static_cast<std::uint32_t>(
+      config_.gc_threshold *
+      static_cast<double>(config_.geometry.blocks_per_plane));
+  return std::max(threshold, config_.gc_reserve_blocks + 1);
+}
+
+std::uint32_t Engine::plane_trigger_blocks(std::uint64_t plane) const {
+  // Round-robin striping fills every plane at the same rate, so identical
+  // triggers make all planes start GC in the same instant — a periodic
+  // device-wide stall storm. A deterministic per-plane offset staggers the
+  // waves; the offset is capacity-safe (a couple of blocks).
+  return gc_trigger_blocks() + static_cast<std::uint32_t>((plane * 2654435761u) % 3);
+}
+
+// --- Garbage collection -------------------------------------------------------
+
+bool Engine::is_active_block(std::uint64_t plane, std::uint32_t block) const {
+  const auto& active = planes_[plane].active;
+  return std::find(active.begin(), active.end(), block) != active.end();
+}
+
+std::uint64_t Engine::block_weight(std::uint64_t flat_block) const {
+  const nand::BlockInfo& info = array_.block(flat_block);
+  if (!victim_weight_) {
+    return std::uint64_t{info.valid_pages} * kFullPageWeight;
+  }
+  std::uint64_t weight = 0;
+  const std::uint64_t first = flat_block * config_.geometry.pages_per_block;
+  for (std::uint32_t p = 0; p < info.written; ++p) {
+    const Ppn ppn{first + p};
+    if (array_.state(ppn) == nand::PageState::kValid) {
+      weight += victim_weight_(ppn);
+    }
+  }
+  return weight;
+}
+
+std::uint32_t Engine::pick_victim(std::uint64_t plane) const {
+  const std::uint32_t pages_per_block = config_.geometry.pages_per_block;
+  // A block whose live weight matches a full block yields nothing: migrating
+  // its content consumes exactly what erasing reclaims (the livelock shape).
+  const std::uint64_t full_weight =
+      std::uint64_t{pages_per_block} * kFullPageWeight;
+  std::uint32_t best = kNoBlock;
+  std::uint64_t best_weight = 0;
+  bool best_full = false;
+
+  for (std::uint32_t b = 0; b < config_.geometry.blocks_per_plane; ++b) {
+    if (is_active_block(plane, b)) continue;
+    const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + b;
+    const nand::BlockInfo& info = array_.block(flat);
+    if (info.written == 0) continue;  // already free
+    const std::uint64_t weight = block_weight(flat);
+    if (weight >= full_weight) continue;
+    const bool full = info.fully_written(pages_per_block);
+    // Greedy: least live weight wins; among equals, fully-written blocks
+    // win (they waste no unwritten frontier when erased).
+    if (best == kNoBlock || weight < best_weight ||
+        (weight == best_weight && full && !best_full)) {
+      best = b;
+      best_weight = weight;
+      best_full = full;
+    }
+  }
+  return best;
+}
+
+SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
+  AF_CHECK_MSG(relocator_, "GC requires a relocator (set_relocator)");
+  AF_CHECK_MSG(!in_gc_, "nested GC");
+  in_gc_ = true;
+  ++gc_runs_;
+  SimTime clock = ready;
+
+  // Partial, resumable GC (cf. Sha et al., TACO'21): migrate at most
+  // gc_pages_per_pass live pages per invocation, carrying a half-drained
+  // victim over to the next invocation, so one pass never injects a long
+  // chip-time burst.
+  std::uint32_t budget = std::max(1u, config_.gc_pages_per_pass);
+  std::uint32_t& victim = planes_[plane].gc_victim;
+
+  while (budget > 0 &&
+         free_blocks(plane) < plane_trigger_blocks(plane)) {
+    if (victim == kNoBlock) {
+      victim = pick_victim(plane);
+      if (victim == kNoBlock) break;  // nothing reclaimable in this plane
+    }
+    const std::uint64_t flat =
+        plane * config_.geometry.blocks_per_plane + victim;
+
+    for (Ppn live : array_.valid_pages_in(flat)) {
+      if (budget == 0) break;
+      --budget;
+      const nand::PageOwner owner = array_.owner(live);
+      if (owner.kind == nand::PageOwner::Kind::kMap) {
+        // Translation pages are engine-owned: copy and update the GTD.
+        clock = flash_read(live, OpKind::kGcRead, clock);
+        auto moved = gc_program(plane, owner, clock);
+        clock = moved.done;
+        if (array_.tracks_payload()) copy_stamps(live, moved.ppn);
+        AF_CHECK(map_ != nullptr);
+        map_->on_relocated(owner.id, moved.ppn);
+        invalidate(live);
+      } else {
+        relocator_(live, owner, clock);
+      }
+    }
+    if (array_.block(flat).valid_pages > 0) break;  // budget ran out mid-victim
+
+    clock = timeline_.schedule_erase(
+        config_.geometry.decode(Ppn{flat * config_.geometry.pages_per_block}),
+        clock);
+    array_.erase_block(flat);
+    stats_.count_erase();
+    planes_[plane].free_blocks.push_back(victim);
+    victim = kNoBlock;
+  }
+  if (gc_flush_) gc_flush_(plane, clock);
+
+  in_gc_ = false;
+  return clock;
+}
+
+Engine::Programmed Engine::gc_program(std::uint64_t plane,
+                                      nand::PageOwner owner, SimTime ready) {
+  AF_CHECK_MSG(in_gc_, "gc_program outside GC");
+  std::uint64_t target = plane;
+  if (!plane_has_space(target, Stream::kGc)) {
+    // Reserve exhausted in this plane (pathological); spill anywhere.
+    target = pick_plane(Stream::kGc);
+  }
+  const Ppn ppn = take_frontier(target, Stream::kGc);
+  array_.program(ppn, owner);
+  stats_.count_flash_op(OpKind::kGcWrite);
+  const SimTime done =
+      timeline_.schedule_program(config_.geometry.decode(ppn), ready);
+  return {ppn, done};
+}
+
+// --- Stamps ------------------------------------------------------------------
+
+void Engine::write_stamp(Ppn ppn, std::uint32_t sector_in_page,
+                         std::uint64_t stamp) {
+  array_.set_stamp(ppn, sector_in_page, stamp);
+}
+
+std::uint64_t Engine::read_stamp(Ppn ppn, std::uint32_t sector_in_page) const {
+  return array_.stamp(ppn, sector_in_page);
+}
+
+void Engine::copy_stamps(Ppn from, Ppn to) {
+  for (std::uint32_t s = 0; s < config_.geometry.sectors_per_page(); ++s) {
+    array_.set_stamp(to, s, array_.stamp(from, s));
+  }
+}
+
+}  // namespace af::ssd

@@ -1,0 +1,194 @@
+// The SSD engine: page allocation, garbage collection, flash-op timing and
+// accounting. FTL schemes are policies layered on top of this mechanism —
+// they decide *what* to read, program and remap; the engine decides *where*
+// pages land, *when* operations complete, and keeps every figure's counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "nand/flash_array.h"
+#include "ssd/config.h"
+#include "ssd/map_directory.h"
+#include "ssd/stats.h"
+#include "ssd/timeline.h"
+
+namespace af::ssd {
+
+/// Write streams keep unlike data apart: host writes, GC migrations and
+/// translation pages each fill their own active block per plane.
+enum class Stream : std::uint8_t { kData = 0, kGc, kMap, kStreamCount };
+constexpr std::size_t kStreamCount =
+    static_cast<std::size_t>(Stream::kStreamCount);
+
+class Engine final : private MapIo {
+ public:
+  explicit Engine(const SsdConfig& config);
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // --- Scheme services ------------------------------------------------------
+
+  /// Reads a flash page; returns completion time.
+  SimTime flash_read(Ppn ppn, OpKind kind, SimTime ready);
+
+  struct Programmed {
+    Ppn ppn;
+    SimTime done = 0;
+  };
+
+  /// Allocates the next page of `stream` (running GC first if the target
+  /// plane is low on free blocks), programs it, and returns its address and
+  /// completion time.
+  Programmed flash_program(Stream stream, nand::PageOwner owner, OpKind kind,
+                           SimTime ready);
+
+  /// Marks a page stale. No timing cost: invalidation is a metadata action.
+  void invalidate(Ppn ppn);
+
+  /// Accesses one translation page of the scheme's mapping table through the
+  /// CMT. Must be preceded by init_map_space(). Returns advanced ready time.
+  SimTime map_touch(std::uint64_t map_page, bool dirty, SimTime ready);
+
+  /// Charges `n` DRAM accesses (mapping-structure walks beyond the CMT touch
+  /// itself, e.g. MRSM's tree descent).
+  void dram_access(std::uint64_t n = 1);
+
+  /// Declares the scheme's mapping-table size in translation pages and
+  /// builds the CMT with the configured DRAM budget.
+  void init_map_space(std::uint64_t num_map_pages);
+
+  // --- GC plumbing ----------------------------------------------------------
+
+  /// The scheme's relocation callback: move the live page `victim` (owned by
+  /// `owner`) to a fresh location and update the scheme's mapping. Data must
+  /// be programmed through gc_program(). `clock` is the GC time cursor.
+  using Relocator =
+      std::function<void(Ppn victim, const nand::PageOwner& owner, SimTime& clock)>;
+  void set_relocator(Relocator relocator) { relocator_ = std::move(relocator); }
+
+  /// End-of-GC hook, called once per GC pass after the last victim was
+  /// erased, with GC allowances still in force. Schemes that stage sub-page
+  /// chunks during relocation (MRSM's cross-page repacking) drain their
+  /// buffers here.
+  using GcFlush = std::function<void(std::uint64_t plane, SimTime& clock)>;
+  void set_gc_flush(GcFlush flush) { gc_flush_ = std::move(flush); }
+
+  /// Weight of a fully-live valid page in victim scoring.
+  static constexpr std::uint32_t kFullPageWeight = 256;
+
+  /// Optional victim-scoring hook: how much of a valid page is actually
+  /// live, in [0, kFullPageWeight]. Sub-page schemes (MRSM) return partial
+  /// weights so that page-level-valid but slot-level-dead blocks remain
+  /// GC victims; without this, fragmentation wedges the device.
+  using VictimWeight = std::function<std::uint32_t(Ppn)>;
+  void set_victim_weight(VictimWeight weight) {
+    victim_weight_ = std::move(weight);
+  }
+
+  /// Program dedicated to relocation: writes into the GC stream of the
+  /// victim's plane.
+  Programmed gc_program(std::uint64_t plane, nand::PageOwner owner, SimTime ready);
+
+  // --- Payload stamps (oracle) ----------------------------------------------
+
+  [[nodiscard]] bool tracks_payload() const { return array_.tracks_payload(); }
+  void write_stamp(Ppn ppn, std::uint32_t sector_in_page, std::uint64_t stamp);
+  [[nodiscard]] std::uint64_t read_stamp(Ppn ppn,
+                                         std::uint32_t sector_in_page) const;
+  /// Copies all sector stamps from one page to another (GC migration).
+  void copy_stamps(Ppn from, Ppn to);
+
+  // --- Introspection ----------------------------------------------------------
+
+  [[nodiscard]] const SsdConfig& config() const { return config_; }
+  [[nodiscard]] const nand::Geometry& geometry() const {
+    return config_.geometry;
+  }
+  [[nodiscard]] nand::FlashArray& array() { return array_; }
+  [[nodiscard]] const nand::FlashArray& array() const { return array_; }
+  [[nodiscard]] DeviceStats& stats() { return stats_; }
+  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
+  [[nodiscard]] const MapDirectory* map_directory() const { return map_.get(); }
+  [[nodiscard]] ResourceTimeline& timeline() { return timeline_; }
+
+  /// Free blocks currently available in a plane (excluding active blocks).
+  [[nodiscard]] std::uint64_t free_blocks(std::uint64_t plane) const;
+
+  /// Per-plane free-block floor below which GC engages. Public because
+  /// schemes derive their space-pressure watermarks from it. The effective
+  /// per-plane trigger adds a small deterministic stagger (see
+  /// plane_trigger_blocks) so plane GC waves do not synchronise.
+  [[nodiscard]] std::uint32_t gc_trigger_blocks() const;
+  [[nodiscard]] std::uint32_t plane_trigger_blocks(std::uint64_t plane) const;
+
+  /// Attribute subsequent data programs to this request class (Figure 4c).
+  void set_request_class(std::optional<ReqClass> c) { current_class_ = c; }
+
+  /// Total GC passes run.
+  [[nodiscard]] std::uint64_t gc_runs() const { return gc_runs_; }
+
+  /// Sum of live weights over a block's valid pages (victim scoring; public
+  /// for tests and GC instrumentation).
+  [[nodiscard]] std::uint64_t block_weight(std::uint64_t flat_block) const;
+
+ private:
+  struct PlaneState {
+    std::vector<std::uint32_t> free_blocks;  // block ids within plane
+    // Active (partially filled) block per stream; kInvalidBlock when none.
+    std::array<std::uint32_t, kStreamCount> active;
+    // Victim currently being drained by resumable partial GC.
+    std::uint32_t gc_victim;
+  };
+  static constexpr std::uint32_t kNoBlock = UINT32_MAX;
+
+  // MapIo implementation (directory's view of the engine).
+  SimTime map_flash_read(Ppn ppn, SimTime ready) override;
+  std::pair<Ppn, SimTime> map_flash_program(std::uint64_t map_page,
+                                            SimTime ready) override;
+  void map_flash_invalidate(Ppn ppn) override;
+  void map_dram_access(std::uint64_t n) override;
+
+  /// Returns the PPN to program next for (plane, stream); opens a new active
+  /// block from the free list when needed.
+  Ppn take_frontier(std::uint64_t plane, Stream stream);
+
+  /// Picks the plane for the next allocation of `stream`: round-robin over
+  /// planes with usable space. Pure striping balances *capacity* across
+  /// planes — load-aware policies starve busy planes of writes and let
+  /// per-plane occupancy skew until GC cannot reclaim them.
+  std::uint64_t pick_plane(Stream stream);
+
+  [[nodiscard]] bool plane_has_space(std::uint64_t plane, Stream stream) const;
+
+  /// Runs GC on `plane` until its free-block count clears the threshold.
+  SimTime run_gc(std::uint64_t plane, SimTime ready);
+  /// Greedy victim choice; returns kNoBlock when nothing reclaimable.
+  std::uint32_t pick_victim(std::uint64_t plane) const;
+  [[nodiscard]] bool is_active_block(std::uint64_t plane,
+                                     std::uint32_t block) const;
+
+  SsdConfig config_;
+  nand::FlashArray array_;
+  ResourceTimeline timeline_;
+  DeviceStats stats_;
+  std::unique_ptr<MapDirectory> map_;
+  std::vector<PlaneState> planes_;
+  std::uint64_t rr_plane_ = 0;
+  Relocator relocator_;
+  GcFlush gc_flush_;
+  VictimWeight victim_weight_;
+  bool in_gc_ = false;
+  std::uint64_t gc_runs_ = 0;
+  std::optional<ReqClass> current_class_;
+};
+
+}  // namespace af::ssd

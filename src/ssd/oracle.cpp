@@ -1,0 +1,23 @@
+#include "ssd/oracle.h"
+
+#include "common/check.h"
+
+namespace af::ssd {
+
+Oracle::Oracle(std::uint64_t logical_sectors) {
+  shadow_.assign(static_cast<std::size_t>(logical_sectors), 0);
+}
+
+void Oracle::on_write(SectorRange range) {
+  AF_CHECK_MSG(range.end <= shadow_.size(), "write beyond logical space");
+  for (SectorAddr s = range.begin; s < range.end; ++s) {
+    shadow_[static_cast<std::size_t>(s)] = next_stamp_++;
+  }
+}
+
+std::uint64_t Oracle::expected(SectorAddr sector) const {
+  AF_CHECK(sector < shadow_.size());
+  return shadow_[static_cast<std::size_t>(sector)];
+}
+
+}  // namespace af::ssd

@@ -1,0 +1,36 @@
+// Correctness oracle: a shadow copy of the logical address space at sector
+// granularity. Every write stamps its sectors with a fresh version number;
+// flash pages store stamps alongside the simulation state; every read is
+// checked against the shadow. A remapping bug anywhere — across-area merge,
+// rollback, GC migration, MRSM compaction — surfaces as a stamp mismatch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/types.h"
+
+namespace af::ssd {
+
+class Oracle {
+ public:
+  explicit Oracle(std::uint64_t logical_sectors);
+
+  /// Assigns fresh (globally unique) stamps to every sector in `range` and
+  /// returns nothing; the per-sector values are then read via expected().
+  void on_write(SectorRange range);
+
+  /// The stamp the most recent write left on this sector; 0 = never written.
+  [[nodiscard]] std::uint64_t expected(SectorAddr sector) const;
+
+  [[nodiscard]] std::uint64_t logical_sectors() const {
+    return static_cast<std::uint64_t>(shadow_.size());
+  }
+
+ private:
+  std::vector<std::uint64_t> shadow_;
+  std::uint64_t next_stamp_ = 1;
+};
+
+}  // namespace af::ssd

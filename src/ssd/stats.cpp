@@ -1,0 +1,47 @@
+#include "ssd/stats.h"
+
+namespace af::ssd {
+
+const char* to_string(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDataRead: return "data-read";
+    case OpKind::kDataWrite: return "data-write";
+    case OpKind::kMapRead: return "map-read";
+    case OpKind::kMapWrite: return "map-write";
+    case OpKind::kGcRead: return "gc-read";
+    case OpKind::kGcWrite: return "gc-write";
+    case OpKind::kKindCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(ReqClass c) {
+  switch (c) {
+    case ReqClass::kNormalRead: return "normal-read";
+    case ReqClass::kNormalWrite: return "normal-write";
+    case ReqClass::kAcrossRead: return "across-read";
+    case ReqClass::kAcrossWrite: return "across-write";
+    case ReqClass::kClassCount: break;
+  }
+  return "?";
+}
+
+LatencyRecorder DeviceStats::all_reads() const {
+  LatencyRecorder r = requests(ReqClass::kNormalRead);
+  r.merge(requests(ReqClass::kAcrossRead));
+  return r;
+}
+
+LatencyRecorder DeviceStats::all_writes() const {
+  LatencyRecorder r = requests(ReqClass::kNormalWrite);
+  r.merge(requests(ReqClass::kAcrossWrite));
+  return r;
+}
+
+double DeviceStats::total_io_time_ns() const {
+  return all_reads().latency().sum() + all_writes().latency().sum();
+}
+
+void DeviceStats::reset() { *this = DeviceStats{}; }
+
+}  // namespace af::ssd

@@ -1,0 +1,147 @@
+// Device-level measurement state. Every number reported in the paper's
+// figures (flash op counts split map/data, per-class latencies, erase counts,
+// DRAM accesses, across-page event classification) is accumulated here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace af::ssd {
+
+/// Why a flash operation was issued; drives the Map/Data split of Figure 10
+/// and the GC accounting.
+enum class OpKind : std::uint8_t {
+  kDataRead = 0,
+  kDataWrite,
+  kMapRead,
+  kMapWrite,
+  kGcRead,
+  kGcWrite,
+  kKindCount
+};
+
+/// Request classification (Figure 4 splits all metrics along this axis).
+enum class ReqClass : std::uint8_t {
+  kNormalRead = 0,
+  kNormalWrite,
+  kAcrossRead,
+  kAcrossWrite,
+  kClassCount
+};
+
+[[nodiscard]] constexpr bool is_write(ReqClass c) {
+  return c == ReqClass::kNormalWrite || c == ReqClass::kAcrossWrite;
+}
+[[nodiscard]] constexpr bool is_across(ReqClass c) {
+  return c == ReqClass::kAcrossRead || c == ReqClass::kAcrossWrite;
+}
+
+const char* to_string(OpKind kind);
+const char* to_string(ReqClass c);
+
+/// Counters specific to the Across-FTL mechanism (Figure 8 and §4.2.1).
+struct AcrossStats {
+  std::uint64_t direct_writes = 0;        // fresh across-area creations
+  std::uint64_t profitable_amerge = 0;    // AMerge triggered by across request
+  std::uint64_t unprofitable_amerge = 0;  // AMerge triggered by other updates
+  std::uint64_t rollbacks = 0;            // ARollback events
+  std::uint64_t area_shrinks = 0;         // metadata-only partial invalidation
+  std::uint64_t direct_reads = 0;         // reads fully inside an area
+  std::uint64_t merged_reads = 0;         // reads spilling out of an area
+  std::uint64_t merged_read_flash_reads = 0;
+  std::uint64_t areas_created = 0;
+  std::uint64_t peak_live_areas = 0;
+  /// Across-page writes serviced through the normal path because the device
+  /// was too full to afford another remapped area (space-pressure valve).
+  std::uint64_t bypassed_writes = 0;
+  /// Areas rolled back by the valve to drain space pressure.
+  std::uint64_t pressure_evictions = 0;
+
+  [[nodiscard]] std::uint64_t total_across_writes() const {
+    return direct_writes + profitable_amerge + unprofitable_amerge;
+  }
+};
+
+class DeviceStats {
+ public:
+  // --- Flash operations ----------------------------------------------------
+  void count_flash_op(OpKind kind) { ++flash_ops_[idx(kind)]; }
+  [[nodiscard]] std::uint64_t flash_ops(OpKind kind) const {
+    return flash_ops_[idx(kind)];
+  }
+  [[nodiscard]] std::uint64_t flash_reads() const {
+    return flash_ops(OpKind::kDataRead) + flash_ops(OpKind::kMapRead) +
+           flash_ops(OpKind::kGcRead);
+  }
+  [[nodiscard]] std::uint64_t flash_writes() const {
+    return flash_ops(OpKind::kDataWrite) + flash_ops(OpKind::kMapWrite) +
+           flash_ops(OpKind::kGcWrite);
+  }
+
+  void count_erase() { ++erases_; }
+  [[nodiscard]] std::uint64_t erases() const { return erases_; }
+
+  void count_dram_access(std::uint64_t n = 1) { dram_accesses_ += n; }
+  [[nodiscard]] std::uint64_t dram_accesses() const { return dram_accesses_; }
+
+  /// Reads issued only to preserve unmodified sectors during an update
+  /// (read-modify-write); §4.2.2 reports Across-FTL removing 62.2% of these.
+  void count_rmw_read() { ++rmw_reads_; }
+  [[nodiscard]] std::uint64_t rmw_reads() const { return rmw_reads_; }
+
+  // --- Per-request-class accounting (Figure 4) ------------------------------
+  void record_request(ReqClass c, SimDuration latency_ns, SectorCount sectors) {
+    recorders_[cidx(c)].record(latency_ns, sectors);
+  }
+  [[nodiscard]] const LatencyRecorder& requests(ReqClass c) const {
+    return recorders_[cidx(c)];
+  }
+  /// Page programs attributed to the request class being serviced.
+  void count_class_flush(ReqClass c) { ++class_flushes_[cidx(c)]; }
+  [[nodiscard]] std::uint64_t class_flushes(ReqClass c) const {
+    return class_flushes_[cidx(c)];
+  }
+
+  // --- Mapping footprint (Figure 12a) ----------------------------------------
+  void note_map_bytes(std::uint64_t bytes) {
+    if (bytes > peak_map_bytes_) peak_map_bytes_ = bytes;
+  }
+  [[nodiscard]] std::uint64_t peak_map_bytes() const { return peak_map_bytes_; }
+
+  AcrossStats& across() { return across_; }
+  [[nodiscard]] const AcrossStats& across() const { return across_; }
+
+  /// Aggregate latency across all request classes.
+  [[nodiscard]] LatencyRecorder all_reads() const;
+  [[nodiscard]] LatencyRecorder all_writes() const;
+  [[nodiscard]] double total_io_time_ns() const;
+
+  /// Zeroes the measurement state (called after device aging so warm-up ops
+  /// do not pollute reported numbers).
+  void reset();
+
+ private:
+  static constexpr std::size_t idx(OpKind kind) {
+    return static_cast<std::size_t>(kind);
+  }
+  static constexpr std::size_t cidx(ReqClass c) {
+    return static_cast<std::size_t>(c);
+  }
+
+  std::array<std::uint64_t, static_cast<std::size_t>(OpKind::kKindCount)>
+      flash_ops_{};
+  std::array<LatencyRecorder, static_cast<std::size_t>(ReqClass::kClassCount)>
+      recorders_{};
+  std::array<std::uint64_t, static_cast<std::size_t>(ReqClass::kClassCount)>
+      class_flushes_{};
+  std::uint64_t erases_ = 0;
+  std::uint64_t dram_accesses_ = 0;
+  std::uint64_t rmw_reads_ = 0;
+  std::uint64_t peak_map_bytes_ = 0;
+  AcrossStats across_;
+};
+
+}  // namespace af::ssd

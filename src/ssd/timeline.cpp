@@ -1,0 +1,65 @@
+#include "ssd/timeline.h"
+
+#include <algorithm>
+
+namespace af::ssd {
+
+ResourceTimeline::ResourceTimeline(const nand::Geometry& geometry,
+                                   const nand::Timing& timing)
+    : geom_(geometry), timing_(timing) {
+  chip_busy_until_.assign(geom_.total_chips(), 0);
+  channel_busy_until_.assign(geom_.channels, 0);
+}
+
+SimTime ResourceTimeline::schedule_read(const nand::PhysAddr& addr,
+                                        SimTime ready) {
+  SimTime& chip = chip_busy_until_[addr.channel * geom_.chips_per_channel +
+                                   addr.chip];
+  SimTime& chan = channel_busy_until_[addr.channel];
+
+  const SimTime sense_start = std::max(ready, chip);
+  const SimTime sense_end = sense_start + timing_.read_ns;
+  const SimTime xfer_start = std::max(sense_end, chan);
+  const SimTime done = xfer_start + timing_.transfer_ns_per_page;
+  // The chip's page register holds the data until the transfer drains it.
+  chip = done;
+  chan = done;
+  return done;
+}
+
+SimTime ResourceTimeline::schedule_program(const nand::PhysAddr& addr,
+                                           SimTime ready) {
+  SimTime& chip = chip_busy_until_[addr.channel * geom_.chips_per_channel +
+                                   addr.chip];
+  SimTime& chan = channel_busy_until_[addr.channel];
+
+  const SimTime xfer_start = std::max({ready, chip, chan});
+  const SimTime xfer_end = xfer_start + timing_.transfer_ns_per_page;
+  const SimTime done = xfer_end + timing_.program_ns;
+  chan = xfer_end;  // channel freed once data is latched in the chip
+  chip = done;
+  return done;
+}
+
+SimTime ResourceTimeline::schedule_erase(const nand::PhysAddr& addr,
+                                         SimTime ready) {
+  SimTime& chip = chip_busy_until_[addr.channel * geom_.chips_per_channel +
+                                   addr.chip];
+  const SimTime start = std::max(ready, chip);
+  const SimTime done = start + timing_.erase_ns;
+  chip = done;
+  return done;
+}
+
+SimTime ResourceTimeline::chip_backlog(std::uint64_t chip_idx,
+                                       SimTime now) const {
+  const SimTime busy = chip_busy_until_[chip_idx];
+  return busy > now ? busy - now : 0;
+}
+
+void ResourceTimeline::reset() {
+  std::fill(chip_busy_until_.begin(), chip_busy_until_.end(), SimTime{0});
+  std::fill(channel_busy_until_.begin(), channel_busy_until_.end(), SimTime{0});
+}
+
+}  // namespace af::ssd

@@ -1,0 +1,47 @@
+#include "trace/characterize.h"
+
+#include <algorithm>
+
+#include "common/interval.h"
+
+namespace af::trace {
+
+TraceStats characterize(const Trace& trace, std::uint32_t sectors_per_page) {
+  PageGeometry geom{sectors_per_page};
+  TraceStats stats;
+  std::uint64_t write_sectors = 0;
+  std::uint64_t read_sectors = 0;
+
+  for (const auto& rec : trace) {
+    ++stats.requests;
+    const SectorRange range = rec.range();
+    if (rec.write) {
+      ++stats.writes;
+      write_sectors += range.size();
+    } else {
+      read_sectors += range.size();
+    }
+    if (geom.is_across_page(range)) ++stats.across_requests;
+    if (!geom.is_aligned(range)) ++stats.unaligned_requests;
+    stats.max_sector = std::max(stats.max_sector, range.end);
+  }
+
+  if (stats.requests > 0) {
+    stats.write_ratio = static_cast<double>(stats.writes) /
+                        static_cast<double>(stats.requests);
+    stats.across_ratio = static_cast<double>(stats.across_requests) /
+                         static_cast<double>(stats.requests);
+  }
+  if (stats.writes > 0) {
+    stats.avg_write_kb = static_cast<double>(write_sectors) * kSectorBytes /
+                         1024.0 / static_cast<double>(stats.writes);
+  }
+  const std::uint64_t reads = stats.requests - stats.writes;
+  if (reads > 0) {
+    stats.avg_read_kb = static_cast<double>(read_sectors) * kSectorBytes /
+                        1024.0 / static_cast<double>(reads);
+  }
+  return stats;
+}
+
+}  // namespace af::trace

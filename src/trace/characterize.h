@@ -1,0 +1,27 @@
+// Trace characterisation: the metrics of Table 2, Figure 2 and Figure 13
+// (request counts, write ratio, mean sizes, across-page ratio at a given
+// page size).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/event.h"
+
+namespace af::trace {
+
+struct TraceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t across_requests = 0;  // size ≤ page, spans two pages
+  std::uint64_t unaligned_requests = 0;
+  double write_ratio = 0;
+  double across_ratio = 0;
+  double avg_write_kb = 0;
+  double avg_read_kb = 0;
+  SectorAddr max_sector = 0;  // footprint bound
+};
+
+/// Computes the stats at the given page size (sectors per page).
+TraceStats characterize(const Trace& trace, std::uint32_t sectors_per_page);
+
+}  // namespace af::trace

@@ -1,0 +1,26 @@
+// One block-trace record: the unit both the CSV readers and the synthetic
+// generator produce, and the replayer consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/interval.h"
+#include "common/types.h"
+
+namespace af::trace {
+
+struct TraceRecord {
+  SimTime timestamp = 0;  // arrival, ns from trace start
+  bool write = false;
+  SectorAddr offset = 0;  // 512 B sectors
+  SectorCount sectors = 0;
+
+  [[nodiscard]] SectorRange range() const {
+    return SectorRange::of(offset, sectors);
+  }
+};
+
+using Trace = std::vector<TraceRecord>;
+
+}  // namespace af::trace

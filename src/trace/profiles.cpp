@@ -1,0 +1,81 @@
+#include "trace/profiles.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace af::trace {
+
+const std::array<LunTarget, 6>& table2_targets() {
+  // Table 2 of the paper (traces additional-01-2016021616-LUN1,
+  // 2016021614-LUN0, 2016021617-LUN2, 2016021618-LUN6, 2016021616-LUN4,
+  // 2016021718-LUN4).
+  static const std::array<LunTarget, 6> kTargets = {{
+      {"lun1", 749'806, 0.615, 8.9, 0.247},
+      {"lun2", 867'967, 0.528, 11.3, 0.164},
+      {"lun3", 672'580, 0.506, 8.6, 0.234},
+      {"lun4", 824'068, 0.454, 11.2, 0.187},
+      {"lun5", 639'558, 0.411, 9.2, 0.235},
+      {"lun6", 633'234, 0.347, 7.6, 0.275},
+  }};
+  return kTargets;
+}
+
+SynthProfile lun_profile(std::size_t idx, std::uint64_t request_override) {
+  AF_CHECK(idx < table2_targets().size());
+  const LunTarget& target = table2_targets()[idx];
+
+  SynthProfile profile;
+  profile.name = target.name;
+  profile.requests = request_override ? request_override : target.requests;
+  profile.write_ratio = target.write_ratio;
+  // Solve the normal-write mix mean for the published overall mean, given
+  // the across branch (mean ≈ 10 sectors at probability b) and the
+  // half-page-crossing branch (mean ≈ 5 sectors at (1-b) * 0.95b).
+  const double target_sectors = target.write_kb * 2.0;  // KB → 512B sectors
+  const double b = target.across_ratio * 1.08;
+  const double s = (1.0 - b) * 0.95 * b;
+  profile.write_sizes = SizeMix::around_mean(
+      (target_sectors - 10.0 * b - 5.0 * s) / (1.0 - b - s));
+  profile.read_sizes = SizeMix::around_mean(26.0);
+  // The crossing branch undershoots the measured ratio slightly (oversize
+  // update jitter and sequential continuations dilute it), so bias a touch
+  // above target; table2_traces prints the achieved value.
+  profile.across_bias = target.across_ratio * 1.08;
+  profile.update_fraction = 0.30;  // of across traffic; drives AMerge
+  profile.footprint_fraction = 0.85;
+  profile.zipf_theta = 0.9;
+  profile.seq_fraction = 0.12;
+  // Arrival rate leaving the device moderately loaded (write latencies a few
+  // program-times, like the paper's 6-18 ms on 2 ms TLC programs); saturating
+  // it would collapse every scheme's latency into pure backlog.
+  profile.mean_iat_ns = 16'000'000 + 1'000'000 * idx;
+  profile.seed = 1000 + idx;
+  return profile;
+}
+
+std::vector<SynthProfile> fig2_profiles(std::uint64_t requests_each) {
+  std::vector<SynthProfile> profiles;
+  profiles.reserve(61);
+  for (std::size_t i = 1; i <= 61; ++i) {
+    SynthProfile profile;
+    profile.name = "systor-a01-" + std::to_string(i);
+    profile.requests = requests_each;
+    // Figure-2 shape: most traces between ~5% and ~25% across-page accesses,
+    // with periodic spikes toward ~35%.
+    double ratio = 0.05 + 0.10 * (1.0 + std::sin(static_cast<double>(i) * 0.7)) / 2.0;
+    if (i % 9 == 0) ratio += 0.15;
+    if (i % 13 == 0) ratio += 0.08;
+    profile.across_bias = ratio;
+    profile.write_ratio =
+        0.35 + 0.3 * (static_cast<double>(static_cast<unsigned>(i % 7)) / 6.0);
+    profile.write_sizes = SizeMix::around_mean(16.0 + (i % 5) * 4.0);
+    profile.read_sizes = SizeMix::around_mean(24.0);
+    profile.footprint_fraction = 0.85;
+    profile.seed = 2000 + i;
+    profiles.push_back(profile);
+  }
+  return profiles;
+}
+
+}  // namespace af::trace

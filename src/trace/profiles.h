@@ -1,0 +1,34 @@
+// Published workload targets (Table 2 of the paper) and the synthetic
+// profiles tuned to them, plus the 61-trace profile set behind Figure 2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/synth.h"
+
+namespace af::trace {
+
+/// One row of Table 2 as published.
+struct LunTarget {
+  const char* name;
+  std::uint64_t requests;
+  double write_ratio;
+  double write_kb;      // mean write size
+  double across_ratio;  // "Across R" at 8 KiB pages
+};
+
+/// The six LUN rows of Table 2.
+const std::array<LunTarget, 6>& table2_targets();
+
+/// Synthetic profile tuned to Table-2 row `idx` (0..5). `request_override`
+/// (non-zero) trims the request count for faster benches while preserving
+/// the distributional targets.
+SynthProfile lun_profile(std::size_t idx, std::uint64_t request_override = 0);
+
+/// 61 profiles spanning the across-ratio spread of Figure 2 (the first
+/// folder of the systor'17 collection).
+std::vector<SynthProfile> fig2_profiles(std::uint64_t requests_each);
+
+}  // namespace af::trace

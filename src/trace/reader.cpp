@@ -1,0 +1,168 @@
+#include "trace/reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace af::trace {
+namespace {
+
+/// Splits a CSV line on commas, trimming spaces.
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    std::size_t b = 0, e = field.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(field[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(field[e - 1]))) --e;
+    fields.push_back(field.substr(b, e - b));
+  }
+  return fields;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Trace read_systor_csv(std::istream& in, std::uint64_t* skipped) {
+  Trace trace;
+  std::uint64_t bad = 0;
+  std::string line;
+  double t0 = NAN;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto f = split_csv(line);
+    // timestamp, response, iotype, lun, offset(bytes), size(bytes)
+    double ts;
+    std::uint64_t offset_bytes, size_bytes;
+    if (f.size() < 6 || !parse_double(f[0], ts) ||
+        (f[2] != "R" && f[2] != "W" && f[2] != "r" && f[2] != "w") ||
+        !parse_u64(f[4], offset_bytes) || !parse_u64(f[5], size_bytes) ||
+        size_bytes == 0) {
+      ++bad;
+      continue;
+    }
+    if (std::isnan(t0)) t0 = ts;
+    TraceRecord rec;
+    rec.timestamp =
+        static_cast<SimTime>(std::max(0.0, (ts - t0) * 1e9));
+    rec.write = (f[2] == "W" || f[2] == "w");
+    rec.offset = offset_bytes / kSectorBytes;
+    rec.sectors = (offset_bytes % kSectorBytes + size_bytes + kSectorBytes - 1) /
+                  kSectorBytes;
+    trace.push_back(rec);
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return trace;
+}
+
+Trace read_msr_csv(std::istream& in, std::uint64_t* skipped) {
+  Trace trace;
+  std::uint64_t bad = 0;
+  std::string line;
+  std::uint64_t t0 = 0;
+  bool have_t0 = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto f = split_csv(line);
+    // timestamp(filetime), hostname, disk, type, offset(B), size(B), resp
+    std::uint64_t ticks, offset_bytes, size_bytes;
+    if (f.size() < 6 || !parse_u64(f[0], ticks) || !parse_u64(f[4], offset_bytes) ||
+        !parse_u64(f[5], size_bytes) || size_bytes == 0) {
+      ++bad;
+      continue;
+    }
+    bool write;
+    if (f[3] == "Write" || f[3] == "write" || f[3] == "W") {
+      write = true;
+    } else if (f[3] == "Read" || f[3] == "read" || f[3] == "R") {
+      write = false;
+    } else {
+      ++bad;
+      continue;
+    }
+    if (!have_t0) {
+      t0 = ticks;
+      have_t0 = true;
+    }
+    TraceRecord rec;
+    rec.timestamp = (ticks >= t0 ? ticks - t0 : 0) * 100;  // filetime → ns
+    rec.write = write;
+    rec.offset = offset_bytes / kSectorBytes;
+    rec.sectors = (offset_bytes % kSectorBytes + size_bytes + kSectorBytes - 1) /
+                  kSectorBytes;
+    trace.push_back(rec);
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return trace;
+}
+
+Trace read_native(std::istream& in, std::uint64_t* skipped) {
+  Trace trace;
+  std::uint64_t bad = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::stringstream ss(line);
+    std::string kind;
+    TraceRecord rec;
+    if (!(ss >> kind >> rec.offset >> rec.sectors >> rec.timestamp) ||
+        (kind != "R" && kind != "W") || rec.sectors == 0) {
+      ++bad;
+      continue;
+    }
+    rec.write = (kind == "W");
+    trace.push_back(rec);
+  }
+  if (skipped != nullptr) *skipped = bad;
+  return trace;
+}
+
+void write_native(std::ostream& out, const Trace& trace) {
+  out << "# kind offset_sectors size_sectors timestamp_ns\n";
+  for (const auto& rec : trace) {
+    out << (rec.write ? 'W' : 'R') << ' ' << rec.offset << ' ' << rec.sectors
+        << ' ' << rec.timestamp << '\n';
+  }
+}
+
+Trace read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    AF_LOG_WARN("cannot open trace file %s", path.c_str());
+    return {};
+  }
+  auto ends_with = [&path](const std::string& suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+  };
+  if (ends_with(".msr") || ends_with(".msr.csv")) {
+    return read_msr_csv(in);
+  }
+  if (ends_with(".csv")) {
+    return read_systor_csv(in);
+  }
+  return read_native(in);
+}
+
+}  // namespace af::trace

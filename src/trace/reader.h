@@ -1,0 +1,43 @@
+// Trace file I/O.
+//
+// Two formats are supported:
+//  * systor '17 CSV (the paper's LUN traces, "Understanding storage traffic
+//    characteristics on enterprise virtual desktop infrastructure"):
+//    `timestamp,response_time,iotype,lun,offset,size` — timestamp in
+//    seconds, offset and size in bytes, iotype R/W. Drop the real trace
+//    files in and the benches run against them instead of the synthetic
+//    profiles.
+//  * a native whitespace format (`W|R offset_sectors size_sectors ts_ns`)
+//    used by the examples and tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/event.h"
+
+namespace af::trace {
+
+/// Parses a systor'17-style CSV stream. Lines that fail to parse are skipped
+/// and counted in `*skipped` (when non-null). Records are normalised: sorted
+/// timestamps become ns offsets from the first record.
+Trace read_systor_csv(std::istream& in, std::uint64_t* skipped = nullptr);
+
+/// Parses MSR-Cambridge-style CSV:
+/// `timestamp,hostname,disk,type,offset,size,response` — timestamp in
+/// Windows filetime (100 ns ticks), offset/size in bytes, type Read/Write.
+/// The other widely used public block-trace family; normalised like systor.
+Trace read_msr_csv(std::istream& in, std::uint64_t* skipped = nullptr);
+
+/// Parses the native format (see above). Aborts-free: bad lines skipped.
+Trace read_native(std::istream& in, std::uint64_t* skipped = nullptr);
+
+/// Writes the native format.
+void write_native(std::ostream& out, const Trace& trace);
+
+/// Reads a trace file, dispatching on extension: `.csv` → systor format,
+/// `.msr` / `.msr.csv` → MSR format, anything else → native. Returns an
+/// empty trace if the file cannot be opened.
+Trace read_file(const std::string& path);
+
+}  // namespace af::trace

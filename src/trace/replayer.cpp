@@ -1,0 +1,37 @@
+#include "trace/replayer.h"
+
+#include "ftl/request.h"
+#include "sim/ssd.h"
+
+namespace af::trace {
+
+ReplayResult replay(const ssd::SsdConfig& config, ftl::SchemeKind kind,
+                    const Trace& trace, const ReplayOptions& options) {
+  sim::Ssd ssd(config, kind);
+  if (options.age) {
+    ssd.age(options.age_used, options.age_live, options.age_seed);
+    ssd.reset_measurement();
+  }
+
+  for (const auto& rec : trace) {
+    ftl::IoRequest req{rec.timestamp, rec.write, rec.range()};
+    ssd.submit(req);
+  }
+  ssd.snapshot_map_footprint();
+
+  ReplayResult result;
+  result.scheme = ssd.scheme().name();
+  result.stats = ssd.stats();
+  result.gc_runs = ssd.engine().gc_runs();
+  result.map_bytes = ssd.scheme().map_bytes();
+  if (const auto* dir = ssd.engine().map_directory()) {
+    result.map_cache_hits = dir->hits();
+    result.map_cache_misses = dir->misses();
+  }
+  result.used_fraction = ssd.engine().array().used_fraction();
+  result.io_time_s = result.stats.total_io_time_ns() / 1e9;
+  result.wear = ssd.engine().array().wear();
+  return result;
+}
+
+}  // namespace af::trace

@@ -1,0 +1,46 @@
+// Trace replayer: drives one Ssd instance through a trace (after optional
+// device aging) and snapshots every measurement the paper's figures need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ftl/scheme.h"
+#include "nand/flash_array.h"
+#include "ssd/config.h"
+#include "ssd/stats.h"
+#include "trace/event.h"
+
+namespace af::trace {
+
+struct ReplayOptions {
+  bool age = true;
+  double age_used = 0.90;  // §4.1: 90% of capacity consumed before measuring
+  double age_live = 0.398;  // §4.1: valid data occupies 39.8% after warm-up
+  std::uint64_t age_seed = 42;
+};
+
+struct ReplayResult {
+  std::string scheme;
+  ssd::DeviceStats stats;           // snapshot after the run
+  std::uint64_t gc_runs = 0;
+  std::uint64_t map_bytes = 0;      // scheme mapping footprint
+  std::uint64_t map_cache_hits = 0;
+  std::uint64_t map_cache_misses = 0;
+  double used_fraction = 0;
+  double io_time_s = 0;             // sum of request latencies
+  nand::FlashArray::WearSummary wear;  // block erase distribution
+
+  [[nodiscard]] double read_latency_ms() const {
+    return stats.all_reads().latency().mean() / 1e6;
+  }
+  [[nodiscard]] double write_latency_ms() const {
+    return stats.all_writes().latency().mean() / 1e6;
+  }
+};
+
+/// Replays `trace` on a fresh device with the given scheme.
+ReplayResult replay(const ssd::SsdConfig& config, ftl::SchemeKind kind,
+                    const Trace& trace, const ReplayOptions& options = {});
+
+}  // namespace af::trace

@@ -1,0 +1,59 @@
+// Synthetic VDI-style block trace generator.
+//
+// The paper evaluates on systor'17 enterprise-VDI LUN traces, which are not
+// available in this offline environment. This generator reproduces the trace
+// *mechanism* the paper exploits: 512 B-granular request offsets produced by
+// VM-image translation, so that a controllable fraction of small requests
+// straddle an SSD page boundary (across-page requests), with skewed re-update
+// locality so merges, rollbacks and GC all fire. Each profile is tuned to a
+// published row of Table 2 (request count, write ratio, mean write size,
+// across-page ratio at 8 KiB pages); `bench/table2_traces` prints
+// paper-vs-generated numbers side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/event.h"
+
+namespace af::trace {
+
+/// Discrete request-size distribution in sectors.
+struct SizeMix {
+  std::vector<std::pair<std::uint32_t, double>> entries;  // (sectors, weight)
+
+  /// Two/three-point mix over {8, 16, 64} sectors hitting `mean_sectors`
+  /// (clamped to the feasible range).
+  static SizeMix around_mean(double mean_sectors);
+
+  [[nodiscard]] double mean() const;
+};
+
+struct SynthProfile {
+  std::string name;
+  std::uint64_t requests = 100'000;
+  double write_ratio = 0.5;
+  SizeMix write_sizes;  // for non-across writes
+  SizeMix read_sizes;   // for non-across reads
+  /// Fraction of requests deliberately generated as across-page (size ≤ one
+  /// 8 KiB page, spanning a page boundary).
+  double across_bias = 0.2;
+  /// Footprint as a fraction of the addressable span handed to generate().
+  double footprint_fraction = 0.9;
+  double zipf_theta = 0.9;     // hot/cold skew over footprint segments
+  double seq_fraction = 0.15;  // chance of extending the previous access
+  /// Chance a write re-targets a recent across-page write (perturbed), the
+  /// driver of AMerge/ARollback traffic.
+  double update_fraction = 0.25;
+  std::uint64_t mean_iat_ns = 300'000;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a trace confined to [0, addressable_sectors). The across-page
+/// mechanics assume 8 KiB pages (16 sectors), matching the paper's Table 2
+/// characterisation page size.
+Trace generate(const SynthProfile& profile, std::uint64_t addressable_sectors);
+
+}  // namespace af::trace

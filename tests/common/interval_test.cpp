@@ -1,0 +1,153 @@
+#include "common/interval.h"
+
+#include <gtest/gtest.h>
+
+namespace af {
+namespace {
+
+TEST(SectorRange, BasicProperties) {
+  SectorRange r{10, 20};
+  EXPECT_EQ(r.size(), 10u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE(SectorRange{}.empty());
+  EXPECT_EQ(SectorRange::of(100, 5), (SectorRange{100, 105}));
+}
+
+TEST(SectorRange, Contains) {
+  SectorRange r{10, 20};
+  EXPECT_TRUE(r.contains(10));
+  EXPECT_TRUE(r.contains(19));
+  EXPECT_FALSE(r.contains(20));
+  EXPECT_FALSE(r.contains(9));
+  EXPECT_TRUE(r.contains(SectorRange{10, 20}));
+  EXPECT_TRUE(r.contains(SectorRange{12, 15}));
+  EXPECT_FALSE(r.contains(SectorRange{9, 15}));
+  EXPECT_FALSE(r.contains(SectorRange{15, 21}));
+  EXPECT_TRUE(r.contains(SectorRange{}));  // empty is contained everywhere
+}
+
+TEST(SectorRange, OverlapsAndTouches) {
+  SectorRange r{10, 20};
+  EXPECT_TRUE(r.overlaps({15, 25}));
+  EXPECT_TRUE(r.overlaps({5, 11}));
+  EXPECT_FALSE(r.overlaps({20, 30}));  // adjacent is not overlap
+  EXPECT_FALSE(r.overlaps({0, 10}));
+  EXPECT_TRUE(r.touches({20, 30}));  // adjacency counts as touching
+  EXPECT_TRUE(r.touches({0, 10}));
+  EXPECT_FALSE(r.touches({21, 30}));
+  EXPECT_FALSE(r.touches({0, 9}));
+}
+
+TEST(SectorRange, Intersect) {
+  SectorRange r{10, 20};
+  EXPECT_EQ(r.intersect({15, 25}), (SectorRange{15, 20}));
+  EXPECT_EQ(r.intersect({0, 12}), (SectorRange{10, 12}));
+  EXPECT_TRUE(r.intersect({20, 30}).empty());
+  EXPECT_EQ(r.intersect({10, 20}), r);
+}
+
+TEST(SectorRange, HullAndMerge) {
+  SectorRange r{10, 20};
+  EXPECT_EQ(r.hull({15, 25}), (SectorRange{10, 25}));
+  EXPECT_EQ(r.hull({0, 5}), (SectorRange{0, 20}));  // hull spans gaps
+  EXPECT_EQ(r.hull({}), r);
+
+  EXPECT_EQ(r.merge({20, 30}), (SectorRange{10, 30}));  // adjacent merges
+  EXPECT_EQ(r.merge({15, 25}), (SectorRange{10, 25}));
+  EXPECT_EQ(r.merge({21, 30}), std::nullopt);  // gap: no merge
+  EXPECT_EQ(r.merge({}), r);
+}
+
+TEST(SectorRange, Subtract) {
+  SectorRange r{10, 20};
+  {
+    auto d = r.subtract({12, 15});
+    EXPECT_EQ(d.left, (SectorRange{10, 12}));
+    EXPECT_EQ(d.right, (SectorRange{15, 20}));
+  }
+  {
+    auto d = r.subtract({0, 15});
+    EXPECT_TRUE(d.left.empty());
+    EXPECT_EQ(d.right, (SectorRange{15, 20}));
+  }
+  {
+    auto d = r.subtract({15, 30});
+    EXPECT_EQ(d.left, (SectorRange{10, 15}));
+    EXPECT_TRUE(d.right.empty());
+  }
+  {
+    auto d = r.subtract({10, 20});
+    EXPECT_TRUE(d.left.empty() && d.right.empty());
+  }
+  {
+    auto d = r.subtract({30, 40});  // disjoint: everything survives
+    EXPECT_EQ(d.left, r);
+    EXPECT_TRUE(d.right.empty());
+  }
+}
+
+// Property sweep: subtract + intersect partition the range.
+class IntervalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalProperty, SubtractIntersectPartition) {
+  const int i = GetParam();
+  const SectorRange a{10, 26};
+  const SectorRange b{static_cast<SectorAddr>(i), static_cast<SectorAddr>(i + 7)};
+  const auto d = a.subtract(b);
+  const auto inter = a.intersect(b);
+  EXPECT_EQ(d.left.size() + d.right.size() + inter.size(), a.size());
+  if (!d.left.empty()) EXPECT_TRUE(a.contains(d.left));
+  if (!d.right.empty()) EXPECT_TRUE(a.contains(d.right));
+  if (!d.left.empty() && !inter.empty()) EXPECT_LE(d.left.end, inter.begin);
+  if (!d.right.empty() && !inter.empty()) EXPECT_GE(d.right.begin, inter.end);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IntervalProperty, ::testing::Range(0, 32));
+
+TEST(PageGeometry, LpnMapping) {
+  PageGeometry geom{16};
+  EXPECT_EQ(geom.lpn_of(0), Lpn{0});
+  EXPECT_EQ(geom.lpn_of(15), Lpn{0});
+  EXPECT_EQ(geom.lpn_of(16), Lpn{1});
+  EXPECT_EQ(geom.page_range(Lpn{2}), (SectorRange{32, 48}));
+  auto [first, last] = geom.lpn_span({10, 40});
+  EXPECT_EQ(first, Lpn{0});
+  EXPECT_EQ(last, Lpn{2});
+  EXPECT_EQ(geom.pages_touched({10, 40}), 3u);
+  EXPECT_EQ(geom.pages_touched({16, 32}), 1u);
+  EXPECT_EQ(geom.pages_touched({}), 0u);
+}
+
+TEST(PageGeometry, AcrossPageClassification) {
+  PageGeometry geom{16};
+  // Figure 1's cases (sectors: page = 16).
+  EXPECT_FALSE(geom.is_across_page(SectorRange::of(0, 48)));   // aligned 24K
+  EXPECT_FALSE(geom.is_across_page(SectorRange::of(8, 40)));   // unaligned 20K, 3 pages
+  EXPECT_TRUE(geom.is_across_page(SectorRange::of(8, 16)));    // across 8K
+  EXPECT_TRUE(geom.is_across_page(SectorRange::of(15, 2)));    // minimal across
+  EXPECT_FALSE(geom.is_across_page(SectorRange::of(0, 16)));   // aligned page
+  EXPECT_FALSE(geom.is_across_page(SectorRange::of(4, 8)));    // inside one page
+  EXPECT_FALSE(geom.is_across_page(SectorRange::of(8, 24)));   // > page size
+  EXPECT_FALSE(geom.is_across_page(SectorRange{}));
+}
+
+TEST(PageGeometry, AcrossDependsOnPageSize) {
+  // A 4 KiB request at offset 1030 KiB (Figure 1's write(1028K, 8K) analog):
+  // across at 8 KiB pages, not across at 16 KiB pages (fits), different at 4K.
+  const SectorRange r = SectorRange::of(2060, 8);  // 4 KiB at 1030 KiB
+  EXPECT_TRUE(PageGeometry{16}.is_across_page(r));
+  EXPECT_TRUE(PageGeometry{32}.is_across_page(r) ==
+              (2060 / 32 != 2067 / 32));
+  EXPECT_TRUE(PageGeometry{8}.is_across_page(r) == (2060 / 8 != 2067 / 8));
+}
+
+TEST(PageGeometry, Alignment) {
+  PageGeometry geom{16};
+  EXPECT_TRUE(geom.is_aligned(SectorRange::of(0, 16)));
+  EXPECT_TRUE(geom.is_aligned(SectorRange::of(32, 64)));
+  EXPECT_FALSE(geom.is_aligned(SectorRange::of(8, 16)));
+  EXPECT_FALSE(geom.is_aligned(SectorRange::of(0, 8)));
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,115 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace af {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.between(3, 8);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 8);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(ZipfSampler, SkewsTowardLowRanks) {
+  Rng rng(17);
+  ZipfSampler zipf(100, 0.99);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[zipf.sample(rng)];
+  // Rank 0 must dominate rank 50 heavily under theta≈1.
+  EXPECT_GT(counts[0], 10 * std::max(1, counts[50]));
+  for (const auto& [rank, n] : counts) EXPECT_LT(rank, 100u);
+}
+
+TEST(ZipfSampler, ThetaZeroIsUniform) {
+  Rng rng(19);
+  ZipfSampler zipf(10, 0.0);
+  std::map<std::uint64_t, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (int r = 0; r < 10; ++r) {
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<std::uint64_t>(r)]) / n,
+                0.1, 0.02);
+  }
+}
+
+TEST(WeightedSampler, RespectsWeights) {
+  Rng rng(23);
+  WeightedSampler<int> sampler;
+  sampler.add(1, 1.0);
+  sampler.add(2, 3.0);
+  std::map<int, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(WeightedSampler, ZeroWeightNeverSampled) {
+  Rng rng(29);
+  WeightedSampler<int> sampler;
+  sampler.add(1, 1.0);
+  sampler.add(2, 0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(rng), 1);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), a);
+}
+
+}  // namespace
+}  // namespace af

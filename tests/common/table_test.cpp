@@ -1,0 +1,44 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace af {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(Table, ColumnsWidenToContent) {
+  Table t({"x"});
+  t.add_row({"longer-than-header"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_NE(os.str().find("| longer-than-header |"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(std::uint64_t{123456}), "123456");
+  EXPECT_EQ(Table::percent(0.1234), "12.3%");
+  EXPECT_EQ(Table::percent(0.5, 0), "50%");
+}
+
+TEST(TableDeathTest, RowArityMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row arity mismatch");
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,52 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <unordered_set>
+
+namespace af {
+namespace {
+
+TEST(StrongId, DefaultIsInvalid) {
+  Lpn lpn;
+  EXPECT_FALSE(lpn.valid());
+  Ppn ppn;
+  EXPECT_FALSE(ppn.valid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  Lpn lpn{42};
+  EXPECT_TRUE(lpn.valid());
+  EXPECT_EQ(lpn.get(), 42u);
+}
+
+TEST(StrongId, Comparison) {
+  EXPECT_EQ(Lpn{1}, Lpn{1});
+  EXPECT_NE(Lpn{1}, Lpn{2});
+  EXPECT_LT(Lpn{1}, Lpn{2});
+}
+
+TEST(StrongId, TypesAreDistinct) {
+  static_assert(!std::is_convertible_v<Lpn, Ppn>);
+  static_assert(!std::is_convertible_v<Ppn, Lpn>);
+  static_assert(!std::is_convertible_v<std::uint64_t, Lpn>);
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<Lpn> set;
+  set.insert(Lpn{1});
+  set.insert(Lpn{1});
+  set.insert(Lpn{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TimeUnits, Ratios) {
+  EXPECT_EQ(kUsec, 1'000u);
+  EXPECT_EQ(kMsec, 1'000'000u);
+  EXPECT_EQ(kSec, 1'000'000'000u);
+  EXPECT_EQ(kSectorBytes, 512u);
+}
+
+}  // namespace
+}  // namespace af

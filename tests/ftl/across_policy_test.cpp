@@ -1,0 +1,71 @@
+// Ablation-policy toggles must preserve correctness (the oracle) while
+// changing which mechanism services overlapping across traffic.
+#include <gtest/gtest.h>
+
+#include "ftl/across_ftl.h"
+#include "../helpers.h"
+
+namespace af::ftl {
+namespace {
+
+sim::Ssd make_ssd(bool remap, bool amerge, bool shrink) {
+  auto config = test::tiny_config();
+  config.across = {remap, amerge, shrink};
+  return sim::Ssd(config, SchemeKind::kAcrossFtl);
+}
+
+TEST(AcrossPolicy, NoRemapNeverCreatesAreas) {
+  auto ssd = make_ssd(false, true, true);
+  SimTime t = 0;
+  ssd.submit({t++, true, SectorRange::of(2056, 12)});
+  EXPECT_EQ(ssd.stats().across().areas_created, 0u);
+  // Baseline-shaped service: two programs for the across write.
+  EXPECT_EQ(ssd.stats().flash_ops(ssd::OpKind::kDataWrite), 2u);
+  ssd.submit({t++, false, SectorRange::of(2056, 12)});  // oracle-checked
+}
+
+TEST(AcrossPolicy, NoAmergeRollsBackOverlappingUpdates) {
+  auto ssd = make_ssd(true, false, true);
+  SimTime t = 0;
+  ssd.submit({t++, true, SectorRange::of(2056, 12)});
+  ssd.submit({t++, true, SectorRange::of(2058, 12)});  // would AMerge
+  EXPECT_EQ(ssd.stats().across().profitable_amerge, 0u);
+  EXPECT_EQ(ssd.stats().across().rollbacks, 1u);
+  ssd.submit({t++, false, SectorRange::of(2048, 32)});
+  dynamic_cast<AcrossFtl&>(ssd.scheme()).check_invariants();
+}
+
+TEST(AcrossPolicy, NoShrinkRollsBackPartialOverwrites) {
+  auto ssd = make_ssd(true, true, false);
+  SimTime t = 0;
+  ssd.submit({t++, true, SectorRange::of(2056, 12)});  // area over 128/129
+  ssd.submit({t++, true, SectorRange::of(128 * 16, 16)});  // full page 128
+  EXPECT_EQ(ssd.stats().across().area_shrinks, 0u);
+  EXPECT_EQ(ssd.stats().across().rollbacks, 1u);
+  ssd.submit({t++, false, SectorRange::of(2048, 32)});
+  dynamic_cast<AcrossFtl&>(ssd.scheme()).check_invariants();
+}
+
+class PolicyMatrix
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(PolicyMatrix, RandomWorkloadMatchesOracleUnderAnyPolicy) {
+  const auto [remap, amerge, shrink] = GetParam();
+  auto config = test::tiny_config();
+  config.across = {remap, amerge, shrink};
+  sim::Ssd ssd(config, SchemeKind::kAcrossFtl);
+
+  test::WorkloadGen gen(config.logical_sectors(),
+                        config.geometry.sectors_per_page(), 23);
+  for (int i = 0; i < 2500; ++i) ssd.submit(gen.next());
+  dynamic_cast<AcrossFtl&>(ssd.scheme()).check_invariants();
+  test::verify_full_space(ssd);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, PolicyMatrix,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace af::ftl

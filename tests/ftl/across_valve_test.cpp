@@ -1,0 +1,113 @@
+// Space-pressure valve: every remapped area keeps the pair's normal pages
+// alive plus one extra flash page, so an unbounded area pool would push live
+// data past what per-plane GC can reclaim. Above the watermark, across
+// writes must fall back to the normal path and old areas must drain —
+// without ever returning wrong data.
+#include <gtest/gtest.h>
+
+#include "ftl/across_ftl.h"
+#include "../helpers.h"
+
+namespace af::ftl {
+namespace {
+
+struct ValveFixture : ::testing::Test {
+  ValveFixture() : ssd(test::tiny_config(), SchemeKind::kAcrossFtl) {}
+
+  AcrossFtl& scheme() { return dynamic_cast<AcrossFtl&>(ssd.scheme()); }
+  const ssd::AcrossStats& across() { return ssd.stats().across(); }
+  std::uint32_t spp() { return ssd.config().geometry.sectors_per_page(); }
+
+  /// Fills the logical space with page-aligned data until the device's valid
+  /// fraction approaches the valve watermark.
+  void fill_live(double target_fraction) {
+    const auto pages = ssd.config().logical_pages();
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      ssd.submit({t++, true, SectorRange::of(p * spp(), spp())});
+      if (ssd.engine().array().valid_fraction() >= target_fraction) break;
+    }
+  }
+
+  sim::Ssd ssd;
+  SimTime t = 0;
+};
+
+TEST_F(ValveFixture, NoBypassWhenDeviceIsEmpty) {
+  ssd.submit({t++, true, SectorRange::of(2056, 12)});
+  EXPECT_EQ(across().bypassed_writes, 0u);
+  EXPECT_EQ(across().direct_writes, 1u);
+}
+
+TEST_F(ValveFixture, BypassesRemappingUnderPressure) {
+  fill_live(0.80);  // tiny() watermark ≈ 1 - 6/32 = 0.8125
+  // Push across writes at many distinct boundaries: once past the watermark
+  // they must be serviced without minting new areas.
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const SectorAddr boundary = 2 * rng.between(1, 350) * spp();
+    ssd.submit({t++, true, SectorRange::of(boundary - 4, 10)});
+  }
+  EXPECT_GT(across().bypassed_writes, 0u);
+  // Live areas stay bounded: far fewer than the across writes issued.
+  EXPECT_LT(scheme().live_areas(), 400u);
+  scheme().check_invariants();
+}
+
+TEST_F(ValveFixture, DrainsOldAreasUnderPressure) {
+  // Mint some areas first, then apply pressure.
+  for (std::uint64_t b = 1; b <= 20; ++b) {
+    ssd.submit({t++, true, SectorRange::of(2 * b * spp() - 4, 10)});
+  }
+  const auto live_before = scheme().live_areas();
+  ASSERT_GT(live_before, 0u);
+  fill_live(0.81);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const SectorAddr boundary = 2 * rng.between(200, 350) * spp();
+    ssd.submit({t++, true, SectorRange::of(boundary - 4, 10)});
+  }
+  if (across().bypassed_writes > 0) {
+    EXPECT_GT(across().pressure_evictions, 0u);
+  }
+  scheme().check_invariants();
+}
+
+TEST_F(ValveFixture, DataRemainsCorrectThroughValveTransitions) {
+  // Interleave across writes and fills so the device crosses the watermark
+  // mid-stream; the oracle (active on tiny()) verifies every read.
+  Rng rng(7);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      const SectorAddr boundary = 2 * rng.between(1, 300) * spp();
+      ssd.submit({t++, true, SectorRange::of(boundary - 3, 8)});
+    }
+    fill_live(0.78 + 0.01 * round);
+    for (int i = 0; i < 50; ++i) {
+      const SectorAddr boundary = 2 * rng.between(1, 300) * spp();
+      ssd.submit({t++, false, SectorRange::of(boundary - 3, 8)});
+    }
+  }
+  test::verify_full_space(ssd);
+  scheme().check_invariants();
+}
+
+TEST_F(ValveFixture, GcSurvivesSustainedAcrossPressure) {
+  // The original livelock reproducer: across writes over many boundaries on
+  // a nearly full device. Must terminate with consistent state.
+  Rng rng(11);
+  const std::uint64_t boundaries = ssd.config().logical_sectors() / spp() / 2;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t b = rng.between(1, boundaries - 1);
+    const SectorCount len = 4 + b % 12;
+    ssd.submit({t++, true,
+                SectorRange::of(2 * b * spp() - len / 2, len)});
+  }
+  const auto& counters = ssd.engine().array().counters();
+  EXPECT_EQ(counters.free_pages + counters.valid_pages + counters.invalid_pages,
+            ssd.config().geometry.total_pages());
+  scheme().check_invariants();
+  test::verify_full_space(ssd);
+}
+
+}  // namespace
+}  // namespace af::ftl

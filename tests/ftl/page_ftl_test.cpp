@@ -1,0 +1,111 @@
+#include "ftl/page_ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+
+namespace af::ftl {
+namespace {
+
+struct PageFtlFixture : ::testing::Test {
+  PageFtlFixture() : ssd(test::tiny_config(), SchemeKind::kPageFtl) {}
+
+  PageFtl& scheme() { return dynamic_cast<PageFtl&>(ssd.scheme()); }
+  const ssd::DeviceStats& stats() { return ssd.stats(); }
+  std::uint32_t spp() { return ssd.config().geometry.sectors_per_page(); }
+
+  sim::Ssd ssd;
+  SimTime t = 0;
+};
+
+TEST_F(PageFtlFixture, FullPageWriteNeedsNoRead) {
+  ssd.submit({t++, true, SectorRange::of(0, spp())});
+  EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataWrite), 1u);
+  EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataRead), 0u);
+  EXPECT_EQ(stats().rmw_reads(), 0u);
+  EXPECT_TRUE(scheme().mapping(Lpn{0}).valid());
+}
+
+TEST_F(PageFtlFixture, PartialWriteToFreshPageNeedsNoRead) {
+  ssd.submit({t++, true, SectorRange::of(4, 4)});
+  EXPECT_EQ(stats().rmw_reads(), 0u);  // nothing to preserve yet
+  EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataWrite), 1u);
+}
+
+TEST_F(PageFtlFixture, PartialUpdateDoesReadModifyWrite) {
+  ssd.submit({t++, true, SectorRange::of(0, spp())});
+  ssd.submit({t++, true, SectorRange::of(4, 4)});
+  EXPECT_EQ(stats().rmw_reads(), 1u);
+  EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataWrite), 2u);
+}
+
+TEST_F(PageFtlFixture, AcrossWriteCostsTwoOfEverything) {
+  // Pre-fill the pair so both sides RMW.
+  ssd.submit({t++, true, SectorRange::of(0, 2 * spp())});
+  const auto writes_before = stats().flash_ops(ssd::OpKind::kDataWrite);
+  const auto rmw_before = stats().rmw_reads();
+
+  ssd.submit({t++, true, SectorRange::of(12, 8)});  // across pages 0/1
+  EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataWrite) - writes_before, 2u);
+  EXPECT_EQ(stats().rmw_reads() - rmw_before, 2u);
+}
+
+TEST_F(PageFtlFixture, OverwriteInvalidatesOldPage) {
+  ssd.submit({t++, true, SectorRange::of(0, spp())});
+  const Ppn first = scheme().mapping(Lpn{0});
+  ssd.submit({t++, true, SectorRange::of(0, spp())});
+  const Ppn second = scheme().mapping(Lpn{0});
+  EXPECT_NE(first, second);
+  EXPECT_EQ(ssd.engine().array().state(first), nand::PageState::kInvalid);
+  EXPECT_EQ(ssd.engine().array().state(second), nand::PageState::kValid);
+}
+
+TEST_F(PageFtlFixture, ReadOfUnmappedCostsNoFlash) {
+  ssd.submit({t++, false, SectorRange::of(64, 16)});
+  EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataRead), 0u);
+}
+
+TEST_F(PageFtlFixture, ReadIssuesOneFlashReadPerMappedPage) {
+  ssd.submit({t++, true, SectorRange::of(0, 3 * spp())});
+  const auto before = stats().flash_ops(ssd::OpKind::kDataRead);
+  ssd.submit({t++, false, SectorRange::of(4, 2 * spp())});  // touches 3 pages
+  EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataRead) - before, 3u);
+}
+
+TEST_F(PageFtlFixture, WriteLatencyIncludesProgram) {
+  const auto completion = ssd.submit({1000, true, SectorRange::of(0, spp())});
+  EXPECT_GE(completion.latency, ssd.config().timing.program_ns);
+}
+
+TEST_F(PageFtlFixture, MultiPageWriteParallelisesAcrossChips) {
+  // 4 pages striped over 4 planes (2 channels × 2 planes) should take far
+  // less than 4 serial programs.
+  const auto completion =
+      ssd.submit({0, true, SectorRange::of(0, 4 * spp())});
+  EXPECT_LT(completion.latency, 3 * ssd.config().timing.program_ns);
+}
+
+TEST_F(PageFtlFixture, MapBytesGrowWithFootprint) {
+  // The tiny device's whole PMT fits one translation page (768 LPNs x 4 B),
+  // so build a larger logical space for this test.
+  auto config = test::tiny_config();
+  config.geometry.blocks_per_plane = 96;
+  config.geometry.pages_per_block = 32;
+  config.track_payload = false;
+  sim::Ssd big(config, SchemeKind::kPageFtl);
+  ASSERT_GT(config.logical_pages(), 2048u);  // > one 8 KiB translation page
+
+  const auto page_sectors = config.geometry.sectors_per_page();
+  SimTime time = 0;
+  big.submit({time++, true, SectorRange::of(0, page_sectors)});
+  const auto one_page = big.scheme().map_bytes();
+  EXPECT_EQ(one_page, config.geometry.page_bytes);
+
+  const auto last_page = config.logical_pages() - 1;
+  big.submit({time++, true, SectorRange::of(last_page * page_sectors,
+                                            page_sectors)});
+  EXPECT_GT(big.scheme().map_bytes(), one_page);
+}
+
+}  // namespace
+}  // namespace af::ftl

@@ -1,0 +1,101 @@
+#include "ftl/request.h"
+
+#include <gtest/gtest.h>
+
+#include "ftl/scheme.h"
+
+namespace af::ftl {
+namespace {
+
+const PageGeometry kGeom{16};
+
+TEST(Split, SinglePage) {
+  const auto subs = split(SectorRange::of(16, 16), kGeom);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].lpn, Lpn{1});
+  EXPECT_EQ(subs[0].range, SectorRange::of(16, 16));
+}
+
+TEST(Split, PartialPage) {
+  const auto subs = split(SectorRange::of(20, 4), kGeom);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].lpn, Lpn{1});
+  EXPECT_EQ(subs[0].range, SectorRange::of(20, 4));
+}
+
+TEST(Split, AcrossTwoPages) {
+  const auto subs = split(SectorRange::of(12, 8), kGeom);
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0].lpn, Lpn{0});
+  EXPECT_EQ(subs[0].range, SectorRange::of(12, 4));
+  EXPECT_EQ(subs[1].lpn, Lpn{1});
+  EXPECT_EQ(subs[1].range, SectorRange::of(16, 4));
+}
+
+TEST(Split, ManyPagesWithRaggedEdges) {
+  const auto subs = split(SectorRange::of(10, 50), kGeom);  // [10, 60)
+  ASSERT_EQ(subs.size(), 4u);
+  EXPECT_EQ(subs[0].range, SectorRange::of(10, 6));
+  EXPECT_EQ(subs[1].range, SectorRange::of(16, 16));
+  EXPECT_EQ(subs[2].range, SectorRange::of(32, 16));
+  EXPECT_EQ(subs[3].range, SectorRange::of(48, 12));
+  std::uint64_t total = 0;
+  for (const auto& sub : subs) total += sub.range.size();
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(Split, EmptyRange) {
+  EXPECT_TRUE(split(SectorRange{}, kGeom).empty());
+}
+
+// Parameterized sweep: every (offset mod page, size) combination splits into
+// pieces that tile the request exactly.
+class SplitSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {};
+
+TEST_P(SplitSweep, PiecesTileTheRequest) {
+  const auto [off, len] = GetParam();
+  const SectorRange range = SectorRange::of(off, len);
+  const auto subs = split(range, kGeom);
+  ASSERT_FALSE(subs.empty());
+  EXPECT_EQ(subs.front().range.begin, range.begin);
+  EXPECT_EQ(subs.back().range.end, range.end);
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(kGeom.lpn_of(subs[i].range.begin), subs[i].lpn);
+    EXPECT_TRUE(kGeom.page_range(subs[i].lpn).contains(subs[i].range));
+    if (i > 0) {
+      EXPECT_EQ(subs[i - 1].range.end, subs[i].range.begin);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OffsetsAndSizes, SplitSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 7u, 15u, 16u, 31u),
+                       ::testing::Values(1u, 2u, 15u, 16u, 17u, 33u, 64u)));
+
+TEST(Classify, MatchesPaperFigure1) {
+  // write(1024K, 24KB): aligned, 3 pages → normal.
+  EXPECT_EQ(classify({0, true, SectorRange::of(2048, 48)}, kGeom),
+            ssd::ReqClass::kNormalWrite);
+  // write(1028K, 20KB): unaligned but larger than a page → normal.
+  EXPECT_EQ(classify({0, true, SectorRange::of(2056, 40)}, kGeom),
+            ssd::ReqClass::kNormalWrite);
+  // write(1028K, 8KB): across-page.
+  EXPECT_EQ(classify({0, true, SectorRange::of(2056, 16)}, kGeom),
+            ssd::ReqClass::kAcrossWrite);
+  // Same shape as a read.
+  EXPECT_EQ(classify({0, false, SectorRange::of(2056, 16)}, kGeom),
+            ssd::ReqClass::kAcrossRead);
+  EXPECT_EQ(classify({0, false, SectorRange::of(0, 8)}, kGeom),
+            ssd::ReqClass::kNormalRead);
+}
+
+TEST(SchemeKind, Names) {
+  EXPECT_STREQ(to_string(SchemeKind::kPageFtl), "FTL");
+  EXPECT_STREQ(to_string(SchemeKind::kMrsm), "MRSM");
+  EXPECT_STREQ(to_string(SchemeKind::kAcrossFtl), "Across-FTL");
+}
+
+}  // namespace
+}  // namespace af::ftl

@@ -1,0 +1,82 @@
+// GC stress: a footprint a few times smaller than the device, overwritten
+// many times, so every block cycles through GC repeatedly. Checks state
+// conservation and oracle correctness under heavy relocation.
+#include <gtest/gtest.h>
+
+#include "ftl/across_ftl.h"
+#include "../helpers.h"
+
+namespace af {
+namespace {
+
+class GcChurn : public ::testing::TestWithParam<ftl::SchemeKind> {};
+
+TEST_P(GcChurn, HeavyOverwriteKeepsStateConsistent) {
+  const auto config = test::tiny_config();
+  sim::Ssd ssd(config, GetParam());
+  const auto spp = config.geometry.sectors_per_page();
+  const std::uint64_t footprint_pages = config.logical_pages() / 4;
+
+  Rng rng(5);
+  SimTime t = 0;
+  for (int i = 0; i < 12'000; ++i) {
+    const std::uint64_t p = rng.below(footprint_pages);
+    SectorRange range;
+    if (rng.chance(0.3)) {
+      // Unaligned small write, possibly across-page.
+      const SectorCount len = rng.between(2, spp);
+      const SectorAddr off = p * spp + rng.below(spp);
+      range = SectorRange::of(off, len);
+      if (range.end > footprint_pages * spp) {
+        range = SectorRange::of(footprint_pages * spp - len, len);
+      }
+    } else {
+      range = SectorRange::of(p * spp, spp);
+    }
+    ssd.submit({t++, true, range});
+  }
+
+  EXPECT_GT(ssd.engine().gc_runs(), 10u);
+  EXPECT_GT(ssd.stats().erases(), 50u);
+
+  // State conservation: page states must add up to the array size.
+  const auto& counters = ssd.engine().array().counters();
+  EXPECT_EQ(counters.free_pages + counters.valid_pages + counters.invalid_pages,
+            config.geometry.total_pages());
+
+  if (auto* across = dynamic_cast<ftl::AcrossFtl*>(&ssd.scheme())) {
+    across->check_invariants();
+  }
+  test::verify_full_space(ssd);
+}
+
+TEST_P(GcChurn, EraseCountsMatchArrayCounters) {
+  const auto config = test::tiny_config();
+  sim::Ssd ssd(config, GetParam());
+  const auto spp = config.geometry.sectors_per_page();
+
+  Rng rng(6);
+  SimTime t = 0;
+  for (int i = 0; i < 8'000; ++i) {
+    const std::uint64_t p = rng.below(config.logical_pages() / 3);
+    ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
+  }
+  EXPECT_EQ(ssd.stats().erases(), ssd.engine().array().total_erases());
+  EXPECT_GT(ssd.engine().array().max_erase_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, GcChurn,
+                         ::testing::Values(ftl::SchemeKind::kPageFtl,
+                                           ftl::SchemeKind::kMrsm,
+                                           ftl::SchemeKind::kAcrossFtl),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case ftl::SchemeKind::kPageFtl: return "PageFtl";
+                             case ftl::SchemeKind::kMrsm: return "Mrsm";
+                             case ftl::SchemeKind::kAcrossFtl: return "Across";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace af

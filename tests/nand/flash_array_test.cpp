@@ -1,0 +1,168 @@
+#include "nand/flash_array.h"
+
+#include <gtest/gtest.h>
+
+namespace af::nand {
+namespace {
+
+Geometry tiny_geom() {
+  Geometry g;
+  g.channels = 1;
+  g.chips_per_channel = 1;
+  g.dies_per_chip = 1;
+  g.planes_per_die = 2;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 4;
+  g.page_bytes = 8192;
+  return g;
+}
+
+TEST(FlashArray, StartsAllFree) {
+  FlashArray array(tiny_geom());
+  EXPECT_EQ(array.counters().free_pages, 32u);
+  EXPECT_EQ(array.counters().valid_pages, 0u);
+  EXPECT_EQ(array.state(Ppn{0}), PageState::kFree);
+  EXPECT_DOUBLE_EQ(array.used_fraction(), 0.0);
+}
+
+TEST(FlashArray, ProgramTransitions) {
+  FlashArray array(tiny_geom());
+  array.program(Ppn{0}, PageOwner::data(Lpn{7}));
+  EXPECT_EQ(array.state(Ppn{0}), PageState::kValid);
+  EXPECT_EQ(array.owner(Ppn{0}), PageOwner::data(Lpn{7}));
+  EXPECT_EQ(array.counters().programs, 1u);
+  EXPECT_EQ(array.counters().valid_pages, 1u);
+  EXPECT_EQ(array.block(0).valid_pages, 1u);
+  EXPECT_EQ(array.block(0).written, 1u);
+}
+
+TEST(FlashArray, InOrderProgrammingEnforced) {
+  FlashArray array(tiny_geom());
+  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  array.program(Ppn{1}, PageOwner::data(Lpn{1}));
+  EXPECT_DEATH(array.program(Ppn{3}, PageOwner::data(Lpn{2})),
+               "programmed in order");
+}
+
+TEST(FlashArray, DoubleProgramAborts) {
+  FlashArray array(tiny_geom());
+  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  EXPECT_DEATH(array.program(Ppn{0}, PageOwner::data(Lpn{1})), "non-free");
+}
+
+TEST(FlashArray, InvalidateAndErase) {
+  FlashArray array(tiny_geom());
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+  }
+  for (std::uint64_t p = 0; p < 4; ++p) array.invalidate(Ppn{p});
+  EXPECT_EQ(array.counters().invalid_pages, 4u);
+  EXPECT_EQ(array.block(0).valid_pages, 0u);
+
+  array.erase_block(0);
+  EXPECT_EQ(array.counters().erases, 1u);
+  EXPECT_EQ(array.block(0).erase_count, 1u);
+  EXPECT_EQ(array.block(0).written, 0u);
+  EXPECT_EQ(array.state(Ppn{0}), PageState::kFree);
+  EXPECT_EQ(array.counters().free_pages, 32u);
+
+  // Block is reusable after erase, starting from page 0 again.
+  array.program(Ppn{0}, PageOwner::data(Lpn{9}));
+  EXPECT_EQ(array.state(Ppn{0}), PageState::kValid);
+}
+
+TEST(FlashArray, EraseWithLivePagesAborts) {
+  FlashArray array(tiny_geom());
+  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  EXPECT_DEATH(array.erase_block(0), "valid pages");
+}
+
+TEST(FlashArray, InvalidateNonValidAborts) {
+  FlashArray array(tiny_geom());
+  EXPECT_DEATH(array.invalidate(Ppn{0}), "non-valid");
+}
+
+TEST(FlashArray, WriteFrontier) {
+  FlashArray array(tiny_geom());
+  EXPECT_EQ(array.write_frontier(0), Ppn{0});
+  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  EXPECT_EQ(array.write_frontier(0), Ppn{1});
+  for (std::uint64_t p = 1; p < 4; ++p) {
+    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+  }
+  EXPECT_FALSE(array.write_frontier(0).valid());  // block full
+}
+
+TEST(FlashArray, ValidPagesIn) {
+  FlashArray array(tiny_geom());
+  for (std::uint64_t p = 0; p < 3; ++p) {
+    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+  }
+  array.invalidate(Ppn{1});
+  const auto valid = array.valid_pages_in(0);
+  ASSERT_EQ(valid.size(), 2u);
+  EXPECT_EQ(valid[0], Ppn{0});
+  EXPECT_EQ(valid[1], Ppn{2});
+}
+
+TEST(FlashArray, UsedAndValidFractions) {
+  FlashArray array(tiny_geom());
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+  }
+  array.invalidate(Ppn{0});
+  EXPECT_DOUBLE_EQ(array.used_fraction(), 8.0 / 32.0);
+  EXPECT_DOUBLE_EQ(array.valid_fraction(), 7.0 / 32.0);
+}
+
+TEST(FlashArray, StampsRoundTripAndClearOnErase) {
+  FlashArray array(tiny_geom(), /*track_payload=*/true);
+  ASSERT_TRUE(array.tracks_payload());
+  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  array.set_stamp(Ppn{0}, 3, 0xabcd);
+  EXPECT_EQ(array.stamp(Ppn{0}, 3), 0xabcdu);
+  EXPECT_EQ(array.stamp(Ppn{0}, 4), 0u);
+
+  array.invalidate(Ppn{0});
+  for (std::uint64_t p = 1; p < 4; ++p) {
+    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+    array.invalidate(Ppn{p});
+  }
+  array.erase_block(0);
+  EXPECT_EQ(array.stamp(Ppn{0}, 3), 0u);  // erase clears cells
+}
+
+TEST(FlashArray, PayloadDisabledByDefault) {
+  FlashArray array(tiny_geom());
+  EXPECT_FALSE(array.tracks_payload());
+  EXPECT_DEATH(array.set_stamp(Ppn{0}, 0, 1), "disabled");
+}
+
+TEST(FlashArray, MaxEraseCount) {
+  FlashArray array(tiny_geom());
+  array.erase_block(2);
+  array.erase_block(2);
+  array.erase_block(5);
+  EXPECT_EQ(array.max_erase_count(), 2u);
+  EXPECT_EQ(array.total_erases(), 3u);
+}
+
+TEST(FlashArray, WearSummary) {
+  FlashArray array(tiny_geom());  // 8 blocks
+  const auto fresh = array.wear();
+  EXPECT_EQ(fresh.min, 0u);
+  EXPECT_EQ(fresh.max, 0u);
+  EXPECT_EQ(fresh.spread(), 0u);
+
+  array.erase_block(0);
+  array.erase_block(0);
+  array.erase_block(3);
+  const auto worn = array.wear();
+  EXPECT_EQ(worn.min, 0u);
+  EXPECT_EQ(worn.max, 2u);
+  EXPECT_EQ(worn.spread(), 2u);
+  EXPECT_DOUBLE_EQ(worn.mean, 3.0 / 8.0);
+}
+
+}  // namespace
+}  // namespace af::nand

@@ -1,0 +1,89 @@
+#include "nand/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace af::nand {
+namespace {
+
+Geometry small() {
+  Geometry g;
+  g.channels = 2;
+  g.chips_per_channel = 2;
+  g.dies_per_chip = 2;
+  g.planes_per_die = 2;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 8;
+  g.page_bytes = 8192;
+  return g;
+}
+
+TEST(Geometry, Counts) {
+  const Geometry g = small();
+  EXPECT_EQ(g.sectors_per_page(), 16u);
+  EXPECT_EQ(g.total_chips(), 4u);
+  EXPECT_EQ(g.total_planes(), 16u);
+  EXPECT_EQ(g.total_blocks(), 64u);
+  EXPECT_EQ(g.total_pages(), 512u);
+  EXPECT_EQ(g.capacity_bytes(), 512u * 8192u);
+  EXPECT_EQ(g.pages_per_plane(), 32u);
+}
+
+TEST(Geometry, EncodeDecodeRoundTripExhaustive) {
+  const Geometry g = small();
+  std::uint64_t flat = 0;
+  for (std::uint32_t ch = 0; ch < g.channels; ++ch)
+    for (std::uint32_t chip = 0; chip < g.chips_per_channel; ++chip)
+      for (std::uint32_t die = 0; die < g.dies_per_chip; ++die)
+        for (std::uint32_t plane = 0; plane < g.planes_per_die; ++plane)
+          for (std::uint32_t block = 0; block < g.blocks_per_plane; ++block)
+            for (std::uint32_t page = 0; page < g.pages_per_block; ++page) {
+              const PhysAddr addr{ch, chip, die, plane, block, page};
+              const Ppn ppn = g.encode(addr);
+              EXPECT_EQ(ppn.get(), flat++);  // channel-major flat layout
+              EXPECT_EQ(g.decode(ppn), addr);
+            }
+}
+
+TEST(Geometry, PlaneAndBlockHelpers) {
+  const Geometry g = small();
+  const PhysAddr addr{1, 0, 1, 1, 2, 3};
+  const Ppn ppn = g.encode(addr);
+  EXPECT_EQ(g.plane_index(addr), g.plane_of(ppn));
+  EXPECT_EQ(g.chip_index(addr), 1u * g.chips_per_channel + 0u);
+  EXPECT_EQ(g.block_of(ppn) % g.blocks_per_plane, 2u);
+  EXPECT_EQ(g.block_first_page(g.plane_of(ppn), 2).get(),
+            ppn.get() - addr.page);
+}
+
+TEST(Geometry, PaperScaleCapacity) {
+  // Table 1: 262144 blocks × 64 pages × 8 KiB = 128 GiB.
+  Geometry g;
+  g.channels = 8;
+  g.chips_per_channel = 4;
+  g.dies_per_chip = 2;
+  g.planes_per_die = 2;
+  g.blocks_per_plane = 2048;
+  g.pages_per_block = 64;
+  g.page_bytes = 8192;
+  EXPECT_EQ(g.total_blocks(), 262144u);
+  EXPECT_EQ(g.capacity_bytes(), 128ull << 30);
+}
+
+TEST(Geometry, Validity) {
+  Geometry g = small();
+  EXPECT_TRUE(g.valid());
+  g.page_bytes = 1000;  // not sector-aligned
+  EXPECT_FALSE(g.valid());
+  g = small();
+  g.channels = 0;
+  EXPECT_FALSE(g.valid());
+}
+
+TEST(GeometryDeathTest, EncodeOutOfRangeAborts) {
+  const Geometry g = small();
+  EXPECT_DEATH((void)g.encode({9, 0, 0, 0, 0, 0}), "CHECK");
+  EXPECT_DEATH((void)g.decode(Ppn{g.total_pages()}), "CHECK");
+}
+
+}  // namespace
+}  // namespace af::nand

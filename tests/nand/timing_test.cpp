@@ -1,0 +1,33 @@
+#include "nand/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace af::nand {
+namespace {
+
+TEST(Timing, TlcMatchesTable1) {
+  const Timing t = Timing::preset(CellType::kTlc, 8192);
+  EXPECT_EQ(t.read_ns, 75'000u);      // 0.075 ms
+  EXPECT_EQ(t.program_ns, 2'000'000u);  // 2 ms
+  EXPECT_EQ(t.dram_access_ns, 1'000u);  // 0.001 ms
+  EXPECT_GT(t.erase_ns, t.program_ns);
+}
+
+TEST(Timing, TransferScalesWithPageSize) {
+  const Timing small = Timing::preset(CellType::kTlc, 4096);
+  const Timing large = Timing::preset(CellType::kTlc, 16384);
+  EXPECT_EQ(large.transfer_ns_per_page, 4 * small.transfer_ns_per_page);
+}
+
+TEST(Timing, CellTypeOrdering) {
+  const Timing slc = Timing::preset(CellType::kSlc, 8192);
+  const Timing mlc = Timing::preset(CellType::kMlc, 8192);
+  const Timing tlc = Timing::preset(CellType::kTlc, 8192);
+  EXPECT_LT(slc.program_ns, mlc.program_ns);
+  EXPECT_LT(mlc.program_ns, tlc.program_ns);
+  EXPECT_LT(slc.read_ns, tlc.read_ns);
+  EXPECT_LT(slc.erase_ns, tlc.erase_ns);
+}
+
+}  // namespace
+}  // namespace af::nand

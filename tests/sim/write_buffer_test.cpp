@@ -1,0 +1,102 @@
+#include "sim/write_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.h"
+
+namespace af::sim {
+namespace {
+
+struct BufferFixture : ::testing::Test {
+  BufferFixture()
+      : ssd(test::tiny_config(), ftl::SchemeKind::kAcrossFtl),
+        buffer(ssd, /*capacity_sectors=*/64) {}
+
+  std::uint32_t spp() { return ssd.config().geometry.sectors_per_page(); }
+
+  Ssd ssd;
+  BufferedSsd buffer;
+  SimTime t = 0;
+};
+
+TEST_F(BufferFixture, BufferedWriteCompletesAtDramSpeed) {
+  const auto completion = buffer.submit({t++, true, SectorRange::of(100, 8)});
+  EXPECT_EQ(completion.latency, 1'000u);
+  EXPECT_EQ(buffer.buffered_sectors(), 8u);
+  EXPECT_EQ(ssd.stats().flash_writes(), 0u);  // nothing reached flash yet
+}
+
+TEST_F(BufferFixture, OverlappingWritesCoalesce) {
+  buffer.submit({t++, true, SectorRange::of(100, 8)});
+  buffer.submit({t++, true, SectorRange::of(104, 8)});
+  EXPECT_EQ(buffer.buffered_sectors(), 12u);  // [100,112): one merged entry
+  EXPECT_EQ(buffer.coalesced_sectors(), 4u);
+}
+
+TEST_F(BufferFixture, AdjacentWritesMergeIntoOneEntry) {
+  buffer.submit({t++, true, SectorRange::of(100, 8)});
+  buffer.submit({t++, true, SectorRange::of(108, 8)});
+  EXPECT_EQ(buffer.buffered_sectors(), 16u);
+  // A read covering the union is a single full hit.
+  const auto completion =
+      buffer.submit({t++, false, SectorRange::of(100, 16)});
+  EXPECT_EQ(completion.latency, 1'000u);
+  EXPECT_EQ(buffer.read_hits(), 1u);
+}
+
+TEST_F(BufferFixture, CapacityEvictsOldestToFlash) {
+  for (int i = 0; i < 9; ++i) {  // 9 x 8 sectors > 64-sector capacity
+    buffer.submit({t++, true,
+                   SectorRange::of(static_cast<SectorAddr>(i) * 32, 8)});
+  }
+  EXPECT_LE(buffer.buffered_sectors(), 64u);
+  EXPECT_GT(buffer.flushes(), 0u);
+  EXPECT_GT(ssd.stats().flash_writes(), 0u);
+}
+
+TEST_F(BufferFixture, PartialReadFlushesThrough) {
+  buffer.submit({t++, true, SectorRange::of(100, 8)});
+  // Read past the buffered range: forces a flush, then device read (oracle
+  // checks the data end-to-end).
+  buffer.submit({t++, false, SectorRange::of(100, 16)});
+  EXPECT_EQ(buffer.read_throughs(), 1u);
+  EXPECT_EQ(buffer.buffered_sectors(), 0u);
+  EXPECT_GT(ssd.stats().flash_writes(), 0u);
+}
+
+TEST_F(BufferFixture, FlushAllDrains) {
+  buffer.submit({t++, true, SectorRange::of(0, 8)});
+  buffer.submit({t++, true, SectorRange::of(320, 12)});
+  buffer.flush_all(t);
+  EXPECT_EQ(buffer.buffered_sectors(), 0u);
+  // Everything is now readable from flash with correct contents.
+  ssd.submit({t++, false, SectorRange::of(0, 8)});
+  ssd.submit({t++, false, SectorRange::of(320, 12)});
+}
+
+TEST_F(BufferFixture, ZeroCapacityIsPassThrough) {
+  BufferedSsd raw(ssd, 0);
+  raw.submit({t++, true, SectorRange::of(2056, 12)});
+  EXPECT_EQ(ssd.stats().across().direct_writes, 1u);  // straight to the FTL
+}
+
+TEST_F(BufferFixture, RandomWorkloadStaysCorrectThroughTheBuffer) {
+  test::WorkloadGen gen(ssd.config().logical_sectors(), spp(), 51);
+  for (int i = 0; i < 3000; ++i) buffer.submit(gen.next());
+  buffer.flush_all(t + 1);
+  test::verify_full_space(ssd);  // oracle validates every sector
+}
+
+TEST_F(BufferFixture, BufferAbsorbsAcrossPageRewrites) {
+  // The same across-page range rewritten many times: without a buffer each
+  // rewrite costs flash work; the buffer collapses them into one flush.
+  for (int i = 0; i < 50; ++i) {
+    buffer.submit({t++, true, SectorRange::of(2056, 12)});
+  }
+  buffer.flush_all(t);
+  EXPECT_LE(ssd.stats().flash_writes(), 2u);
+  EXPECT_EQ(buffer.coalesced_sectors(), 49u * 12u);
+}
+
+}  // namespace
+}  // namespace af::sim

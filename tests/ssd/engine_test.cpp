@@ -1,0 +1,182 @@
+#include "ssd/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace af::ssd {
+namespace {
+
+SsdConfig engine_config() {
+  SsdConfig config = SsdConfig::tiny();
+  config.track_payload = true;
+  return config;
+}
+
+/// Registers a trivial relocator that just copies a page and lets the test
+/// observe the relocations.
+struct SimpleRelocator {
+  explicit SimpleRelocator(Engine& engine) : engine_(engine) {
+    engine.set_relocator([this](Ppn victim, const nand::PageOwner& owner,
+                                SimTime& clock) {
+      clock = engine_.flash_read(victim, OpKind::kGcRead, clock);
+      auto moved = engine_.gc_program(engine_.geometry().plane_of(victim),
+                                      owner, clock);
+      clock = moved.done;
+      engine_.copy_stamps(victim, moved.ppn);
+      engine_.invalidate(victim);
+      moves.push_back({victim, moved.ppn});
+    });
+  }
+  Engine& engine_;
+  std::vector<std::pair<Ppn, Ppn>> moves;
+};
+
+TEST(Engine, ProgramAllocatesAcrossPlanes) {
+  Engine engine(engine_config());
+  SimpleRelocator relocator(engine);
+  std::set<std::uint64_t> planes;
+  for (int i = 0; i < 8; ++i) {
+    auto programmed = engine.flash_program(
+        Stream::kData, nand::PageOwner::data(Lpn{static_cast<std::uint64_t>(i)}),
+        OpKind::kDataWrite, 0);
+    planes.insert(engine.geometry().plane_of(programmed.ppn));
+  }
+  // Round-robin striping: 8 consecutive programs land on 4 distinct planes.
+  EXPECT_EQ(planes.size(), engine.geometry().total_planes());
+}
+
+TEST(Engine, ProgramAdvancesTime) {
+  Engine engine(engine_config());
+  SimpleRelocator relocator(engine);
+  auto programmed = engine.flash_program(
+      Stream::kData, nand::PageOwner::data(Lpn{0}), OpKind::kDataWrite, 500);
+  EXPECT_GT(programmed.done,
+            500 + engine.config().timing.program_ns - 1);
+  EXPECT_EQ(engine.stats().flash_ops(OpKind::kDataWrite), 1u);
+}
+
+TEST(Engine, ReadRequiresValidPage) {
+  Engine engine(engine_config());
+  SimpleRelocator relocator(engine);
+  EXPECT_DEATH((void)engine.flash_read(Ppn{0}, OpKind::kDataRead, 0),
+               "non-valid");
+  auto programmed = engine.flash_program(
+      Stream::kData, nand::PageOwner::data(Lpn{0}), OpKind::kDataWrite, 0);
+  const SimTime done = engine.flash_read(programmed.ppn, OpKind::kDataRead,
+                                         programmed.done);
+  EXPECT_GT(done, programmed.done);
+}
+
+TEST(Engine, StreamsUseSeparateActiveBlocks) {
+  Engine engine(engine_config());
+  SimpleRelocator relocator(engine);
+  auto a = engine.flash_program(Stream::kData, nand::PageOwner::data(Lpn{0}),
+                                OpKind::kDataWrite, 0);
+  auto b = engine.flash_program(Stream::kMap, nand::PageOwner::map(0),
+                                OpKind::kMapWrite, 0);
+  EXPECT_NE(engine.geometry().block_of(a.ppn), engine.geometry().block_of(b.ppn));
+}
+
+TEST(Engine, GcTriggersWhenPlaneRunsLow) {
+  Engine engine(engine_config());
+  SimpleRelocator relocator(engine);
+  const auto& geom = engine.geometry();
+  // Fill the device with short-lived data: each page is invalidated as soon
+  // as the next one lands, so GC victims are nearly empty.
+  Ppn prev{};
+  const std::uint64_t total = geom.total_pages() * 3;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    auto programmed = engine.flash_program(
+        Stream::kData, nand::PageOwner::data(Lpn{i % 64}), OpKind::kDataWrite,
+        0);
+    if (prev.valid()) engine.invalidate(prev);
+    prev = programmed.ppn;
+  }
+  EXPECT_GT(engine.gc_runs(), 0u);
+  EXPECT_GT(engine.stats().erases(), 0u);
+  // Free-block floors hold in every plane.
+  for (std::uint64_t p = 0; p < geom.total_planes(); ++p) {
+    EXPECT_GE(engine.free_blocks(p), 1u);
+  }
+}
+
+TEST(Engine, GcPreservesLiveData) {
+  Engine engine(engine_config());
+  SimpleRelocator relocator(engine);
+  const auto& geom = engine.geometry();
+
+  // A small set of long-lived pages with distinctive stamps...
+  std::vector<Ppn> live;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    auto programmed = engine.flash_program(
+        Stream::kData, nand::PageOwner::data(Lpn{1000 + i}),
+        OpKind::kDataWrite, 0);
+    engine.write_stamp(programmed.ppn, 0, 7000 + i);
+    live.push_back(programmed.ppn);
+  }
+  // ...buried under churn that forces many GC cycles.
+  Ppn prev{};
+  for (std::uint64_t i = 0; i < geom.total_pages() * 3; ++i) {
+    auto programmed = engine.flash_program(
+        Stream::kData, nand::PageOwner::data(Lpn{i % 16}), OpKind::kDataWrite, 0);
+    if (prev.valid()) engine.invalidate(prev);
+    prev = programmed.ppn;
+  }
+
+  // The relocator tracked moves; follow each live page to its final home.
+  for (std::uint64_t i = 0; i < live.size(); ++i) {
+    Ppn where = live[i];
+    for (const auto& [from, to] : relocator.moves) {
+      if (from == where) where = to;
+    }
+    ASSERT_EQ(engine.array().state(where), nand::PageState::kValid);
+    EXPECT_EQ(engine.read_stamp(where, 0), 7000 + i);
+  }
+}
+
+TEST(Engine, MapSpaceRequired) {
+  Engine engine(engine_config());
+  EXPECT_DEATH((void)engine.map_touch(0, false, 0), "init_map_space");
+  engine.init_map_space(8);
+  EXPECT_EQ(engine.map_touch(0, false, 5), 5u);
+  EXPECT_EQ(engine.stats().dram_accesses(), 1u);
+}
+
+TEST(Engine, CopyStamps) {
+  Engine engine(engine_config());
+  SimpleRelocator relocator(engine);
+  auto a = engine.flash_program(Stream::kData, nand::PageOwner::data(Lpn{0}),
+                                OpKind::kDataWrite, 0);
+  auto b = engine.flash_program(Stream::kData, nand::PageOwner::data(Lpn{1}),
+                                OpKind::kDataWrite, 0);
+  for (std::uint32_t s = 0; s < engine.geometry().sectors_per_page(); ++s) {
+    engine.write_stamp(a.ppn, s, 100 + s);
+  }
+  engine.copy_stamps(a.ppn, b.ppn);
+  for (std::uint32_t s = 0; s < engine.geometry().sectors_per_page(); ++s) {
+    EXPECT_EQ(engine.read_stamp(b.ppn, s), 100 + s);
+  }
+}
+
+TEST(Engine, ClassFlushAttribution) {
+  Engine engine(engine_config());
+  SimpleRelocator relocator(engine);
+  engine.set_request_class(ReqClass::kAcrossWrite);
+  (void)engine.flash_program(Stream::kData, nand::PageOwner::data(Lpn{0}),
+                             OpKind::kDataWrite, 0);
+  engine.set_request_class(std::nullopt);
+  (void)engine.flash_program(Stream::kData, nand::PageOwner::data(Lpn{1}),
+                             OpKind::kDataWrite, 0);
+  EXPECT_EQ(engine.stats().class_flushes(ReqClass::kAcrossWrite), 1u);
+  EXPECT_EQ(engine.stats().class_flushes(ReqClass::kNormalWrite), 0u);
+}
+
+TEST(EngineDeathTest, GcProgramOutsideGcAborts) {
+  Engine engine(engine_config());
+  EXPECT_DEATH((void)engine.gc_program(0, nand::PageOwner::data(Lpn{0}), 0),
+               "outside GC");
+}
+
+}  // namespace
+}  // namespace af::ssd

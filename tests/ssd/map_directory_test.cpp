@@ -1,0 +1,146 @@
+#include "ssd/map_directory.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace af::ssd {
+namespace {
+
+/// Records flash traffic instead of performing it.
+class FakeMapIo : public MapIo {
+ public:
+  SimTime map_flash_read(Ppn ppn, SimTime ready) override {
+    reads.push_back(ppn);
+    return ready + 100;
+  }
+  std::pair<Ppn, SimTime> map_flash_program(std::uint64_t map_page,
+                                            SimTime ready) override {
+    programs.push_back(map_page);
+    return {Ppn{next_ppn++}, ready + 1000};
+  }
+  void map_flash_invalidate(Ppn ppn) override { invalidations.push_back(ppn); }
+  void map_dram_access(std::uint64_t n) override { dram += n; }
+
+  std::vector<Ppn> reads;
+  std::vector<std::uint64_t> programs;
+  std::vector<Ppn> invalidations;
+  std::uint64_t dram = 0;
+  std::uint64_t next_ppn = 1000;
+};
+
+TEST(MapDirectory, ColdMissCostsNoFlash) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 4);
+  const SimTime t = dir.touch(3, /*dirty=*/false, 10);
+  EXPECT_EQ(t, 10u);  // never written back: materialises for free
+  EXPECT_TRUE(io.reads.empty());
+  EXPECT_EQ(dir.misses(), 1u);
+  EXPECT_EQ(io.dram, 1u);
+}
+
+TEST(MapDirectory, HitIsDramOnly) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 4);
+  dir.touch(3, false, 0);
+  const SimTime t = dir.touch(3, false, 5);
+  EXPECT_EQ(t, 5u);
+  EXPECT_EQ(dir.hits(), 1u);
+  EXPECT_EQ(io.dram, 2u);
+}
+
+TEST(MapDirectory, DirtyEvictionWritesBack) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 2);
+  dir.touch(0, /*dirty=*/true, 0);
+  dir.touch(1, false, 0);
+  dir.touch(2, false, 0);  // evicts page 0 (dirty) → program
+  ASSERT_EQ(io.programs.size(), 1u);
+  EXPECT_EQ(io.programs[0], 0u);
+  EXPECT_EQ(dir.evictions(), 1u);
+  EXPECT_EQ(dir.flash_location(0), Ppn{1000});
+}
+
+TEST(MapDirectory, CleanEvictionIsFree) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 2);
+  dir.touch(0, false, 0);
+  dir.touch(1, false, 0);
+  dir.touch(2, false, 0);  // evicts clean page 0 silently
+  EXPECT_TRUE(io.programs.empty());
+  EXPECT_EQ(dir.evictions(), 0u);
+}
+
+TEST(MapDirectory, ReloadAfterEvictionReadsFlash) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 2);
+  dir.touch(0, true, 0);
+  dir.touch(1, false, 0);
+  dir.touch(2, false, 0);           // page 0 written to Ppn{1000}
+  const SimTime t = dir.touch(0, false, 50);  // reload
+  ASSERT_EQ(io.reads.size(), 1u);
+  EXPECT_EQ(io.reads[0], Ppn{1000});
+  EXPECT_EQ(t, 150u);  // read latency charged
+}
+
+TEST(MapDirectory, RewriteInvalidatesOldCopy) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 1);
+  dir.touch(0, true, 0);
+  dir.touch(1, false, 0);  // evict+program 0 → Ppn{1000}
+  dir.touch(0, true, 0);   // reload 0, dirty again (evicts 1, clean)
+  dir.touch(1, false, 0);  // evict 0 again → invalidate Ppn{1000}, program
+  ASSERT_EQ(io.invalidations.size(), 1u);
+  EXPECT_EQ(io.invalidations[0], Ppn{1000});
+  EXPECT_EQ(io.programs.size(), 2u);
+}
+
+TEST(MapDirectory, LruOrder) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 2);
+  dir.touch(0, true, 0);
+  dir.touch(1, true, 0);
+  dir.touch(0, false, 0);  // refresh 0: now 1 is LRU
+  dir.touch(2, false, 0);  // evicts 1
+  ASSERT_EQ(io.programs.size(), 1u);
+  EXPECT_EQ(io.programs[0], 1u);
+}
+
+TEST(MapDirectory, DirtyBitSticksAcrossTouches) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 2);
+  dir.touch(0, true, 0);
+  dir.touch(0, false, 0);  // does not clear dirtiness
+  dir.touch(1, false, 0);
+  dir.touch(2, false, 0);  // evicting 0 must write it back
+  EXPECT_EQ(io.programs.size(), 1u);
+}
+
+TEST(MapDirectory, TouchedPagesCountsDistinct) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 4);
+  dir.touch(1, false, 0);
+  dir.touch(1, false, 0);
+  dir.touch(5, false, 0);
+  EXPECT_EQ(dir.touched_pages(), 2u);
+}
+
+TEST(MapDirectory, RelocationUpdatesGtd) {
+  FakeMapIo io;
+  MapDirectory dir(io, 16, 1);
+  dir.touch(0, true, 0);
+  dir.touch(1, false, 0);  // flush 0 → Ppn{1000}
+  dir.on_relocated(0, Ppn{77});
+  EXPECT_EQ(dir.flash_location(0), Ppn{77});
+  (void)dir.touch(0, false, 0);  // reload must read the new location
+  EXPECT_EQ(io.reads.back(), Ppn{77});
+}
+
+TEST(MapDirectoryDeathTest, OutOfRangeAborts) {
+  FakeMapIo io;
+  MapDirectory dir(io, 4, 2);
+  EXPECT_DEATH(dir.touch(4, false, 0), "out of range");
+}
+
+}  // namespace
+}  // namespace af::ssd

@@ -1,0 +1,49 @@
+#include "ssd/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace af::ssd {
+namespace {
+
+TEST(Oracle, UnwrittenIsZero) {
+  Oracle oracle(64);
+  EXPECT_EQ(oracle.expected(0), 0u);
+  EXPECT_EQ(oracle.expected(63), 0u);
+  EXPECT_EQ(oracle.logical_sectors(), 64u);
+}
+
+TEST(Oracle, WriteStampsSectors) {
+  Oracle oracle(64);
+  oracle.on_write({10, 14});
+  EXPECT_EQ(oracle.expected(9), 0u);
+  EXPECT_NE(oracle.expected(10), 0u);
+  EXPECT_NE(oracle.expected(13), 0u);
+  EXPECT_EQ(oracle.expected(14), 0u);
+}
+
+TEST(Oracle, StampsAreGloballyUnique) {
+  Oracle oracle(64);
+  oracle.on_write({0, 4});
+  oracle.on_write({8, 12});
+  std::set<std::uint64_t> seen;
+  for (SectorAddr s : {0, 1, 2, 3, 8, 9, 10, 11}) {
+    EXPECT_TRUE(seen.insert(oracle.expected(static_cast<SectorAddr>(s))).second);
+  }
+}
+
+TEST(Oracle, OverwriteBumpsStamp) {
+  Oracle oracle(64);
+  oracle.on_write({5, 6});
+  const auto first = oracle.expected(5);
+  oracle.on_write({5, 6});
+  EXPECT_GT(oracle.expected(5), first);
+}
+
+TEST(OracleDeathTest, OutOfRangeAborts) {
+  Oracle oracle(16);
+  EXPECT_DEATH(oracle.on_write({10, 20}), "beyond logical space");
+  EXPECT_DEATH((void)oracle.expected(16), "CHECK");
+}
+
+}  // namespace
+}  // namespace af::ssd

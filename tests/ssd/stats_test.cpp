@@ -1,0 +1,91 @@
+#include "ssd/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace af::ssd {
+namespace {
+
+TEST(DeviceStats, FlashOpTotals) {
+  DeviceStats stats;
+  stats.count_flash_op(OpKind::kDataRead);
+  stats.count_flash_op(OpKind::kMapRead);
+  stats.count_flash_op(OpKind::kGcRead);
+  stats.count_flash_op(OpKind::kDataWrite);
+  stats.count_flash_op(OpKind::kDataWrite);
+  stats.count_flash_op(OpKind::kMapWrite);
+  EXPECT_EQ(stats.flash_reads(), 3u);
+  EXPECT_EQ(stats.flash_writes(), 3u);
+  EXPECT_EQ(stats.flash_ops(OpKind::kDataWrite), 2u);
+}
+
+TEST(DeviceStats, RequestClassHelpers) {
+  EXPECT_TRUE(is_write(ReqClass::kNormalWrite));
+  EXPECT_TRUE(is_write(ReqClass::kAcrossWrite));
+  EXPECT_FALSE(is_write(ReqClass::kAcrossRead));
+  EXPECT_TRUE(is_across(ReqClass::kAcrossRead));
+  EXPECT_FALSE(is_across(ReqClass::kNormalRead));
+}
+
+TEST(DeviceStats, PerClassRecording) {
+  DeviceStats stats;
+  stats.record_request(ReqClass::kAcrossWrite, 2000, 10);
+  stats.record_request(ReqClass::kNormalWrite, 1000, 16);
+  stats.record_request(ReqClass::kNormalRead, 500, 8);
+
+  EXPECT_EQ(stats.requests(ReqClass::kAcrossWrite).latency().count(), 1u);
+  EXPECT_EQ(stats.all_writes().latency().count(), 2u);
+  EXPECT_EQ(stats.all_reads().latency().count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.total_io_time_ns(), 3500.0);
+}
+
+TEST(DeviceStats, ClassFlushes) {
+  DeviceStats stats;
+  stats.count_class_flush(ReqClass::kAcrossWrite);
+  stats.count_class_flush(ReqClass::kAcrossWrite);
+  stats.count_class_flush(ReqClass::kNormalWrite);
+  EXPECT_EQ(stats.class_flushes(ReqClass::kAcrossWrite), 2u);
+  EXPECT_EQ(stats.class_flushes(ReqClass::kNormalWrite), 1u);
+}
+
+TEST(DeviceStats, MapBytesTracksPeak) {
+  DeviceStats stats;
+  stats.note_map_bytes(100);
+  stats.note_map_bytes(50);
+  EXPECT_EQ(stats.peak_map_bytes(), 100u);
+  stats.note_map_bytes(200);
+  EXPECT_EQ(stats.peak_map_bytes(), 200u);
+}
+
+TEST(DeviceStats, ResetClearsEverything) {
+  DeviceStats stats;
+  stats.count_flash_op(OpKind::kDataWrite);
+  stats.count_erase();
+  stats.count_dram_access(5);
+  stats.count_rmw_read();
+  stats.across().direct_writes = 3;
+  stats.record_request(ReqClass::kNormalRead, 100, 1);
+  stats.reset();
+  EXPECT_EQ(stats.flash_writes(), 0u);
+  EXPECT_EQ(stats.erases(), 0u);
+  EXPECT_EQ(stats.dram_accesses(), 0u);
+  EXPECT_EQ(stats.rmw_reads(), 0u);
+  EXPECT_EQ(stats.across().direct_writes, 0u);
+  EXPECT_EQ(stats.all_reads().latency().count(), 0u);
+}
+
+TEST(DeviceStats, AcrossTotals) {
+  AcrossStats across;
+  across.direct_writes = 5;
+  across.profitable_amerge = 3;
+  across.unprofitable_amerge = 2;
+  EXPECT_EQ(across.total_across_writes(), 10u);
+}
+
+TEST(DeviceStats, ToStringCoverage) {
+  EXPECT_STREQ(to_string(OpKind::kMapWrite), "map-write");
+  EXPECT_STREQ(to_string(OpKind::kGcRead), "gc-read");
+  EXPECT_STREQ(to_string(ReqClass::kAcrossWrite), "across-write");
+}
+
+}  // namespace
+}  // namespace af::ssd

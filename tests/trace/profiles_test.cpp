@@ -1,0 +1,62 @@
+#include "trace/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/characterize.h"
+
+namespace af::trace {
+namespace {
+
+constexpr std::uint64_t kSpace = 1 << 22;
+
+TEST(Profiles, SixTargetsPublished) {
+  const auto& targets = table2_targets();
+  EXPECT_EQ(targets.size(), 6u);
+  EXPECT_STREQ(targets[0].name, "lun1");
+  EXPECT_EQ(targets[0].requests, 749'806u);
+  EXPECT_DOUBLE_EQ(targets[5].across_ratio, 0.275);
+}
+
+// Each generated lun trace must land near its published Table-2 row.
+class LunProfileFidelity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LunProfileFidelity, MatchesTable2Targets) {
+  const std::size_t idx = GetParam();
+  const auto& target = table2_targets()[idx];
+  const auto profile = lun_profile(idx, 30'000);  // trimmed for test speed
+  const auto trace = generate(profile, kSpace);
+  const auto stats = characterize(trace, 16);
+
+  EXPECT_EQ(stats.requests, 30'000u);
+  EXPECT_NEAR(stats.write_ratio, target.write_ratio, 0.03);
+  EXPECT_NEAR(stats.across_ratio, target.across_ratio, 0.05);
+  EXPECT_NEAR(stats.avg_write_kb, target.write_kb, 2.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLuns, LunProfileFidelity,
+                         ::testing::Range<std::size_t>(0, 6));
+
+TEST(Profiles, DefaultRequestCountMatchesPaper) {
+  EXPECT_EQ(lun_profile(2).requests, table2_targets()[2].requests);
+  EXPECT_EQ(lun_profile(2, 500).requests, 500u);
+}
+
+TEST(Profiles, Fig2SetHas61Traces) {
+  const auto profiles = fig2_profiles(1000);
+  EXPECT_EQ(profiles.size(), 61u);
+  // Ratios span the figure's range: some low, some spiking high.
+  double lo = 1.0, hi = 0.0;
+  for (const auto& profile : profiles) {
+    lo = std::min(lo, profile.across_bias);
+    hi = std::max(hi, profile.across_bias);
+  }
+  EXPECT_LT(lo, 0.08);
+  EXPECT_GT(hi, 0.25);
+}
+
+TEST(ProfilesDeathTest, OutOfRangeLunAborts) {
+  EXPECT_DEATH((void)lun_profile(6), "CHECK");
+}
+
+}  // namespace
+}  // namespace af::trace

@@ -1,0 +1,128 @@
+#include "trace/reader.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace af::trace {
+namespace {
+
+TEST(SystorReader, ParsesBasicRecords) {
+  std::stringstream in(
+      "1455592568.123,0.001,R,2,1052672,8192\n"
+      "1455592568.223,0.002,W,2,4096,4608\n");
+  std::uint64_t skipped = 0;
+  const Trace trace = read_systor_csv(in, &skipped);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(skipped, 0u);
+
+  EXPECT_FALSE(trace[0].write);
+  EXPECT_EQ(trace[0].timestamp, 0u);  // normalised to trace start
+  EXPECT_EQ(trace[0].offset, 1052672u / 512);
+  EXPECT_EQ(trace[0].sectors, 16u);
+
+  EXPECT_TRUE(trace[1].write);
+  EXPECT_NEAR(static_cast<double>(trace[1].timestamp), 0.1e9, 1e6);
+  EXPECT_EQ(trace[1].offset, 8u);
+  EXPECT_EQ(trace[1].sectors, 9u);  // 4608 B rounds up to 9 sectors
+}
+
+TEST(SystorReader, ByteOffsetsNotSectorAlignedRoundCorrectly) {
+  // offset 1000 B, size 600 B: spans sectors [1, 4) → sector 1, 3 sectors?
+  // floor(1000/512)=1; bytes 1000..1600 cover sectors 1..3 inclusive:
+  // (1000%512 + 600 + 511)/512 = (488+600+511)/512 = 3.
+  std::stringstream in("0.0,0,W,0,1000,600\n");
+  const Trace trace = read_systor_csv(in);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].offset, 1u);
+  EXPECT_EQ(trace[0].sectors, 3u);
+}
+
+TEST(SystorReader, SkipsMalformedLines) {
+  std::stringstream in(
+      "garbage\n"
+      "1.0,0,X,0,0,4096\n"        // bad iotype
+      "1.0,0,W,0,zero,4096\n"     // bad offset
+      "1.0,0,W,0,0,0\n"           // zero size
+      "# comment\n"
+      "2.0,0,W,0,0,4096\n");
+  std::uint64_t skipped = 0;
+  const Trace trace = read_systor_csv(in, &skipped);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(skipped, 4u);
+}
+
+TEST(NativeFormat, RoundTrips) {
+  Trace original = {
+      {0, true, 100, 16},
+      {5000, false, 2056, 12},
+      {9999, true, 0, 1},
+  };
+  std::stringstream buffer;
+  write_native(buffer, original);
+  const Trace parsed = read_native(buffer);
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed[i].write, original[i].write);
+    EXPECT_EQ(parsed[i].offset, original[i].offset);
+    EXPECT_EQ(parsed[i].sectors, original[i].sectors);
+    EXPECT_EQ(parsed[i].timestamp, original[i].timestamp);
+  }
+}
+
+TEST(NativeFormat, SkipsBadLines) {
+  std::stringstream in(
+      "W 0 16 0\n"
+      "Q 0 16 0\n"
+      "W 0 0 0\n"
+      "R 32\n");
+  std::uint64_t skipped = 0;
+  const Trace trace = read_native(in, &skipped);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(skipped, 3u);
+}
+
+TEST(MsrReader, ParsesBasicRecords) {
+  // timestamp(filetime 100ns ticks), host, disk, type, offset(B), size(B), resp
+  std::stringstream in(
+      "128166372003061629,usr,0,Read,1052672,8192,551\n"
+      "128166372013061629,usr,0,Write,4096,4608,441\n");
+  std::uint64_t skipped = 0;
+  const Trace trace = read_msr_csv(in, &skipped);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(skipped, 0u);
+
+  EXPECT_FALSE(trace[0].write);
+  EXPECT_EQ(trace[0].timestamp, 0u);
+  EXPECT_EQ(trace[0].offset, 1052672u / 512);
+  EXPECT_EQ(trace[0].sectors, 16u);
+
+  EXPECT_TRUE(trace[1].write);
+  // 10^7 ticks apart = 1 s = 1e9 ns.
+  EXPECT_EQ(trace[1].timestamp, 1'000'000'000u);
+  EXPECT_EQ(trace[1].sectors, 9u);
+}
+
+TEST(MsrReader, SkipsMalformedLines) {
+  std::stringstream in(
+      "1,usr,0,Flush,0,4096,1\n"     // unknown type
+      "x,usr,0,Write,0,4096,1\n"     // bad timestamp
+      "1,usr,0,Write,0,0,1\n"        // zero size
+      "2,usr,0,Write,0,4096,1\n");
+  std::uint64_t skipped = 0;
+  const Trace trace = read_msr_csv(in, &skipped);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(skipped, 3u);
+}
+
+TEST(ReadFile, MissingFileReturnsEmpty) {
+  EXPECT_TRUE(read_file("/nonexistent/path/trace.csv").empty());
+}
+
+TEST(TraceRecord, RangeHelper) {
+  TraceRecord rec{0, true, 100, 16};
+  EXPECT_EQ(rec.range(), SectorRange::of(100, 16));
+}
+
+}  // namespace
+}  // namespace af::trace

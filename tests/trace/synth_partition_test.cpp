@@ -1,0 +1,139 @@
+// Structural invariants of the synthetic VDI generator: the page
+// partitioning, boundary determinism and shape constraints that the
+// calibration (Table 2 / Figures 8, 13) depends on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/characterize.h"
+#include "trace/synth.h"
+
+namespace af::trace {
+namespace {
+
+constexpr std::uint64_t kSpace = 1 << 22;
+constexpr std::uint32_t kSpp = 16;
+
+SynthProfile pure_across_profile() {
+  SynthProfile profile;
+  profile.name = "partition-test";
+  profile.requests = 30'000;
+  profile.write_ratio = 1.0;
+  profile.write_sizes = SizeMix::around_mean(20);
+  profile.read_sizes = SizeMix::around_mean(24);
+  profile.across_bias = 1.0;   // across branch only
+  profile.update_fraction = 0;  // fresh shapes only
+  profile.seq_fraction = 0;
+  profile.seed = 41;
+  return profile;
+}
+
+TEST(SynthPartition, AcrossBoundariesLandOnReservedPages) {
+  const auto trace = generate(pure_across_profile(), kSpace);
+  for (const auto& rec : trace) {
+    const auto range = rec.range();
+    if (!PageGeometry{kSpp}.is_across_page(range)) continue;
+    // The crossed boundary is the page index of range.end's page.
+    const std::uint64_t idx = (range.end - 1) / kSpp;
+    const std::uint64_t mod = idx % 8;
+    EXPECT_TRUE(mod == 2 || mod == 5)
+        << "across boundary into page idx " << idx;
+  }
+}
+
+TEST(SynthPartition, BoundaryShapesAreDeterministic) {
+  const auto trace = generate(pure_across_profile(), kSpace);
+  // One canonical (offset, size) per boundary — re-accesses repeat it, so
+  // Across-FTL merges instead of rolling back.
+  std::map<std::uint64_t, SectorRange> shape_of;
+  for (const auto& rec : trace) {
+    const auto range = rec.range();
+    if (!PageGeometry{kSpp}.is_across_page(range)) continue;
+    const std::uint64_t boundary = ((range.end - 1) / kSpp) * kSpp;
+    auto [it, inserted] = shape_of.emplace(boundary, range);
+    if (!inserted) {
+      EXPECT_EQ(it->second, range) << "boundary " << boundary;
+    }
+  }
+  EXPECT_GT(shape_of.size(), 100u);  // many distinct boundaries exercised
+}
+
+TEST(SynthPartition, SmallAlignedWritesAvoidTheAcrossRegion) {
+  SynthProfile profile = pure_across_profile();
+  profile.across_bias = 0.0;  // aligned/sub-page traffic only
+  const auto trace = generate(profile, kSpace);
+  const PageGeometry geom{kSpp};
+  for (const auto& rec : trace) {
+    const auto range = rec.range();
+    if (range.size() >= kSpp) continue;  // large requests may span anything
+    auto [first, last] = geom.lpn_span(range);
+    for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+      const std::uint64_t mod = (l % (8 * 64)) % 8;  // page idx within quad
+      EXPECT_TRUE(mod == 0 || mod == 3 || mod == 6 || mod == 7)
+          << "small request touched across-region page " << l;
+    }
+  }
+}
+
+TEST(SynthPartition, SubpageAcrossCrossesHalfPageOnly) {
+  SynthProfile profile = pure_across_profile();
+  profile.across_bias = 0.0;
+  const auto trace = generate(profile, kSpace);
+  // Count sector-misaligned half-page crossers (the dedicated branch's
+  // signature: the request starts off any 4 KiB step).
+  auto count_half_crossers = [](const Trace& t) {
+    std::uint64_t n = 0;
+    for (const auto& rec : t) {
+      const auto range = rec.range();
+      if (PageGeometry{kSpp}.pages_touched(range) != 1) continue;
+      const SectorAddr in_page = range.begin % kSpp;
+      if (in_page % 8 != 0 && in_page < 8 && (range.end - 1) % kSpp >= 8) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_half_crossers(trace), 0u)
+      << "with across_bias=0 the sub-page-across branch must be off";
+
+  profile.across_bias = 0.3;
+  const auto with_bias = generate(profile, kSpace);
+  EXPECT_GT(count_half_crossers(with_bias), with_bias.size() / 20);
+  const auto stats4k = characterize(with_bias, 8);
+  const auto stats8k = characterize(with_bias, 16);
+  EXPECT_GT(stats4k.across_ratio, stats8k.across_ratio);
+}
+
+TEST(SynthPartition, UpdatesProduceMergeableShapes) {
+  SynthProfile profile = pure_across_profile();
+  profile.update_fraction = 0.5;
+  const auto trace = generate(profile, kSpace);
+  // Count update pairs: a later across write overlapping an earlier one at
+  // the same boundary. Most must fit a single page when merged (hull ≤ 16),
+  // since the paper's ARollback ratio is only ~4%.
+  std::map<std::uint64_t, SectorRange> area;
+  std::uint64_t merges = 0, overflows = 0;
+  for (const auto& rec : trace) {
+    const auto range = rec.range();
+    if (!PageGeometry{kSpp}.is_across_page(range)) continue;
+    const std::uint64_t boundary = ((range.end - 1) / kSpp) * kSpp;
+    auto it = area.find(boundary);
+    if (it == area.end()) {
+      area.emplace(boundary, range);
+      continue;
+    }
+    const SectorRange hull = it->second.hull(range);
+    if (hull.size() <= kSpp) {
+      ++merges;
+      it->second = hull;
+    } else {
+      ++overflows;
+      it->second = range;
+    }
+  }
+  ASSERT_GT(merges, 0u);
+  EXPECT_LT(static_cast<double>(overflows),
+            0.15 * static_cast<double>(merges));
+}
+
+}  // namespace
+}  // namespace af::trace

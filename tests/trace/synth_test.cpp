@@ -1,0 +1,131 @@
+#include "trace/synth.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/characterize.h"
+
+namespace af::trace {
+namespace {
+
+constexpr std::uint64_t kSpace = 1 << 22;  // 2 GiB of sectors
+
+SynthProfile basic_profile() {
+  SynthProfile profile;
+  profile.name = "test";
+  profile.requests = 20'000;
+  profile.write_ratio = 0.5;
+  profile.write_sizes = SizeMix::around_mean(20);
+  profile.read_sizes = SizeMix::around_mean(24);
+  profile.across_bias = 0.25;
+  profile.seed = 77;
+  return profile;
+}
+
+TEST(SizeMix, MeanHitsTarget) {
+  for (double target : {12.0, 20.0, 32.0, 48.0}) {
+    EXPECT_NEAR(SizeMix::around_mean(target).mean(), target, 0.5);
+  }
+}
+
+TEST(SizeMix, ClampsExtremeTargets) {
+  EXPECT_GT(SizeMix::around_mean(1.0).mean(), 8.0);
+  EXPECT_LT(SizeMix::around_mean(500.0).mean(), 60.0);
+}
+
+TEST(Synth, Deterministic) {
+  const auto a = generate(basic_profile(), kSpace);
+  const auto b = generate(basic_profile(), kSpace);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].offset, b[i].offset);
+    EXPECT_EQ(a[i].sectors, b[i].sectors);
+    EXPECT_EQ(a[i].timestamp, b[i].timestamp);
+    EXPECT_EQ(a[i].write, b[i].write);
+  }
+}
+
+TEST(Synth, DifferentSeedsDiffer) {
+  auto profile = basic_profile();
+  const auto a = generate(profile, kSpace);
+  profile.seed = 78;
+  const auto b = generate(profile, kSpace);
+  int same = 0;
+  for (std::size_t i = 0; i < 100; ++i) same += (a[i].offset == b[i].offset);
+  EXPECT_LT(same, 50);
+}
+
+TEST(Synth, StaysInBounds) {
+  const auto trace = generate(basic_profile(), kSpace);
+  for (const auto& rec : trace) {
+    EXPECT_GT(rec.sectors, 0u);
+    EXPECT_LE(rec.range().end, kSpace);
+  }
+}
+
+TEST(Synth, TimestampsMonotonic) {
+  const auto trace = generate(basic_profile(), kSpace);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].timestamp, trace[i - 1].timestamp);
+  }
+}
+
+TEST(Synth, HitsRequestCount) {
+  EXPECT_EQ(generate(basic_profile(), kSpace).size(), 20'000u);
+}
+
+TEST(Synth, AcrossRatioTracksBias) {
+  auto profile = basic_profile();
+  for (double bias : {0.05, 0.15, 0.30}) {
+    profile.across_bias = bias;
+    const auto trace = generate(profile, kSpace);
+    const auto stats = characterize(trace, 16);
+    EXPECT_NEAR(stats.across_ratio, bias, 0.05) << "bias=" << bias;
+  }
+}
+
+TEST(Synth, WriteRatioTracksProfile) {
+  auto profile = basic_profile();
+  profile.write_ratio = 0.7;
+  const auto stats = characterize(generate(profile, kSpace), 16);
+  EXPECT_NEAR(stats.write_ratio, 0.7, 0.02);
+}
+
+TEST(Synth, ZipfSkewConcentratesAccesses) {
+  auto profile = basic_profile();
+  profile.zipf_theta = 1.2;
+  profile.seq_fraction = 0;
+  const auto trace = generate(profile, kSpace);
+  // Count accesses landing in the hottest 10% of the footprint: with heavy
+  // skew it must be far above the uniform 10%.
+  std::uint64_t max_seen = 0;
+  for (const auto& rec : trace) max_seen = std::max(max_seen, rec.range().end);
+  std::uint64_t hot = 0;
+  for (const auto& rec : trace) hot += (rec.offset < max_seen / 10);
+  EXPECT_GT(static_cast<double>(hot) / static_cast<double>(trace.size()), 0.3);
+}
+
+TEST(Synth, UpdatesOverlapRecentAcrossWrites) {
+  auto profile = basic_profile();
+  // update_fraction is the share of *across* traffic that re-targets recent
+  // across writes, so raise both knobs for a visible overlap rate.
+  profile.across_bias = 0.5;
+  profile.update_fraction = 0.5;
+  profile.write_ratio = 1.0;
+  const auto trace = generate(profile, kSpace);
+  // At least some consecutive writes must overlap (update traffic).
+  std::uint64_t overlaps = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    // The generator's re-target ring holds the last 128 across writes, which
+    // can be several hundred requests back; scan a generous window.
+    for (std::size_t j = i >= 512 ? i - 512 : 0; j < i; ++j) {
+      if (trace[i].range().overlaps(trace[j].range())) {
+        ++overlaps;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(overlaps, trace.size() / 10);
+}
+
+}  // namespace
+}  // namespace af::trace
