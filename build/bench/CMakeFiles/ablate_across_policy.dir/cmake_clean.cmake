@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_across_policy.dir/ablate_across_policy.cpp.o"
+  "CMakeFiles/ablate_across_policy.dir/ablate_across_policy.cpp.o.d"
+  "ablate_across_policy"
+  "ablate_across_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_across_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

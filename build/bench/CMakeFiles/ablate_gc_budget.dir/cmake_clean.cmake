@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_gc_budget.dir/ablate_gc_budget.cpp.o"
+  "CMakeFiles/ablate_gc_budget.dir/ablate_gc_budget.cpp.o.d"
+  "ablate_gc_budget"
+  "ablate_gc_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_gc_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_across_ratio.dir/fig02_across_ratio.cpp.o"
+  "CMakeFiles/fig02_across_ratio.dir/fig02_across_ratio.cpp.o.d"
+  "fig02_across_ratio"
+  "fig02_across_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_across_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_across_stats.cpp" "bench/CMakeFiles/fig08_across_stats.dir/fig08_across_stats.cpp.o" "gcc" "bench/CMakeFiles/fig08_across_stats.dir/fig08_across_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/af_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/af_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/af_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/af_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/af_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/af_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_across_stats.dir/fig08_across_stats.cpp.o"
+  "CMakeFiles/fig08_across_stats.dir/fig08_across_stats.cpp.o.d"
+  "fig08_across_stats"
+  "fig08_across_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_across_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_flash_ops.dir/fig10_flash_ops.cpp.o"
+  "CMakeFiles/fig10_flash_ops.dir/fig10_flash_ops.cpp.o.d"
+  "fig10_flash_ops"
+  "fig10_flash_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_flash_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

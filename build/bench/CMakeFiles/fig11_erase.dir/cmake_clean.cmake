@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_erase.dir/fig11_erase.cpp.o"
+  "CMakeFiles/fig11_erase.dir/fig11_erase.cpp.o.d"
+  "fig11_erase"
+  "fig11_erase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_erase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

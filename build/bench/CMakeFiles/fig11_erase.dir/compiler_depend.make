@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_erase.
+# This may be replaced when dependencies are built.

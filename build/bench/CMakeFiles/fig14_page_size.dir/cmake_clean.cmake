@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_page_size.dir/fig14_page_size.cpp.o"
+  "CMakeFiles/fig14_page_size.dir/fig14_page_size.cpp.o.d"
+  "fig14_page_size"
+  "fig14_page_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_page_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/across_inspector.dir/across_inspector.cpp.o"
+  "CMakeFiles/across_inspector.dir/across_inspector.cpp.o.d"
+  "across_inspector"
+  "across_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/across_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vdi_replay.dir/vdi_replay.cpp.o"
+  "CMakeFiles/vdi_replay.dir/vdi_replay.cpp.o.d"
+  "vdi_replay"
+  "vdi_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vdi_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

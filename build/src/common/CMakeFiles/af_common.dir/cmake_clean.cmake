@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_common.dir/log.cpp.o"
+  "CMakeFiles/af_common.dir/log.cpp.o.d"
+  "CMakeFiles/af_common.dir/stats.cpp.o"
+  "CMakeFiles/af_common.dir/stats.cpp.o.d"
+  "CMakeFiles/af_common.dir/table.cpp.o"
+  "CMakeFiles/af_common.dir/table.cpp.o.d"
+  "libaf_common.a"
+  "libaf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftl/across_ftl.cpp" "src/ftl/CMakeFiles/af_ftl.dir/across_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/af_ftl.dir/across_ftl.cpp.o.d"
+  "/root/repo/src/ftl/mrsm_ftl.cpp" "src/ftl/CMakeFiles/af_ftl.dir/mrsm_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/af_ftl.dir/mrsm_ftl.cpp.o.d"
+  "/root/repo/src/ftl/page_ftl.cpp" "src/ftl/CMakeFiles/af_ftl.dir/page_ftl.cpp.o" "gcc" "src/ftl/CMakeFiles/af_ftl.dir/page_ftl.cpp.o.d"
+  "/root/repo/src/ftl/scheme.cpp" "src/ftl/CMakeFiles/af_ftl.dir/scheme.cpp.o" "gcc" "src/ftl/CMakeFiles/af_ftl.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ssd/CMakeFiles/af_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/af_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_ftl.dir/across_ftl.cpp.o"
+  "CMakeFiles/af_ftl.dir/across_ftl.cpp.o.d"
+  "CMakeFiles/af_ftl.dir/mrsm_ftl.cpp.o"
+  "CMakeFiles/af_ftl.dir/mrsm_ftl.cpp.o.d"
+  "CMakeFiles/af_ftl.dir/page_ftl.cpp.o"
+  "CMakeFiles/af_ftl.dir/page_ftl.cpp.o.d"
+  "CMakeFiles/af_ftl.dir/scheme.cpp.o"
+  "CMakeFiles/af_ftl.dir/scheme.cpp.o.d"
+  "libaf_ftl.a"
+  "libaf_ftl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_nand.dir/flash_array.cpp.o"
+  "CMakeFiles/af_nand.dir/flash_array.cpp.o.d"
+  "CMakeFiles/af_nand.dir/timing.cpp.o"
+  "CMakeFiles/af_nand.dir/timing.cpp.o.d"
+  "libaf_nand.a"
+  "libaf_nand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_nand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

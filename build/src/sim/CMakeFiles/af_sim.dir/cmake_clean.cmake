@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_sim.dir/ssd.cpp.o"
+  "CMakeFiles/af_sim.dir/ssd.cpp.o.d"
+  "CMakeFiles/af_sim.dir/write_buffer.cpp.o"
+  "CMakeFiles/af_sim.dir/write_buffer.cpp.o.d"
+  "libaf_sim.a"
+  "libaf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

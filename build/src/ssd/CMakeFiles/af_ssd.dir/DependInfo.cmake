@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/config.cpp" "src/ssd/CMakeFiles/af_ssd.dir/config.cpp.o" "gcc" "src/ssd/CMakeFiles/af_ssd.dir/config.cpp.o.d"
+  "/root/repo/src/ssd/engine.cpp" "src/ssd/CMakeFiles/af_ssd.dir/engine.cpp.o" "gcc" "src/ssd/CMakeFiles/af_ssd.dir/engine.cpp.o.d"
+  "/root/repo/src/ssd/map_directory.cpp" "src/ssd/CMakeFiles/af_ssd.dir/map_directory.cpp.o" "gcc" "src/ssd/CMakeFiles/af_ssd.dir/map_directory.cpp.o.d"
+  "/root/repo/src/ssd/oracle.cpp" "src/ssd/CMakeFiles/af_ssd.dir/oracle.cpp.o" "gcc" "src/ssd/CMakeFiles/af_ssd.dir/oracle.cpp.o.d"
+  "/root/repo/src/ssd/stats.cpp" "src/ssd/CMakeFiles/af_ssd.dir/stats.cpp.o" "gcc" "src/ssd/CMakeFiles/af_ssd.dir/stats.cpp.o.d"
+  "/root/repo/src/ssd/timeline.cpp" "src/ssd/CMakeFiles/af_ssd.dir/timeline.cpp.o" "gcc" "src/ssd/CMakeFiles/af_ssd.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nand/CMakeFiles/af_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

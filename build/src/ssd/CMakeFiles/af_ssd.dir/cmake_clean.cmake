@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_ssd.dir/config.cpp.o"
+  "CMakeFiles/af_ssd.dir/config.cpp.o.d"
+  "CMakeFiles/af_ssd.dir/engine.cpp.o"
+  "CMakeFiles/af_ssd.dir/engine.cpp.o.d"
+  "CMakeFiles/af_ssd.dir/map_directory.cpp.o"
+  "CMakeFiles/af_ssd.dir/map_directory.cpp.o.d"
+  "CMakeFiles/af_ssd.dir/oracle.cpp.o"
+  "CMakeFiles/af_ssd.dir/oracle.cpp.o.d"
+  "CMakeFiles/af_ssd.dir/stats.cpp.o"
+  "CMakeFiles/af_ssd.dir/stats.cpp.o.d"
+  "CMakeFiles/af_ssd.dir/timeline.cpp.o"
+  "CMakeFiles/af_ssd.dir/timeline.cpp.o.d"
+  "libaf_ssd.a"
+  "libaf_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

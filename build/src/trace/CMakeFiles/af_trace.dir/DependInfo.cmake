@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/characterize.cpp" "src/trace/CMakeFiles/af_trace.dir/characterize.cpp.o" "gcc" "src/trace/CMakeFiles/af_trace.dir/characterize.cpp.o.d"
+  "/root/repo/src/trace/profiles.cpp" "src/trace/CMakeFiles/af_trace.dir/profiles.cpp.o" "gcc" "src/trace/CMakeFiles/af_trace.dir/profiles.cpp.o.d"
+  "/root/repo/src/trace/reader.cpp" "src/trace/CMakeFiles/af_trace.dir/reader.cpp.o" "gcc" "src/trace/CMakeFiles/af_trace.dir/reader.cpp.o.d"
+  "/root/repo/src/trace/replayer.cpp" "src/trace/CMakeFiles/af_trace.dir/replayer.cpp.o" "gcc" "src/trace/CMakeFiles/af_trace.dir/replayer.cpp.o.d"
+  "/root/repo/src/trace/synth.cpp" "src/trace/CMakeFiles/af_trace.dir/synth.cpp.o" "gcc" "src/trace/CMakeFiles/af_trace.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/af_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/af_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/af_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/af_nand.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

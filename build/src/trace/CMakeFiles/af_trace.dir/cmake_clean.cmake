@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_trace.dir/characterize.cpp.o"
+  "CMakeFiles/af_trace.dir/characterize.cpp.o.d"
+  "CMakeFiles/af_trace.dir/profiles.cpp.o"
+  "CMakeFiles/af_trace.dir/profiles.cpp.o.d"
+  "CMakeFiles/af_trace.dir/reader.cpp.o"
+  "CMakeFiles/af_trace.dir/reader.cpp.o.d"
+  "CMakeFiles/af_trace.dir/replayer.cpp.o"
+  "CMakeFiles/af_trace.dir/replayer.cpp.o.d"
+  "CMakeFiles/af_trace.dir/synth.cpp.o"
+  "CMakeFiles/af_trace.dir/synth.cpp.o.d"
+  "libaf_trace.a"
+  "libaf_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

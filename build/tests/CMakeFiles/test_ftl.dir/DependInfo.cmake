@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ftl/across_ftl_test.cpp" "tests/CMakeFiles/test_ftl.dir/ftl/across_ftl_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftl.dir/ftl/across_ftl_test.cpp.o.d"
+  "/root/repo/tests/ftl/across_policy_test.cpp" "tests/CMakeFiles/test_ftl.dir/ftl/across_policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftl.dir/ftl/across_policy_test.cpp.o.d"
+  "/root/repo/tests/ftl/across_valve_test.cpp" "tests/CMakeFiles/test_ftl.dir/ftl/across_valve_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftl.dir/ftl/across_valve_test.cpp.o.d"
+  "/root/repo/tests/ftl/mrsm_ftl_test.cpp" "tests/CMakeFiles/test_ftl.dir/ftl/mrsm_ftl_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftl.dir/ftl/mrsm_ftl_test.cpp.o.d"
+  "/root/repo/tests/ftl/page_ftl_test.cpp" "tests/CMakeFiles/test_ftl.dir/ftl/page_ftl_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftl.dir/ftl/page_ftl_test.cpp.o.d"
+  "/root/repo/tests/ftl/request_test.cpp" "tests/CMakeFiles/test_ftl.dir/ftl/request_test.cpp.o" "gcc" "tests/CMakeFiles/test_ftl.dir/ftl/request_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/af_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/af_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/af_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/af_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/af_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

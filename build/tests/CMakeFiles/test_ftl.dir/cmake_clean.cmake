@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ftl.dir/ftl/across_ftl_test.cpp.o"
+  "CMakeFiles/test_ftl.dir/ftl/across_ftl_test.cpp.o.d"
+  "CMakeFiles/test_ftl.dir/ftl/across_policy_test.cpp.o"
+  "CMakeFiles/test_ftl.dir/ftl/across_policy_test.cpp.o.d"
+  "CMakeFiles/test_ftl.dir/ftl/across_valve_test.cpp.o"
+  "CMakeFiles/test_ftl.dir/ftl/across_valve_test.cpp.o.d"
+  "CMakeFiles/test_ftl.dir/ftl/mrsm_ftl_test.cpp.o"
+  "CMakeFiles/test_ftl.dir/ftl/mrsm_ftl_test.cpp.o.d"
+  "CMakeFiles/test_ftl.dir/ftl/page_ftl_test.cpp.o"
+  "CMakeFiles/test_ftl.dir/ftl/page_ftl_test.cpp.o.d"
+  "CMakeFiles/test_ftl.dir/ftl/request_test.cpp.o"
+  "CMakeFiles/test_ftl.dir/ftl/request_test.cpp.o.d"
+  "test_ftl"
+  "test_ftl.pdb"
+  "test_ftl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ftl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

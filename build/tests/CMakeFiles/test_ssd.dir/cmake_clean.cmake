@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd.dir/ssd/engine_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/engine_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/gc_partial_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/gc_partial_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/map_directory_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/map_directory_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/map_gc_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/map_gc_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/map_reentrancy_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/map_reentrancy_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/oracle_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/oracle_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/stats_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/stats_test.cpp.o.d"
+  "CMakeFiles/test_ssd.dir/ssd/timeline_test.cpp.o"
+  "CMakeFiles/test_ssd.dir/ssd/timeline_test.cpp.o.d"
+  "test_ssd"
+  "test_ssd.pdb"
+  "test_ssd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/characterize_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/characterize_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/characterize_test.cpp.o.d"
+  "/root/repo/tests/trace/profiles_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/profiles_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/profiles_test.cpp.o.d"
+  "/root/repo/tests/trace/reader_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/reader_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/reader_test.cpp.o.d"
+  "/root/repo/tests/trace/synth_partition_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/synth_partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/synth_partition_test.cpp.o.d"
+  "/root/repo/tests/trace/synth_test.cpp" "tests/CMakeFiles/test_trace.dir/trace/synth_test.cpp.o" "gcc" "tests/CMakeFiles/test_trace.dir/trace/synth_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/af_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/af_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftl/CMakeFiles/af_ftl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/af_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/nand/CMakeFiles/af_nand.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
