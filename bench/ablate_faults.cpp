@@ -1,0 +1,42 @@
+// Ablation — NAND fault-rate sweep. Prices the recovery machinery
+// (program retry-with-reallocation, read-retry, bad-block retirement) in
+// latency and flash-op overhead, per scheme. The zero row doubles as the
+// no-regression anchor: it must match a build without the fault subsystem.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "trace/profiles.h"
+
+int main() {
+  using namespace af;
+  const auto base_config = bench::device(8);
+  bench::print_header("Ablation: NAND fault rates (lun1)", base_config);
+  const auto tr = bench::lun_trace(0, bench::addressable_sectors(base_config));
+
+  std::printf("rates: program/erase/read fault probability per op; "
+              "wear ramp off\n\n");
+  Table table({"scheme", "fault rate", "write mean ms", "read mean ms",
+               "pgm faults", "erase faults", "read retries", "retired blks",
+               "erases"});
+  for (const double rate : {0.0, 1e-4, 1e-3, 5e-3}) {
+    auto config = base_config;
+    config.faults.program_fail = rate;
+    config.faults.erase_fail = rate;
+    config.faults.read_fail = rate;
+    for (const auto kind : bench::all_schemes()) {
+      const auto result = trace::replay(config, kind, tr);
+      const auto& faults = result.stats.faults();
+      table.add_row({ftl::to_string(kind), Table::num(rate, 4),
+                     Table::num(result.write_latency_ms(), 3),
+                     Table::num(result.read_latency_ms(), 3),
+                     Table::num(faults.program_faults),
+                     Table::num(faults.erase_faults),
+                     Table::num(faults.read_retries),
+                     Table::num(faults.retired_blocks),
+                     Table::num(result.stats.erases())});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

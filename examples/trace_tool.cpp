@@ -55,9 +55,21 @@ int main(int argc, char** argv) {
   }
 
   if (mode == "stat") {
-    const auto tr = trace::read_file(argv[2]);
+    std::uint64_t skipped = 0;
+    const auto tr = trace::read_file(argv[2], &skipped);
+    if (skipped > 0) {
+      std::fprintf(stderr, "skipped %llu malformed line%s in %s\n",
+                   static_cast<unsigned long long>(skipped),
+                   skipped == 1 ? "" : "s", argv[2]);
+    }
     if (tr.empty()) {
-      std::fprintf(stderr, "no records in %s\n", argv[2]);
+      if (skipped > 0) {
+        std::fprintf(stderr,
+                     "every line of %s was malformed — wrong trace format?\n",
+                     argv[2]);
+      } else {
+        std::fprintf(stderr, "no records in %s\n", argv[2]);
+      }
       return 1;
     }
     Table table({"page size", "# of Req.", "Write R", "Write SZ (KB)",

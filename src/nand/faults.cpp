@@ -1,0 +1,39 @@
+#include "nand/faults.h"
+
+namespace af::nand {
+
+FaultModel::FaultModel(const FaultConfig& config)
+    : cfg_(config), rng_(config.seed) {}
+
+double FaultModel::wear_ramped(double base, std::uint64_t erase_count) const {
+  double p = base;
+  if (cfg_.wear_slope > 0.0 && erase_count > cfg_.wear_onset) {
+    p += cfg_.wear_slope * static_cast<double>(erase_count - cfg_.wear_onset);
+  }
+  return p < 1.0 ? p : 1.0;
+}
+
+bool FaultModel::draw(double p) {
+  // Zero-probability classes never touch the RNG: a disabled fault class
+  // cannot perturb the schedule of an enabled one, and an all-zero config
+  // makes the model completely inert.
+  if (p <= 0.0) return false;
+  return rng_.chance(p);
+}
+
+bool FaultModel::program_fails(std::uint64_t erase_count) {
+  return draw(wear_ramped(cfg_.program_fail, erase_count));
+}
+
+bool FaultModel::erase_fails(std::uint64_t erase_count) {
+  return draw(wear_ramped(cfg_.erase_fail, erase_count));
+}
+
+std::uint32_t FaultModel::read_retries() {
+  if (cfg_.read_fail <= 0.0) return 0;
+  std::uint32_t n = 0;
+  while (n < cfg_.max_read_retries && rng_.chance(cfg_.read_fail)) ++n;
+  return n;
+}
+
+}  // namespace af::nand

@@ -1,0 +1,86 @@
+// Deterministic NAND fault injection.
+//
+// Real flash fails: programs tear pages, erases brick blocks, reads need
+// retry as cells age. The FaultModel decides — reproducibly, from a seed —
+// whether each physical operation succeeds, so the recovery machinery above
+// it (retry-with-reallocation, bad-block retirement, read-retry, read-only
+// degradation) can be exercised and measured. With all rates at zero the
+// model never draws from its RNG and the simulator is bit-for-bit identical
+// to a fault-free build.
+//
+// This layer is policy-free: it only answers "does this op fail?". The
+// FlashArray applies the state consequences (torn page, retired block); the
+// engine owns recovery and timing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace af::nand {
+
+/// Per-operation fault probabilities plus an optional wear-dependent ramp.
+/// All rates default to zero (faults disabled).
+struct FaultConfig {
+  /// Probability a page program fails, leaving a torn (unreadable) page.
+  double program_fail = 0.0;
+  /// Probability a block erase fails; a failed erase retires the block.
+  double erase_fail = 0.0;
+  /// Probability a single read attempt needs a retry (transient; bounded
+  /// retries always recover the data — unrecoverable reads would be data
+  /// loss, which the recovery layer is designed to prevent, not model).
+  double read_fail = 0.0;
+
+  /// Wear ramp: once a block's erase count exceeds `wear_onset`, program and
+  /// erase fault probabilities grow by `wear_slope` per additional erase
+  /// (clamped to 1.0). Models grown bad blocks on aged devices.
+  double wear_slope = 0.0;
+  std::uint64_t wear_onset = 0;
+
+  /// Cap on read retries drawn for one page read.
+  std::uint32_t max_read_retries = 4;
+  /// Cap on program-with-reallocation attempts for one logical program.
+  std::uint32_t max_program_retries = 8;
+
+  std::uint64_t seed = 0x5EEDFA17u;
+
+  [[nodiscard]] bool enabled() const {
+    return program_fail > 0.0 || erase_fail > 0.0 || read_fail > 0.0 ||
+           wear_slope > 0.0;
+  }
+};
+
+/// Seeded fault schedule. Two models built from the same config answer an
+/// identical query sequence identically (the determinism contract benches
+/// and tests rely on). Draws happen only when the effective probability is
+/// nonzero, so disabled fault classes cost nothing and perturb nothing.
+class FaultModel {
+ public:
+  explicit FaultModel(const FaultConfig& config);
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+  [[nodiscard]] bool enabled() const { return cfg_.enabled(); }
+
+  /// Does programming a page of a block with this erase count fail?
+  bool program_fails(std::uint64_t erase_count);
+
+  /// Does erasing a block with this erase count fail (retiring it)?
+  bool erase_fails(std::uint64_t erase_count);
+
+  /// Number of extra read attempts (0 = clean first read). Each attempt
+  /// fails independently with `read_fail`; capped at `max_read_retries`,
+  /// after which the read is deemed recovered.
+  std::uint32_t read_retries();
+
+  /// Effective probability after the wear ramp, clamped to [0, 1]. Exposed
+  /// for tests and for benches that want to report the ramp they configured.
+  [[nodiscard]] double wear_ramped(double base, std::uint64_t erase_count) const;
+
+ private:
+  bool draw(double p);
+
+  FaultConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace af::nand

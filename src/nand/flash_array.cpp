@@ -5,8 +5,9 @@
 
 namespace af::nand {
 
-FlashArray::FlashArray(const Geometry& geometry, bool track_payload)
-    : geom_(geometry) {
+FlashArray::FlashArray(const Geometry& geometry, bool track_payload,
+                       const FaultConfig& faults)
+    : geom_(geometry), faults_(faults) {
   AF_CHECK_MSG(geom_.valid(), "invalid flash geometry");
   const auto total = static_cast<std::size_t>(geom_.total_pages());
   pages_.assign(total, PageState::kFree);
@@ -18,22 +19,33 @@ FlashArray::FlashArray(const Geometry& geometry, bool track_payload)
   counters_.free_pages = total;
 }
 
-void FlashArray::program(Ppn ppn, PageOwner owner) {
+bool FlashArray::program(Ppn ppn, PageOwner owner) {
   const std::size_t i = index(ppn);
   AF_CHECK_MSG(pages_[i] == PageState::kFree, "program of non-free page");
   const std::uint64_t b = geom_.block_of(ppn);
   BlockInfo& blk = blocks_[b];
+  AF_CHECK_MSG(!blk.retired, "program into retired block");
   const auto page_in_block =
       static_cast<std::uint32_t>(ppn.get() % geom_.pages_per_block);
   AF_CHECK_MSG(page_in_block == blk.written,
                "NAND pages must be programmed in order within a block");
+  ++blk.written;
+  ++counters_.programs;
+  --counters_.free_pages;
+  if (faults_.program_fails(blk.erase_count)) {
+    // Torn page: the program cycle was spent but the data is unreadable.
+    // It stays kInvalid (no owner) until the block is erased.
+    pages_[i] = PageState::kInvalid;
+    owners_[i] = PageOwner{};
+    ++counters_.invalid_pages;
+    ++counters_.program_faults;
+    return false;
+  }
   pages_[i] = PageState::kValid;
   owners_[i] = owner;
-  ++blk.written;
   ++blk.valid_pages;
-  ++counters_.programs;
   ++counters_.valid_pages;
-  --counters_.free_pages;
+  return true;
 }
 
 void FlashArray::invalidate(Ppn ppn) {
@@ -48,10 +60,16 @@ void FlashArray::invalidate(Ppn ppn) {
   ++counters_.invalid_pages;
 }
 
-void FlashArray::erase_block(std::uint64_t flat_block) {
+bool FlashArray::erase_block(std::uint64_t flat_block) {
   AF_CHECK(flat_block < blocks_.size());
   BlockInfo& blk = blocks_[flat_block];
+  AF_CHECK_MSG(!blk.retired, "erase of retired block");
   AF_CHECK_MSG(blk.valid_pages == 0, "erase of block holding valid pages");
+  if (faults_.erase_fails(blk.erase_count)) {
+    ++counters_.erase_faults;
+    do_retire(flat_block);
+    return false;
+  }
   const std::uint64_t first = flat_block * geom_.pages_per_block;
   for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
     const std::size_t i = static_cast<std::size_t>(first + p);
@@ -70,12 +88,46 @@ void FlashArray::erase_block(std::uint64_t flat_block) {
   blk.written = 0;
   ++blk.erase_count;
   ++counters_.erases;
+  return true;
+}
+
+void FlashArray::retire_block(std::uint64_t flat_block) {
+  AF_CHECK(flat_block < blocks_.size());
+  AF_CHECK_MSG(!blocks_[flat_block].retired, "double retirement");
+  do_retire(flat_block);
+}
+
+void FlashArray::do_retire(std::uint64_t flat_block) {
+  BlockInfo& blk = blocks_[flat_block];
+  AF_CHECK_MSG(blk.valid_pages == 0, "retirement of block holding valid pages");
+  const std::uint64_t first = flat_block * geom_.pages_per_block;
+  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
+    const std::size_t i = static_cast<std::size_t>(first + p);
+    if (pages_[i] == PageState::kInvalid) {
+      --counters_.invalid_pages;
+    } else {
+      AF_CHECK(pages_[i] == PageState::kFree);
+      --counters_.free_pages;
+    }
+    pages_[i] = PageState::kRetired;
+    owners_[i] = PageOwner{};
+    if (!stamps_.empty()) {
+      const std::size_t base = i * geom_.sectors_per_page();
+      std::fill_n(stamps_.begin() + static_cast<std::ptrdiff_t>(base),
+                  geom_.sectors_per_page(), 0);
+    }
+  }
+  counters_.retired_pages += geom_.pages_per_block;
+  ++counters_.retired_blocks;
+  blk.retired = true;
+  // Full frontier keeps the retired block out of every "has space" path.
+  blk.written = geom_.pages_per_block;
 }
 
 Ppn FlashArray::write_frontier(std::uint64_t flat_block) const {
   AF_CHECK(flat_block < blocks_.size());
   const BlockInfo& blk = blocks_[flat_block];
-  if (blk.fully_written(geom_.pages_per_block)) return Ppn{};
+  if (blk.retired || blk.fully_written(geom_.pages_per_block)) return Ppn{};
   return Ppn{flat_block * geom_.pages_per_block + blk.written};
 }
 

@@ -3,7 +3,11 @@
 // correctness oracle.
 //
 // This layer is pure mechanism: it knows nothing about timing, queuing or
-// mapping. The SSD engine charges time; FTL schemes decide placement.
+// mapping. The SSD engine charges time; FTL schemes decide placement. A
+// seeded FaultModel can make programs and erases fail: a failed program
+// leaves a torn (invalid) page, a failed erase retires the block into the
+// bad-block table. Recovery — reallocation, spare management, degradation —
+// is the engine's job.
 #pragma once
 
 #include <cstdint>
@@ -11,11 +15,12 @@
 
 #include "common/check.h"
 #include "common/types.h"
+#include "nand/faults.h"
 #include "nand/geometry.h"
 
 namespace af::nand {
 
-enum class PageState : std::uint8_t { kFree, kValid, kInvalid };
+enum class PageState : std::uint8_t { kFree, kValid, kInvalid, kRetired };
 
 /// Back-pointer from a valid physical page to its logical owner, used by GC
 /// to relocate live data. `id` is an LPN for data pages, an AMT slot for
@@ -41,42 +46,65 @@ struct BlockInfo {
   /// erase. NAND requires in-order programming within a block.
   std::uint32_t written = 0;
   std::uint64_t erase_count = 0;
+  /// Grown bad block: a failed erase (or explicit retirement) removed it
+  /// from service permanently. Retired blocks are never programmed or
+  /// erased again.
+  bool retired = false;
 
   [[nodiscard]] bool fully_written(std::uint32_t pages_per_block) const {
     return written == pages_per_block;
   }
 };
 
-/// Aggregate state counters maintained incrementally.
+/// Aggregate state counters maintained incrementally. Page-state counters
+/// conserve: free + valid + invalid + retired == total pages.
 struct ArrayCounters {
   std::uint64_t programs = 0;
   std::uint64_t erases = 0;
   std::uint64_t free_pages = 0;
   std::uint64_t valid_pages = 0;
   std::uint64_t invalid_pages = 0;
+  std::uint64_t retired_pages = 0;
+  // Injected-fault tallies (ground truth; survives DeviceStats::reset()).
+  std::uint64_t program_faults = 0;
+  std::uint64_t erase_faults = 0;
+  std::uint64_t retired_blocks = 0;
 };
 
 class FlashArray {
  public:
   /// `track_payload` enables per-sector stamp storage (for the oracle);
-  /// benches leave it off to save memory.
-  explicit FlashArray(const Geometry& geometry, bool track_payload = false);
+  /// benches leave it off to save memory. `faults` seeds the injection
+  /// model; the all-zero default makes every operation succeed.
+  explicit FlashArray(const Geometry& geometry, bool track_payload = false,
+                      const FaultConfig& faults = {});
 
   [[nodiscard]] const Geometry& geometry() const { return geom_; }
+  [[nodiscard]] FaultModel& faults() { return faults_; }
+  [[nodiscard]] const FaultModel& faults() const { return faults_; }
 
   // --- State transitions -------------------------------------------------
 
   /// Programs a free page. Enforces the in-order-within-block NAND rule:
-  /// `ppn` must be the next unwritten page of its block.
-  void program(Ppn ppn, PageOwner owner);
+  /// `ppn` must be the next unwritten page of its block. Returns false when
+  /// the fault model fails the program — the page is then torn: it consumed
+  /// a program cycle and the write frontier, holds no data, and is left
+  /// kInvalid for GC to reclaim. The caller must re-program elsewhere.
+  [[nodiscard]] bool program(Ppn ppn, PageOwner owner);
 
   /// Marks a valid page as invalid (its logical owner moved elsewhere).
   void invalidate(Ppn ppn);
 
   /// Erases a block (flat block index): every page returns to kFree. All
   /// pages must already be invalid or free — erasing live data is a bug in
-  /// the caller, not a legal operation.
-  void erase_block(std::uint64_t flat_block);
+  /// the caller, not a legal operation. Returns false when the fault model
+  /// fails the erase: the block is then retired (grown bad block) and its
+  /// pages leave service; the caller must not reuse it.
+  [[nodiscard]] bool erase_block(std::uint64_t flat_block);
+
+  /// Explicit retirement (firmware policy, e.g. after repeated program
+  /// failures). The block must hold no valid data.
+  void retire_block(std::uint64_t flat_block);
 
   // --- Queries -------------------------------------------------------------
 
@@ -88,9 +116,13 @@ class FlashArray {
     AF_CHECK(flat_block < blocks_.size());
     return blocks_[flat_block];
   }
+  [[nodiscard]] bool retired(std::uint64_t flat_block) const {
+    return block(flat_block).retired;
+  }
   [[nodiscard]] const ArrayCounters& counters() const { return counters_; }
 
-  /// Next programmable page of a block, or invalid Ppn if the block is full.
+  /// Next programmable page of a block, or invalid Ppn if the block is full
+  /// or retired.
   [[nodiscard]] Ppn write_frontier(std::uint64_t flat_block) const;
 
   /// Valid pages currently in a block, by page offset.
@@ -103,6 +135,9 @@ class FlashArray {
 
   [[nodiscard]] std::uint64_t max_erase_count() const;
   [[nodiscard]] std::uint64_t total_erases() const { return counters_.erases; }
+  [[nodiscard]] std::uint64_t retired_blocks() const {
+    return counters_.retired_blocks;
+  }
 
   /// Wear distribution across blocks — the endurance picture behind the
   /// paper's erase-count metric.
@@ -131,7 +166,12 @@ class FlashArray {
     return index(ppn) * geom_.sectors_per_page() + sector;
   }
 
+  /// Moves every page of the block to kRetired and flags the block. The
+  /// block must hold no valid data.
+  void do_retire(std::uint64_t flat_block);
+
   Geometry geom_;
+  FaultModel faults_;
   std::vector<PageState> pages_;
   std::vector<PageOwner> owners_;
   std::vector<BlockInfo> blocks_;

@@ -36,6 +36,18 @@ Ssd::Completion Ssd::submit(const ftl::IoRequest& req) {
                "request beyond logical capacity");
 
   const ssd::ReqClass cls = ftl::classify(req, scheme_->page_geometry());
+
+  if (req.write && engine_->read_only()) {
+    // Graceful degradation: spare blocks are exhausted, so the device
+    // refuses new writes rather than wedging GC. The shadow space is not
+    // advanced — the refusal is surfaced, not silently dropped.
+    ++engine_->stats().faults().rejected_writes;
+    Completion rejected;
+    rejected.cls = cls;
+    rejected.done = req.arrival;
+    rejected.accepted = false;
+    return rejected;
+  }
   engine_->set_request_class(cls);
 
   Completion completion;

@@ -30,11 +30,16 @@ class Ssd {
     SimTime done = 0;
     SimDuration latency = 0;
     ssd::ReqClass cls = ssd::ReqClass::kNormalRead;
+    /// False when the device refused the request (write in read-only
+    /// degradation after spare-block exhaustion). Refused writes change no
+    /// state and cost no simulated time.
+    bool accepted = true;
   };
 
   /// Services one host request. When the oracle is active, writes update the
   /// shadow space and reads are verified sector-by-sector (aborting on any
-  /// divergence).
+  /// divergence). Writes are rejected (accepted=false) once block
+  /// retirement has degraded the device to read-only mode.
   Completion submit(const ftl::IoRequest& req);
 
   /// Ages the device: fills `live_fraction` of raw capacity with valid data

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "nand/faults.h"
 #include "nand/geometry.h"
 #include "nand/timing.h"
 
@@ -36,6 +37,17 @@ struct SsdConfig {
 
   /// Store per-sector version stamps for the verification oracle.
   bool track_payload = false;
+
+  /// NAND fault injection (seeded, deterministic). All-zero rates (the
+  /// default) disable injection entirely: no RNG draws, no behaviour change.
+  /// See DESIGN.md "Fault model & recovery" for the retry / retirement /
+  /// read-only semantics layered on top.
+  nand::FaultConfig faults;
+
+  /// Read-only degradation floor: the device drops to read-only mode when
+  /// retirement leaves any plane with fewer usable blocks than the GC
+  /// trigger + reserve + this margin (writes would otherwise wedge GC).
+  std::uint32_t degrade_margin_blocks = 2;
 
   /// Across-FTL design-choice toggles (ablation knobs; DESIGN.md §ablations).
   struct AcrossPolicy {

@@ -8,7 +8,7 @@ namespace af::ssd {
 
 Engine::Engine(const SsdConfig& config)
     : config_(config),
-      array_(config.geometry, config.track_payload),
+      array_(config.geometry, config.track_payload, config.faults),
       timeline_(config.geometry, config.timing) {
   const auto planes = config_.geometry.total_planes();
   planes_.resize(planes);
@@ -20,6 +20,7 @@ Engine::Engine(const SsdConfig& config)
     }
     plane.active.fill(kNoBlock);
     plane.gc_victim = kNoBlock;
+    plane.retired = 0;
   }
   AF_CHECK_MSG(gc_trigger_blocks() + 2 + config_.gc_reserve_blocks <
                    config_.geometry.blocks_per_plane,
@@ -34,20 +35,56 @@ SimTime Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
   AF_CHECK_MSG(array_.state(ppn) == nand::PageState::kValid,
                "flash read of non-valid page");
   stats_.count_flash_op(kind);
-  return timeline_.schedule_read(config_.geometry.decode(ppn), ready);
+  SimTime done = timeline_.schedule_read(config_.geometry.decode(ppn), ready);
+  // Transient read failures recover through read-retry: re-sense the same
+  // page (tuned reference voltages); each retry costs a full read on the
+  // page's chip and channel.
+  for (std::uint32_t r = array_.faults().read_retries(); r > 0; --r) {
+    stats_.count_flash_op(kind);
+    ++stats_.faults().read_retries;
+    done = timeline_.schedule_read(config_.geometry.decode(ppn), done);
+  }
+  return done;
+}
+
+Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
+                                      nand::PageOwner owner, OpKind kind,
+                                      SimTime ready) {
+  const std::uint32_t attempts =
+      1 + std::max(1u, config_.faults.max_program_retries);
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (!plane_has_space(plane, stream)) plane = pick_plane(stream);
+    const Ppn ppn = take_frontier(plane, stream);
+    const bool ok = array_.program(ppn, owner);
+    stats_.count_flash_op(kind);
+    if (kind == OpKind::kDataWrite && current_class_) {
+      stats_.count_class_flush(*current_class_);
+    }
+    const SimTime done =
+        timeline_.schedule_program(config_.geometry.decode(ppn), ready);
+    if (ok) return {ppn, done};
+    // Program failure: the array left the page torn (invalid, unowned).
+    // Abandon the rest of the active block — its later pages are suspect
+    // and NAND forbids re-programming earlier ones — and reallocate on a
+    // fresh block, charging the wasted program time.
+    ++stats_.faults().program_faults;
+    ++stats_.faults().program_retries;
+    planes_[plane].active[static_cast<std::size_t>(stream)] = kNoBlock;
+    ready = done;
+    AF_LOG_DEBUG("program fault on ppn %llu (attempt %u); reallocating",
+                 static_cast<unsigned long long>(ppn.get()), attempt + 1);
+  }
+  AF_CHECK_MSG(false,
+               "program retry budget exhausted (faults.max_program_retries)");
+  return {};
 }
 
 Engine::Programmed Engine::flash_program(Stream stream, nand::PageOwner owner,
                                          OpKind kind, SimTime ready) {
-  const std::uint64_t plane = pick_plane(stream);
-  const Ppn ppn = take_frontier(plane, stream);
-  array_.program(ppn, owner);
-  stats_.count_flash_op(kind);
-  if (kind == OpKind::kDataWrite && current_class_) {
-    stats_.count_class_flush(*current_class_);
-  }
-  const SimTime done =
-      timeline_.schedule_program(config_.geometry.decode(ppn), ready);
+  const Programmed programmed =
+      program_on(pick_plane(stream), stream, owner, kind, ready);
+  // Reallocation can spill planes, so trigger GC where the data landed.
+  const std::uint64_t plane = config_.geometry.plane_of(programmed.ppn);
 
   // Threshold GC is *background* work: the free-block reserve exists so the
   // triggering request never has to wait for reclamation. The pass's flash
@@ -55,9 +92,9 @@ Engine::Programmed Engine::flash_program(Stream stream, nand::PageOwner owner,
   // requests feel GC only as chip contention (the SSDsim model). State-wise
   // the reclaim is immediate, so the free-block accounting never lags.
   if (!in_gc_ && free_blocks(plane) < plane_trigger_blocks(plane)) {
-    (void)run_gc(plane, done);
+    (void)run_gc(plane, programmed.done);
   }
-  return {ppn, done};
+  return programmed;
 }
 
 void Engine::invalidate(Ppn ppn) { array_.invalidate(ppn); }
@@ -198,6 +235,7 @@ std::uint32_t Engine::pick_victim(std::uint64_t plane) const {
     if (is_active_block(plane, b)) continue;
     const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + b;
     const nand::BlockInfo& info = array_.block(flat);
+    if (info.retired) continue;       // grown bad block, out of service
     if (info.written == 0) continue;  // already free
     const std::uint64_t weight = block_weight(flat);
     if (weight >= full_weight) continue;
@@ -259,9 +297,16 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
     clock = timeline_.schedule_erase(
         config_.geometry.decode(Ppn{flat * config_.geometry.pages_per_block}),
         clock);
-    array_.erase_block(flat);
-    stats_.count_erase();
-    planes_[plane].free_blocks.push_back(victim);
+    if (array_.erase_block(flat)) {
+      stats_.count_erase();
+      planes_[plane].free_blocks.push_back(victim);
+    } else {
+      // Erase failure: the array retired the block (grown bad block). It
+      // never returns to the free list — the plane's spare capacity shrank.
+      ++stats_.faults().erase_faults;
+      ++stats_.faults().retired_blocks;
+      note_retirement(plane);
+    }
     victim = kNoBlock;
   }
   if (gc_flush_) gc_flush_(plane, clock);
@@ -278,12 +323,29 @@ Engine::Programmed Engine::gc_program(std::uint64_t plane,
     // Reserve exhausted in this plane (pathological); spill anywhere.
     target = pick_plane(Stream::kGc);
   }
-  const Ppn ppn = take_frontier(target, Stream::kGc);
-  array_.program(ppn, owner);
-  stats_.count_flash_op(OpKind::kGcWrite);
-  const SimTime done =
-      timeline_.schedule_program(config_.geometry.decode(ppn), ready);
-  return {ppn, done};
+  return program_on(target, Stream::kGc, owner, OpKind::kGcWrite, ready);
+}
+
+void Engine::note_retirement(std::uint64_t plane) {
+  ++planes_[plane].retired;
+  const std::uint32_t usable =
+      config_.geometry.blocks_per_plane - planes_[plane].retired;
+  const std::uint32_t floor = gc_trigger_blocks() + config_.gc_reserve_blocks +
+                              config_.degrade_margin_blocks;
+  AF_LOG_INFO("retired block in plane %llu (%u retired, %u usable)",
+              static_cast<unsigned long long>(plane), planes_[plane].retired,
+              usable);
+  if (!read_only_ && usable < floor) {
+    // Spares exhausted: below this floor the plane cannot sustain GC
+    // headroom, so accepting more writes risks wedging the device and
+    // losing mapped data. Degrade to read-only instead.
+    read_only_ = true;
+    ++stats_.faults().read_only_entries;
+    AF_LOG_WARN(
+        "plane %llu down to %u usable blocks (floor %u): "
+        "device enters read-only mode",
+        static_cast<unsigned long long>(plane), usable, floor);
+  }
 }
 
 // --- Stamps ------------------------------------------------------------------

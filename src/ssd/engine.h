@@ -136,6 +136,17 @@ class Engine final : private MapIo {
   /// Total GC passes run.
   [[nodiscard]] std::uint64_t gc_runs() const { return gc_runs_; }
 
+  /// Graceful degradation: true once block retirement has eaten into the
+  /// spare capacity some plane needs to keep GC viable. The device then
+  /// refuses new writes (the facade surfaces the rejection) but keeps
+  /// serving reads and internal housekeeping.
+  [[nodiscard]] bool read_only() const { return read_only_; }
+
+  /// Blocks retired in `plane` so far (grown bad blocks).
+  [[nodiscard]] std::uint32_t retired_blocks(std::uint64_t plane) const {
+    return planes_[plane].retired;
+  }
+
   /// Sum of live weights over a block's valid pages (victim scoring; public
   /// for tests and GC instrumentation).
   [[nodiscard]] std::uint64_t block_weight(std::uint64_t flat_block) const;
@@ -147,6 +158,8 @@ class Engine final : private MapIo {
     std::array<std::uint32_t, kStreamCount> active;
     // Victim currently being drained by resumable partial GC.
     std::uint32_t gc_victim;
+    // Grown bad blocks no longer in service (spare-capacity accounting).
+    std::uint32_t retired;
   };
   static constexpr std::uint32_t kNoBlock = UINT32_MAX;
 
@@ -160,6 +173,18 @@ class Engine final : private MapIo {
   /// Returns the PPN to program next for (plane, stream); opens a new active
   /// block from the free list when needed.
   Ppn take_frontier(std::uint64_t plane, Stream stream);
+
+  /// Program with bounded retry-with-reallocation: a failed (torn) program
+  /// abandons the active block, charges the wasted program time, and
+  /// re-programs on a fresh block — spilling to another plane if this one
+  /// runs dry. Shared by host/map programs and GC migrations.
+  Programmed program_on(std::uint64_t plane, Stream stream,
+                        nand::PageOwner owner, OpKind kind, SimTime ready);
+
+  /// Spare-capacity bookkeeping after a block retirement in `plane`; drops
+  /// the device to read-only mode when the plane's usable blocks fall below
+  /// the degradation floor.
+  void note_retirement(std::uint64_t plane);
 
   /// Picks the plane for the next allocation of `stream`: round-robin over
   /// planes with usable space. Pure striping balances *capacity* across
@@ -187,6 +212,7 @@ class Engine final : private MapIo {
   GcFlush gc_flush_;
   VictimWeight victim_weight_;
   bool in_gc_ = false;
+  bool read_only_ = false;
   std::uint64_t gc_runs_ = 0;
   std::optional<ReqClass> current_class_;
 };

@@ -65,6 +65,23 @@ struct AcrossStats {
   }
 };
 
+/// Recovery-path accounting for injected NAND faults (fault model &
+/// recovery, DESIGN.md). Benches report these to price fault overhead;
+/// zero-fault runs keep every counter at zero.
+struct FaultRecoveryStats {
+  std::uint64_t program_faults = 0;   // torn pages (program failed mid-write)
+  std::uint64_t program_retries = 0;  // re-programs on a fresh block
+  std::uint64_t erase_faults = 0;     // failed erases (each retires a block)
+  std::uint64_t read_retries = 0;     // extra read ops for transient failures
+  std::uint64_t retired_blocks = 0;   // grown bad blocks pulled from service
+  std::uint64_t read_only_entries = 0;  // drops into read-only degradation
+  std::uint64_t rejected_writes = 0;  // writes refused while read-only
+
+  [[nodiscard]] std::uint64_t total_faults() const {
+    return program_faults + erase_faults + read_retries;
+  }
+};
+
 class DeviceStats {
  public:
   // --- Flash operations ----------------------------------------------------
@@ -114,6 +131,9 @@ class DeviceStats {
   AcrossStats& across() { return across_; }
   [[nodiscard]] const AcrossStats& across() const { return across_; }
 
+  FaultRecoveryStats& faults() { return faults_; }
+  [[nodiscard]] const FaultRecoveryStats& faults() const { return faults_; }
+
   /// Aggregate latency across all request classes.
   [[nodiscard]] LatencyRecorder all_reads() const;
   [[nodiscard]] LatencyRecorder all_writes() const;
@@ -142,6 +162,7 @@ class DeviceStats {
   std::uint64_t rmw_reads_ = 0;
   std::uint64_t peak_map_bytes_ = 0;
   AcrossStats across_;
+  FaultRecoveryStats faults_;
 };
 
 }  // namespace af::ssd

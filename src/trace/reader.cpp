@@ -42,6 +42,20 @@ bool parse_u64(const std::string& s, std::uint64_t& out) {
   return end == s.c_str() + s.size();
 }
 
+/// Surfaces silently-skipped parse rejects: a handful of bad lines is
+/// normal trace noise, but rejecting more than 1% usually means the wrong
+/// format was selected (e.g. an MSR trace fed to the systor parser).
+void warn_if_mostly_bad(const char* format, std::uint64_t parsed,
+                        std::uint64_t bad) {
+  const std::uint64_t total = parsed + bad;
+  if (bad > 0 && total > 0 && bad * 100 > total) {
+    AF_LOG_WARN(
+        "%s trace parse skipped %llu of %llu lines (>1%%) — wrong format?",
+        format, static_cast<unsigned long long>(bad),
+        static_cast<unsigned long long>(total));
+  }
+}
+
 }  // namespace
 
 Trace read_systor_csv(std::istream& in, std::uint64_t* skipped) {
@@ -72,6 +86,7 @@ Trace read_systor_csv(std::istream& in, std::uint64_t* skipped) {
                   kSectorBytes;
     trace.push_back(rec);
   }
+  warn_if_mostly_bad("systor", trace.size(), bad);
   if (skipped != nullptr) *skipped = bad;
   return trace;
 }
@@ -113,6 +128,7 @@ Trace read_msr_csv(std::istream& in, std::uint64_t* skipped) {
                   kSectorBytes;
     trace.push_back(rec);
   }
+  warn_if_mostly_bad("msr", trace.size(), bad);
   if (skipped != nullptr) *skipped = bad;
   return trace;
 }
@@ -134,6 +150,7 @@ Trace read_native(std::istream& in, std::uint64_t* skipped) {
     rec.write = (kind == "W");
     trace.push_back(rec);
   }
+  warn_if_mostly_bad("native", trace.size(), bad);
   if (skipped != nullptr) *skipped = bad;
   return trace;
 }
@@ -146,7 +163,8 @@ void write_native(std::ostream& out, const Trace& trace) {
   }
 }
 
-Trace read_file(const std::string& path) {
+Trace read_file(const std::string& path, std::uint64_t* skipped) {
+  if (skipped != nullptr) *skipped = 0;
   std::ifstream in(path);
   if (!in) {
     AF_LOG_WARN("cannot open trace file %s", path.c_str());
@@ -157,12 +175,12 @@ Trace read_file(const std::string& path) {
            path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
   };
   if (ends_with(".msr") || ends_with(".msr.csv")) {
-    return read_msr_csv(in);
+    return read_msr_csv(in, skipped);
   }
   if (ends_with(".csv")) {
-    return read_systor_csv(in);
+    return read_systor_csv(in, skipped);
   }
-  return read_native(in);
+  return read_native(in, skipped);
 }
 
 }  // namespace af::trace

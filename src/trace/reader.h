@@ -37,7 +37,9 @@ void write_native(std::ostream& out, const Trace& trace);
 
 /// Reads a trace file, dispatching on extension: `.csv` → systor format,
 /// `.msr` / `.msr.csv` → MSR format, anything else → native. Returns an
-/// empty trace if the file cannot be opened.
-Trace read_file(const std::string& path);
+/// empty trace if the file cannot be opened. Malformed lines are skipped
+/// and counted in `*skipped` (when non-null); tools should treat an empty
+/// trace with a nonzero skip count as a corrupt input, not an empty one.
+Trace read_file(const std::string& path, std::uint64_t* skipped = nullptr);
 
 }  // namespace af::trace

@@ -1,0 +1,183 @@
+// Fault-injected GC churn: the oracle must prove zero data loss for every
+// scheme while programs tear pages, erases retire blocks and reads need
+// retry — including faults landing on across-page areas mid-AMerge/ARollback
+// and on translation pages (every flash op goes through the same faulty
+// path). A separate test drives retirement all the way to spare exhaustion
+// and checks the read-only degradation surface.
+#include <gtest/gtest.h>
+
+#include "ftl/across_ftl.h"
+#include "../helpers.h"
+
+namespace af {
+namespace {
+
+ssd::SsdConfig faulty_config() {
+  auto config = test::tiny_config();
+  config.faults.program_fail = 2e-3;
+  config.faults.erase_fail = 5e-3;
+  config.faults.read_fail = 5e-3;
+  config.faults.seed = 0xFA17;
+  return config;
+}
+
+class FaultChurn : public ::testing::TestWithParam<ftl::SchemeKind> {};
+
+TEST_P(FaultChurn, OracleSurvivesInjectedFaults) {
+  const auto config = faulty_config();
+  sim::Ssd ssd(config, GetParam());
+  const auto spp = config.geometry.sectors_per_page();
+  const std::uint64_t footprint_pages = config.logical_pages() / 4;
+
+  // Same GC-heavy shape as gc_churn_test: small footprint, heavy overwrite,
+  // a third of the writes unaligned/across-page so the across machinery
+  // (AMerge/ARollback) churns while faults land on it.
+  Rng rng(11);
+  SimTime t = 0;
+  for (int i = 0; i < 12'000; ++i) {
+    const std::uint64_t p = rng.below(footprint_pages);
+    SectorRange range;
+    if (rng.chance(0.3)) {
+      const SectorCount len = rng.between(2, spp);
+      const SectorAddr off = p * spp + rng.below(spp);
+      range = SectorRange::of(off, len);
+      if (range.end > footprint_pages * spp) {
+        range = SectorRange::of(footprint_pages * spp - len, len);
+      }
+    } else {
+      range = SectorRange::of(p * spp, spp);
+    }
+    const auto completion = ssd.submit({t++, true, range});
+    ASSERT_TRUE(completion.accepted);  // rates far below degradation levels
+  }
+
+  // The fault rates are high enough that every recovery path actually ran.
+  const auto& faults = ssd.stats().faults();
+  EXPECT_GT(faults.program_faults, 0u);
+  EXPECT_GT(faults.program_retries, 0u);
+  EXPECT_GT(faults.erase_faults, 0u);
+  EXPECT_GT(faults.retired_blocks, 0u);
+  EXPECT_GT(faults.read_retries, 0u);
+  EXPECT_FALSE(ssd.engine().read_only());
+
+  // Recovery stats agree with the array's ground truth.
+  const auto& counters = ssd.engine().array().counters();
+  EXPECT_EQ(faults.program_faults, counters.program_faults);
+  EXPECT_EQ(faults.erase_faults, counters.erase_faults);
+  EXPECT_EQ(faults.retired_blocks, counters.retired_blocks);
+  EXPECT_EQ(ssd.stats().erases(), ssd.engine().array().total_erases());
+
+  // State conservation now includes retired pages.
+  EXPECT_EQ(counters.free_pages + counters.valid_pages +
+                counters.invalid_pages + counters.retired_pages,
+            config.geometry.total_pages());
+  EXPECT_EQ(counters.retired_pages,
+            counters.retired_blocks * config.geometry.pages_per_block);
+
+  if (auto* across = dynamic_cast<ftl::AcrossFtl*>(&ssd.scheme())) {
+    across->check_invariants();
+  }
+  // Zero data loss: every logical sector reads back its latest stamp.
+  test::verify_full_space(ssd);
+}
+
+TEST_P(FaultChurn, SameFaultSeedSameOutcome) {
+  // End-to-end determinism: two devices with identical fault seeds agree on
+  // every recovery counter after the same workload.
+  const auto config = faulty_config();
+  sim::Ssd a(config, GetParam());
+  sim::Ssd b(config, GetParam());
+  const auto spp = config.geometry.sectors_per_page();
+  Rng rng(3);
+  SimTime t = 0;
+  for (int i = 0; i < 4'000; ++i) {
+    const std::uint64_t p = rng.below(config.logical_pages() / 3);
+    const ftl::IoRequest req{t++, true, SectorRange::of(p * spp, spp)};
+    a.submit(req);
+    b.submit(req);
+  }
+  EXPECT_EQ(a.stats().faults().program_faults,
+            b.stats().faults().program_faults);
+  EXPECT_EQ(a.stats().faults().erase_faults, b.stats().faults().erase_faults);
+  EXPECT_EQ(a.stats().faults().read_retries, b.stats().faults().read_retries);
+  EXPECT_EQ(a.stats().flash_writes(), b.stats().flash_writes());
+  EXPECT_EQ(a.stats().erases(), b.stats().erases());
+}
+
+TEST_P(FaultChurn, ZeroRatesMatchFaultFreeDeviceExactly) {
+  // The fault seed must be irrelevant when every rate is zero: the model
+  // never draws, so a zero-rate device is bit-for-bit the fault-free one.
+  auto seeded = test::tiny_config();
+  seeded.faults.seed = 0xDEAD;
+  sim::Ssd a(test::tiny_config(), GetParam());
+  sim::Ssd b(seeded, GetParam());
+  const auto spp = seeded.geometry.sectors_per_page();
+  Rng rng(8);
+  SimTime t = 0;
+  SimTime done_a = 0, done_b = 0;
+  for (int i = 0; i < 6'000; ++i) {
+    const std::uint64_t p = rng.below(seeded.logical_pages() / 3);
+    const ftl::IoRequest req{t++, true, SectorRange::of(p * spp, spp)};
+    done_a = a.submit(req).done;
+    done_b = b.submit(req).done;
+  }
+  EXPECT_EQ(done_a, done_b);
+  EXPECT_EQ(a.stats().flash_writes(), b.stats().flash_writes());
+  EXPECT_EQ(a.stats().flash_reads(), b.stats().flash_reads());
+  EXPECT_EQ(a.stats().erases(), b.stats().erases());
+  EXPECT_EQ(a.stats().faults().total_faults(), 0u);
+  EXPECT_EQ(b.stats().faults().total_faults(), 0u);
+}
+
+TEST_P(FaultChurn, SpareExhaustionDegradesToReadOnly) {
+  auto config = test::tiny_config();
+  // Every erase fails: retirement marches until the degradation floor.
+  // A high GC threshold raises the floor so read-only engages long before
+  // the plane could physically run out of blocks.
+  config.faults.erase_fail = 1.0;
+  config.faults.seed = 7;
+  config.gc_threshold = 0.5;
+
+  sim::Ssd ssd(config, GetParam());
+  const auto spp = config.geometry.sectors_per_page();
+  const std::uint64_t footprint_pages = config.logical_pages() / 8;
+
+  Rng rng(21);
+  SimTime t = 0;
+  int submitted = 0;
+  for (; submitted < 20'000 && !ssd.engine().read_only(); ++submitted) {
+    const std::uint64_t p = rng.below(footprint_pages);
+    ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
+  }
+  ASSERT_TRUE(ssd.engine().read_only())
+      << "device never degraded after " << submitted << " writes";
+  EXPECT_EQ(ssd.stats().faults().read_only_entries, 1u);
+  EXPECT_GT(ssd.stats().faults().retired_blocks, 0u);
+
+  // Writes are refused without simulated cost; reads still work.
+  const auto rejected = ssd.submit({t++, true, SectorRange::of(0, spp)});
+  EXPECT_FALSE(rejected.accepted);
+  EXPECT_EQ(rejected.latency, 0u);
+  EXPECT_GT(ssd.stats().faults().rejected_writes, 0u);
+  const auto read = ssd.submit({t++, false, SectorRange::of(0, spp)});
+  EXPECT_TRUE(read.accepted);
+
+  // No data accepted before the degradation was lost.
+  test::verify_full_space(ssd);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, FaultChurn,
+                         ::testing::Values(ftl::SchemeKind::kPageFtl,
+                                           ftl::SchemeKind::kMrsm,
+                                           ftl::SchemeKind::kAcrossFtl),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case ftl::SchemeKind::kPageFtl: return "PageFtl";
+                             case ftl::SchemeKind::kMrsm: return "Mrsm";
+                             case ftl::SchemeKind::kAcrossFtl: return "Across";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace af

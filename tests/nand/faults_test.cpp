@@ -1,0 +1,114 @@
+// FaultModel contract tests: seeded determinism (the property every
+// reproducible fault bench rests on), zero-rate inertness, the wear ramp,
+// and read-retry bounding.
+#include "nand/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace af::nand {
+namespace {
+
+FaultConfig lossy(std::uint64_t seed) {
+  FaultConfig cfg;
+  cfg.program_fail = 0.3;
+  cfg.erase_fail = 0.2;
+  cfg.read_fail = 0.4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Drives a fixed interleaved query sequence and records every answer.
+std::vector<std::uint64_t> schedule_of(FaultModel& model) {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    out.push_back(model.program_fails(i % 7) ? 1 : 0);
+    out.push_back(model.erase_fails(i % 5) ? 1 : 0);
+    out.push_back(model.read_retries());
+  }
+  return out;
+}
+
+TEST(FaultModel, SameSeedSameSchedule) {
+  FaultModel a(lossy(123));
+  FaultModel b(lossy(123));
+  EXPECT_EQ(schedule_of(a), schedule_of(b));
+}
+
+TEST(FaultModel, DifferentSeedDifferentSchedule) {
+  FaultModel a(lossy(123));
+  FaultModel b(lossy(124));
+  EXPECT_NE(schedule_of(a), schedule_of(b));
+}
+
+TEST(FaultModel, ZeroRatesNeverFail) {
+  FaultModel model{FaultConfig{}};
+  EXPECT_FALSE(model.enabled());
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(model.program_fails(i));
+    EXPECT_FALSE(model.erase_fails(i));
+    EXPECT_EQ(model.read_retries(), 0u);
+  }
+}
+
+TEST(FaultModel, DisabledClassDoesNotPerturbEnabledOne) {
+  // Querying a zero-rate class must not consume RNG state: the program-fault
+  // schedule is identical whether or not erase checks are interleaved.
+  FaultConfig cfg;
+  cfg.program_fail = 0.5;
+  cfg.seed = 9;
+  FaultModel plain(cfg);
+  FaultModel interleaved(cfg);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(interleaved.erase_fails(3));   // erase_fail == 0: no draw
+    EXPECT_EQ(interleaved.read_retries(), 0u);  // read_fail == 0: no draw
+    EXPECT_EQ(plain.program_fails(0), interleaved.program_fails(0));
+  }
+}
+
+TEST(FaultModel, WearRampRaisesProbability) {
+  FaultConfig cfg;
+  cfg.program_fail = 0.001;
+  cfg.wear_slope = 0.01;
+  cfg.wear_onset = 100;
+  FaultModel model(cfg);
+  EXPECT_DOUBLE_EQ(model.wear_ramped(cfg.program_fail, 0), 0.001);
+  EXPECT_DOUBLE_EQ(model.wear_ramped(cfg.program_fail, 100), 0.001);
+  EXPECT_DOUBLE_EQ(model.wear_ramped(cfg.program_fail, 150), 0.001 + 0.5);
+  // Clamped at certainty for very old blocks.
+  EXPECT_DOUBLE_EQ(model.wear_ramped(cfg.program_fail, 1000000), 1.0);
+}
+
+TEST(FaultModel, WornBlocksFailMoreOften) {
+  FaultConfig cfg;
+  cfg.program_fail = 0.01;
+  cfg.wear_slope = 0.002;
+  cfg.wear_onset = 50;
+  cfg.seed = 77;
+  FaultModel model(cfg);
+  int young_fails = 0, old_fails = 0;
+  for (int i = 0; i < 4000; ++i) {
+    if (model.program_fails(0)) ++young_fails;
+    if (model.program_fails(400)) ++old_fails;
+  }
+  EXPECT_GT(old_fails, young_fails * 10);
+}
+
+TEST(FaultModel, ReadRetriesBounded) {
+  FaultConfig cfg;
+  cfg.read_fail = 0.99;
+  cfg.max_read_retries = 3;
+  cfg.seed = 5;
+  FaultModel model(cfg);
+  bool saw_cap = false;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint32_t r = model.read_retries();
+    EXPECT_LE(r, 3u);
+    saw_cap |= (r == 3u);
+  }
+  EXPECT_TRUE(saw_cap);
+}
+
+}  // namespace
+}  // namespace af::nand

@@ -27,7 +27,7 @@ TEST(FlashArray, StartsAllFree) {
 
 TEST(FlashArray, ProgramTransitions) {
   FlashArray array(tiny_geom());
-  array.program(Ppn{0}, PageOwner::data(Lpn{7}));
+  (void)array.program(Ppn{0}, PageOwner::data(Lpn{7}));
   EXPECT_EQ(array.state(Ppn{0}), PageState::kValid);
   EXPECT_EQ(array.owner(Ppn{0}), PageOwner::data(Lpn{7}));
   EXPECT_EQ(array.counters().programs, 1u);
@@ -38,28 +38,28 @@ TEST(FlashArray, ProgramTransitions) {
 
 TEST(FlashArray, InOrderProgrammingEnforced) {
   FlashArray array(tiny_geom());
-  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
-  array.program(Ppn{1}, PageOwner::data(Lpn{1}));
-  EXPECT_DEATH(array.program(Ppn{3}, PageOwner::data(Lpn{2})),
+  (void)array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  (void)array.program(Ppn{1}, PageOwner::data(Lpn{1}));
+  EXPECT_DEATH((void)array.program(Ppn{3}, PageOwner::data(Lpn{2})),
                "programmed in order");
 }
 
 TEST(FlashArray, DoubleProgramAborts) {
   FlashArray array(tiny_geom());
-  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
-  EXPECT_DEATH(array.program(Ppn{0}, PageOwner::data(Lpn{1})), "non-free");
+  (void)array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  EXPECT_DEATH((void)array.program(Ppn{0}, PageOwner::data(Lpn{1})), "non-free");
 }
 
 TEST(FlashArray, InvalidateAndErase) {
   FlashArray array(tiny_geom());
   for (std::uint64_t p = 0; p < 4; ++p) {
-    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+    (void)array.program(Ppn{p}, PageOwner::data(Lpn{p}));
   }
   for (std::uint64_t p = 0; p < 4; ++p) array.invalidate(Ppn{p});
   EXPECT_EQ(array.counters().invalid_pages, 4u);
   EXPECT_EQ(array.block(0).valid_pages, 0u);
 
-  array.erase_block(0);
+  (void)array.erase_block(0);
   EXPECT_EQ(array.counters().erases, 1u);
   EXPECT_EQ(array.block(0).erase_count, 1u);
   EXPECT_EQ(array.block(0).written, 0u);
@@ -67,14 +67,14 @@ TEST(FlashArray, InvalidateAndErase) {
   EXPECT_EQ(array.counters().free_pages, 32u);
 
   // Block is reusable after erase, starting from page 0 again.
-  array.program(Ppn{0}, PageOwner::data(Lpn{9}));
+  (void)array.program(Ppn{0}, PageOwner::data(Lpn{9}));
   EXPECT_EQ(array.state(Ppn{0}), PageState::kValid);
 }
 
 TEST(FlashArray, EraseWithLivePagesAborts) {
   FlashArray array(tiny_geom());
-  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
-  EXPECT_DEATH(array.erase_block(0), "valid pages");
+  (void)array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  EXPECT_DEATH((void)array.erase_block(0), "valid pages");
 }
 
 TEST(FlashArray, InvalidateNonValidAborts) {
@@ -85,10 +85,10 @@ TEST(FlashArray, InvalidateNonValidAborts) {
 TEST(FlashArray, WriteFrontier) {
   FlashArray array(tiny_geom());
   EXPECT_EQ(array.write_frontier(0), Ppn{0});
-  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  (void)array.program(Ppn{0}, PageOwner::data(Lpn{0}));
   EXPECT_EQ(array.write_frontier(0), Ppn{1});
   for (std::uint64_t p = 1; p < 4; ++p) {
-    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+    (void)array.program(Ppn{p}, PageOwner::data(Lpn{p}));
   }
   EXPECT_FALSE(array.write_frontier(0).valid());  // block full
 }
@@ -96,7 +96,7 @@ TEST(FlashArray, WriteFrontier) {
 TEST(FlashArray, ValidPagesIn) {
   FlashArray array(tiny_geom());
   for (std::uint64_t p = 0; p < 3; ++p) {
-    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+    (void)array.program(Ppn{p}, PageOwner::data(Lpn{p}));
   }
   array.invalidate(Ppn{1});
   const auto valid = array.valid_pages_in(0);
@@ -108,7 +108,7 @@ TEST(FlashArray, ValidPagesIn) {
 TEST(FlashArray, UsedAndValidFractions) {
   FlashArray array(tiny_geom());
   for (std::uint64_t p = 0; p < 8; ++p) {
-    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+    (void)array.program(Ppn{p}, PageOwner::data(Lpn{p}));
   }
   array.invalidate(Ppn{0});
   EXPECT_DOUBLE_EQ(array.used_fraction(), 8.0 / 32.0);
@@ -118,17 +118,17 @@ TEST(FlashArray, UsedAndValidFractions) {
 TEST(FlashArray, StampsRoundTripAndClearOnErase) {
   FlashArray array(tiny_geom(), /*track_payload=*/true);
   ASSERT_TRUE(array.tracks_payload());
-  array.program(Ppn{0}, PageOwner::data(Lpn{0}));
+  (void)array.program(Ppn{0}, PageOwner::data(Lpn{0}));
   array.set_stamp(Ppn{0}, 3, 0xabcd);
   EXPECT_EQ(array.stamp(Ppn{0}, 3), 0xabcdu);
   EXPECT_EQ(array.stamp(Ppn{0}, 4), 0u);
 
   array.invalidate(Ppn{0});
   for (std::uint64_t p = 1; p < 4; ++p) {
-    array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+    (void)array.program(Ppn{p}, PageOwner::data(Lpn{p}));
     array.invalidate(Ppn{p});
   }
-  array.erase_block(0);
+  (void)array.erase_block(0);
   EXPECT_EQ(array.stamp(Ppn{0}, 3), 0u);  // erase clears cells
 }
 
@@ -140,11 +140,85 @@ TEST(FlashArray, PayloadDisabledByDefault) {
 
 TEST(FlashArray, MaxEraseCount) {
   FlashArray array(tiny_geom());
-  array.erase_block(2);
-  array.erase_block(2);
-  array.erase_block(5);
+  (void)array.erase_block(2);
+  (void)array.erase_block(2);
+  (void)array.erase_block(5);
   EXPECT_EQ(array.max_erase_count(), 2u);
   EXPECT_EQ(array.total_erases(), 3u);
+}
+
+TEST(FlashArray, ProgramFaultLeavesTornPage) {
+  FaultConfig faults;
+  faults.program_fail = 1.0;  // every program tears
+  FlashArray array(tiny_geom(), /*track_payload=*/false, faults);
+  EXPECT_FALSE(array.program(Ppn{0}, PageOwner::data(Lpn{0})));
+  // The program cycle and frontier were consumed; the page holds nothing.
+  EXPECT_EQ(array.state(Ppn{0}), PageState::kInvalid);
+  EXPECT_EQ(array.owner(Ppn{0}), PageOwner{});
+  EXPECT_EQ(array.block(0).written, 1u);
+  EXPECT_EQ(array.block(0).valid_pages, 0u);
+  EXPECT_EQ(array.counters().programs, 1u);
+  EXPECT_EQ(array.counters().program_faults, 1u);
+  EXPECT_EQ(array.counters().invalid_pages, 1u);
+  EXPECT_EQ(array.counters().valid_pages, 0u);
+  // The torn page is reclaimed by a normal erase.
+  EXPECT_TRUE(array.erase_block(0));
+  EXPECT_EQ(array.state(Ppn{0}), PageState::kFree);
+}
+
+TEST(FlashArray, EraseFaultRetiresBlock) {
+  FaultConfig faults;
+  faults.erase_fail = 1.0;  // every erase bricks its block
+  FlashArray array(tiny_geom(), /*track_payload=*/false, faults);
+  EXPECT_TRUE(array.program(Ppn{0}, PageOwner::data(Lpn{0})));
+  array.invalidate(Ppn{0});
+
+  EXPECT_FALSE(array.erase_block(0));
+  EXPECT_TRUE(array.retired(0));
+  EXPECT_EQ(array.counters().erase_faults, 1u);
+  EXPECT_EQ(array.counters().erases, 0u);  // failed erase is not an erase
+  EXPECT_EQ(array.counters().retired_blocks, 1u);
+  EXPECT_EQ(array.counters().retired_pages, 4u);
+  // Retirement accounting conserves page states: 1 invalid + 3 free left
+  // service, nothing else moved.
+  EXPECT_EQ(array.counters().invalid_pages, 0u);
+  EXPECT_EQ(array.counters().free_pages, 32u - 4u);
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(array.state(Ppn{p}), PageState::kRetired);
+  }
+  // A retired block offers no frontier and rejects further operations.
+  EXPECT_FALSE(array.write_frontier(0).valid());
+  EXPECT_DEATH((void)array.erase_block(0), "retired");
+}
+
+TEST(FlashArray, ExplicitRetirementAccounting) {
+  FlashArray array(tiny_geom());
+  EXPECT_TRUE(array.program(Ppn{0}, PageOwner::data(Lpn{0})));
+  array.invalidate(Ppn{0});
+  array.retire_block(0);
+  EXPECT_TRUE(array.retired(0));
+  EXPECT_EQ(array.counters().retired_blocks, 1u);
+  EXPECT_EQ(array.counters().retired_pages, 4u);
+  EXPECT_EQ(array.counters().free_pages + array.counters().valid_pages +
+                array.counters().invalid_pages +
+                array.counters().retired_pages,
+            32u);
+  EXPECT_DEATH(array.retire_block(0), "double retirement");
+}
+
+TEST(FlashArray, RetireBlockWithLiveDataAborts) {
+  FlashArray array(tiny_geom());
+  EXPECT_TRUE(array.program(Ppn{0}, PageOwner::data(Lpn{0})));
+  EXPECT_DEATH(array.retire_block(0), "valid pages");
+}
+
+TEST(FlashArray, RetirementClearsStamps) {
+  FlashArray array(tiny_geom(), /*track_payload=*/true);
+  EXPECT_TRUE(array.program(Ppn{0}, PageOwner::data(Lpn{0})));
+  array.set_stamp(Ppn{0}, 0, 0x77);
+  array.invalidate(Ppn{0});
+  array.retire_block(0);
+  EXPECT_EQ(array.stamp(Ppn{0}, 0), 0u);
 }
 
 TEST(FlashArray, WearSummary) {
@@ -154,9 +228,9 @@ TEST(FlashArray, WearSummary) {
   EXPECT_EQ(fresh.max, 0u);
   EXPECT_EQ(fresh.spread(), 0u);
 
-  array.erase_block(0);
-  array.erase_block(0);
-  array.erase_block(3);
+  (void)array.erase_block(0);
+  (void)array.erase_block(0);
+  (void)array.erase_block(3);
   const auto worn = array.wear();
   EXPECT_EQ(worn.min, 0u);
   EXPECT_EQ(worn.max, 2u);
