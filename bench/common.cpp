@@ -2,7 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
+#include "common/thread_pool.h"
 #include "trace/profiles.h"
 #include "trace/synth.h"
 
@@ -17,6 +19,11 @@ const Knobs& knobs() {
     if (const char* blocks = std::getenv("ACROSS_FTL_BENCH_BLOCKS")) {
       k.blocks_per_plane =
           static_cast<std::uint32_t>(std::strtoul(blocks, nullptr, 10));
+    }
+    k.jobs = std::max(1u, std::thread::hardware_concurrency());
+    if (const char* jobs = std::getenv("ACROSS_FTL_BENCH_JOBS")) {
+      k.jobs = std::max(1u, static_cast<unsigned>(
+                                std::strtoul(jobs, nullptr, 10)));
     }
     return k;
   }();
@@ -39,12 +46,32 @@ trace::Trace lun_trace(std::size_t idx, std::uint64_t addressable) {
 }
 
 std::vector<trace::ReplayResult> run_schemes(const ssd::SsdConfig& config,
-                                             const trace::Trace& tr) {
-  std::vector<trace::ReplayResult> results;
-  results.reserve(all_schemes().size());
-  for (auto kind : all_schemes()) {
-    results.push_back(trace::replay(config, kind, tr));
-  }
+                                             const trace::Trace& tr,
+                                             unsigned jobs) {
+  if (jobs == 0) jobs = knobs().jobs;
+  const auto& schemes = all_schemes();
+  std::vector<trace::ReplayResult> results(schemes.size());
+  // Each replay owns a fresh device and writes only its own result slot, so
+  // the fan-out is free of shared state and the output is independent of the
+  // thread count (jobs=1 runs the exact sequential loop).
+  parallel_for(schemes.size(), jobs, [&](std::uint64_t i) {
+    results[i] = trace::replay(config, schemes[i], tr);
+  });
+  return results;
+}
+
+std::vector<std::vector<trace::ReplayResult>> replay_grid(
+    const ssd::SsdConfig& config, const std::vector<trace::Trace>& traces,
+    unsigned jobs) {
+  if (jobs == 0) jobs = knobs().jobs;
+  const auto& schemes = all_schemes();
+  std::vector<std::vector<trace::ReplayResult>> results(traces.size());
+  for (auto& row : results) row.resize(schemes.size());
+  parallel_for(traces.size() * schemes.size(), jobs, [&](std::uint64_t cell) {
+    const std::uint64_t t = cell / schemes.size();
+    const std::uint64_t s = cell % schemes.size();
+    results[t][s] = trace::replay(config, schemes[s], traces[t]);
+  });
   return results;
 }
 

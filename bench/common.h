@@ -4,8 +4,12 @@
 // Runtime knobs (environment):
 //   ACROSS_FTL_BENCH_REQS    requests per trace      (default 40000)
 //   ACROSS_FTL_BENCH_BLOCKS  blocks per plane        (default 32)
-// Raise both to approach the paper's full-scale runs; the published traces
-// have 633k-868k requests each (Table 2).
+//   ACROSS_FTL_BENCH_JOBS    parallel replay threads (default: hardware
+//                            concurrency; 1 = fully sequential)
+// Raise the first two to approach the paper's full-scale runs; the published
+// traces have 633k-868k requests each (Table 2). Every replay runs on its own
+// fresh device and results are collected in deterministic order, so the jobs
+// knob changes wall-clock time only, never any simulated counter.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +27,7 @@ namespace af::bench {
 struct Knobs {
   std::uint64_t requests = 40'000;
   std::uint32_t blocks_per_plane = 32;
+  unsigned jobs = 1;
 };
 
 /// Reads the environment knobs (once).
@@ -45,9 +50,20 @@ inline const std::vector<ftl::SchemeKind>& all_schemes() {
   return kSchemes;
 }
 
-/// Replays `tr` on a fresh aged device per scheme.
+/// Replays `tr` on a fresh aged device per scheme, fanning the schemes out
+/// over `jobs` threads (0 = use the knob). Result order is fixed
+/// (all_schemes() order) regardless of the thread count.
 std::vector<trace::ReplayResult> run_schemes(const ssd::SsdConfig& config,
-                                             const trace::Trace& tr);
+                                             const trace::Trace& tr,
+                                             unsigned jobs = 0);
+
+/// Replays every (trace, scheme) cell of the grid in parallel; the figure
+/// benches build on this so the whole grid shares one thread pool instead of
+/// parallelising only within a trace. results[t][s] corresponds to
+/// traces[t] under all_schemes()[s], independent of the thread count.
+std::vector<std::vector<trace::ReplayResult>> replay_grid(
+    const ssd::SsdConfig& config, const std::vector<trace::Trace>& traces,
+    unsigned jobs = 0);
 
 /// Prints the bench banner: experiment id + Table-1 style settings.
 void print_header(const std::string& title, const ssd::SsdConfig& config);

@@ -20,9 +20,14 @@ int main() {
   Table total_t({"trace", "FTL (ks)", "MRSM", "Across-FTL"});
   double write_gain_sum = 0, read_gain_sum = 0, io_gain_sum = 0;
 
+  std::vector<trace::Trace> traces;
   for (std::size_t i = 0; i < trace::table2_targets().size(); ++i) {
-    const auto tr = bench::lun_trace(i, addressable);
-    const auto results = bench::run_schemes(config, tr);
+    traces.push_back(bench::lun_trace(i, addressable));
+  }
+  const auto grid = bench::replay_grid(config, traces);
+
+  for (std::size_t i = 0; i < trace::table2_targets().size(); ++i) {
+    const auto& results = grid[i];
     const auto& base = results[0];
     const char* name = trace::table2_targets()[i].name;
 

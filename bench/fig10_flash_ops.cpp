@@ -40,9 +40,16 @@ int main() {
   double mrsm_mapw = 0, across_mapw = 0, mrsm_mapr = 0, across_mapr = 0;
   double rmw_gain = 0;
 
+  // Materialise the whole trace grid up front so every (trace, scheme) cell
+  // replays concurrently; rows print in trace order regardless.
+  std::vector<trace::Trace> traces;
   for (std::size_t i = 0; i < trace::table2_targets().size(); ++i) {
-    const auto tr = bench::lun_trace(i, addressable);
-    const auto results = bench::run_schemes(config, tr);
+    traces.push_back(bench::lun_trace(i, addressable));
+  }
+  const auto grid = bench::replay_grid(config, traces);
+
+  for (std::size_t i = 0; i < trace::table2_targets().size(); ++i) {
+    const auto& results = grid[i];
     const char* name = trace::table2_targets()[i].name;
 
     auto total_w = [](const trace::ReplayResult& r) {

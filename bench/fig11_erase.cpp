@@ -17,9 +17,14 @@ int main() {
                "wear spread (F/M/A)"});
   double gain_ftl = 0, gain_mrsm = 0;
 
+  std::vector<trace::Trace> traces;
   for (std::size_t i = 0; i < trace::table2_targets().size(); ++i) {
-    const auto tr = bench::lun_trace(i, addressable);
-    const auto results = bench::run_schemes(config, tr);
+    traces.push_back(bench::lun_trace(i, addressable));
+  }
+  const auto grid = bench::replay_grid(config, traces);
+
+  for (std::size_t i = 0; i < trace::table2_targets().size(); ++i) {
+    const auto& results = grid[i];
 
     const auto base = static_cast<double>(results[0].stats.erases());
     const auto mrsm = static_cast<double>(results[1].stats.erases());

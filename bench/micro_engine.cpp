@@ -3,9 +3,13 @@
 // fast the figure benches can replay traces.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "common.h"
 #include "common/rng.h"
 #include "sim/ssd.h"
+#include "ssd/engine.h"
 
 namespace {
 
@@ -85,6 +89,69 @@ void BM_MapDirectoryTouch(benchmark::State& state) {
 // Small span: pure CMT hits. Large span (the scheme's whole translation
 // table, exceeding the cache): miss/evict traffic.
 BENCHMARK(BM_MapDirectoryTouch)->Arg(4)->Arg(12);
+
+/// One-plane engine filled below the GC trigger with ~half its pages dead:
+/// a realistic victim-weight distribution with no GC in the way. The
+/// constant-full oracle forces the legacy scan to rescore every page per
+/// pick — the O(blocks x pages) cost the weight index removes.
+std::unique_ptr<ssd::Engine> victim_engine(std::uint32_t blocks,
+                                           std::vector<Ppn>* leftover) {
+  auto config = ssd::SsdConfig::paper(8, blocks);
+  config.geometry.channels = 1;
+  config.geometry.chips_per_channel = 1;
+  config.geometry.dies_per_chip = 1;
+  config.geometry.planes_per_die = 1;
+  config.track_payload = false;
+  auto engine = std::make_unique<ssd::Engine>(config);
+  engine->set_victim_weight(
+      [](Ppn) { return ssd::Engine::kFullPageWeight; });
+  const std::uint32_t ppb = config.geometry.pages_per_block;
+  const std::uint32_t fill = blocks - engine->plane_trigger_blocks(0) - 4;
+  Rng rng(21);
+  std::uint64_t lpn = 0;
+  leftover->clear();
+  for (std::uint64_t i = 0; i < std::uint64_t{fill} * ppb; ++i) {
+    const Ppn ppn = engine
+                        ->flash_program(ssd::Stream::kData,
+                                        nand::PageOwner::data(Lpn{lpn++}),
+                                        ssd::OpKind::kDataWrite, 0)
+                        .ppn;
+    if (rng.chance(0.5)) {
+      engine->invalidate(ppn);
+    } else {
+      leftover->push_back(ppn);
+    }
+  }
+  return engine;
+}
+
+/// Legacy path: full block scan with per-page rescoring on every pick.
+void BM_PickVictimScan(benchmark::State& state) {
+  std::vector<Ppn> pages;
+  auto engine = victim_engine(static_cast<std::uint32_t>(state.range(0)),
+                              &pages);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    if (next < pages.size()) engine->invalidate(pages[next++]);
+    benchmark::DoNotOptimize(engine->pick_victim_scan(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PickVictimScan)->Arg(32)->Arg(256);
+
+/// Indexed path: lazy min-heap over incrementally maintained block weights.
+void BM_PickVictimIndexed(benchmark::State& state) {
+  std::vector<Ppn> pages;
+  auto engine = victim_engine(static_cast<std::uint32_t>(state.range(0)),
+                              &pages);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    if (next < pages.size()) engine->invalidate(pages[next++]);
+    benchmark::DoNotOptimize(engine->pick_victim(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PickVictimIndexed)->Arg(32)->Arg(256);
 
 void BM_GcChurn(benchmark::State& state) {
   sim::Ssd ssd(micro_config(), ftl::SchemeKind::kPageFtl);

@@ -1,0 +1,235 @@
+// Wall-clock perf harness — the simulator's own speed, not the paper's
+// metrics. Measures (a) trace-replay throughput per scheme in simulated
+// requests per wall-clock second, with the engine's GC victim-selection work
+// counters, and (b) a victim-selection microbenchmark pitting the legacy
+// full-scan path (pick_victim_scan, kept as the reference implementation)
+// against the incremental weight-indexed path (pick_victim) on one plane.
+// Emits machine-readable BENCH_perf.json so the perf trajectory is tracked
+// across PRs.
+//
+// Knobs: ACROSS_FTL_BENCH_REQS / ACROSS_FTL_BENCH_BLOCKS as everywhere, plus
+//   ACROSS_FTL_PERF_JSON  output path (default BENCH_perf.json)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "common/rng.h"
+#include "ssd/engine.h"
+#include "trace/profiles.h"
+
+namespace {
+
+using namespace af;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ReplayRow {
+  std::string scheme;
+  double wall_s = 0;
+  std::uint64_t requests = 0;
+  trace::ReplayResult result;
+};
+
+struct VictimRow {
+  std::uint32_t blocks = 0;
+  std::uint64_t picks = 0;
+  double scan_ns_per_pick = 0;
+  double indexed_ns_per_pick = 0;
+
+  [[nodiscard]] double speedup() const {
+    return indexed_ns_per_pick > 0 ? scan_ns_per_pick / indexed_ns_per_pick
+                                   : 0;
+  }
+};
+
+/// One-plane engine filled below the GC trigger, with every other page
+/// invalidated — a GC-heavy weight distribution without GC interference.
+/// Returns the engine plus the valid pages left to invalidate while timing.
+std::unique_ptr<ssd::Engine> victim_bench_engine(std::uint32_t blocks,
+                                                 std::vector<Ppn>* leftover) {
+  auto config = ssd::SsdConfig::paper(8, blocks);
+  config.geometry.channels = 1;
+  config.geometry.chips_per_channel = 1;
+  config.geometry.dies_per_chip = 1;
+  config.geometry.planes_per_die = 1;
+  config.track_payload = false;
+  auto engine = std::make_unique<ssd::Engine>(config);
+  // A constant-full oracle forces the legacy path to rescan every page of
+  // every block per pick — the O(blocks x pages) shape this PR removes.
+  engine->set_victim_weight(
+      [](Ppn) { return ssd::Engine::kFullPageWeight; });
+
+  const std::uint32_t ppb = config.geometry.pages_per_block;
+  const std::uint32_t fill =
+      blocks - engine->plane_trigger_blocks(0) - 4;  // stay GC-free
+  std::vector<Ppn> pages;
+  pages.reserve(std::uint64_t{fill} * ppb);
+  std::uint64_t lpn = 0;
+  for (std::uint64_t i = 0; i < std::uint64_t{fill} * ppb; ++i) {
+    pages.push_back(engine
+                        ->flash_program(ssd::Stream::kData,
+                                        nand::PageOwner::data(Lpn{lpn++}),
+                                        ssd::OpKind::kDataWrite, 0)
+                        .ppn);
+  }
+  Rng rng(21);
+  leftover->clear();
+  for (Ppn p : pages) {
+    if (rng.chance(0.5)) {
+      engine->invalidate(p);
+    } else {
+      leftover->push_back(p);
+    }
+  }
+  return engine;
+}
+
+VictimRow victim_select_bench(std::uint32_t blocks, std::uint64_t max_picks) {
+  VictimRow row;
+  row.blocks = blocks;
+
+  std::vector<Ppn> pages;
+  std::uint64_t sink = 0;  // defeats dead-code elimination of the picks
+
+  // Legacy full scan: identical preparation, one pick per invalidation.
+  auto scan_engine = victim_bench_engine(blocks, &pages);
+  row.picks = std::min<std::uint64_t>(max_picks, pages.size());
+  double t0 = now_s();
+  for (std::uint64_t i = 0; i < row.picks; ++i) {
+    scan_engine->invalidate(pages[i]);
+    sink += scan_engine->pick_victim_scan(0);
+  }
+  row.scan_ns_per_pick =
+      (now_s() - t0) * 1e9 / static_cast<double>(row.picks);
+
+  // Indexed path, same workload on a fresh identical engine.
+  auto index_engine = victim_bench_engine(blocks, &pages);
+  t0 = now_s();
+  for (std::uint64_t i = 0; i < row.picks; ++i) {
+    index_engine->invalidate(pages[i]);
+    sink += index_engine->pick_victim(0);
+  }
+  row.indexed_ns_per_pick =
+      (now_s() - t0) * 1e9 / static_cast<double>(row.picks);
+
+  if (sink == 0xdeadbeef) std::printf("\n");  // keep `sink` observable
+  return row;
+}
+
+void write_json(const std::string& path, const ssd::SsdConfig& config,
+                const char* trace_name, const std::vector<ReplayRow>& rows,
+                const std::vector<VictimRow>& victims) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_replay: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"config\": {\"requests\": %llu, \"blocks_per_plane\": %u, "
+               "\"jobs\": %u, \"trace\": \"%s\"},\n",
+               static_cast<unsigned long long>(bench::knobs().requests),
+               config.geometry.blocks_per_plane, bench::knobs().jobs,
+               trace_name);
+  std::fprintf(f, "  \"replays\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    const auto& perf = row.result.gc_perf;
+    std::fprintf(
+        f,
+        "    {\"scheme\": \"%s\", \"wall_s\": %.3f, "
+        "\"requests_per_s\": %.0f, \"gc_runs\": %llu, "
+        "\"erases\": %llu, \"victim_picks\": %llu, "
+        "\"heap_pushes\": %llu, \"heap_pops\": %llu, "
+        "\"heap_rebuilds\": %llu, \"scan_picks\": %llu, "
+        "\"scan_blocks\": %llu}%s\n",
+        row.scheme.c_str(), row.wall_s,
+        static_cast<double>(row.requests) / row.wall_s,
+        static_cast<unsigned long long>(row.result.gc_runs),
+        static_cast<unsigned long long>(row.result.stats.erases()),
+        static_cast<unsigned long long>(perf.victim_picks),
+        static_cast<unsigned long long>(perf.heap_pushes),
+        static_cast<unsigned long long>(perf.heap_pops),
+        static_cast<unsigned long long>(perf.heap_rebuilds),
+        static_cast<unsigned long long>(perf.scan_picks),
+        static_cast<unsigned long long>(perf.scan_blocks),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"victim_select\": [\n");
+  for (std::size_t i = 0; i < victims.size(); ++i) {
+    const auto& v = victims[i];
+    std::fprintf(f,
+                 "    {\"blocks_per_plane\": %u, \"picks\": %llu, "
+                 "\"scan_ns_per_pick\": %.1f, \"indexed_ns_per_pick\": %.1f, "
+                 "\"speedup\": %.2f}%s\n",
+                 v.blocks, static_cast<unsigned long long>(v.picks),
+                 v.scan_ns_per_pick, v.indexed_ns_per_pick, v.speedup(),
+                 i + 1 < victims.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto config = bench::device(8);
+  bench::print_header("perf_replay: simulator wall-clock performance", config);
+  const auto addressable = bench::addressable_sectors(config);
+
+  // (a) Replay throughput, one scheme at a time so each timing is clean.
+  const char* trace_name = trace::table2_targets()[0].name;
+  const auto tr = bench::lun_trace(0, addressable);
+  std::vector<ReplayRow> rows;
+  Table replays({"scheme", "wall (s)", "req/s", "GC runs", "victim picks",
+                 "heap pushes", "heap pops"});
+  for (auto kind : bench::all_schemes()) {
+    ReplayRow row;
+    row.requests = tr.size();
+    const double t0 = now_s();
+    row.result = trace::replay(config, kind, tr);
+    row.wall_s = now_s() - t0;
+    row.scheme = row.result.scheme;
+    replays.add_row(
+        {row.scheme, Table::num(row.wall_s, 2),
+         Table::num(static_cast<double>(row.requests) / row.wall_s, 0),
+         Table::num(row.result.gc_runs), Table::num(row.result.gc_perf.victim_picks),
+         Table::num(row.result.gc_perf.heap_pushes),
+         Table::num(row.result.gc_perf.heap_pops)});
+    rows.push_back(std::move(row));
+  }
+  std::printf("(a) trace-replay throughput (trace %s)\n", trace_name);
+  replays.print(std::cout);
+
+  // (b) Victim selection: legacy scan vs weight index, per pick.
+  std::vector<VictimRow> victims;
+  Table picks({"blocks/plane", "picks", "scan ns/pick", "indexed ns/pick",
+               "speedup"});
+  for (std::uint32_t blocks :
+       {bench::knobs().blocks_per_plane, 8 * bench::knobs().blocks_per_plane}) {
+    const auto v = victim_select_bench(blocks, 2000);
+    picks.add_row({Table::num(std::uint64_t{v.blocks}), Table::num(v.picks),
+                   Table::num(v.scan_ns_per_pick, 1),
+                   Table::num(v.indexed_ns_per_pick, 1),
+                   Table::num(v.speedup(), 2) + "x"});
+    victims.push_back(v);
+  }
+  std::printf("\n(b) GC victim selection, one plane (scan = legacy path)\n");
+  picks.print(std::cout);
+
+  const char* json = std::getenv("ACROSS_FTL_PERF_JSON");
+  write_json(json != nullptr ? json : "BENCH_perf.json", config, trace_name,
+             rows, victims);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Minimal fixed-size worker pool for fanning out independent jobs (bench
+// replays, trace grids). Simulator state is strictly per-device, so replays
+// parallelise embarrassingly; the pool only supplies threads and a join.
+//
+// Determinism contract: tasks must write results into index-addressed slots
+// they own exclusively. The pool guarantees nothing about execution order —
+// callers that need the sequential result must make each task independent of
+// the others, which every bench replay already is (one fresh device each).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace af {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads) {
+    AF_CHECK_MSG(threads > 0, "thread pool needs at least one worker");
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished. A task that threw stops
+  /// the drain early-ish (remaining tasks still run) and its first exception
+  /// is rethrown here.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ with a drained queue
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --running_;
+        if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  unsigned running_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// Runs fn(0), …, fn(n-1) across up to `jobs` threads. jobs <= 1 runs inline
+/// on the calling thread in index order — byte-for-byte the sequential path,
+/// which is what the bench determinism checks compare against.
+inline void parallel_for(std::uint64_t n, unsigned jobs,
+                         const std::function<void(std::uint64_t)>& fn) {
+  if (n == 0) return;
+  if (jobs > n) jobs = static_cast<unsigned>(n);
+  if (jobs <= 1) {
+    for (std::uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(jobs);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait();
+}
+
+}  // namespace af

@@ -30,6 +30,31 @@ AcrossFtl::AcrossFtl(ssd::Engine& engine) : FtlScheme(engine) {
   const double bpp = engine.geometry().blocks_per_plane;
   pressure_watermark_ =
       1.0 - (static_cast<double>(engine.gc_trigger_blocks()) + 2.0) / bpp;
+
+  area_weight_on_ = engine.config().across.area_live_weight;
+  if (area_weight_on_) {
+    // Area pages shrink below a page of live sectors; score them by their
+    // remaining range so heavily-shrunk areas become preferred GC victims.
+    // This oracle is the pull-side ground truth; push_area_weight() keeps the
+    // engine's incremental accounting in lockstep with it.
+    engine.set_victim_weight([this](Ppn ppn) -> std::uint32_t {
+      const nand::PageOwner& owner = engine_.array().owner(ppn);
+      if (owner.kind == nand::PageOwner::Kind::kAcross) {
+        const auto aidx = static_cast<std::uint32_t>(owner.id);
+        if (aidx < amt_.size() && amt_[aidx].live && amt_[aidx].appn == ppn) {
+          return area_weight(amt_[aidx].range);
+        }
+      }
+      return ssd::Engine::kFullPageWeight;
+    });
+  }
+}
+
+void AcrossFtl::push_area_weight(std::uint32_t aidx) {
+  if (!area_weight_on_) return;
+  const AmtEntry& entry = amt_[aidx];
+  AF_CHECK(entry.live && entry.appn.valid());
+  engine_.note_page_weight(entry.appn, area_weight(entry.range));
 }
 
 bool AcrossFtl::under_pressure() const {
@@ -114,6 +139,7 @@ SimTime AcrossFtl::direct_write(SectorRange w, SimTime ready) {
   amt_[aidx].range = w;
   amt_[aidx].appn = programmed.ppn;
   amt_[aidx].slot_base = w.begin;
+  push_area_weight(aidx);
   for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
     pmt_[l].aidx = aidx;
   }
@@ -164,6 +190,7 @@ SimTime AcrossFtl::amerge(std::uint32_t aidx, SectorRange w, bool profitable,
   entry.range = merged;
   entry.appn = programmed.ppn;
   entry.slot_base = merged.begin;
+  push_area_weight(aidx);
 
   auto& across = engine_.stats().across();
   if (profitable) {
@@ -241,6 +268,7 @@ SimTime AcrossFtl::rollback(std::uint32_t aidx, std::optional<SectorRange> u,
         free_area(other);
       } else {
         oe.range = rem;
+        push_area_weight(other);
         pe.aidx = kNoArea;
       }
       ++engine_.stats().across().area_shrinks;
@@ -309,6 +337,7 @@ SimTime AcrossFtl::write_sub(const SubRequest& sub, SimTime ready) {
       free_area(aidx);
     } else {
       area.range = rem;
+      push_area_weight(aidx);
       pmt_[sub.lpn.get()].aidx = kNoArea;
     }
     ++engine_.stats().across().area_shrinks;
@@ -514,6 +543,7 @@ void AcrossFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
       AF_CHECK_MSG(amt_[aidx].live && amt_[aidx].appn == victim,
                    "GC/AMT desync");
       amt_[aidx].appn = moved.ppn;
+      push_area_weight(aidx);
       clock = touch_amt(aidx, /*dirty=*/true, clock);
       break;
     }

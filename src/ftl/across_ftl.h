@@ -122,6 +122,17 @@ class AcrossFtl final : public FtlScheme {
   [[nodiscard]] bool under_pressure() const;
   SimTime drain_one_area(SimTime ready);
 
+  // --- Area-aware victim weighting (config.across.area_live_weight) ----------
+  /// Weight of an area page carrying `range` live sectors.
+  [[nodiscard]] std::uint32_t area_weight(const SectorRange& range) const {
+    return static_cast<std::uint32_t>(range.size() *
+                                      ssd::Engine::kFullPageWeight /
+                                      pgeom_.sectors_per_page);
+  }
+  /// Pushes the area's current live weight into the engine's incremental
+  /// victim accounting. No-op unless area_live_weight is enabled.
+  void push_area_weight(std::uint32_t aidx);
+
   std::vector<PmtEntry> pmt_;
   std::vector<AmtEntry> amt_;
   std::vector<std::uint32_t> amt_free_;
@@ -135,6 +146,7 @@ class AcrossFtl final : public FtlScheme {
   std::uint64_t amt_entries_per_tpage_;
   std::uint64_t pmt_tpages_;
   std::uint64_t max_amt_entries_;
+  bool area_weight_on_ = false;  // snapshot of config.across.area_live_weight
 };
 
 }  // namespace af::ftl

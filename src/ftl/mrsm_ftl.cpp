@@ -11,6 +11,11 @@ constexpr std::uint64_t kPageEntryBytes = 4;
 // offset/size metadata the paper calls out ("a complicated mapping data
 // structure to record the offset and size information", §2.2).
 constexpr std::uint64_t kSubEntryBytes = 24;
+// GC victim weight of one live sub-page slot. Pushed into the engine's
+// incremental per-block accounting at every slot-liveness change; the
+// victim-weight oracle below must compute the same value.
+constexpr std::uint32_t kSlotWeight =
+    ssd::Engine::kFullPageWeight / MrsmFtl::kSubsPerPage;
 }  // namespace
 
 MrsmFtl::MrsmFtl(ssd::Engine& engine) : FtlScheme(engine) {
@@ -110,16 +115,24 @@ void MrsmFtl::retire_subloc(Lpn lpn, std::uint32_t sub) {
     PackedPage::Slot& slot = it->second.slots[loc.slot];
     AF_CHECK(slot.live && slot.lpn == lpn && slot.sub == sub);
     slot.live = false;
-    if (it->second.live_count() == 0) {
+    const std::uint32_t live = it->second.live_count();
+    if (live == 0) {
       engine_.invalidate(loc.ppn);
       packed_.erase(it);
+    } else {
+      engine_.note_page_weight(loc.ppn, live * kSlotWeight);
     }
     return;
   }
   // Page-mode-origin page (owner kData): it dies when no sub-page of its LPN
   // points at it any more.
+  std::uint32_t live = 0;
   for (std::uint32_t k = 0; k < kSubsPerPage; ++k) {
-    if (subs_[lpn.get()][k].ppn == loc.ppn) return;
+    live += (subs_[lpn.get()][k].ppn == loc.ppn) ? 1u : 0u;
+  }
+  if (live > 0) {
+    engine_.note_page_weight(loc.ppn, live * kSlotWeight);
+    return;
   }
   engine_.invalidate(loc.ppn);
 }
@@ -150,6 +163,8 @@ ssd::Engine::Programmed MrsmFtl::program_packed(std::span<const Chunk> chunks,
   // Unfilled slots are dead on arrival — the packing tax MRSM pays.
   const bool inserted = packed_.emplace(programmed.ppn.get(), dir).second;
   AF_CHECK_MSG(inserted, "stale packed-page directory entry");
+  engine_.note_page_weight(
+      programmed.ppn, static_cast<std::uint32_t>(chunks.size()) * kSlotWeight);
   return programmed;
 }
 
@@ -380,6 +395,8 @@ void MrsmFtl::flush_staged_group(std::uint64_t plane, SimTime& clock) {
   }
   const bool inserted = packed_.emplace(programmed.ppn.get(), dir).second;
   AF_CHECK_MSG(inserted, "stale packed-page directory entry");
+  engine_.note_page_weight(programmed.ppn,
+                           static_cast<std::uint32_t>(count) * kSlotWeight);
   staged_.erase(staged_.begin(),
                 staged_.begin() + static_cast<std::ptrdiff_t>(count));
 }

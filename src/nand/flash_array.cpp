@@ -132,14 +132,12 @@ Ppn FlashArray::write_frontier(std::uint64_t flat_block) const {
 }
 
 std::vector<Ppn> FlashArray::valid_pages_in(std::uint64_t flat_block) const {
-  AF_CHECK(flat_block < blocks_.size());
   std::vector<Ppn> out;
-  out.reserve(blocks_[flat_block].valid_pages);
-  const std::uint64_t first = flat_block * geom_.pages_per_block;
-  for (std::uint32_t p = 0; p < geom_.pages_per_block; ++p) {
-    Ppn ppn{first + p};
-    if (state(ppn) == PageState::kValid) out.push_back(ppn);
-  }
+  out.reserve(block(flat_block).valid_pages);
+  for_each_valid_page(flat_block, [&out](Ppn ppn) {
+    out.push_back(ppn);
+    return true;
+  });
   return out;
 }
 

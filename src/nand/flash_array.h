@@ -128,6 +128,23 @@ class FlashArray {
   /// Valid pages currently in a block, by page offset.
   [[nodiscard]] std::vector<Ppn> valid_pages_in(std::uint64_t flat_block) const;
 
+  /// Allocation-free variant of valid_pages_in: calls `fn(Ppn)` for each
+  /// valid page of the block in page order; `fn` returning false stops the
+  /// walk. Liveness is re-checked as each page is reached, so `fn` may
+  /// invalidate the page it was handed (the GC relocation pattern).
+  template <typename Fn>
+  void for_each_valid_page(std::uint64_t flat_block, Fn&& fn) const {
+    const BlockInfo& info = block(flat_block);
+    const std::uint64_t first = flat_block * geom_.pages_per_block;
+    for (std::uint32_t p = 0; p < info.written; ++p) {
+      const Ppn ppn{first + p};
+      if (pages_[static_cast<std::size_t>(ppn.get())] != PageState::kValid) {
+        continue;
+      }
+      if (!fn(ppn)) return;
+    }
+  }
+
   /// Fraction of all pages that are not free ("used", the paper's aging
   /// metric) and fraction that are valid.
   [[nodiscard]] double used_fraction() const;

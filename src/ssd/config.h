@@ -60,6 +60,11 @@ struct SsdConfig {
     /// Metadata-only area shrink when an overwrite covers one page's share;
     /// false rolls back instead.
     bool enable_shrink = true;
+    /// Score GC victims by each area page's live sector range instead of
+    /// treating every area page as fully live. Sharpens victim choice under
+    /// heavy shrinking, but changes which blocks GC picks — off by default
+    /// to keep results comparable with the paper-baseline runs.
+    bool area_live_weight = false;
   };
   AcrossPolicy across;
 

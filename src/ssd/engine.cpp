@@ -22,6 +22,14 @@ Engine::Engine(const SsdConfig& config)
     plane.gc_victim = kNoBlock;
     plane.retired = 0;
   }
+  page_weight_.assign(config_.geometry.total_pages(), 0);
+  cached_weight_.assign(planes * config_.geometry.blocks_per_plane, 0);
+  // victim_key() packs the block weight into bits [33, 63]; a block's weight
+  // tops out at pages_per_block * kFullPageWeight.
+  AF_CHECK_MSG(std::uint64_t{config_.geometry.pages_per_block} *
+                       kFullPageWeight <
+                   (std::uint64_t{1} << 31),
+               "block weight range overflows the victim-index key");
   AF_CHECK_MSG(gc_trigger_blocks() + 2 + config_.gc_reserve_blocks <
                    config_.geometry.blocks_per_plane,
                "GC threshold leaves no usable capacity");
@@ -62,14 +70,24 @@ Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
     }
     const SimTime done =
         timeline_.schedule_program(config_.geometry.decode(ppn), ready);
-    if (ok) return {ppn, done};
+    if (ok) {
+      // Fresh programs carry full weight until the owning scheme pushes a
+      // sub-page liveness via note_page_weight(). No victim-index push: the
+      // page's block is active, and re-indexes when it stops being so.
+      page_weight_[ppn.get()] = static_cast<std::uint16_t>(kFullPageWeight);
+      cached_weight_[config_.geometry.block_of(ppn)] += kFullPageWeight;
+      return {ppn, done};
+    }
     // Program failure: the array left the page torn (invalid, unowned).
     // Abandon the rest of the active block — its later pages are suspect
     // and NAND forbids re-programming earlier ones — and reallocate on a
     // fresh block, charging the wasted program time.
     ++stats_.faults().program_faults;
     ++stats_.faults().program_retries;
+    const std::uint32_t torn =
+        planes_[plane].active[static_cast<std::size_t>(stream)];
     planes_[plane].active[static_cast<std::size_t>(stream)] = kNoBlock;
+    push_victim_key(plane, torn);  // the abandoned block is a candidate now
     ready = done;
     AF_LOG_DEBUG("program fault on ppn %llu (attempt %u); reallocating",
                  static_cast<unsigned long long>(ppn.get()), attempt + 1);
@@ -97,7 +115,17 @@ Engine::Programmed Engine::flash_program(Stream stream, nand::PageOwner owner,
   return programmed;
 }
 
-void Engine::invalidate(Ppn ppn) { array_.invalidate(ppn); }
+void Engine::invalidate(Ppn ppn) {
+  const std::uint64_t flat = config_.geometry.block_of(ppn);
+  const std::uint32_t weight = page_weight_[ppn.get()];
+  page_weight_[ppn.get()] = 0;
+  AF_CHECK_MSG(cached_weight_[flat] >= weight, "block weight underflow");
+  cached_weight_[flat] -= weight;
+  array_.invalidate(ppn);
+  push_victim_key(config_.geometry.plane_of(ppn),
+                  static_cast<std::uint32_t>(
+                      flat % config_.geometry.blocks_per_plane));
+}
 
 SimTime Engine::map_touch(std::uint64_t map_page, bool dirty, SimTime ready) {
   AF_CHECK_MSG(map_ != nullptr, "init_map_space() not called");
@@ -168,7 +196,9 @@ Ppn Engine::take_frontier(std::uint64_t plane, Stream stream) {
         plane * config_.geometry.blocks_per_plane + active;
     const Ppn frontier = array_.write_frontier(flat);
     if (frontier.valid()) return frontier;
+    const std::uint32_t filled = active;
     active = kNoBlock;  // block filled up
+    push_victim_key(plane, filled);  // it just became a GC candidate
   }
   AF_CHECK_MSG(!st.free_blocks.empty(), "plane out of free blocks");
   active = st.free_blocks.back();
@@ -211,20 +241,115 @@ std::uint64_t Engine::block_weight(std::uint64_t flat_block) const {
     return std::uint64_t{info.valid_pages} * kFullPageWeight;
   }
   std::uint64_t weight = 0;
-  const std::uint64_t first = flat_block * config_.geometry.pages_per_block;
-  for (std::uint32_t p = 0; p < info.written; ++p) {
-    const Ppn ppn{first + p};
-    if (array_.state(ppn) == nand::PageState::kValid) {
-      weight += victim_weight_(ppn);
-    }
-  }
+  array_.for_each_valid_page(flat_block, [&](Ppn ppn) {
+    weight += victim_weight_(ppn);
+    return true;
+  });
   return weight;
 }
 
-std::uint32_t Engine::pick_victim(std::uint64_t plane) const {
+void Engine::note_page_weight(Ppn ppn, std::uint32_t live_weight) {
+  AF_CHECK_MSG(live_weight <= kFullPageWeight, "page weight above full");
+  AF_CHECK_MSG(array_.state(ppn) == nand::PageState::kValid,
+               "weight push for a non-valid page");
+  const std::uint32_t old = page_weight_[ppn.get()];
+  if (old == live_weight) return;  // key unchanged; heap entry still current
+  const std::uint64_t flat = config_.geometry.block_of(ppn);
+  page_weight_[ppn.get()] = static_cast<std::uint16_t>(live_weight);
+  cached_weight_[flat] = cached_weight_[flat] - old + live_weight;
+  push_victim_key(config_.geometry.plane_of(ppn),
+                  static_cast<std::uint32_t>(
+                      flat % config_.geometry.blocks_per_plane));
+}
+
+void Engine::push_victim_key(std::uint64_t plane, std::uint32_t block) {
+  // Active, retired and untouched blocks cannot be victims; each of those
+  // states re-pushes on exit (take_frontier / program_on fault abandonment;
+  // retirement and erasure are terminal or re-enter via programming).
+  if (is_active_block(plane, block)) return;
+  const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + block;
+  const nand::BlockInfo& info = array_.block(flat);
+  if (info.retired || info.written == 0) return;
+  auto& heap = planes_[plane].victim_heap;
+  heap.push_back(victim_key(cached_weight_[flat],
+                            info.fully_written(config_.geometry.pages_per_block),
+                            block));
+  std::push_heap(heap.begin(), heap.end(), std::greater<>{});
+  ++gc_perf_.heap_pushes;
+  // Stale snapshots accumulate between picks; sweep them when the heap far
+  // outgrows one entry per block.
+  const std::size_t cap = std::max<std::size_t>(
+      64, std::size_t{8} * config_.geometry.blocks_per_plane);
+  if (heap.size() > cap) rebuild_victim_heap(plane);
+}
+
+void Engine::rebuild_victim_heap(std::uint64_t plane) {
+  auto& heap = planes_[plane].victim_heap;
+  heap.clear();
+  for (std::uint32_t b = 0; b < config_.geometry.blocks_per_plane; ++b) {
+    if (is_active_block(plane, b)) continue;
+    const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + b;
+    const nand::BlockInfo& info = array_.block(flat);
+    if (info.retired || info.written == 0) continue;
+    heap.push_back(victim_key(
+        cached_weight_[flat],
+        info.fully_written(config_.geometry.pages_per_block), b));
+  }
+  std::make_heap(heap.begin(), heap.end(), std::greater<>{});
+  ++gc_perf_.heap_rebuilds;
+}
+
+std::uint32_t Engine::pick_victim(std::uint64_t plane) {
+  ++gc_perf_.victim_picks;
   const std::uint32_t pages_per_block = config_.geometry.pages_per_block;
   // A block whose live weight matches a full block yields nothing: migrating
   // its content consumes exactly what erasing reclaims (the livelock shape).
+  const std::uint64_t full_weight =
+      std::uint64_t{pages_per_block} * kFullPageWeight;
+  auto& heap = planes_[plane].victim_heap;
+  std::uint32_t best = kNoBlock;
+
+  // Lazy deletion: pop entries whose snapshot no longer matches the block's
+  // current key (or whose block stopped being a candidate). A non-active
+  // block's weight only decreases and its written count is frozen, so its
+  // *current* key is never above a stale snapshot — the first fresh entry is
+  // the true plane-wide minimum, reproducing the full scan's greedy choice.
+  while (!heap.empty()) {
+    const std::uint64_t top = heap.front();
+    const auto block = static_cast<std::uint32_t>(top & 0xffffffffu);
+    const std::uint64_t flat =
+        plane * config_.geometry.blocks_per_plane + block;
+    const nand::BlockInfo& info = array_.block(flat);
+    const bool candidate = !info.retired && info.written > 0 &&
+                           !is_active_block(plane, block);
+    if (!candidate ||
+        top != victim_key(cached_weight_[flat],
+                          info.fully_written(pages_per_block), block)) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<>{});
+      heap.pop_back();
+      ++gc_perf_.heap_pops;
+      continue;
+    }
+    // Fresh minimum. Left in the heap: until the block's state changes, the
+    // next pick answers from the same entry in O(1).
+    if ((top >> 33) < full_weight) best = block;
+    break;
+  }
+#if !defined(NDEBUG)
+  AF_CHECK_MSG(best == pick_victim_scan(plane),
+               "victim index diverged from the reference scan");
+  if (best != kNoBlock) {
+    const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + best;
+    AF_CHECK_MSG(cached_weight_[flat] == block_weight(flat),
+                 "victim's cached weight diverged from brute-force recompute");
+  }
+#endif
+  return best;
+}
+
+std::uint32_t Engine::pick_victim_scan(std::uint64_t plane) const {
+  ++gc_perf_.scan_picks;
+  const std::uint32_t pages_per_block = config_.geometry.pages_per_block;
   const std::uint64_t full_weight =
       std::uint64_t{pages_per_block} * kFullPageWeight;
   std::uint32_t best = kNoBlock;
@@ -232,6 +357,7 @@ std::uint32_t Engine::pick_victim(std::uint64_t plane) const {
   bool best_full = false;
 
   for (std::uint32_t b = 0; b < config_.geometry.blocks_per_plane; ++b) {
+    ++gc_perf_.scan_blocks;
     if (is_active_block(plane, b)) continue;
     const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + b;
     const nand::BlockInfo& info = array_.block(flat);
@@ -250,6 +376,26 @@ std::uint32_t Engine::pick_victim(std::uint64_t plane) const {
     }
   }
   return best;
+}
+
+void Engine::verify_victim_accounting() const {
+  const auto& geom = config_.geometry;
+  const std::uint64_t blocks = geom.total_planes() * geom.blocks_per_plane;
+  for (std::uint64_t flat = 0; flat < blocks; ++flat) {
+    AF_CHECK_MSG(cached_weight_[flat] == block_weight(flat),
+                 "cached block weight drifted from brute-force recompute");
+  }
+  for (std::uint64_t p = 0; p < geom.total_pages(); ++p) {
+    const Ppn ppn{p};
+    if (array_.state(ppn) == nand::PageState::kValid) {
+      const std::uint32_t expect =
+          victim_weight_ ? victim_weight_(ppn) : kFullPageWeight;
+      AF_CHECK_MSG(page_weight_[p] == expect,
+                   "page weight drifted from the victim-weight oracle");
+    } else {
+      AF_CHECK_MSG(page_weight_[p] == 0, "non-valid page carries live weight");
+    }
+  }
 }
 
 SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
@@ -275,8 +421,12 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
     const std::uint64_t flat =
         plane * config_.geometry.blocks_per_plane + victim;
 
-    for (Ppn live : array_.valid_pages_in(flat)) {
-      if (budget == 0) break;
+    // Allocation-free walk: liveness is checked as each page is visited,
+    // which matches the old snapshot iteration because relocation never
+    // invalidates a *sibling* page of the victim (streams keep blocks
+    // homogeneous, and every relocator touches only the page it was handed).
+    array_.for_each_valid_page(flat, [&](Ppn live) {
+      if (budget == 0) return false;
       --budget;
       const nand::PageOwner owner = array_.owner(live);
       if (owner.kind == nand::PageOwner::Kind::kMap) {
@@ -291,8 +441,11 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
       } else {
         relocator_(live, owner, clock);
       }
-    }
+      return true;
+    });
     if (array_.block(flat).valid_pages > 0) break;  // budget ran out mid-victim
+    AF_CHECK_MSG(cached_weight_[flat] == 0,
+                 "drained victim still carries cached live weight");
 
     clock = timeline_.schedule_erase(
         config_.geometry.decode(Ppn{flat * config_.geometry.pages_per_block}),

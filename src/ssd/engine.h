@@ -85,14 +85,28 @@ class Engine final : private MapIo {
   /// Weight of a fully-live valid page in victim scoring.
   static constexpr std::uint32_t kFullPageWeight = 256;
 
-  /// Optional victim-scoring hook: how much of a valid page is actually
-  /// live, in [0, kFullPageWeight]. Sub-page schemes (MRSM) return partial
-  /// weights so that page-level-valid but slot-level-dead blocks remain
-  /// GC victims; without this, fragmentation wedges the device.
+  /// Victim-scoring oracle: how much of a valid page is actually live, in
+  /// [0, kFullPageWeight]. Sub-page schemes (MRSM, Across-FTL's area mode)
+  /// install this so that page-level-valid but slot-level-dead blocks remain
+  /// GC victims; without it, fragmentation wedges the device.
+  ///
+  /// The hot path never calls this: victim selection reads the incremental
+  /// per-block weight cache, which the scheme keeps in sync by pushing
+  /// note_page_weight() at every slot-liveness change. The callback is the
+  /// pull-style ground truth behind block_weight(), used by the debug
+  /// consistency checks and tests to validate the pushed weights.
   using VictimWeight = std::function<std::uint32_t(Ppn)>;
   void set_victim_weight(VictimWeight weight) {
     victim_weight_ = std::move(weight);
   }
+
+  /// Weight-delta push: declares that valid page `ppn` now carries
+  /// `live_weight` (≤ kFullPageWeight) of live data. Programs start at
+  /// kFullPageWeight; schemes with sub-page liveness (MRSM slots, Across-FTL
+  /// areas) push the real weight right after programming and again whenever
+  /// slot-level liveness changes. O(1): updates the page and block weight
+  /// caches and re-indexes the block in its plane's victim heap.
+  void note_page_weight(Ppn ppn, std::uint32_t live_weight);
 
   /// Program dedicated to relocation: writes into the GC stream of the
   /// victim's plane.
@@ -147,9 +161,46 @@ class Engine final : private MapIo {
     return planes_[plane].retired;
   }
 
-  /// Sum of live weights over a block's valid pages (victim scoring; public
-  /// for tests and GC instrumentation).
+  /// Sum of live weights over a block's valid pages, recomputed from scratch
+  /// through the VictimWeight oracle (brute force; public for tests and the
+  /// debug consistency checks).
   [[nodiscard]] std::uint64_t block_weight(std::uint64_t flat_block) const;
+
+  /// The incrementally-maintained live weight of a block — what victim
+  /// selection actually reads. Invariant: equals block_weight() whenever the
+  /// scheme's note_page_weight() pushes are correct.
+  [[nodiscard]] std::uint64_t cached_block_weight(std::uint64_t flat_block) const {
+    return cached_weight_[flat_block];
+  }
+
+  /// Cross-validates the weight caches against a brute-force recompute of
+  /// every block (and the per-page weights against the oracle). Aborts
+  /// loudly on any drift; O(pages), for tests and debugging only.
+  void verify_victim_accounting() const;
+
+  /// Victim-selection work counters (perf trajectory; see bench/perf_replay).
+  struct GcPerf {
+    std::uint64_t victim_picks = 0;     // pick_victim calls
+    std::uint64_t heap_pops = 0;        // stale index entries discarded
+    std::uint64_t heap_pushes = 0;      // index entries (re-)inserted
+    std::uint64_t heap_rebuilds = 0;    // compactions of a plane's index
+    std::uint64_t scan_picks = 0;       // reference-path picks (debug/bench)
+    std::uint64_t scan_blocks = 0;      // blocks visited by the scan path
+  };
+  [[nodiscard]] const GcPerf& gc_perf() const { return gc_perf_; }
+
+  static constexpr std::uint32_t kNoBlock = UINT32_MAX;
+
+  /// Greedy victim choice off the plane's weight-indexed heap; returns
+  /// kNoBlock when nothing is reclaimable. Public (with pick_victim_scan)
+  /// so benches and tests can compare the indexed and scan paths. Lazily
+  /// discards stale index entries, hence non-const.
+  std::uint32_t pick_victim(std::uint64_t plane);
+
+  /// Reference implementation: the original full scan over the plane's
+  /// blocks, rescoring each through block_weight(). Kept as the verification
+  /// oracle for the indexed path and as the microbenchmark baseline.
+  [[nodiscard]] std::uint32_t pick_victim_scan(std::uint64_t plane) const;
 
  private:
   struct PlaneState {
@@ -160,8 +211,12 @@ class Engine final : private MapIo {
     std::uint32_t gc_victim;
     // Grown bad blocks no longer in service (spare-capacity accounting).
     std::uint32_t retired;
+    // Lazy min-heap of victim_key() entries over this plane's non-active,
+    // non-retired blocks. Entries are snapshots: a block's key is re-pushed
+    // on every weight/frontier change and stale snapshots are discarded at
+    // pick time (or swept wholesale by rebuild_victim_heap).
+    std::vector<std::uint64_t> victim_heap;
   };
-  static constexpr std::uint32_t kNoBlock = UINT32_MAX;
 
   // MapIo implementation (directory's view of the engine).
   SimTime map_flash_read(Ppn ppn, SimTime ready) override;
@@ -196,10 +251,25 @@ class Engine final : private MapIo {
 
   /// Runs GC on `plane` until its free-block count clears the threshold.
   SimTime run_gc(std::uint64_t plane, SimTime ready);
-  /// Greedy victim choice; returns kNoBlock when nothing reclaimable.
-  std::uint32_t pick_victim(std::uint64_t plane) const;
   [[nodiscard]] bool is_active_block(std::uint64_t plane,
                                      std::uint32_t block) const;
+
+  /// Victim-index key: lexicographic (weight, not-full, block id) packed so
+  /// the heap minimum reproduces the scan path's greedy choice bit-for-bit —
+  /// least live weight first, fully-written blocks before partial ones at
+  /// equal weight, lowest block id among remaining ties.
+  [[nodiscard]] static constexpr std::uint64_t victim_key(std::uint64_t weight,
+                                                          bool full,
+                                                          std::uint32_t block) {
+    return (weight << 33) | (std::uint64_t{full ? 0u : 1u} << 32) | block;
+  }
+  /// Re-indexes `block` in its plane's victim heap with its current key.
+  /// No-op for blocks that cannot be victims right now (active, retired,
+  /// never written) — each of those states re-pushes on exit.
+  void push_victim_key(std::uint64_t plane, std::uint32_t block);
+  /// Compacts a plane's victim heap back to one fresh entry per candidate
+  /// block (stale snapshots accumulate between GC passes).
+  void rebuild_victim_heap(std::uint64_t plane);
 
   SsdConfig config_;
   nand::FlashArray array_;
@@ -207,6 +277,11 @@ class Engine final : private MapIo {
   DeviceStats stats_;
   std::unique_ptr<MapDirectory> map_;
   std::vector<PlaneState> planes_;
+  // Incremental victim accounting: per-page live weight (kFullPageWeight on
+  // program unless the scheme pushes less) and its per-block sum.
+  std::vector<std::uint16_t> page_weight_;
+  std::vector<std::uint32_t> cached_weight_;
+  mutable GcPerf gc_perf_;  // mutable: the const scan path counts its work
   std::uint64_t rr_plane_ = 0;
   Relocator relocator_;
   GcFlush gc_flush_;

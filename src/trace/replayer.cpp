@@ -31,6 +31,7 @@ ReplayResult replay(const ssd::SsdConfig& config, ftl::SchemeKind kind,
   result.used_fraction = ssd.engine().array().used_fraction();
   result.io_time_s = result.stats.total_io_time_ns() / 1e9;
   result.wear = ssd.engine().array().wear();
+  result.gc_perf = ssd.engine().gc_perf();
   return result;
 }
 

@@ -8,6 +8,7 @@
 #include "ftl/scheme.h"
 #include "nand/flash_array.h"
 #include "ssd/config.h"
+#include "ssd/engine.h"
 #include "ssd/stats.h"
 #include "trace/event.h"
 
@@ -30,6 +31,7 @@ struct ReplayResult {
   double used_fraction = 0;
   double io_time_s = 0;             // sum of request latencies
   nand::FlashArray::WearSummary wear;  // block erase distribution
+  ssd::Engine::GcPerf gc_perf;      // victim-selection work (perf harness)
 
   [[nodiscard]] double read_latency_ms() const {
     return stats.all_reads().latency().mean() / 1e6;

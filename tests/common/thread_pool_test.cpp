@@ -1,0 +1,58 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace af {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnceSequential) {
+  std::vector<int> hits(100, 0);
+  parallel_for(hits.size(), 1, [&](std::uint64_t i) { ++hits[i]; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnceParallel) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), 4, [&](std::uint64_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, MoreJobsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(hits.size(), 16, [&](std::uint64_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop) {
+  parallel_for(0, 4, [](std::uint64_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelFor, SequentialRunsInIndexOrder) {
+  std::vector<std::uint64_t> order;
+  parallel_for(10, 1, [&](std::uint64_t i) { order.push_back(i); });
+  for (std::uint64_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WaitRethrowsWorkerException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitDrainsAllSubmittedWork) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { ++done; });
+  }
+  pool.wait();
+  EXPECT_EQ(done.load(), 50);
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,94 @@
+// Determinism contract of the parallel bench harness: fanning replays out
+// over a thread pool must leave every simulated counter bit-identical to the
+// sequential run — the jobs knob may only change wall-clock time.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common.h"
+#include "ssd/config.h"
+#include "trace/profiles.h"
+#include "trace/synth.h"
+
+namespace af {
+namespace {
+
+ssd::SsdConfig small_config() {
+  auto config = ssd::SsdConfig::paper(8, 32);
+  return config;
+}
+
+trace::Trace small_trace(std::size_t idx, const ssd::SsdConfig& config) {
+  return trace::generate(trace::lun_profile(idx, 1500),
+                         bench::addressable_sectors(config));
+}
+
+void expect_identical(const trace::ReplayResult& a,
+                      const trace::ReplayResult& b) {
+  EXPECT_EQ(a.scheme, b.scheme);
+  EXPECT_EQ(a.gc_runs, b.gc_runs);
+  EXPECT_EQ(a.map_bytes, b.map_bytes);
+  EXPECT_EQ(a.map_cache_hits, b.map_cache_hits);
+  EXPECT_EQ(a.map_cache_misses, b.map_cache_misses);
+  EXPECT_EQ(a.used_fraction, b.used_fraction);
+  EXPECT_EQ(a.io_time_s, b.io_time_s);  // exact: same op sequence, same sums
+
+  EXPECT_EQ(a.stats.erases(), b.stats.erases());
+  EXPECT_EQ(a.stats.dram_accesses(), b.stats.dram_accesses());
+  EXPECT_EQ(a.stats.rmw_reads(), b.stats.rmw_reads());
+  for (int k = 0; k < static_cast<int>(ssd::OpKind::kKindCount); ++k) {
+    EXPECT_EQ(a.stats.flash_ops(static_cast<ssd::OpKind>(k)),
+              b.stats.flash_ops(static_cast<ssd::OpKind>(k)))
+        << "op kind " << k;
+  }
+
+  EXPECT_EQ(a.wear.min, b.wear.min);
+  EXPECT_EQ(a.wear.max, b.wear.max);
+  EXPECT_EQ(a.wear.mean, b.wear.mean);
+
+  EXPECT_EQ(a.gc_perf.victim_picks, b.gc_perf.victim_picks);
+  EXPECT_EQ(a.gc_perf.heap_pops, b.gc_perf.heap_pops);
+  EXPECT_EQ(a.gc_perf.heap_pushes, b.gc_perf.heap_pushes);
+  EXPECT_EQ(a.gc_perf.heap_rebuilds, b.gc_perf.heap_rebuilds);
+  EXPECT_EQ(a.gc_perf.scan_picks, b.gc_perf.scan_picks);
+  EXPECT_EQ(a.gc_perf.scan_blocks, b.gc_perf.scan_blocks);
+}
+
+TEST(ParallelBench, RunSchemesJobsDoNotChangeResults) {
+  const auto config = small_config();
+  const auto tr = small_trace(0, config);
+
+  const auto sequential = bench::run_schemes(config, tr, 1);
+  const auto parallel = bench::run_schemes(config, tr, 4);
+
+  ASSERT_EQ(sequential.size(), bench::all_schemes().size());
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (std::size_t s = 0; s < sequential.size(); ++s) {
+    SCOPED_TRACE(sequential[s].scheme);
+    expect_identical(sequential[s], parallel[s]);
+  }
+}
+
+TEST(ParallelBench, ReplayGridJobsDoNotChangeResults) {
+  const auto config = small_config();
+  std::vector<trace::Trace> traces;
+  traces.push_back(small_trace(0, config));
+  traces.push_back(small_trace(1, config));
+
+  const auto sequential = bench::replay_grid(config, traces, 1);
+  const auto parallel = bench::replay_grid(config, traces, 3);
+
+  ASSERT_EQ(sequential.size(), traces.size());
+  ASSERT_EQ(parallel.size(), traces.size());
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    ASSERT_EQ(sequential[t].size(), bench::all_schemes().size());
+    ASSERT_EQ(parallel[t].size(), sequential[t].size());
+    for (std::size_t s = 0; s < sequential[t].size(); ++s) {
+      SCOPED_TRACE(sequential[t][s].scheme);
+      expect_identical(sequential[t][s], parallel[t][s]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace af

@@ -1,0 +1,108 @@
+// Incremental GC victim accounting: the engine's cached per-block weights
+// and the per-plane victim index must track the brute-force recompute (via
+// the scheme's VictimWeight oracle) through arbitrary GC churn, and the
+// indexed pick must reproduce the legacy full scan bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "ftl/across_ftl.h"
+#include "ftl/scheme.h"
+#include "sim/ssd.h"
+#include "ssd/engine.h"
+#include "../helpers.h"
+
+namespace af::ssd {
+namespace {
+
+/// Mixed-shape churn heavy enough that every plane runs GC repeatedly.
+void churn(sim::Ssd& ssd, int requests, std::uint64_t seed) {
+  test::WorkloadGen gen(ssd.config().logical_sectors() * 3 / 5,
+                        ssd.config().geometry.sectors_per_page(), seed);
+  for (int i = 0; i < requests; ++i) ssd.submit(gen.next());
+}
+
+/// After churn: cached weights equal brute force everywhere, and the indexed
+/// victim choice equals the reference scan in every plane.
+void expect_accounting_holds(sim::Ssd& ssd) {
+  ASSERT_GT(ssd.engine().gc_runs(), 0u) << "workload did not exercise GC";
+  ssd.engine().verify_victim_accounting();
+  for (std::uint64_t plane = 0;
+       plane < ssd.config().geometry.total_planes(); ++plane) {
+    EXPECT_EQ(ssd.engine().pick_victim(plane),
+              ssd.engine().pick_victim_scan(plane))
+        << "plane " << plane;
+  }
+}
+
+TEST(VictimIndex, MatchesBruteForcePageFtl) {
+  sim::Ssd ssd(test::tiny_config(), ftl::SchemeKind::kPageFtl);
+  churn(ssd, 4000, 101);
+  expect_accounting_holds(ssd);
+  test::verify_full_space(ssd);
+}
+
+TEST(VictimIndex, MatchesBruteForceMrsm) {
+  // MRSM pushes sub-page slot weights (packed pages, converted regions);
+  // its oracle is the strictest cross-check of note_page_weight plumbing.
+  sim::Ssd ssd(test::tiny_config(), ftl::SchemeKind::kMrsm);
+  churn(ssd, 4000, 103);
+  expect_accounting_holds(ssd);
+  test::verify_full_space(ssd);
+}
+
+TEST(VictimIndex, MatchesBruteForceAcrossFtl) {
+  sim::Ssd ssd(test::tiny_config(), ftl::SchemeKind::kAcrossFtl);
+  churn(ssd, 4000, 107);
+  expect_accounting_holds(ssd);
+  test::verify_full_space(ssd);
+}
+
+TEST(VictimIndex, MatchesBruteForceAcrossFtlAreaWeights) {
+  // Opt-in area-aware weighting: Across-FTL installs an oracle and pushes
+  // range-based weights for area pages as they shrink, merge and relocate.
+  auto config = test::tiny_config();
+  config.across.area_live_weight = true;
+  sim::Ssd ssd(config, ftl::SchemeKind::kAcrossFtl);
+  churn(ssd, 4000, 109);
+  expect_accounting_holds(ssd);
+  test::verify_full_space(ssd);
+}
+
+TEST(VictimIndex, SurvivesFaultChurn) {
+  // Program faults abandon active blocks and erase faults retire victims —
+  // both must keep the weight caches and the index consistent.
+  auto config = test::tiny_config();
+  config.faults.seed = 77;
+  config.faults.program_fail = 2e-3;
+  config.faults.erase_fail = 2e-3;
+  sim::Ssd ssd(config, ftl::SchemeKind::kPageFtl);
+  churn(ssd, 4000, 113);
+  expect_accounting_holds(ssd);
+  test::verify_full_space(ssd);
+}
+
+TEST(VictimIndex, RepeatedPicksAreStableAndCheap) {
+  // Until block state changes, pick_victim must keep answering the same
+  // block without discarding index entries.
+  sim::Ssd ssd(test::tiny_config(), ftl::SchemeKind::kPageFtl);
+  churn(ssd, 3000, 127);
+  auto& engine = ssd.engine();
+  const std::uint32_t first = engine.pick_victim(0);
+  const auto pops_before = engine.gc_perf().heap_pops;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(engine.pick_victim(0), first);
+  EXPECT_EQ(engine.gc_perf().heap_pops, pops_before)
+      << "repeated picks of unchanged state must not pop the heap";
+}
+
+TEST(VictimIndex, GcPerfCountersAdvance) {
+  sim::Ssd ssd(test::tiny_config(), ftl::SchemeKind::kPageFtl);
+  churn(ssd, 3000, 131);
+  const auto& perf = ssd.engine().gc_perf();
+  EXPECT_GT(perf.victim_picks, 0u);
+  EXPECT_GT(perf.heap_pushes, 0u);
+}
+
+}  // namespace
+}  // namespace af::ssd
