@@ -24,8 +24,10 @@ int main() {
     config.faults.program_fail = rate;
     config.faults.erase_fail = rate;
     config.faults.read_fail = rate;
-    for (const auto kind : bench::all_schemes()) {
-      const auto result = trace::replay(config, kind, tr);
+    const auto results = bench::run_schemes(config, tr);
+    for (std::size_t s = 0; s < results.size(); ++s) {
+      const auto kind = bench::all_schemes()[s];
+      const auto& result = results[s];
       const auto& faults = result.stats.faults();
       table.add_row({ftl::to_string(kind), Table::num(rate, 4),
                      Table::num(result.write_latency_ms(), 3),

@@ -17,11 +17,13 @@ int main() {
 
   Table table({"cache (B/logical page)", "scheme", "map writes", "map reads",
                "CMT hit rate", "read ms", "I/O time (s)"});
+  constexpr ftl::SchemeKind kSchemes[] = {ftl::SchemeKind::kMrsm,
+                                          ftl::SchemeKind::kAcrossFtl};
   for (std::uint64_t bytes_per_page : {1u, 2u, 3u, 4u, 8u}) {
-    for (auto kind : {ftl::SchemeKind::kMrsm, ftl::SchemeKind::kAcrossFtl}) {
-      auto config = base_config;
-      config.map_cache_bytes = config.logical_pages() * bytes_per_page;
-      const auto result = trace::replay(config, kind, tr);
+    auto config = base_config;
+    config.map_cache_bytes = config.logical_pages() * bytes_per_page;
+    const auto results = bench::run_schemes(config, tr, kSchemes);
+    for (const auto& result : results) {
       const double hits = static_cast<double>(result.map_cache_hits);
       const double total =
           hits + static_cast<double>(result.map_cache_misses);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/slot_vector.h"
 #include "common/thread_pool.h"
 #include "trace/profiles.h"
 #include "trace/synth.h"
@@ -48,16 +49,22 @@ trace::Trace lun_trace(std::size_t idx, std::uint64_t addressable) {
 std::vector<trace::ReplayResult> run_schemes(const ssd::SsdConfig& config,
                                              const trace::Trace& tr,
                                              unsigned jobs) {
+  return run_schemes(config, tr, all_schemes(), jobs);
+}
+
+std::vector<trace::ReplayResult> run_schemes(
+    const ssd::SsdConfig& config, const trace::Trace& tr,
+    std::span<const ftl::SchemeKind> schemes, unsigned jobs) {
   if (jobs == 0) jobs = knobs().jobs;
-  const auto& schemes = all_schemes();
-  std::vector<trace::ReplayResult> results(schemes.size());
-  // Each replay owns a fresh device and writes only its own result slot, so
-  // the fan-out is free of shared state and the output is independent of the
-  // thread count (jobs=1 runs the exact sequential loop).
+  // Each replay owns a fresh device and writes only its own result slot
+  // (enforced by SlotVector's claim flags), so the fan-out is free of shared
+  // state and the output is independent of the thread count (jobs=1 runs the
+  // exact sequential loop).
+  SlotVector<trace::ReplayResult> slots(schemes.size());
   parallel_for(schemes.size(), jobs, [&](std::uint64_t i) {
-    results[i] = trace::replay(config, schemes[i], tr);
+    slots.put(i, trace::replay(config, schemes[i], tr));
   });
-  return results;
+  return std::move(slots).take();
 }
 
 std::vector<std::vector<trace::ReplayResult>> replay_grid(
@@ -65,13 +72,22 @@ std::vector<std::vector<trace::ReplayResult>> replay_grid(
     unsigned jobs) {
   if (jobs == 0) jobs = knobs().jobs;
   const auto& schemes = all_schemes();
-  std::vector<std::vector<trace::ReplayResult>> results(traces.size());
-  for (auto& row : results) row.resize(schemes.size());
+  SlotVector<trace::ReplayResult> slots(traces.size() * schemes.size());
   parallel_for(traces.size() * schemes.size(), jobs, [&](std::uint64_t cell) {
     const std::uint64_t t = cell / schemes.size();
     const std::uint64_t s = cell % schemes.size();
-    results[t][s] = trace::replay(config, schemes[s], traces[t]);
+    slots.put(cell, trace::replay(config, schemes[s], traces[t]));
   });
+  std::vector<trace::ReplayResult> flat = std::move(slots).take();
+  std::vector<std::vector<trace::ReplayResult>> results(traces.size());
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    results[t].assign(std::make_move_iterator(flat.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  t * schemes.size())),
+                      std::make_move_iterator(flat.begin() +
+                                              static_cast<std::ptrdiff_t>(
+                                                  (t + 1) * schemes.size())));
+  }
   return results;
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,13 @@ inline const std::vector<ftl::SchemeKind>& all_schemes() {
 std::vector<trace::ReplayResult> run_schemes(const ssd::SsdConfig& config,
                                              const trace::Trace& tr,
                                              unsigned jobs = 0);
+
+/// Same fan-out over an explicit scheme subset; results follow `schemes`
+/// order. This is the sanctioned way for a bench to replay several schemes —
+/// af_lint flags multi-scheme loops that call trace::replay directly.
+std::vector<trace::ReplayResult> run_schemes(
+    const ssd::SsdConfig& config, const trace::Trace& tr,
+    std::span<const ftl::SchemeKind> schemes, unsigned jobs = 0);
 
 /// Replays every (trace, scheme) cell of the grid in parallel; the figure
 /// benches build on this so the whole grid shares one thread pool instead of

@@ -60,10 +60,10 @@ void BM_ReadRequests_AcrossFtl(benchmark::State& state) {
   Rng rng(9);
   SimTime t = 0;
   for (std::uint64_t p = 0; p < 512; ++p) {
-    ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
+    (void)ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
   }
   for (std::uint64_t b = 2; b < 500; b += 2) {
-    ssd.submit({t++, true, SectorRange::of(b * spp - 4, 10)});
+    (void)ssd.submit({t++, true, SectorRange::of(b * spp - 4, 10)});
   }
   for (auto _ : state) {
     const std::uint64_t p = rng.below(500);
@@ -160,7 +160,8 @@ void BM_GcChurn(benchmark::State& state) {
   Rng rng(13);
   SimTime t = 0;
   for (auto _ : state) {
-    ssd.submit({t++, true, SectorRange::of(rng.below(footprint) * spp, spp)});
+    (void)ssd.submit(
+        {t++, true, SectorRange::of(rng.below(footprint) * spp, spp)});
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["gc_runs"] =

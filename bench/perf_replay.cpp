@@ -26,6 +26,9 @@ namespace {
 
 using namespace af;
 
+// af_lint: allow-file(no-nondeterminism) — this harness measures real
+// wall-clock time by design; only the simulated counters must stay
+// deterministic.
 double now_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -198,6 +201,8 @@ int main() {
     ReplayRow row;
     row.requests = tr.size();
     const double t0 = now_s();
+    // af_lint: allow(bench-run-schemes) — replays are timed one at a time on
+    // purpose: fanning them out would overlap the wall-clock measurements.
     row.result = trace::replay(config, kind, tr);
     row.wall_s = now_s() - t0;
     row.scheme = row.result.scheme;

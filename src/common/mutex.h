@@ -1,0 +1,65 @@
+// Annotated mutex wrappers for clang's thread-safety analysis.
+//
+// std::mutex carries no capability attributes, so locking it directly is
+// invisible to -Wthread-safety. These thin wrappers (the idiom from the
+// clang thread-safety docs and abseil) make every lock/unlock visible to
+// the analysis at zero runtime cost. Condition variables pair with
+// std::condition_variable_any, which accepts UniqueLock as a BasicLockable.
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace af {
+
+/// A std::mutex declared as a thread-safety capability.
+class AF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AF_ACQUIRE() { mu_.lock(); }
+  void unlock() AF_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() AF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock held for the full scope (std::lock_guard shape).
+class AF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() AF_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock that a condition variable may temporarily release: exposes
+/// lock()/unlock() so std::condition_variable_any::wait can drop and
+/// reacquire it. wait() reacquires before returning (also on exception), so
+/// the capability is continuously held from the analysis' point of view —
+/// exactly the guarantee guarded members need across a wait loop.
+class AF_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) AF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~UniqueLock() AF_RELEASE() { mu_.unlock(); }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  // BasicLockable surface for std::condition_variable_any only.
+  void lock() AF_ACQUIRE() { mu_.lock(); }
+  void unlock() AF_RELEASE() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace af

@@ -65,7 +65,7 @@ class Rng {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
   }
 
-  bool chance(double p) { return uniform() < p; }
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

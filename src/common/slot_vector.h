@@ -1,0 +1,58 @@
+// Index-addressed result slots for parallel fan-out.
+//
+// The thread-pool determinism contract says every task writes exactly one
+// slot it owns exclusively; SlotVector turns that contract into a checked
+// runtime invariant. Each put() claims its slot through an atomic flag and
+// aborts on a double write, and take() aborts if any slot was never
+// written — so a mis-partitioned fan-out fails loudly instead of producing
+// a silently wrong (or racy) result vector.
+//
+// The claim flags are relaxed atomics: they detect ownership violations,
+// while the actual happens-before edge for the payloads is the pool join
+// (ThreadPool::wait) that must precede take(). ThreadSanitizer verifies
+// that edge in CI.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace af {
+
+template <typename T>
+class SlotVector {
+ public:
+  explicit SlotVector(std::size_t n)
+      : slots_(n), claimed_(std::make_unique<std::atomic<bool>[]>(n)) {}
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Stores `value` into slot `i`. Each slot may be written exactly once,
+  /// from exactly one task.
+  void put(std::size_t i, T value) {
+    AF_CHECK(i < slots_.size());
+    const bool already = claimed_[i].exchange(true, std::memory_order_relaxed);
+    AF_CHECK_MSG(!already, "slot written twice: tasks do not own disjoint slots");
+    slots_[i] = std::move(value);
+  }
+
+  /// Consumes the vector after the fan-out joined. Every slot must have been
+  /// written — a hole means a task was dropped.
+  [[nodiscard]] std::vector<T> take() && {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const bool written = claimed_[i].load(std::memory_order_relaxed);
+      AF_CHECK_MSG(written, "slot never written: a fan-out task was dropped");
+    }
+    return std::move(slots_);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::unique_ptr<std::atomic<bool>[]> claimed_;
+};
+
+}  // namespace af

@@ -1,0 +1,60 @@
+// Clang thread-safety analysis annotations (-Wthread-safety).
+//
+// The macros expand to clang's capability attributes when the compiler
+// supports them and to nothing otherwise, so annotated code stays portable
+// to gcc while the clang CI job machine-checks the locking discipline.
+// Vocabulary follows the official clang documentation and abseil's
+// thread_annotations.h: a Mutex is a *capability*, AF_GUARDED_BY declares
+// which capability protects a member, AF_REQUIRES/AF_EXCLUDES constrain the
+// caller, AF_ACQUIRE/AF_RELEASE describe lock-managing functions.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define AF_HAS_THREAD_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define AF_HAS_THREAD_ATTRIBUTE(x) 0
+#endif
+
+#if AF_HAS_THREAD_ATTRIBUTE(guarded_by)
+#define AF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AF_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability (e.g. a mutex wrapper).
+#define AF_CAPABILITY(x) AF_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define AF_SCOPED_CAPABILITY AF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member is protected by the given capability.
+#define AF_GUARDED_BY(x) AF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define AF_PT_GUARDED_BY(x) AF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function may only be called while holding the capability.
+#define AF_REQUIRES(...) AF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define AF_ACQUIRE(...) AF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which must be held on entry).
+#define AF_RELEASE(...) AF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define AF_TRY_ACQUIRE(...) \
+  AF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called while holding the capability (deadlock guard
+/// for non-reentrant locks).
+#define AF_EXCLUDES(...) AF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define AF_RETURN_CAPABILITY(x) AF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Every use must carry a
+/// one-line justification comment.
+#define AF_NO_THREAD_SAFETY_ANALYSIS \
+  AF_THREAD_ANNOTATION(no_thread_safety_analysis)

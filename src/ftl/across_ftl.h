@@ -86,33 +86,34 @@ class AcrossFtl final : public FtlScheme {
   [[nodiscard]] std::uint64_t amt_tpage_of(std::uint32_t aidx) const {
     return pmt_tpages_ + aidx / amt_entries_per_tpage_;
   }
-  SimTime touch_pmt(Lpn lpn, bool dirty, SimTime ready);
-  SimTime touch_amt(std::uint32_t aidx, bool dirty, SimTime ready);
+  [[nodiscard]] SimTime touch_pmt(Lpn lpn, bool dirty, SimTime ready);
+  [[nodiscard]] SimTime touch_amt(std::uint32_t aidx, bool dirty,
+                                  SimTime ready);
 
   // --- Area lifecycle ---------------------------------------------------------
   std::uint32_t alloc_area();
   void free_area(std::uint32_t aidx);
 
   /// First across-page write of a pair: one program, no reads.
-  SimTime direct_write(SectorRange w, SimTime ready);
+  [[nodiscard]] SimTime direct_write(SectorRange w, SimTime ready);
 
   /// Folds `w` into area `aidx`: read old area page, program merged area.
-  SimTime amerge(std::uint32_t aidx, SectorRange w, bool profitable,
-                 SimTime ready);
+  [[nodiscard]] SimTime amerge(std::uint32_t aidx, SectorRange w,
+                               bool profitable, SimTime ready);
 
   /// Dissolves area `aidx` back into normal pages, folding in the update `u`
   /// (if any). Writes full pages for every LPN the area/update hull touches.
-  SimTime rollback(std::uint32_t aidx, std::optional<SectorRange> u,
-                   SimTime ready);
+  [[nodiscard]] SimTime rollback(std::uint32_t aidx,
+                                 std::optional<SectorRange> u, SimTime ready);
 
   /// Baseline-style write of one sub-request (RMW over the old normal page).
-  SimTime write_normal_sub(const SubRequest& sub, SimTime ready);
+  [[nodiscard]] SimTime write_normal_sub(const SubRequest& sub, SimTime ready);
 
   /// Handles one sub-request of a non-across write against current state.
-  SimTime write_sub(const SubRequest& sub, SimTime ready);
+  [[nodiscard]] SimTime write_sub(const SubRequest& sub, SimTime ready);
 
   /// Across-page write dispatch (direct / AMerge / ARollback / conflicts).
-  SimTime write_across(const IoRequest& req, SimTime ready);
+  [[nodiscard]] SimTime write_across(const IoRequest& req, SimTime ready);
 
   /// Space-pressure valve. Every remapped area keeps the host's old normal
   /// pages alive alongside one extra flash page, so an unbounded area pool

@@ -91,9 +91,9 @@ class MrsmFtl final : public FtlScheme {
   /// once its last live slot dies.
   void retire_subloc(Lpn lpn, std::uint32_t sub);
   /// Programs `chunks` (≤ kSubsPerPage) into one packed page.
-  ssd::Engine::Programmed program_packed(std::span<const Chunk> chunks,
-                                         SimTime ready,
-                                         bool gc, std::uint64_t gc_plane);
+  [[nodiscard]] ssd::Engine::Programmed program_packed(
+      std::span<const Chunk> chunks, SimTime ready, bool gc,
+      std::uint64_t gc_plane);
 
   /// One live sub-page lifted off a GC victim: its identity plus a DRAM copy
   /// of its stamps (the victim may be erased before the flush).
@@ -116,7 +116,7 @@ class MrsmFtl final : public FtlScheme {
   void stamp_chunk(const Chunk& chunk, Ppn dst, std::uint32_t dst_slot,
                    SubLoc old_loc);
 
-  SimTime write_page_mode(const SubRequest& sub, SimTime ready);
+  [[nodiscard]] SimTime write_page_mode(const SubRequest& sub, SimTime ready);
 
   std::vector<Ppn> pmt_;                          // page-mode mapping
   std::vector<std::array<SubLoc, kSubsPerPage>> subs_;  // sub-mode mapping

@@ -32,7 +32,7 @@ class PageFtl final : public FtlScheme {
   }
   /// Writes one sub-request: RMW read if partial over existing data, then a
   /// page program. Returns program completion.
-  SimTime write_sub(const SubRequest& sub, SimTime ready);
+  [[nodiscard]] SimTime write_sub(const SubRequest& sub, SimTime ready);
 
   std::vector<Ppn> pmt_;
   std::uint64_t entries_per_tpage_;

@@ -46,11 +46,12 @@ class FtlScheme {
   [[nodiscard]] virtual const char* name() const = 0;
 
   /// Services a write; returns the completion time of its last flash op.
-  virtual SimTime write(const IoRequest& req, SimTime ready) = 0;
+  [[nodiscard]] virtual SimTime write(const IoRequest& req, SimTime ready) = 0;
 
   /// Services a read; returns completion time. Fills `plan` when non-null
   /// and the device tracks payload.
-  virtual SimTime read(const IoRequest& req, SimTime ready, ReadPlan* plan) = 0;
+  [[nodiscard]] virtual SimTime read(const IoRequest& req, SimTime ready,
+                                     ReadPlan* plan) = 0;
 
   /// GC relocation hook: move live page `victim` owned by `owner`, update
   /// the scheme's mapping, and advance `clock` past the copy operations.

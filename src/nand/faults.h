@@ -62,10 +62,10 @@ class FaultModel {
   [[nodiscard]] bool enabled() const { return cfg_.enabled(); }
 
   /// Does programming a page of a block with this erase count fail?
-  bool program_fails(std::uint64_t erase_count);
+  [[nodiscard]] bool program_fails(std::uint64_t erase_count);
 
   /// Does erasing a block with this erase count fail (retiring it)?
-  bool erase_fails(std::uint64_t erase_count);
+  [[nodiscard]] bool erase_fails(std::uint64_t erase_count);
 
   /// Number of extra read attempts (0 = clean first read). Each attempt
   /// fails independently with `read_fail`; capped at `max_read_retries`,
@@ -77,7 +77,7 @@ class FaultModel {
   [[nodiscard]] double wear_ramped(double base, std::uint64_t erase_count) const;
 
  private:
-  bool draw(double p);
+  [[nodiscard]] bool draw(double p);
 
   FaultConfig cfg_;
   Rng rng_;

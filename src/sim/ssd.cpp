@@ -102,7 +102,7 @@ void Ssd::age(double used_fraction, double live_fraction, std::uint64_t seed) {
   for (std::uint64_t p = 0; p < footprint; ++p) {
     ftl::IoRequest req{0, /*write=*/true,
                        SectorRange::of(p * spp, spp)};
-    submit(req);
+    if (!submit(req).accepted) break;  // device degraded mid-aging
   }
   const std::uint64_t max_overwrites = 4 * geom.total_pages();
   std::uint64_t overwrites = 0;
@@ -110,7 +110,7 @@ void Ssd::age(double used_fraction, double live_fraction, std::uint64_t seed) {
          overwrites < max_overwrites) {
     const std::uint64_t p = rng.below(footprint);
     ftl::IoRequest req{0, /*write=*/true, SectorRange::of(p * spp, spp)};
-    submit(req);
+    if (!submit(req).accepted) break;  // device degraded mid-aging
     ++overwrites;
   }
   AF_LOG_INFO("aged device: used=%.3f live=%.3f overwrites=%llu",

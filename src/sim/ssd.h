@@ -40,7 +40,7 @@ class Ssd {
   /// shadow space and reads are verified sector-by-sector (aborting on any
   /// divergence). Writes are rejected (accepted=false) once block
   /// retirement has degraded the device to read-only mode.
-  Completion submit(const ftl::IoRequest& req);
+  [[nodiscard]] Completion submit(const ftl::IoRequest& req);
 
   /// Ages the device: fills `live_fraction` of raw capacity with valid data
   /// and keeps overwriting it until `used_fraction` of all physical pages

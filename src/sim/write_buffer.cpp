@@ -40,7 +40,11 @@ void BufferedSsd::insert(SectorRange range) {
 
 void BufferedSsd::write_out(SectorRange range, SimTime now) {
   ++flushes_;
-  ssd_.submit({now, /*write=*/true, range});
+  // A degraded (read-only) device refuses the flush. The host already saw
+  // these writes complete at DRAM speed, so dropping them here is real data
+  // loss — count it so callers can surface it instead of hiding it.
+  const auto completion = ssd_.submit({now, /*write=*/true, range});
+  if (!completion.accepted) dropped_flush_sectors_ += range.size();
 }
 
 void BufferedSsd::flush_overlapping(SectorRange range, SimTime now) {

@@ -27,7 +27,7 @@ class BufferedSsd {
 
   /// Services one request through the buffer. Completion semantics match
   /// Ssd::submit; buffered writes complete at DRAM latency.
-  Ssd::Completion submit(const ftl::IoRequest& req);
+  [[nodiscard]] Ssd::Completion submit(const ftl::IoRequest& req);
 
   /// Flushes everything to the device (shutdown / barrier).
   void flush_all(SimTime now);
@@ -40,6 +40,12 @@ class BufferedSsd {
   [[nodiscard]] std::uint64_t flushes() const { return flushes_; }
   /// Sectors absorbed by coalescing (rewritten while still buffered).
   [[nodiscard]] std::uint64_t coalesced_sectors() const { return coalesced_; }
+  /// Buffered sectors whose flush the device refused (read-only
+  /// degradation). The host already saw those writes complete at DRAM
+  /// latency, so any non-zero value is acknowledged-then-lost data.
+  [[nodiscard]] std::uint64_t dropped_flush_sectors() const {
+    return dropped_flush_sectors_;
+  }
 
  private:
   struct Entry {
@@ -68,6 +74,7 @@ class BufferedSsd {
   std::uint64_t read_throughs_ = 0;
   std::uint64_t flushes_ = 0;
   std::uint64_t coalesced_ = 0;
+  std::uint64_t dropped_flush_sectors_ = 0;
 };
 
 }  // namespace af::sim

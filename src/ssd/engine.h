@@ -38,7 +38,7 @@ class Engine final : private MapIo {
   // --- Scheme services ------------------------------------------------------
 
   /// Reads a flash page; returns completion time.
-  SimTime flash_read(Ppn ppn, OpKind kind, SimTime ready);
+  [[nodiscard]] SimTime flash_read(Ppn ppn, OpKind kind, SimTime ready);
 
   struct Programmed {
     Ppn ppn;
@@ -48,15 +48,16 @@ class Engine final : private MapIo {
   /// Allocates the next page of `stream` (running GC first if the target
   /// plane is low on free blocks), programs it, and returns its address and
   /// completion time.
-  Programmed flash_program(Stream stream, nand::PageOwner owner, OpKind kind,
-                           SimTime ready);
+  [[nodiscard]] Programmed flash_program(Stream stream, nand::PageOwner owner,
+                                         OpKind kind, SimTime ready);
 
   /// Marks a page stale. No timing cost: invalidation is a metadata action.
   void invalidate(Ppn ppn);
 
   /// Accesses one translation page of the scheme's mapping table through the
   /// CMT. Must be preceded by init_map_space(). Returns advanced ready time.
-  SimTime map_touch(std::uint64_t map_page, bool dirty, SimTime ready);
+  [[nodiscard]] SimTime map_touch(std::uint64_t map_page, bool dirty,
+                                  SimTime ready);
 
   /// Charges `n` DRAM accesses (mapping-structure walks beyond the CMT touch
   /// itself, e.g. MRSM's tree descent).
@@ -110,7 +111,8 @@ class Engine final : private MapIo {
 
   /// Program dedicated to relocation: writes into the GC stream of the
   /// victim's plane.
-  Programmed gc_program(std::uint64_t plane, nand::PageOwner owner, SimTime ready);
+  [[nodiscard]] Programmed gc_program(std::uint64_t plane,
+                                      nand::PageOwner owner, SimTime ready);
 
   // --- Payload stamps (oracle) ----------------------------------------------
 
@@ -219,7 +221,7 @@ class Engine final : private MapIo {
   };
 
   // MapIo implementation (directory's view of the engine).
-  SimTime map_flash_read(Ppn ppn, SimTime ready) override;
+  [[nodiscard]] SimTime map_flash_read(Ppn ppn, SimTime ready) override;
   std::pair<Ppn, SimTime> map_flash_program(std::uint64_t map_page,
                                             SimTime ready) override;
   void map_flash_invalidate(Ppn ppn) override;
@@ -233,8 +235,9 @@ class Engine final : private MapIo {
   /// abandons the active block, charges the wasted program time, and
   /// re-programs on a fresh block — spilling to another plane if this one
   /// runs dry. Shared by host/map programs and GC migrations.
-  Programmed program_on(std::uint64_t plane, Stream stream,
-                        nand::PageOwner owner, OpKind kind, SimTime ready);
+  [[nodiscard]] Programmed program_on(std::uint64_t plane, Stream stream,
+                                      nand::PageOwner owner, OpKind kind,
+                                      SimTime ready);
 
   /// Spare-capacity bookkeeping after a block retirement in `plane`; drops
   /// the device to read-only mode when the plane's usable blocks fall below
@@ -250,7 +253,7 @@ class Engine final : private MapIo {
   [[nodiscard]] bool plane_has_space(std::uint64_t plane, Stream stream) const;
 
   /// Runs GC on `plane` until its free-block count clears the threshold.
-  SimTime run_gc(std::uint64_t plane, SimTime ready);
+  [[nodiscard]] SimTime run_gc(std::uint64_t plane, SimTime ready);
   [[nodiscard]] bool is_active_block(std::uint64_t plane,
                                      std::uint32_t block) const;
 

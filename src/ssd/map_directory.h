@@ -23,11 +23,11 @@ namespace af::ssd {
 class MapIo {
  public:
   virtual ~MapIo() = default;
-  virtual SimTime map_flash_read(Ppn ppn, SimTime ready) = 0;
+  [[nodiscard]] virtual SimTime map_flash_read(Ppn ppn, SimTime ready) = 0;
   /// Programs a new version of a translation page; returns its location and
   /// completion time.
-  virtual std::pair<Ppn, SimTime> map_flash_program(std::uint64_t map_page,
-                                                    SimTime ready) = 0;
+  [[nodiscard]] virtual std::pair<Ppn, SimTime> map_flash_program(
+      std::uint64_t map_page, SimTime ready) = 0;
   virtual void map_flash_invalidate(Ppn ppn) = 0;
   virtual void map_dram_access(std::uint64_t n) = 0;
 };
@@ -41,7 +41,8 @@ class MapDirectory {
   /// Brings `map_page` into the CMT (charging flash ops on a miss and on a
   /// dirty eviction), marks it dirty if `dirty`, and returns the advanced
   /// ready time. The caller serialises its data ops behind this.
-  SimTime touch(std::uint64_t map_page, bool dirty, SimTime ready);
+  [[nodiscard]] SimTime touch(std::uint64_t map_page, bool dirty,
+                              SimTime ready);
 
   /// GC moved the flash copy of `map_page`.
   void on_relocated(std::uint64_t map_page, Ppn new_ppn);
@@ -66,7 +67,7 @@ class MapDirectory {
     bool dirty = false;
   };
 
-  SimTime evict_one(SimTime ready);
+  [[nodiscard]] SimTime evict_one(SimTime ready);
 
   MapIo& io_;
   std::uint64_t num_map_pages_;

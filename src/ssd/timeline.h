@@ -24,14 +24,17 @@ class ResourceTimeline {
 
   /// Read: chip senses the page, then the channel streams it out.
   /// Returns completion time of the data transfer.
-  SimTime schedule_read(const nand::PhysAddr& addr, SimTime ready);
+  [[nodiscard]] SimTime schedule_read(const nand::PhysAddr& addr,
+                                      SimTime ready);
 
   /// Program: channel streams data in, then the chip programs the cells.
   /// Returns completion time of the program.
-  SimTime schedule_program(const nand::PhysAddr& addr, SimTime ready);
+  [[nodiscard]] SimTime schedule_program(const nand::PhysAddr& addr,
+                                         SimTime ready);
 
   /// Erase occupies only the chip.
-  SimTime schedule_erase(const nand::PhysAddr& addr, SimTime ready);
+  [[nodiscard]] SimTime schedule_erase(const nand::PhysAddr& addr,
+                                       SimTime ready);
 
   [[nodiscard]] SimTime chip_free_at(std::uint64_t chip_idx) const {
     return chip_busy_until_[chip_idx];

@@ -69,7 +69,8 @@ std::vector<SynthProfile> fig2_profiles(std::uint64_t requests_each) {
     profile.across_bias = ratio;
     profile.write_ratio =
         0.35 + 0.3 * (static_cast<double>(static_cast<unsigned>(i % 7)) / 6.0);
-    profile.write_sizes = SizeMix::around_mean(16.0 + (i % 5) * 4.0);
+    profile.write_sizes =
+        SizeMix::around_mean(16.0 + static_cast<double>(i % 5) * 4.0);
     profile.read_sizes = SizeMix::around_mean(24.0);
     profile.footprint_fraction = 0.85;
     profile.seed = 2000 + i;

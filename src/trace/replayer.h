@@ -42,7 +42,8 @@ struct ReplayResult {
 };
 
 /// Replays `trace` on a fresh device with the given scheme.
-ReplayResult replay(const ssd::SsdConfig& config, ftl::SchemeKind kind,
-                    const Trace& trace, const ReplayOptions& options = {});
+[[nodiscard]] ReplayResult replay(const ssd::SsdConfig& config,
+                                  ftl::SchemeKind kind, const Trace& trace,
+                                  const ReplayOptions& options = {});
 
 }  // namespace af::trace

@@ -96,10 +96,18 @@ TEST_P(IntervalProperty, SubtractIntersectPartition) {
   const auto d = a.subtract(b);
   const auto inter = a.intersect(b);
   EXPECT_EQ(d.left.size() + d.right.size() + inter.size(), a.size());
-  if (!d.left.empty()) EXPECT_TRUE(a.contains(d.left));
-  if (!d.right.empty()) EXPECT_TRUE(a.contains(d.right));
-  if (!d.left.empty() && !inter.empty()) EXPECT_LE(d.left.end, inter.begin);
-  if (!d.right.empty() && !inter.empty()) EXPECT_GE(d.right.begin, inter.end);
+  if (!d.left.empty()) {
+    EXPECT_TRUE(a.contains(d.left));
+  }
+  if (!d.right.empty()) {
+    EXPECT_TRUE(a.contains(d.right));
+  }
+  if (!d.left.empty() && !inter.empty()) {
+    EXPECT_LE(d.left.end, inter.begin);
+  }
+  if (!d.right.empty() && !inter.empty()) {
+    EXPECT_GE(d.right.begin, inter.end);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, IntervalProperty, ::testing::Range(0, 32));

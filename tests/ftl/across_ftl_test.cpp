@@ -19,10 +19,10 @@ struct AcrossFixture : ::testing::Test {
   std::uint32_t spp() { return ssd.config().geometry.sectors_per_page(); }
 
   void write(SectorAddr off, SectorCount len) {
-    ssd.submit({t++, true, SectorRange::of(off, len)});
+    test::submit_ok(ssd, {t++, true, SectorRange::of(off, len)});
   }
   void read(SectorAddr off, SectorCount len) {
-    ssd.submit({t++, false, SectorRange::of(off, len)});
+    test::submit_ok(ssd, {t++, false, SectorRange::of(off, len)});
   }
   std::uint64_t data_writes() {
     return stats().flash_ops(ssd::OpKind::kDataWrite);

@@ -17,32 +17,32 @@ sim::Ssd make_ssd(bool remap, bool amerge, bool shrink) {
 TEST(AcrossPolicy, NoRemapNeverCreatesAreas) {
   auto ssd = make_ssd(false, true, true);
   SimTime t = 0;
-  ssd.submit({t++, true, SectorRange::of(2056, 12)});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(2056, 12)});
   EXPECT_EQ(ssd.stats().across().areas_created, 0u);
   // Baseline-shaped service: two programs for the across write.
   EXPECT_EQ(ssd.stats().flash_ops(ssd::OpKind::kDataWrite), 2u);
-  ssd.submit({t++, false, SectorRange::of(2056, 12)});  // oracle-checked
+  test::submit_ok(ssd, {t++, false, SectorRange::of(2056, 12)});  // oracle-checked
 }
 
 TEST(AcrossPolicy, NoAmergeRollsBackOverlappingUpdates) {
   auto ssd = make_ssd(true, false, true);
   SimTime t = 0;
-  ssd.submit({t++, true, SectorRange::of(2056, 12)});
-  ssd.submit({t++, true, SectorRange::of(2058, 12)});  // would AMerge
+  test::submit_ok(ssd, {t++, true, SectorRange::of(2056, 12)});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(2058, 12)});  // would AMerge
   EXPECT_EQ(ssd.stats().across().profitable_amerge, 0u);
   EXPECT_EQ(ssd.stats().across().rollbacks, 1u);
-  ssd.submit({t++, false, SectorRange::of(2048, 32)});
+  test::submit_ok(ssd, {t++, false, SectorRange::of(2048, 32)});
   dynamic_cast<AcrossFtl&>(ssd.scheme()).check_invariants();
 }
 
 TEST(AcrossPolicy, NoShrinkRollsBackPartialOverwrites) {
   auto ssd = make_ssd(true, true, false);
   SimTime t = 0;
-  ssd.submit({t++, true, SectorRange::of(2056, 12)});  // area over 128/129
-  ssd.submit({t++, true, SectorRange::of(128 * 16, 16)});  // full page 128
+  test::submit_ok(ssd, {t++, true, SectorRange::of(2056, 12)});  // area over 128/129
+  test::submit_ok(ssd, {t++, true, SectorRange::of(128 * 16, 16)});  // full page 128
   EXPECT_EQ(ssd.stats().across().area_shrinks, 0u);
   EXPECT_EQ(ssd.stats().across().rollbacks, 1u);
-  ssd.submit({t++, false, SectorRange::of(2048, 32)});
+  test::submit_ok(ssd, {t++, false, SectorRange::of(2048, 32)});
   dynamic_cast<AcrossFtl&>(ssd.scheme()).check_invariants();
 }
 
@@ -57,7 +57,7 @@ TEST_P(PolicyMatrix, RandomWorkloadMatchesOracleUnderAnyPolicy) {
 
   test::WorkloadGen gen(config.logical_sectors(),
                         config.geometry.sectors_per_page(), 23);
-  for (int i = 0; i < 2500; ++i) ssd.submit(gen.next());
+  for (int i = 0; i < 2500; ++i) test::submit_ok(ssd, gen.next());
   dynamic_cast<AcrossFtl&>(ssd.scheme()).check_invariants();
   test::verify_full_space(ssd);
 }

@@ -23,7 +23,7 @@ struct ValveFixture : ::testing::Test {
   void fill_live(double target_fraction) {
     const auto pages = ssd.config().logical_pages();
     for (std::uint64_t p = 0; p < pages; ++p) {
-      ssd.submit({t++, true, SectorRange::of(p * spp(), spp())});
+      test::submit_ok(ssd, {t++, true, SectorRange::of(p * spp(), spp())});
       if (ssd.engine().array().valid_fraction() >= target_fraction) break;
     }
   }
@@ -33,7 +33,7 @@ struct ValveFixture : ::testing::Test {
 };
 
 TEST_F(ValveFixture, NoBypassWhenDeviceIsEmpty) {
-  ssd.submit({t++, true, SectorRange::of(2056, 12)});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(2056, 12)});
   EXPECT_EQ(across().bypassed_writes, 0u);
   EXPECT_EQ(across().direct_writes, 1u);
 }
@@ -45,7 +45,7 @@ TEST_F(ValveFixture, BypassesRemappingUnderPressure) {
   Rng rng(3);
   for (int i = 0; i < 400; ++i) {
     const SectorAddr boundary = 2 * rng.between(1, 350) * spp();
-    ssd.submit({t++, true, SectorRange::of(boundary - 4, 10)});
+    test::submit_ok(ssd, {t++, true, SectorRange::of(boundary - 4, 10)});
   }
   EXPECT_GT(across().bypassed_writes, 0u);
   // Live areas stay bounded: far fewer than the across writes issued.
@@ -56,7 +56,7 @@ TEST_F(ValveFixture, BypassesRemappingUnderPressure) {
 TEST_F(ValveFixture, DrainsOldAreasUnderPressure) {
   // Mint some areas first, then apply pressure.
   for (std::uint64_t b = 1; b <= 20; ++b) {
-    ssd.submit({t++, true, SectorRange::of(2 * b * spp() - 4, 10)});
+    test::submit_ok(ssd, {t++, true, SectorRange::of(2 * b * spp() - 4, 10)});
   }
   const auto live_before = scheme().live_areas();
   ASSERT_GT(live_before, 0u);
@@ -64,7 +64,7 @@ TEST_F(ValveFixture, DrainsOldAreasUnderPressure) {
   Rng rng(5);
   for (int i = 0; i < 200; ++i) {
     const SectorAddr boundary = 2 * rng.between(200, 350) * spp();
-    ssd.submit({t++, true, SectorRange::of(boundary - 4, 10)});
+    test::submit_ok(ssd, {t++, true, SectorRange::of(boundary - 4, 10)});
   }
   if (across().bypassed_writes > 0) {
     EXPECT_GT(across().pressure_evictions, 0u);
@@ -79,12 +79,12 @@ TEST_F(ValveFixture, DataRemainsCorrectThroughValveTransitions) {
   for (int round = 0; round < 4; ++round) {
     for (int i = 0; i < 50; ++i) {
       const SectorAddr boundary = 2 * rng.between(1, 300) * spp();
-      ssd.submit({t++, true, SectorRange::of(boundary - 3, 8)});
+      test::submit_ok(ssd, {t++, true, SectorRange::of(boundary - 3, 8)});
     }
     fill_live(0.78 + 0.01 * round);
     for (int i = 0; i < 50; ++i) {
       const SectorAddr boundary = 2 * rng.between(1, 300) * spp();
-      ssd.submit({t++, false, SectorRange::of(boundary - 3, 8)});
+      test::submit_ok(ssd, {t++, false, SectorRange::of(boundary - 3, 8)});
     }
   }
   test::verify_full_space(ssd);
@@ -99,7 +99,7 @@ TEST_F(ValveFixture, GcSurvivesSustainedAcrossPressure) {
   for (int i = 0; i < 3000; ++i) {
     const std::uint64_t b = rng.between(1, boundaries - 1);
     const SectorCount len = 4 + b % 12;
-    ssd.submit({t++, true,
+    test::submit_ok(ssd, {t++, true,
                 SectorRange::of(2 * b * spp() - len / 2, len)});
   }
   const auto& counters = ssd.engine().array().counters();

@@ -15,10 +15,10 @@ struct MrsmFixture : ::testing::Test {
   std::uint32_t spp() { return ssd.config().geometry.sectors_per_page(); }
 
   void write(SectorAddr off, SectorCount len) {
-    ssd.submit({t++, true, SectorRange::of(off, len)});
+    test::submit_ok(ssd, {t++, true, SectorRange::of(off, len)});
   }
   void read(SectorAddr off, SectorCount len) {
-    ssd.submit({t++, false, SectorRange::of(off, len)});
+    test::submit_ok(ssd, {t++, false, SectorRange::of(off, len)});
   }
   std::uint64_t data_writes() {
     return stats().flash_ops(ssd::OpKind::kDataWrite);
@@ -121,7 +121,7 @@ TEST_F(MrsmFixture, TreeWalkCostsExtraDramAccesses) {
   sim::Ssd baseline(test::tiny_config(), SchemeKind::kPageFtl);
   SimTime tb = 0;
   for (int i = 0; i < 64; ++i) {
-    baseline.submit({tb++, true, SectorRange::of(5, 7)});
+    test::submit_ok(baseline, {tb++, true, SectorRange::of(5, 7)});
     write(5, 7);
   }
   EXPECT_GT(stats().dram_accesses(), 4 * baseline.stats().dram_accesses());
@@ -133,7 +133,7 @@ TEST_F(MrsmFixture, MapFootprintLargerThanBaselineOnceSubMapped) {
   const auto sectors = ssd.config().logical_sectors();
   // Unaligned writes sprinkled over the whole space upgrade every region.
   for (SectorAddr off = 5; off + 8 < sectors; off += 1024) {
-    baseline.submit({tb++, true, SectorRange::of(off, 7)});
+    test::submit_ok(baseline, {tb++, true, SectorRange::of(off, 7)});
     write(off, 7);
   }
   EXPECT_GT(scheme().map_bytes(), baseline.scheme().map_bytes());

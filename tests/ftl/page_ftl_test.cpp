@@ -19,7 +19,7 @@ struct PageFtlFixture : ::testing::Test {
 };
 
 TEST_F(PageFtlFixture, FullPageWriteNeedsNoRead) {
-  ssd.submit({t++, true, SectorRange::of(0, spp())});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(0, spp())});
   EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataWrite), 1u);
   EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataRead), 0u);
   EXPECT_EQ(stats().rmw_reads(), 0u);
@@ -27,33 +27,33 @@ TEST_F(PageFtlFixture, FullPageWriteNeedsNoRead) {
 }
 
 TEST_F(PageFtlFixture, PartialWriteToFreshPageNeedsNoRead) {
-  ssd.submit({t++, true, SectorRange::of(4, 4)});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(4, 4)});
   EXPECT_EQ(stats().rmw_reads(), 0u);  // nothing to preserve yet
   EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataWrite), 1u);
 }
 
 TEST_F(PageFtlFixture, PartialUpdateDoesReadModifyWrite) {
-  ssd.submit({t++, true, SectorRange::of(0, spp())});
-  ssd.submit({t++, true, SectorRange::of(4, 4)});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(0, spp())});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(4, 4)});
   EXPECT_EQ(stats().rmw_reads(), 1u);
   EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataWrite), 2u);
 }
 
 TEST_F(PageFtlFixture, AcrossWriteCostsTwoOfEverything) {
   // Pre-fill the pair so both sides RMW.
-  ssd.submit({t++, true, SectorRange::of(0, 2 * spp())});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(0, 2 * spp())});
   const auto writes_before = stats().flash_ops(ssd::OpKind::kDataWrite);
   const auto rmw_before = stats().rmw_reads();
 
-  ssd.submit({t++, true, SectorRange::of(12, 8)});  // across pages 0/1
+  test::submit_ok(ssd, {t++, true, SectorRange::of(12, 8)});  // across pages 0/1
   EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataWrite) - writes_before, 2u);
   EXPECT_EQ(stats().rmw_reads() - rmw_before, 2u);
 }
 
 TEST_F(PageFtlFixture, OverwriteInvalidatesOldPage) {
-  ssd.submit({t++, true, SectorRange::of(0, spp())});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(0, spp())});
   const Ppn first = scheme().mapping(Lpn{0});
-  ssd.submit({t++, true, SectorRange::of(0, spp())});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(0, spp())});
   const Ppn second = scheme().mapping(Lpn{0});
   EXPECT_NE(first, second);
   EXPECT_EQ(ssd.engine().array().state(first), nand::PageState::kInvalid);
@@ -61,14 +61,14 @@ TEST_F(PageFtlFixture, OverwriteInvalidatesOldPage) {
 }
 
 TEST_F(PageFtlFixture, ReadOfUnmappedCostsNoFlash) {
-  ssd.submit({t++, false, SectorRange::of(64, 16)});
+  test::submit_ok(ssd, {t++, false, SectorRange::of(64, 16)});
   EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataRead), 0u);
 }
 
 TEST_F(PageFtlFixture, ReadIssuesOneFlashReadPerMappedPage) {
-  ssd.submit({t++, true, SectorRange::of(0, 3 * spp())});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(0, 3 * spp())});
   const auto before = stats().flash_ops(ssd::OpKind::kDataRead);
-  ssd.submit({t++, false, SectorRange::of(4, 2 * spp())});  // touches 3 pages
+  test::submit_ok(ssd, {t++, false, SectorRange::of(4, 2 * spp())});  // touches 3 pages
   EXPECT_EQ(stats().flash_ops(ssd::OpKind::kDataRead) - before, 3u);
 }
 
@@ -81,7 +81,7 @@ TEST_F(PageFtlFixture, MultiPageWriteParallelisesAcrossChips) {
   // 4 pages striped over 4 planes (2 channels × 2 planes) should take far
   // less than 4 serial programs.
   const auto completion =
-      ssd.submit({0, true, SectorRange::of(0, 4 * spp())});
+      test::submit_ok(ssd, {0, true, SectorRange::of(0, 4 * spp())});
   EXPECT_LT(completion.latency, 3 * ssd.config().timing.program_ns);
 }
 
@@ -97,12 +97,12 @@ TEST_F(PageFtlFixture, MapBytesGrowWithFootprint) {
 
   const auto page_sectors = config.geometry.sectors_per_page();
   SimTime time = 0;
-  big.submit({time++, true, SectorRange::of(0, page_sectors)});
+  test::submit_ok(big, {time++, true, SectorRange::of(0, page_sectors)});
   const auto one_page = big.scheme().map_bytes();
   EXPECT_EQ(one_page, config.geometry.page_bytes);
 
   const auto last_page = config.logical_pages() - 1;
-  big.submit({time++, true, SectorRange::of(last_page * page_sectors,
+  test::submit_ok(big, {time++, true, SectorRange::of(last_page * page_sectors,
                                             page_sectors)});
   EXPECT_GT(big.scheme().map_bytes(), one_page);
 }

@@ -5,12 +5,32 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "ftl/request.h"
 #include "sim/ssd.h"
+#include "sim/write_buffer.h"
 #include "ssd/config.h"
 
 namespace af::test {
+
+/// Submits a request that must be accepted — the standard form for test
+/// setup and workload loops, where a silent rejection (read-only
+/// degradation) would invalidate everything the test asserts afterwards.
+/// Tests that *expect* rejections capture Ssd::submit's result directly.
+inline sim::Ssd::Completion submit_ok(sim::Ssd& ssd,
+                                      const ftl::IoRequest& req) {
+  const auto completion = ssd.submit(req);
+  AF_CHECK_MSG(completion.accepted, "test request unexpectedly rejected");
+  return completion;
+}
+
+inline sim::Ssd::Completion submit_ok(sim::BufferedSsd& buffered,
+                                      const ftl::IoRequest& req) {
+  const auto completion = buffered.submit(req);
+  AF_CHECK_MSG(completion.accepted, "test request unexpectedly rejected");
+  return completion;
+}
 
 /// Tiny payload-tracked device: 2×1×1×2 planes, 32 blocks/plane, 8 pages per
 /// block, 8 KiB pages → 1024 physical pages.
@@ -78,7 +98,7 @@ inline void verify_full_space(sim::Ssd& ssd) {
   SimTime t = 1;
   for (std::uint64_t p = 0; p < pages; ++p) {
     ftl::IoRequest req{t++, /*write=*/false, SectorRange::of(p * spp, spp)};
-    ssd.submit(req);
+    submit_ok(ssd, req);
   }
 }
 

@@ -22,7 +22,7 @@ TEST_P(SchemeEquivalence, RandomWorkloadMatchesOracle) {
   WorkloadGen gen(config.logical_sectors(),
                   config.geometry.sectors_per_page(), seed);
   for (int i = 0; i < 4000; ++i) {
-    ssd.submit(gen.next());  // reads verify against the oracle internally
+    test::submit_ok(ssd, gen.next());  // reads verify against the oracle internally
     if (i % 512 == 0) {
       if (auto* across = dynamic_cast<ftl::AcrossFtl*>(&ssd.scheme())) {
         across->check_invariants();
@@ -77,7 +77,7 @@ TEST(SchemeComparison, AcrossFtlIssuesFewerDataWritesOnAcrossHeavyWorkload) {
       const SectorCount k = len / 2 + rng.below(2);
       ftl::IoRequest req{static_cast<SimTime>(i) * 100'000, true,
                          SectorRange::of(boundary - k, len)};
-      ssd.submit(req);
+      test::submit_ok(ssd, req);
     }
     return ssd.stats().flash_ops(ssd::OpKind::kDataWrite);
   };
@@ -98,7 +98,7 @@ TEST(SchemeComparison, AcrossFtlAvoidsRmwReadsOnAcrossWrites) {
     // Pre-fill some pages so baseline RMW has something to read.
     SimTime t = 0;
     for (std::uint64_t p = 0; p < 64; ++p) {
-      ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
+      test::submit_ok(ssd, {t++, true, SectorRange::of(p * spp, spp)});
     }
     const auto before = ssd.stats().rmw_reads();
     Rng rng(11);
@@ -106,7 +106,7 @@ TEST(SchemeComparison, AcrossFtlAvoidsRmwReadsOnAcrossWrites) {
       const std::uint64_t b = 2 * rng.between(1, 31);
       const SectorCount len = 8 + b % 7;
       const SectorCount k = len / 2 + rng.below(2);
-      ssd.submit({t++, true, SectorRange::of(b * spp - k, len)});
+      test::submit_ok(ssd, {t++, true, SectorRange::of(b * spp - k, len)});
     }
     return ssd.stats().rmw_reads() - before;
   };

@@ -93,8 +93,10 @@ TEST_P(FaultChurn, SameFaultSeedSameOutcome) {
   for (int i = 0; i < 4'000; ++i) {
     const std::uint64_t p = rng.below(config.logical_pages() / 3);
     const ftl::IoRequest req{t++, true, SectorRange::of(p * spp, spp)};
-    a.submit(req);
-    b.submit(req);
+    // Late-loop writes may be rejected once faults degrade the devices;
+    // determinism only needs both devices to see the identical stream.
+    (void)a.submit(req);
+    (void)b.submit(req);
   }
   EXPECT_EQ(a.stats().faults().program_faults,
             b.stats().faults().program_faults);
@@ -147,7 +149,8 @@ TEST_P(FaultChurn, SpareExhaustionDegradesToReadOnly) {
   int submitted = 0;
   for (; submitted < 20'000 && !ssd.engine().read_only(); ++submitted) {
     const std::uint64_t p = rng.below(footprint_pages);
-    ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
+    // Rejection is the exit condition here, checked via read_only() above.
+    (void)ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
   }
   ASSERT_TRUE(ssd.engine().read_only())
       << "device never degraded after " << submitted << " writes";

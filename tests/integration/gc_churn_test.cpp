@@ -33,7 +33,7 @@ TEST_P(GcChurn, HeavyOverwriteKeepsStateConsistent) {
     } else {
       range = SectorRange::of(p * spp, spp);
     }
-    ssd.submit({t++, true, range});
+    test::submit_ok(ssd, {t++, true, range});
   }
 
   EXPECT_GT(ssd.engine().gc_runs(), 10u);
@@ -59,7 +59,7 @@ TEST_P(GcChurn, EraseCountsMatchArrayCounters) {
   SimTime t = 0;
   for (int i = 0; i < 8'000; ++i) {
     const std::uint64_t p = rng.below(config.logical_pages() / 3);
-    ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
+    test::submit_ok(ssd, {t++, true, SectorRange::of(p * spp, spp)});
   }
   EXPECT_EQ(ssd.stats().erases(), ssd.engine().array().total_erases());
   EXPECT_GT(ssd.engine().array().max_erase_count(), 0u);

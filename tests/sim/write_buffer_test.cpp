@@ -27,26 +27,26 @@ TEST_F(BufferFixture, BufferedWriteCompletesAtDramSpeed) {
 }
 
 TEST_F(BufferFixture, OverlappingWritesCoalesce) {
-  buffer.submit({t++, true, SectorRange::of(100, 8)});
-  buffer.submit({t++, true, SectorRange::of(104, 8)});
+  test::submit_ok(buffer, {t++, true, SectorRange::of(100, 8)});
+  test::submit_ok(buffer, {t++, true, SectorRange::of(104, 8)});
   EXPECT_EQ(buffer.buffered_sectors(), 12u);  // [100,112): one merged entry
   EXPECT_EQ(buffer.coalesced_sectors(), 4u);
 }
 
 TEST_F(BufferFixture, AdjacentWritesMergeIntoOneEntry) {
-  buffer.submit({t++, true, SectorRange::of(100, 8)});
-  buffer.submit({t++, true, SectorRange::of(108, 8)});
+  test::submit_ok(buffer, {t++, true, SectorRange::of(100, 8)});
+  test::submit_ok(buffer, {t++, true, SectorRange::of(108, 8)});
   EXPECT_EQ(buffer.buffered_sectors(), 16u);
   // A read covering the union is a single full hit.
   const auto completion =
-      buffer.submit({t++, false, SectorRange::of(100, 16)});
+      test::submit_ok(buffer, {t++, false, SectorRange::of(100, 16)});
   EXPECT_EQ(completion.latency, 1'000u);
   EXPECT_EQ(buffer.read_hits(), 1u);
 }
 
 TEST_F(BufferFixture, CapacityEvictsOldestToFlash) {
   for (int i = 0; i < 9; ++i) {  // 9 x 8 sectors > 64-sector capacity
-    buffer.submit({t++, true,
+    test::submit_ok(buffer, {t++, true,
                    SectorRange::of(static_cast<SectorAddr>(i) * 32, 8)});
   }
   EXPECT_LE(buffer.buffered_sectors(), 64u);
@@ -55,43 +55,68 @@ TEST_F(BufferFixture, CapacityEvictsOldestToFlash) {
 }
 
 TEST_F(BufferFixture, PartialReadFlushesThrough) {
-  buffer.submit({t++, true, SectorRange::of(100, 8)});
+  test::submit_ok(buffer, {t++, true, SectorRange::of(100, 8)});
   // Read past the buffered range: forces a flush, then device read (oracle
   // checks the data end-to-end).
-  buffer.submit({t++, false, SectorRange::of(100, 16)});
+  test::submit_ok(buffer, {t++, false, SectorRange::of(100, 16)});
   EXPECT_EQ(buffer.read_throughs(), 1u);
   EXPECT_EQ(buffer.buffered_sectors(), 0u);
   EXPECT_GT(ssd.stats().flash_writes(), 0u);
 }
 
 TEST_F(BufferFixture, FlushAllDrains) {
-  buffer.submit({t++, true, SectorRange::of(0, 8)});
-  buffer.submit({t++, true, SectorRange::of(320, 12)});
+  test::submit_ok(buffer, {t++, true, SectorRange::of(0, 8)});
+  test::submit_ok(buffer, {t++, true, SectorRange::of(320, 12)});
   buffer.flush_all(t);
   EXPECT_EQ(buffer.buffered_sectors(), 0u);
   // Everything is now readable from flash with correct contents.
-  ssd.submit({t++, false, SectorRange::of(0, 8)});
-  ssd.submit({t++, false, SectorRange::of(320, 12)});
+  test::submit_ok(ssd, {t++, false, SectorRange::of(0, 8)});
+  test::submit_ok(ssd, {t++, false, SectorRange::of(320, 12)});
 }
 
 TEST_F(BufferFixture, ZeroCapacityIsPassThrough) {
   BufferedSsd raw(ssd, 0);
-  raw.submit({t++, true, SectorRange::of(2056, 12)});
+  test::submit_ok(raw, {t++, true, SectorRange::of(2056, 12)});
   EXPECT_EQ(ssd.stats().across().direct_writes, 1u);  // straight to the FTL
 }
 
 TEST_F(BufferFixture, RandomWorkloadStaysCorrectThroughTheBuffer) {
   test::WorkloadGen gen(ssd.config().logical_sectors(), spp(), 51);
-  for (int i = 0; i < 3000; ++i) buffer.submit(gen.next());
+  for (int i = 0; i < 3000; ++i) test::submit_ok(buffer, gen.next());
   buffer.flush_all(t + 1);
   test::verify_full_space(ssd);  // oracle validates every sector
+}
+
+TEST_F(BufferFixture, RefusedFlushesAreCountedAsDroppedData) {
+  // Regression for a defect the [[nodiscard]] audit surfaced: write_out()
+  // discarded Ssd::submit's completion, so flushing buffered data into a
+  // read-only (degraded) device silently dropped host-acknowledged writes.
+  auto config = test::tiny_config();
+  config.faults.erase_fail = 1.0;  // retirement marches to the floor
+  config.faults.seed = 7;
+  config.gc_threshold = 0.5;
+  config.track_payload = false;  // drops make oracle verification moot
+  Ssd faulty(config, ftl::SchemeKind::kPageFtl);
+  const auto spp = config.geometry.sectors_per_page();
+  SimTime time = 0;
+  for (std::uint64_t i = 0; i < 20'000 && !faulty.engine().read_only(); ++i) {
+    const std::uint64_t p = i % (config.logical_pages() / 8);
+    (void)faulty.submit({time++, true, SectorRange::of(p * spp, spp)});
+  }
+  ASSERT_TRUE(faulty.engine().read_only());
+
+  BufferedSsd late(faulty, /*capacity_sectors=*/64);
+  test::submit_ok(late, {time++, true, SectorRange::of(0, 8)});
+  EXPECT_EQ(late.dropped_flush_sectors(), 0u);  // still only buffered
+  late.flush_all(time);
+  EXPECT_EQ(late.dropped_flush_sectors(), 8u);  // the refusal is now visible
 }
 
 TEST_F(BufferFixture, BufferAbsorbsAcrossPageRewrites) {
   // The same across-page range rewritten many times: without a buffer each
   // rewrite costs flash work; the buffer collapses them into one flush.
   for (int i = 0; i < 50; ++i) {
-    buffer.submit({t++, true, SectorRange::of(2056, 12)});
+    test::submit_ok(buffer, {t++, true, SectorRange::of(2056, 12)});
   }
   buffer.flush_all(t);
   EXPECT_LE(ssd.stats().flash_writes(), 2u);

@@ -25,7 +25,8 @@ std::unique_ptr<sim::Ssd> churn(const SsdConfig& config, int writes) {
   Rng rng(9);
   SimTime t = 0;
   for (int i = 0; i < writes; ++i) {
-    ssd->submit({t++, true, SectorRange::of(rng.below(footprint) * spp, spp)});
+    test::submit_ok(*ssd,
+                    {t++, true, SectorRange::of(rng.below(footprint) * spp, spp)});
   }
   return ssd;
 }
@@ -63,9 +64,9 @@ TEST(PartialGc, OracleHoldsUnderResumedVictims) {
   for (int i = 0; i < 6000; ++i) {
     const std::uint64_t p = rng.below(config.logical_pages() / 3);
     if (rng.chance(0.3)) {
-      ssd->submit({t++, true, SectorRange::of(p * spp + spp - 4, 8)});
+      test::submit_ok(*ssd, {t++, true, SectorRange::of(p * spp + spp - 4, 8)});
     } else {
-      ssd->submit({t++, true, SectorRange::of(p * spp, spp)});
+      test::submit_ok(*ssd, {t++, true, SectorRange::of(p * spp, spp)});
     }
   }
   EXPECT_GT(ssd->engine().gc_runs(), 0u);

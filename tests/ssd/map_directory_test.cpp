@@ -42,7 +42,7 @@ TEST(MapDirectory, ColdMissCostsNoFlash) {
 TEST(MapDirectory, HitIsDramOnly) {
   FakeMapIo io;
   MapDirectory dir(io, 16, 4);
-  dir.touch(3, false, 0);
+  (void)dir.touch(3, false, 0);
   const SimTime t = dir.touch(3, false, 5);
   EXPECT_EQ(t, 5u);
   EXPECT_EQ(dir.hits(), 1u);
@@ -52,9 +52,9 @@ TEST(MapDirectory, HitIsDramOnly) {
 TEST(MapDirectory, DirtyEvictionWritesBack) {
   FakeMapIo io;
   MapDirectory dir(io, 16, 2);
-  dir.touch(0, /*dirty=*/true, 0);
-  dir.touch(1, false, 0);
-  dir.touch(2, false, 0);  // evicts page 0 (dirty) → program
+  (void)dir.touch(0, /*dirty=*/true, 0);
+  (void)dir.touch(1, false, 0);
+  (void)dir.touch(2, false, 0);  // evicts page 0 (dirty) → program
   ASSERT_EQ(io.programs.size(), 1u);
   EXPECT_EQ(io.programs[0], 0u);
   EXPECT_EQ(dir.evictions(), 1u);
@@ -64,9 +64,9 @@ TEST(MapDirectory, DirtyEvictionWritesBack) {
 TEST(MapDirectory, CleanEvictionIsFree) {
   FakeMapIo io;
   MapDirectory dir(io, 16, 2);
-  dir.touch(0, false, 0);
-  dir.touch(1, false, 0);
-  dir.touch(2, false, 0);  // evicts clean page 0 silently
+  (void)dir.touch(0, false, 0);
+  (void)dir.touch(1, false, 0);
+  (void)dir.touch(2, false, 0);  // evicts clean page 0 silently
   EXPECT_TRUE(io.programs.empty());
   EXPECT_EQ(dir.evictions(), 0u);
 }
@@ -74,9 +74,9 @@ TEST(MapDirectory, CleanEvictionIsFree) {
 TEST(MapDirectory, ReloadAfterEvictionReadsFlash) {
   FakeMapIo io;
   MapDirectory dir(io, 16, 2);
-  dir.touch(0, true, 0);
-  dir.touch(1, false, 0);
-  dir.touch(2, false, 0);           // page 0 written to Ppn{1000}
+  (void)dir.touch(0, true, 0);
+  (void)dir.touch(1, false, 0);
+  (void)dir.touch(2, false, 0);           // page 0 written to Ppn{1000}
   const SimTime t = dir.touch(0, false, 50);  // reload
   ASSERT_EQ(io.reads.size(), 1u);
   EXPECT_EQ(io.reads[0], Ppn{1000});
@@ -86,10 +86,10 @@ TEST(MapDirectory, ReloadAfterEvictionReadsFlash) {
 TEST(MapDirectory, RewriteInvalidatesOldCopy) {
   FakeMapIo io;
   MapDirectory dir(io, 16, 1);
-  dir.touch(0, true, 0);
-  dir.touch(1, false, 0);  // evict+program 0 → Ppn{1000}
-  dir.touch(0, true, 0);   // reload 0, dirty again (evicts 1, clean)
-  dir.touch(1, false, 0);  // evict 0 again → invalidate Ppn{1000}, program
+  (void)dir.touch(0, true, 0);
+  (void)dir.touch(1, false, 0);  // evict+program 0 → Ppn{1000}
+  (void)dir.touch(0, true, 0);   // reload 0, dirty again (evicts 1, clean)
+  (void)dir.touch(1, false, 0);  // evict 0 again → invalidate Ppn{1000}, program
   ASSERT_EQ(io.invalidations.size(), 1u);
   EXPECT_EQ(io.invalidations[0], Ppn{1000});
   EXPECT_EQ(io.programs.size(), 2u);
@@ -98,10 +98,10 @@ TEST(MapDirectory, RewriteInvalidatesOldCopy) {
 TEST(MapDirectory, LruOrder) {
   FakeMapIo io;
   MapDirectory dir(io, 16, 2);
-  dir.touch(0, true, 0);
-  dir.touch(1, true, 0);
-  dir.touch(0, false, 0);  // refresh 0: now 1 is LRU
-  dir.touch(2, false, 0);  // evicts 1
+  (void)dir.touch(0, true, 0);
+  (void)dir.touch(1, true, 0);
+  (void)dir.touch(0, false, 0);  // refresh 0: now 1 is LRU
+  (void)dir.touch(2, false, 0);  // evicts 1
   ASSERT_EQ(io.programs.size(), 1u);
   EXPECT_EQ(io.programs[0], 1u);
 }
@@ -109,27 +109,27 @@ TEST(MapDirectory, LruOrder) {
 TEST(MapDirectory, DirtyBitSticksAcrossTouches) {
   FakeMapIo io;
   MapDirectory dir(io, 16, 2);
-  dir.touch(0, true, 0);
-  dir.touch(0, false, 0);  // does not clear dirtiness
-  dir.touch(1, false, 0);
-  dir.touch(2, false, 0);  // evicting 0 must write it back
+  (void)dir.touch(0, true, 0);
+  (void)dir.touch(0, false, 0);  // does not clear dirtiness
+  (void)dir.touch(1, false, 0);
+  (void)dir.touch(2, false, 0);  // evicting 0 must write it back
   EXPECT_EQ(io.programs.size(), 1u);
 }
 
 TEST(MapDirectory, TouchedPagesCountsDistinct) {
   FakeMapIo io;
   MapDirectory dir(io, 16, 4);
-  dir.touch(1, false, 0);
-  dir.touch(1, false, 0);
-  dir.touch(5, false, 0);
+  (void)dir.touch(1, false, 0);
+  (void)dir.touch(1, false, 0);
+  (void)dir.touch(5, false, 0);
   EXPECT_EQ(dir.touched_pages(), 2u);
 }
 
 TEST(MapDirectory, RelocationUpdatesGtd) {
   FakeMapIo io;
   MapDirectory dir(io, 16, 1);
-  dir.touch(0, true, 0);
-  dir.touch(1, false, 0);  // flush 0 → Ppn{1000}
+  (void)dir.touch(0, true, 0);
+  (void)dir.touch(1, false, 0);  // flush 0 → Ppn{1000}
   dir.on_relocated(0, Ppn{77});
   EXPECT_EQ(dir.flash_location(0), Ppn{77});
   (void)dir.touch(0, false, 0);  // reload must read the new location
@@ -139,7 +139,7 @@ TEST(MapDirectory, RelocationUpdatesGtd) {
 TEST(MapDirectoryDeathTest, OutOfRangeAborts) {
   FakeMapIo io;
   MapDirectory dir(io, 4, 2);
-  EXPECT_DEATH(dir.touch(4, false, 0), "out of range");
+  EXPECT_DEATH((void)dir.touch(4, false, 0), "out of range");
 }
 
 }  // namespace

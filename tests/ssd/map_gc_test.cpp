@@ -31,7 +31,8 @@ TEST(MapGc, MapPagesFlowThroughFlashAndGc) {
   Rng rng(31);
   SimTime t = 0;
   for (int i = 0; i < 10'000; ++i) {
-    ssd.submit({t++, true, SectorRange::of(rng.below(footprint) * spp, spp)});
+    test::submit_ok(ssd,
+                    {t++, true, SectorRange::of(rng.below(footprint) * spp, spp)});
   }
   // The tiny CMT produced real map flash traffic...
   EXPECT_GT(ssd.stats().flash_ops(OpKind::kMapWrite), 100u);
@@ -54,11 +55,12 @@ TEST(MapGc, AcrossSchemeSurvivesMapEvictionChurn) {
       const SectorAddr boundary =
           2 * rng.between(1, config.logical_pages() / 2 - 1) * spp;
       const SectorCount len = rng.between(4, spp);
-      ssd.submit({t++, true,
-                  SectorRange::of(boundary - rng.between(1, len - 1), len)});
+      test::submit_ok(
+          ssd, {t++, true,
+                SectorRange::of(boundary - rng.between(1, len - 1), len)});
     } else {
       const std::uint64_t p = rng.below(config.logical_pages() / 2);
-      ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
+      test::submit_ok(ssd, {t++, true, SectorRange::of(p * spp, spp)});
     }
   }
   EXPECT_GT(ssd.stats().flash_ops(OpKind::kMapWrite), 0u);
@@ -72,11 +74,11 @@ TEST(MapGc, MapTrafficCountsSeparatelyFromData) {
   SimTime t = 0;
   // Two writes to translation-page-distant LPNs: the second touch evicts the
   // first (dirty) translation page.
-  ssd.submit({t++, true, SectorRange::of(0, spp)});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(0, spp)});
   const auto lpns_per_tpage = config.geometry.page_bytes / 4;
   const auto far_lpn = std::min<std::uint64_t>(config.logical_pages() - 1,
                                                lpns_per_tpage + 1);
-  ssd.submit({t++, true, SectorRange::of(far_lpn * spp, spp)});
+  test::submit_ok(ssd, {t++, true, SectorRange::of(far_lpn * spp, spp)});
   EXPECT_EQ(ssd.stats().flash_ops(OpKind::kMapWrite), 1u);
   EXPECT_EQ(ssd.stats().flash_ops(OpKind::kDataWrite), 2u);
 }

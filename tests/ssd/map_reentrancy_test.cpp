@@ -21,7 +21,7 @@ class ReentrantMapIo : public MapIo {
     if (dir != nullptr && !reentry_pages.empty() && depth == 0) {
       ++depth;  // recurse once per eviction, like a single GC pass
       for (std::uint64_t page : reentry_pages) {
-        dir->touch(page, /*dirty=*/reentry_dirty, ready);
+        (void)dir->touch(page, /*dirty=*/reentry_dirty, ready);
       }
       --depth;
     }
@@ -47,20 +47,20 @@ TEST(MapReentrancy, ReinsertionOfThePageBeingInsertedIsDeduplicated) {
   MapDirectory dir(io, 16, 2);
   io.dir = &dir;
 
-  dir.touch(0, /*dirty=*/true, 0);
-  dir.touch(1, /*dirty=*/false, 0);
+  (void)dir.touch(0, /*dirty=*/true, 0);
+  (void)dir.touch(1, /*dirty=*/false, 0);
   // Touching 7 evicts dirty page 0 → program → reentrant touch(7): the page
   // the outer call is about to insert. Must not end up twice in the LRU.
   io.reentry_pages = {7};
-  dir.touch(7, /*dirty=*/false, 0);
+  (void)dir.touch(7, /*dirty=*/false, 0);
   io.reentry_pages.clear();
 
   EXPECT_EQ(dir.cached_pages(), 2u);
   // Drain the cache fully; a duplicate LRU node would abort here.
-  dir.touch(8, true, 0);
-  dir.touch(9, true, 0);
-  dir.touch(10, true, 0);
-  dir.touch(11, true, 0);
+  (void)dir.touch(8, true, 0);
+  (void)dir.touch(9, true, 0);
+  (void)dir.touch(10, true, 0);
+  (void)dir.touch(11, true, 0);
   EXPECT_LE(dir.cached_pages(), 2u);
 }
 
@@ -69,19 +69,19 @@ TEST(MapReentrancy, ReinsertionOfTheEvictedPageKeepsFlashConsistent) {
   MapDirectory dir(io, 16, 2);
   io.dir = &dir;
 
-  dir.touch(0, true, 0);
-  dir.touch(1, false, 0);
+  (void)dir.touch(0, true, 0);
+  (void)dir.touch(1, false, 0);
   // Evicting page 0 re-touches page 0 from inside the write-back (GC
   // relocating data whose translation page is the one being flushed).
   io.reentry_pages = {0};
-  dir.touch(2, false, 0);
+  (void)dir.touch(2, false, 0);
   io.reentry_pages.clear();
 
   // Page 0's flash location must be the newly programmed copy.
   EXPECT_TRUE(dir.flash_location(0).valid());
   // Reload goes to that copy without aborting on an invalid page.
-  dir.touch(3, false, 0);
-  dir.touch(4, false, 0);
+  (void)dir.touch(3, false, 0);
+  (void)dir.touch(4, false, 0);
   (void)dir.touch(0, false, 0);
 }
 
@@ -90,18 +90,18 @@ TEST(MapReentrancy, DirtyReentrantTouchSurvivesLaterEviction) {
   MapDirectory dir(io, 16, 2);
   io.dir = &dir;
 
-  dir.touch(0, true, 0);
-  dir.touch(1, false, 0);
+  (void)dir.touch(0, true, 0);
+  (void)dir.touch(1, false, 0);
   io.reentry_pages = {5};
   io.reentry_dirty = true;
-  dir.touch(2, false, 0);  // evict 0 → reentrant dirty touch(5)
+  (void)dir.touch(2, false, 0);  // evict 0 → reentrant dirty touch(5)
   io.reentry_pages.clear();
 
   const auto programs_before = io.programs;
   // Force 5 out of the cache: its dirtiness must produce a write-back.
-  dir.touch(8, false, 0);
-  dir.touch(9, false, 0);
-  dir.touch(10, false, 0);
+  (void)dir.touch(8, false, 0);
+  (void)dir.touch(9, false, 0);
+  (void)dir.touch(10, false, 0);
   EXPECT_GT(io.programs, programs_before);
 }
 

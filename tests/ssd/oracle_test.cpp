@@ -26,7 +26,7 @@ TEST(Oracle, StampsAreGloballyUnique) {
   oracle.on_write({0, 4});
   oracle.on_write({8, 12});
   std::set<std::uint64_t> seen;
-  for (SectorAddr s : {0, 1, 2, 3, 8, 9, 10, 11}) {
+  for (int s : {0, 1, 2, 3, 8, 9, 10, 11}) {
     EXPECT_TRUE(seen.insert(oracle.expected(static_cast<SectorAddr>(s))).second);
   }
 }

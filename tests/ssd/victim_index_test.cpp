@@ -20,7 +20,7 @@ namespace {
 void churn(sim::Ssd& ssd, int requests, std::uint64_t seed) {
   test::WorkloadGen gen(ssd.config().logical_sectors() * 3 / 5,
                         ssd.config().geometry.sectors_per_page(), seed);
-  for (int i = 0; i < requests; ++i) ssd.submit(gen.next());
+  for (int i = 0; i < requests; ++i) test::submit_ok(ssd, gen.next());
 }
 
 /// After churn: cached weights equal brute force everywhere, and the indexed

@@ -1,0 +1,151 @@
+// Fixture-driven tests for af_lint. Each fixture under tests/tools/fixtures
+// is a source snippet stored as .txt (so the tree-wide af_lint_tree test and
+// the build never see it as real C++); the tests lint it under a pseudo-path,
+// because several rules key off the directory the file claims to live in.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace af::lint {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(AF_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const std::string& pseudo_path) {
+  return lint_content(pseudo_path, read_fixture(name));
+}
+
+int count_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(AfLint, BadHeaderMissingPragmaOnceAndNodiscard) {
+  const auto findings = lint_fixture("bad_header.txt", "src/nand/bad_header.h");
+  EXPECT_EQ(count_rule(findings, "pragma-once"), 1);
+  // bool program(...) and SimTime schedule_read(...); void configure is not
+  // a status API.
+  EXPECT_EQ(count_rule(findings, "nodiscard-status"), 2);
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(AfLint, GoodHeaderIsClean) {
+  const auto findings =
+      lint_fixture("good_header.txt", "src/nand/good_header.h");
+  for (const auto& f : findings) ADD_FAILURE() << format(f);
+}
+
+TEST(AfLint, NodiscardRuleOnlyCoversSrcHeaders) {
+  // The same bad header under tests/ or as a .cpp is out of the rule's
+  // jurisdiction (pragma-once still applies to any header).
+  const auto in_tests =
+      lint_fixture("bad_header.txt", "tests/nand/bad_header.h");
+  EXPECT_EQ(count_rule(in_tests, "nodiscard-status"), 0);
+  EXPECT_EQ(count_rule(in_tests, "pragma-once"), 1);
+  const auto as_cpp = lint_fixture("bad_header.txt", "src/nand/bad_header.cpp");
+  EXPECT_TRUE(as_cpp.empty());
+}
+
+TEST(AfLint, CheckSideEffects) {
+  const auto findings = lint_fixture("bad_check.txt", "src/ftl/bad_check.cpp");
+  // count++, flag.exchange(true), and the wrapped (count += 2) condition.
+  // The pure comparisons — including the one whose *message* mentions
+  // "= 10, or x++" inside a string literal — stay clean.
+  EXPECT_EQ(count_rule(findings, "check-side-effects"), 3);
+  EXPECT_EQ(findings.size(), 3u);
+}
+
+TEST(AfLint, RawThreadsOutsideCommon) {
+  const auto findings =
+      lint_fixture("bad_thread.txt", "bench/bad_thread.cpp");
+  // std::thread construction and std::async; hardware_concurrency() is a
+  // read-only query and stays legal.
+  EXPECT_EQ(count_rule(findings, "no-raw-thread"), 2);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(AfLint, RawThreadsAllowedInsideCommon) {
+  const auto findings =
+      lint_fixture("bad_thread.txt", "src/common/thread_pool_impl.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AfLint, NondeterminismOutsideCommon) {
+  const auto findings =
+      lint_fixture("bad_nondet.txt", "tests/sim/bad_nondet.cpp");
+  EXPECT_EQ(count_rule(findings, "no-nondeterminism"), 2);
+}
+
+TEST(AfLint, NondeterminismAllowedInsideCommon) {
+  const auto findings =
+      lint_fixture("bad_nondet.txt", "src/common/clock.cpp");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(AfLint, MultiSchemeBenchMustUseRunSchemes) {
+  const auto findings = lint_fixture("bad_bench.txt", "bench/bad_bench.cpp");
+  EXPECT_EQ(count_rule(findings, "bench-run-schemes"), 1);
+}
+
+TEST(AfLint, BenchRuleOnlyAppliesToBenchDir) {
+  const auto findings =
+      lint_fixture("bad_bench.txt", "tests/integration/bad_bench.cpp");
+  EXPECT_EQ(count_rule(findings, "bench-run-schemes"), 0);
+}
+
+TEST(AfLint, SuppressionsSilenceJustifiedFindings) {
+  // allow-file(no-nondeterminism) covers both clock readings; the wrapped
+  // allow(bench-run-schemes) comment block must carry down to the
+  // trace::replay call below it.
+  const auto findings =
+      lint_fixture("suppressed.txt", "bench/suppressed.cpp");
+  for (const auto& f : findings) ADD_FAILURE() << format(f);
+}
+
+TEST(AfLint, SuppressionIsRuleSpecific) {
+  // An allow() for an unrelated rule must not silence the real finding.
+  const std::string content =
+      "// af_lint: allow(pragma-once)\n"
+      "int f() { return std::rand(); }\n";
+  const auto findings = lint_content("src/ftl/wrong_allow.cpp", content);
+  EXPECT_EQ(count_rule(findings, "no-nondeterminism"), 1);
+}
+
+TEST(AfLint, PatternsInsideStringsAndCommentsDoNotFire) {
+  const std::string content =
+      "#pragma once\n"
+      "// mentions std::thread and std::rand in a comment\n"
+      "inline const char* kDoc = \"std::async and steady_clock\";\n";
+  const auto findings = lint_content("src/ftl/doc.h", content);
+  for (const auto& f : findings) ADD_FAILURE() << format(f);
+}
+
+TEST(AfLint, FormatIsCompilerStyle) {
+  const Finding f{"src/x.h", 12, "pragma-once", "msg"};
+  EXPECT_EQ(format(f), "src/x.h:12: [pragma-once] msg");
+}
+
+TEST(AfLint, TreeIsCleanRightNow) {
+  // The repo itself must lint clean — same as the af_lint_tree ctest entry,
+  // but through the library API so failures show up with gtest context.
+  const auto findings = lint_tree(AF_LINT_REPO_ROOT);
+  for (const auto& f : findings) ADD_FAILURE() << format(f);
+}
+
+}  // namespace
+}  // namespace af::lint

@@ -1,0 +1,21 @@
+// af_lint CLI: `af_lint [repo-root]`. Scans src/, bench/, tests/, examples/
+// and tools/ for project-convention violations (see lint.h for the rule
+// catalogue) and exits non-zero on any finding. Wired into ctest as
+// `af_lint_tree` so every build job enforces it.
+#include <cstdio>
+
+#include "lint.h"
+
+int main(int argc, char** argv) {
+  const char* root = argc > 1 ? argv[1] : ".";
+  const auto findings = af::lint::lint_tree(root);
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "%s\n", af::lint::format(f).c_str());
+  }
+  if (findings.empty()) {
+    std::printf("af_lint: clean\n");
+    return 0;
+  }
+  std::fprintf(stderr, "af_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}

@@ -1,0 +1,461 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string_view>
+
+namespace af::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// File preprocessing
+// ---------------------------------------------------------------------------
+
+struct FileView {
+  std::string path;
+  std::vector<std::string> raw;   // original lines (suppressions live here)
+  std::vector<std::string> code;  // comments + string/char literals blanked
+  std::vector<std::set<std::string>> allows;  // per-line allowed rules
+  std::set<std::string> file_allows;
+};
+
+std::vector<std::string> split_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else if (c != '\r') {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// Blanks comments and string/char literals so rule patterns never match
+/// inside them (the linter's own sources mention every pattern in strings).
+std::vector<std::string> strip_noncode(const std::vector<std::string>& raw) {
+  enum class State { kNormal, kBlockComment, kString, kChar };
+  State state = State::kNormal;
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  for (const std::string& line : raw) {
+    std::string code(line.size(), ' ');
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+      switch (state) {
+        case State::kNormal:
+          if (c == '/' && next == '/') {
+            i = line.size();  // rest of line is a comment
+          } else if (c == '/' && next == '*') {
+            state = State::kBlockComment;
+            ++i;
+          } else if (c == '"') {
+            state = State::kString;
+          } else if (c == '\'') {
+            state = State::kChar;
+          } else {
+            code[i] = c;
+          }
+          break;
+        case State::kBlockComment:
+          if (c == '*' && next == '/') {
+            state = State::kNormal;
+            ++i;
+          }
+          break;
+        case State::kString:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '"') {
+            state = State::kNormal;
+          }
+          break;
+        case State::kChar:
+          if (c == '\\') {
+            ++i;
+          } else if (c == '\'') {
+            state = State::kNormal;
+          }
+          break;
+      }
+    }
+    // Literals do not span lines in this codebase; comments may.
+    if (state == State::kString || state == State::kChar) state = State::kNormal;
+    out.push_back(std::move(code));
+  }
+  return out;
+}
+
+/// Parses "rule1, rule2" out of an `allow(...)` / `allow-file(...)` marker.
+std::vector<std::string> parse_rule_list(const std::string& line,
+                                         std::size_t open_paren) {
+  std::vector<std::string> rules;
+  const std::size_t close = line.find(')', open_paren);
+  if (close == std::string::npos) return rules;
+  std::string inside = line.substr(open_paren + 1, close - open_paren - 1);
+  std::stringstream ss(inside);
+  std::string rule;
+  while (std::getline(ss, rule, ',')) {
+    const auto b = rule.find_first_not_of(" \t");
+    const auto e = rule.find_last_not_of(" \t");
+    if (b != std::string::npos) rules.push_back(rule.substr(b, e - b + 1));
+  }
+  return rules;
+}
+
+void collect_suppressions(FileView& f) {
+  f.allows.assign(f.raw.size(), {});
+  for (std::size_t i = 0; i < f.raw.size(); ++i) {
+    const std::string& line = f.raw[i];
+    static constexpr std::string_view kFileMarker = "af_lint: allow-file(";
+    static constexpr std::string_view kLineMarker = "af_lint: allow(";
+    if (const auto pos = line.find(kFileMarker); pos != std::string::npos) {
+      for (auto& r : parse_rule_list(line, pos + kFileMarker.size() - 1)) {
+        f.file_allows.insert(r);
+      }
+    }
+    if (const auto pos = line.find(kLineMarker); pos != std::string::npos) {
+      for (auto& r : parse_rule_list(line, pos + kLineMarker.size() - 1)) {
+        // Applies to the marker's own line, then through the rest of the
+        // comment block (lines with no code) to the first code line below —
+        // so a wrapped justification comment still covers its target.
+        f.allows[i].insert(r);
+        std::size_t j = i + 1;
+        while (j < f.raw.size() &&
+               f.code[j].find_first_not_of(" \t") == std::string::npos) {
+          f.allows[j].insert(r);
+          ++j;
+        }
+        if (j < f.raw.size()) f.allows[j].insert(r);
+      }
+    }
+  }
+}
+
+bool allowed(const FileView& f, const std::string& rule, std::size_t line_idx) {
+  if (f.file_allows.count(rule)) return true;
+  return line_idx < f.allows.size() && f.allows[line_idx].count(rule) > 0;
+}
+
+void report(const FileView& f, std::vector<Finding>& out, std::size_t line_idx,
+            std::string rule, std::string message) {
+  if (allowed(f, rule, line_idx)) return;
+  out.push_back(Finding{f.path, static_cast<int>(line_idx) + 1,
+                        std::move(rule), std::move(message)});
+}
+
+bool starts_with(const std::string& s, std::string_view prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule: pragma-once
+// ---------------------------------------------------------------------------
+
+void rule_pragma_once(const FileView& f, std::vector<Finding>& out) {
+  if (!ends_with(f.path, ".h")) return;
+  for (const std::string& line : f.code) {
+    if (line.find("#pragma once") != std::string::npos) return;
+  }
+  report(f, out, 0, "pragma-once", "header is missing #pragma once");
+}
+
+// ---------------------------------------------------------------------------
+// Rule: nodiscard-status
+// ---------------------------------------------------------------------------
+
+void rule_nodiscard_status(const FileView& f, std::vector<Finding>& out) {
+  if (!starts_with(f.path, "src/") || !ends_with(f.path, ".h")) return;
+  // Member/free function declarations returning a status-ish type. The type
+  // list covers bool plus the project's completion/result structs — anything
+  // whose silent drop loses a failure or a completion time.
+  static const std::regex kDecl(
+      R"(^\s*(?:virtual\s+)?(?:static\s+)?(?:constexpr\s+)?)"
+      R"((?:[A-Za-z_]\w*::)*(bool|SimTime|Programmed|Completion|ReplayResult))"
+      R"(\s+([A-Za-z_]\w*)\s*\()");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    std::smatch m;
+    if (!std::regex_search(line, m, kDecl)) continue;
+    if (line.find("operator") != std::string::npos ||
+        line.find("friend") != std::string::npos ||
+        line.find("using") != std::string::npos ||
+        line.find("= delete") != std::string::npos) {
+      continue;
+    }
+    std::string context = line;
+    if (i >= 1) context = f.code[i - 1] + context;
+    if (i >= 2) context = f.code[i - 2] + context;
+    if (context.find("[[nodiscard]]") != std::string::npos) continue;
+    report(f, out, i, "nodiscard-status",
+           "status-returning API '" + m[2].str() + "' (returns " + m[1].str() +
+               ") must be [[nodiscard]]");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: check-side-effects
+// ---------------------------------------------------------------------------
+
+/// Extracts the balanced-paren argument list starting right after
+/// `open_paren` on line `line_idx`, spanning lines if needed.
+std::string macro_args(const FileView& f, std::size_t line_idx,
+                       std::size_t open_paren) {
+  std::string args;
+  int depth = 0;
+  for (std::size_t i = line_idx; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (std::size_t j = i == line_idx ? open_paren : 0; j < line.size(); ++j) {
+      const char c = line[j];
+      if (c == '(') {
+        ++depth;
+        if (depth == 1) continue;  // skip the opening paren itself
+      } else if (c == ')') {
+        --depth;
+        if (depth == 0) return args;
+      }
+      if (depth >= 1) args.push_back(c);
+    }
+    args.push_back(' ');
+  }
+  return args;
+}
+
+std::string first_top_level_arg(const std::string& args) {
+  int depth = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const char c = args[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) return args.substr(0, i);
+  }
+  return args;
+}
+
+/// True when `expr` contains a mutation: increment/decrement, a plain or
+/// compound assignment, or a well-known mutating container/atomic call.
+bool has_side_effect(const std::string& expr, std::string* what) {
+  if (expr.find("++") != std::string::npos ||
+      expr.find("--") != std::string::npos) {
+    *what = "increment/decrement";
+    return true;
+  }
+  static const char* kMutators[] = {".exchange(", ".fetch_", ".pop",
+                                    ".push_",     ".insert(", ".emplace",
+                                    ".erase(",    ".clear(",  ".reset(",
+                                    ".release("};
+  for (const char* m : kMutators) {
+    if (expr.find(m) != std::string::npos) {
+      *what = std::string("mutating call '") + m + "...'";
+      return true;
+    }
+  }
+  for (std::size_t i = 0; i < expr.size(); ++i) {
+    if (expr[i] != '=') continue;
+    const char prev = i > 0 ? expr[i - 1] : '\0';
+    const char next = i + 1 < expr.size() ? expr[i + 1] : '\0';
+    if (next == '=') {
+      ++i;  // ==, skip both
+      continue;
+    }
+    if (prev == '=' || prev == '!' || prev == '<' || prev == '>') continue;
+    if (prev == '+' || prev == '-' || prev == '*' || prev == '/' ||
+        prev == '%' || prev == '&' || prev == '|' || prev == '^') {
+      *what = "compound assignment";
+      return true;
+    }
+    *what = "assignment";
+    return true;
+  }
+  return false;
+}
+
+void rule_check_side_effects(const FileView& f, std::vector<Finding>& out) {
+  if (f.path == "src/common/check.h") return;  // the macro's own definition
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    const auto first = line.find_first_not_of(" \t");
+    if (first != std::string::npos && line.compare(first, 7, "#define") == 0) {
+      continue;
+    }
+    for (const char* macro : {"AF_CHECK_MSG", "AF_CHECK"}) {
+      std::size_t pos = 0;
+      const std::string name(macro);
+      while ((pos = line.find(name, pos)) != std::string::npos) {
+        const std::size_t after = pos + name.size();
+        // Exact token: AF_CHECK must not match inside AF_CHECK_MSG.
+        if (after < line.size() &&
+            (std::isalnum(static_cast<unsigned char>(line[after])) ||
+             line[after] == '_')) {
+          ++pos;
+          continue;
+        }
+        const std::size_t paren = line.find('(', after);
+        if (paren == std::string::npos) break;
+        const std::string args = macro_args(f, i, paren);
+        const std::string cond =
+            name == "AF_CHECK_MSG" ? first_top_level_arg(args) : args;
+        std::string what;
+        if (has_side_effect(cond, &what)) {
+          report(f, out, i, "check-side-effects",
+                 name + " condition has a side effect (" + what +
+                     "); checks must be deletable without changing behaviour");
+        }
+        pos = after;
+      }
+      if (line.find(name) != std::string::npos) break;  // MSG already handled
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-raw-thread
+// ---------------------------------------------------------------------------
+
+void rule_no_raw_thread(const FileView& f, std::vector<Finding>& out) {
+  if (starts_with(f.path, "src/common/")) return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    std::size_t pos = 0;
+    while ((pos = line.find("std::thread", pos)) != std::string::npos) {
+      // std::thread::hardware_concurrency() is a read-only capability query.
+      if (line.compare(pos + 11, 2, "::") == 0) {
+        pos += 11;
+        continue;
+      }
+      report(f, out, i, "no-raw-thread",
+             "raw std::thread outside src/common — use af::ThreadPool / "
+             "parallel_for");
+      pos += 11;
+    }
+    if (line.find("std::jthread") != std::string::npos ||
+        line.find("std::async") != std::string::npos) {
+      report(f, out, i, "no-raw-thread",
+             "raw thread primitive outside src/common — use af::ThreadPool / "
+             "parallel_for");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: no-nondeterminism
+// ---------------------------------------------------------------------------
+
+void rule_no_nondeterminism(const FileView& f, std::vector<Finding>& out) {
+  if (starts_with(f.path, "src/common/")) return;
+  static const char* kPatterns[] = {
+      "std::rand",    "srand(",          "std::random_device",
+      "system_clock", "steady_clock",    "high_resolution_clock",
+      "std::clock",   "time(nullptr)",   "time(NULL)",
+      "gettimeofday", "getrandom",
+  };
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    for (const char* p : kPatterns) {
+      if (f.code[i].find(p) != std::string::npos) {
+        report(f, out, i, "no-nondeterminism",
+               std::string("nondeterministic source '") + p +
+                   "' outside src/common — replays must be bit-identical "
+                   "(seed af::Rng / pass timestamps in)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: bench-run-schemes
+// ---------------------------------------------------------------------------
+
+void rule_bench_run_schemes(const FileView& f, std::vector<Finding>& out) {
+  if (!starts_with(f.path, "bench/")) return;
+  if (f.path == "bench/common.cpp" || f.path == "bench/common.h") return;
+  static const std::regex kSchemeLoop(R"(for\s*\(.*SchemeKind)");
+  bool multi_scheme = false;
+  for (const std::string& line : f.code) {
+    if (line.find("all_schemes()") != std::string::npos ||
+        std::regex_search(line, kSchemeLoop)) {
+      multi_scheme = true;
+      break;
+    }
+  }
+  if (!multi_scheme) return;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (f.code[i].find("trace::replay(") != std::string::npos) {
+      report(f, out, i, "bench-run-schemes",
+             "multi-scheme bench calls trace::replay directly — route the "
+             "loop through bench::run_schemes / replay_grid");
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> lint_content(const std::string& display_path,
+                                  const std::string& content) {
+  FileView f;
+  f.path = display_path;
+  f.raw = split_lines(content);
+  f.code = strip_noncode(f.raw);
+  collect_suppressions(f);
+
+  std::vector<Finding> out;
+  rule_pragma_once(f, out);
+  rule_nodiscard_status(f, out);
+  rule_check_side_effects(f, out);
+  rule_no_raw_thread(f, out);
+  rule_no_nondeterminism(f, out);
+  rule_bench_run_schemes(f, out);
+  return out;
+}
+
+std::vector<Finding> lint_tree(const std::string& root) {
+  std::vector<Finding> out;
+  for (const char* dir : {"src", "bench", "tests", "examples", "tools"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cpp") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const std::string display =
+          fs::relative(entry.path(), root).generic_string();
+      auto findings = lint_content(display, ss.str());
+      out.insert(out.end(), std::make_move_iterator(findings.begin()),
+                 std::make_move_iterator(findings.end()));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::string format(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
+         f.message;
+}
+
+}  // namespace af::lint

@@ -1,0 +1,53 @@
+// af_lint — project-specific static checks the compiler can't express.
+//
+// The linter is deliberately textual: it runs in milliseconds over the whole
+// tree, needs no compile database, and checks *project conventions* rather
+// than C++ semantics (clang-tidy and -Wthread-safety cover those). Rules:
+//
+//   pragma-once        every header uses #pragma once
+//   nodiscard-status   status/bool-returning FTL/flash APIs in src headers
+//                      are [[nodiscard]] (a dropped program() status or
+//                      completion time is a silent correctness bug)
+//   check-side-effects AF_CHECK/AF_CHECK_MSG conditions must be pure —
+//                      checks are always-on, but a reader must be able to
+//                      delete one without changing behaviour
+//   no-raw-thread      std::thread/std::jthread/std::async only inside
+//                      src/common (the ThreadPool owns all threads)
+//   no-nondeterminism  std::rand/random_device/wall clocks only inside
+//                      src/common (the simulator must replay bit-identically)
+//   bench-run-schemes  bench binaries replaying several schemes go through
+//                      bench::run_schemes, never a hand-rolled
+//                      trace::replay loop (keeps fan-out + determinism
+//                      checks in one place)
+//
+// Suppressions (each needs a justification in the same comment):
+//   // af_lint: allow(rule)        this line or the next line
+//   // af_lint: allow-file(rule)   whole file
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace af::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Lints one file's `content` as if it lived at `display_path` (a
+/// repo-relative path like "src/nand/flash_array.h" — several rules key off
+/// the directory). Exposed separately from lint_tree so tests can feed
+/// synthetic snippets under any pseudo-path.
+[[nodiscard]] std::vector<Finding> lint_content(const std::string& display_path,
+                                                const std::string& content);
+
+/// Lints every *.h / *.cpp under root/{src,bench,tests,examples,tools}.
+[[nodiscard]] std::vector<Finding> lint_tree(const std::string& root);
+
+/// "file:line: [rule] message" — the clickable compiler-style form.
+[[nodiscard]] std::string format(const Finding& f);
+
+}  // namespace af::lint
