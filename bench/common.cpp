@@ -67,6 +67,21 @@ std::vector<trace::ReplayResult> run_schemes(
   return std::move(slots).take();
 }
 
+std::vector<trace::CrashReplayResult> run_crash_schemes(
+    const ssd::SsdConfig& config, const trace::Trace& tr,
+    const trace::PowerCutSpec& spec, unsigned jobs) {
+  if (jobs == 0) jobs = knobs().jobs;
+  const auto& schemes = all_schemes();
+  // Same isolation argument as run_schemes: every crash replay owns a fresh
+  // device (and its recovered successor), so the fan-out cannot couple the
+  // per-scheme results and the jobs knob never changes a counter.
+  SlotVector<trace::CrashReplayResult> slots(schemes.size());
+  parallel_for(schemes.size(), jobs, [&](std::uint64_t i) {
+    slots.put(i, trace::replay_with_power_cut(config, schemes[i], tr, spec));
+  });
+  return std::move(slots).take();
+}
+
 std::vector<std::vector<trace::ReplayResult>> replay_grid(
     const ssd::SsdConfig& config, const std::vector<trace::Trace>& traces,
     unsigned jobs) {

@@ -65,6 +65,14 @@ std::vector<trace::ReplayResult> run_schemes(
     const ssd::SsdConfig& config, const trace::Trace& tr,
     std::span<const ftl::SchemeKind> schemes, unsigned jobs = 0);
 
+/// Crash-harness fan-out: one power-cut replay per scheme through
+/// trace::replay_with_power_cut (cut, remount, oracle sweep, continuation).
+/// Deterministic in (config, tr, spec) at any jobs value; results follow
+/// all_schemes() order. Requires config.track_payload.
+std::vector<trace::CrashReplayResult> run_crash_schemes(
+    const ssd::SsdConfig& config, const trace::Trace& tr,
+    const trace::PowerCutSpec& spec, unsigned jobs = 0);
+
 /// Replays every (trace, scheme) cell of the grid in parallel; the figure
 /// benches build on this so the whole grid shares one thread pool instead of
 /// parallelising only within a trace. results[t][s] corresponds to

@@ -7,6 +7,14 @@
 // Emits machine-readable BENCH_perf.json so the perf trajectory is tracked
 // across PRs.
 //
+// Also measures (c) the checkpoint journal's no-crash overhead (DESIGN.md §7)
+// — the same replay with journaling on, so the off-path cost stays visible in
+// the perf trajectory — and, with --power-cut-at-op N / --power-cut-seed S,
+// (d) a crash-and-remount run per scheme: power dies at flash op N (0 = seed
+// a uniform op from S), the device remounts from checkpoint + OOB scan, the
+// oracle sweep verifies every sector, and the recovery economics land in the
+// JSON.
+//
 // Knobs: ACROSS_FTL_BENCH_REQS / ACROSS_FTL_BENCH_BLOCKS as everywhere, plus
 //   ACROSS_FTL_PERF_JSON  output path (default BENCH_perf.json)
 #include <chrono>
@@ -128,9 +136,18 @@ VictimRow victim_select_bench(std::uint32_t blocks, std::uint64_t max_picks) {
   return row;
 }
 
+struct CrashRow {
+  std::string scheme;
+  trace::CrashReplayResult result;
+};
+
 void write_json(const std::string& path, const ssd::SsdConfig& config,
                 const char* trace_name, const std::vector<ReplayRow>& rows,
-                const std::vector<VictimRow>& victims) {
+                const std::vector<ReplayRow>& ckpt_rows,
+                std::uint64_t ckpt_interval,
+                const std::vector<VictimRow>& victims,
+                const std::vector<CrashRow>& crashes,
+                const trace::PowerCutSpec& spec) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "perf_replay: cannot write %s\n", path.c_str());
@@ -168,6 +185,63 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  // Off-path checkpointing overhead: same trace with the journal on. wall_s
+  // is noisy; io_time_s and flash_writes are the deterministic signal.
+  std::fprintf(f, "  \"checkpoint_overhead\": {\"interval_requests\": %llu, "
+               "\"replays\": [\n",
+               static_cast<unsigned long long>(ckpt_interval));
+  for (std::size_t i = 0; i < ckpt_rows.size(); ++i) {
+    const auto& row = ckpt_rows[i];
+    std::fprintf(
+        f,
+        "    {\"scheme\": \"%s\", \"wall_s\": %.3f, \"io_time_s\": %.4f, "
+        "\"base_io_time_s\": %.4f, \"flash_writes\": %llu, "
+        "\"base_flash_writes\": %llu}%s\n",
+        row.scheme.c_str(), row.wall_s, row.result.io_time_s,
+        rows[i].result.io_time_s,
+        static_cast<unsigned long long>(row.result.stats.flash_writes()),
+        static_cast<unsigned long long>(rows[i].result.stats.flash_writes()),
+        i + 1 < ckpt_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
+  if (!crashes.empty()) {
+    std::fprintf(f,
+                 "  \"power_cut\": {\"at_op\": %llu, \"seed\": %llu, "
+                 "\"results\": [\n",
+                 static_cast<unsigned long long>(spec.at_op),
+                 static_cast<unsigned long long>(spec.seed));
+    for (std::size_t i = 0; i < crashes.size(); ++i) {
+      const auto& c = crashes[i].result;
+      const auto& rec = c.recovery;
+      std::fprintf(
+          f,
+          "    {\"scheme\": \"%s\", \"crashed\": %s, \"cut_at_op\": %llu, "
+          "\"total_ops\": %llu, \"verified_sectors\": %llu, "
+          "\"used_checkpoint\": %s, \"checkpoint_pages_read\": %llu, "
+          "\"blocks_scanned\": %llu, \"blocks_skipped\": %llu, "
+          "\"pages_scanned\": %llu, \"claims_applied\": %llu, "
+          "\"torn_pages\": %llu, \"orphans_invalidated\": %llu, "
+          "\"pages_revived\": %llu, \"mount_flash_reads\": %llu, "
+          "\"mount_time_ms\": %.3f}%s\n",
+          crashes[i].scheme.c_str(), c.crashed ? "true" : "false",
+          static_cast<unsigned long long>(c.cut_at_op),
+          static_cast<unsigned long long>(c.total_ops),
+          static_cast<unsigned long long>(c.verified_sectors),
+          rec.used_checkpoint ? "true" : "false",
+          static_cast<unsigned long long>(rec.checkpoint_pages_read),
+          static_cast<unsigned long long>(rec.blocks_scanned),
+          static_cast<unsigned long long>(rec.blocks_skipped),
+          static_cast<unsigned long long>(rec.pages_scanned),
+          static_cast<unsigned long long>(rec.claims_applied),
+          static_cast<unsigned long long>(rec.torn_pages),
+          static_cast<unsigned long long>(rec.orphans_invalidated),
+          static_cast<unsigned long long>(rec.pages_revived),
+          static_cast<unsigned long long>(rec.flash_reads),
+          static_cast<double>(rec.mount_time_ns) / 1e6,
+          i + 1 < crashes.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]},\n");
+  }
   std::fprintf(f, "  \"victim_select\": [\n");
   for (std::size_t i = 0; i < victims.size(); ++i) {
     const auto& v = victims[i];
@@ -186,7 +260,27 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  trace::PowerCutSpec spec;
+  bool power_cut = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--power-cut-at-op" && i + 1 < argc) {
+      spec.at_op = std::strtoull(argv[++i], nullptr, 10);
+      power_cut = true;
+    } else if (arg == "--power-cut-seed" && i + 1 < argc) {
+      spec.seed = std::strtoull(argv[++i], nullptr, 10);
+      power_cut = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_replay [--power-cut-at-op N] "
+                   "[--power-cut-seed S]\n"
+                   "  N = 1-based flash op to kill power at "
+                   "(0 = sample uniformly from S)\n");
+      return 2;
+    }
+  }
+
   const auto config = bench::device(8);
   bench::print_header("perf_replay: simulator wall-clock performance", config);
   const auto addressable = bench::addressable_sectors(config);
@@ -217,6 +311,64 @@ int main() {
   std::printf("(a) trace-replay throughput (trace %s)\n", trace_name);
   replays.print(std::cout);
 
+  // (c) Checkpointing overhead on the no-crash path: same replay with the
+  // mapping journal on. Must stay within noise of the base rows.
+  constexpr std::uint64_t kCkptInterval = 64;
+  auto ckpt_config = config;
+  ckpt_config.checkpoint.interval_requests = kCkptInterval;
+  std::vector<ReplayRow> ckpt_rows;
+  Table ckpt_table({"scheme", "wall (s)", "io time s", "base io s",
+                    "flash writes", "base writes"});
+  for (std::size_t s = 0; s < bench::all_schemes().size(); ++s) {
+    ReplayRow row;
+    row.requests = tr.size();
+    const double t0 = now_s();
+    // af_lint: allow(bench-run-schemes) — timed one at a time, same as (a).
+    row.result = trace::replay(ckpt_config, bench::all_schemes()[s], tr);
+    row.wall_s = now_s() - t0;
+    row.scheme = row.result.scheme;
+    ckpt_table.add_row(
+        {row.scheme, Table::num(row.wall_s, 2),
+         Table::num(row.result.io_time_s, 3),
+         Table::num(rows[s].result.io_time_s, 3),
+         Table::num(row.result.stats.flash_writes()),
+         Table::num(rows[s].result.stats.flash_writes())});
+    ckpt_rows.push_back(std::move(row));
+  }
+  std::printf("\n(c) checkpoint journal overhead (interval %llu requests)\n",
+              static_cast<unsigned long long>(kCkptInterval));
+  ckpt_table.print(std::cout);
+
+  // (d) Optional crash-and-remount run (flags): recovery economics per
+  // scheme, oracle-verified by the harness as it sweeps.
+  std::vector<CrashRow> crashes;
+  if (power_cut) {
+    auto crash_config = ckpt_config;
+    crash_config.track_payload = true;  // the sweep needs the oracle stamps
+    const auto results = bench::run_crash_schemes(crash_config, tr, spec);
+    Table crash_table({"scheme", "cut at op", "total ops", "ckpt", "scanned",
+                       "skipped", "oob pages", "torn", "mount ms",
+                       "verified sectors"});
+    for (std::size_t s = 0; s < results.size(); ++s) {
+      CrashRow row{ftl::to_string(bench::all_schemes()[s]), results[s]};
+      const auto& rec = row.result.recovery;
+      crash_table.add_row(
+          {row.scheme, Table::num(row.result.cut_at_op),
+           Table::num(row.result.total_ops),
+           rec.used_checkpoint ? "yes" : "no", Table::num(rec.blocks_scanned),
+           Table::num(rec.blocks_skipped), Table::num(rec.pages_scanned),
+           Table::num(rec.torn_pages),
+           Table::num(static_cast<double>(rec.mount_time_ns) / 1e6, 2),
+           Table::num(row.result.verified_sectors)});
+      crashes.push_back(std::move(row));
+    }
+    std::printf("\n(d) power cut at op %llu (seed %llu), remount + oracle "
+                "sweep\n",
+                static_cast<unsigned long long>(spec.at_op),
+                static_cast<unsigned long long>(spec.seed));
+    crash_table.print(std::cout);
+  }
+
   // (b) Victim selection: legacy scan vs weight index, per pick.
   std::vector<VictimRow> victims;
   Table picks({"blocks/plane", "picks", "scan ns/pick", "indexed ns/pick",
@@ -235,6 +387,6 @@ int main() {
 
   const char* json = std::getenv("ACROSS_FTL_PERF_JSON");
   write_json(json != nullptr ? json : "BENCH_perf.json", config, trace_name,
-             rows, victims);
+             rows, ckpt_rows, kCkptInterval, victims, crashes, spec);
   return 0;
 }

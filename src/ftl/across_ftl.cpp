@@ -95,6 +95,7 @@ std::uint32_t AcrossFtl::alloc_area() {
   ++amt_[aidx].generation;
   area_fifo_.emplace_back(aidx, amt_[aidx].generation);
   ++live_areas_;
+  journal_area(aidx);
   auto& across = engine_.stats().across();
   ++across.areas_created;
   across.peak_live_areas = std::max(across.peak_live_areas, live_areas_);
@@ -107,8 +108,12 @@ void AcrossFtl::free_area(std::uint32_t aidx) {
   // Clear the AIdx marks of every LPN the area still covers.
   auto [first, last] = pgeom_.lpn_span(entry.range);
   for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
-    if (pmt_[l].aidx == aidx) pmt_[l].aidx = kNoArea;
+    if (pmt_[l].aidx == aidx) {
+      pmt_[l].aidx = kNoArea;
+      journal_lpn(l);
+    }
   }
+  journal_area(aidx);
   const std::uint32_t generation = entry.generation;
   entry = AmtEntry{};
   entry.generation = generation;  // survives reuse: valve FIFO validity
@@ -126,15 +131,16 @@ SimTime AcrossFtl::direct_write(SectorRange w, SimTime ready) {
   ready = touch_pmt(last, /*dirty=*/true, ready);
   ready = touch_amt(aidx, /*dirty=*/true, ready);
 
-  auto programmed = engine_.flash_program(
-      ssd::Stream::kData, nand::PageOwner::across(AmtIndex{aidx}),
-      ssd::OpKind::kDataWrite, ready);
-
+  const nand::OobExtra oob{w.begin, w.end, w.begin, {}};
+  std::vector<std::uint64_t> stamps;
   if (tracking()) {
     for (std::uint32_t i = 0; i < w.size(); ++i) {
-      engine_.write_stamp(programmed.ppn, i, new_stamp(w.begin + i));
+      stamps.push_back(new_stamp(w.begin + i));
     }
   }
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::across(AmtIndex{aidx}),
+      ssd::OpKind::kDataWrite, ready, &oob, tracking() ? &stamps : nullptr);
 
   amt_[aidx].range = w;
   amt_[aidx].appn = programmed.ppn;
@@ -142,6 +148,7 @@ SimTime AcrossFtl::direct_write(SectorRange w, SimTime ready) {
   push_area_weight(aidx);
   for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
     pmt_[l].aidx = aidx;
+    journal_lpn(l);
   }
   ++engine_.stats().across().direct_writes;
   return programmed.done;
@@ -162,6 +169,7 @@ SimTime AcrossFtl::amerge(std::uint32_t aidx, SectorRange w, bool profitable,
     if (pmt_[l].aidx != aidx) {
       AF_CHECK_MSG(pmt_[l].aidx == kNoArea, "area collision during AMerge");
       pmt_[l].aidx = aidx;
+      journal_lpn(l);
       ready = touch_pmt(Lpn{l}, /*dirty=*/true, ready);
     }
   }
@@ -169,27 +177,28 @@ SimTime AcrossFtl::amerge(std::uint32_t aidx, SectorRange w, bool profitable,
   ready = engine_.flash_read(entry.appn, ssd::OpKind::kDataRead, ready);
   engine_.stats().count_rmw_read();
 
-  auto programmed = engine_.flash_program(
-      ssd::Stream::kData, nand::PageOwner::across(AmtIndex{aidx}),
-      ssd::OpKind::kDataWrite, ready);
-
+  const nand::OobExtra oob{merged.begin, merged.end, merged.begin, {}};
+  std::vector<std::uint64_t> stamps;
   if (tracking()) {
     for (std::uint32_t i = 0; i < merged.size(); ++i) {
       const SectorAddr s = merged.begin + i;
       if (w.contains(s)) {
-        engine_.write_stamp(programmed.ppn, i, new_stamp(s));
+        stamps.push_back(new_stamp(s));
       } else {
         AF_CHECK(entry.range.contains(s));
-        engine_.write_stamp(programmed.ppn, i,
-                            engine_.read_stamp(entry.appn, entry.slot_of(s)));
+        stamps.push_back(engine_.read_stamp(entry.appn, entry.slot_of(s)));
       }
     }
   }
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::across(AmtIndex{aidx}),
+      ssd::OpKind::kDataWrite, ready, &oob, tracking() ? &stamps : nullptr);
 
   engine_.invalidate(entry.appn);
   entry.range = merged;
   entry.appn = programmed.ppn;
   entry.slot_base = merged.begin;
+  journal_area(aidx);
   push_area_weight(aidx);
 
   auto& across = engine_.stats().across();
@@ -233,10 +242,11 @@ SimTime AcrossFtl::rollback(std::uint32_t aidx, std::optional<SectorRange> u,
       engine_.stats().count_rmw_read();
     }
 
-    auto programmed = engine_.flash_program(
-        ssd::Stream::kData, nand::PageOwner::data(lpn),
-        ssd::OpKind::kDataWrite, cursor);
-
+    // Rollback rewrites the page in full (area content merged in), so the
+    // OOB write range is the whole page: recovery dissolves every area's
+    // share here, exactly like the live path below.
+    const nand::OobExtra oob{page.begin, page.end, 0, {}};
+    std::vector<std::uint64_t> stamps;
     if (tracking()) {
       for (std::uint32_t i = 0; i < pgeom_.sectors_per_page; ++i) {
         const SectorAddr s = page.begin + i;
@@ -250,12 +260,16 @@ SimTime AcrossFtl::rollback(std::uint32_t aidx, std::optional<SectorRange> u,
         } else if (pe.ppn.valid()) {
           stamp = engine_.read_stamp(pe.ppn, i);
         }
-        engine_.write_stamp(programmed.ppn, i, stamp);
+        stamps.push_back(stamp);
       }
     }
+    auto programmed = engine_.flash_program(
+        ssd::Stream::kData, nand::PageOwner::data(lpn),
+        ssd::OpKind::kDataWrite, cursor, &oob, tracking() ? &stamps : nullptr);
 
     if (pe.ppn.valid()) engine_.invalidate(pe.ppn);
     pe.ppn = programmed.ppn;
+    journal_lpn(l);
     done = std::max(done, programmed.done);
 
     // This page was rewritten in full: any other area's share here is stale.
@@ -268,6 +282,7 @@ SimTime AcrossFtl::rollback(std::uint32_t aidx, std::optional<SectorRange> u,
         free_area(other);
       } else {
         oe.range = rem;
+        journal_area(other);
         push_area_weight(other);
         pe.aidx = kNoArea;
       }
@@ -290,26 +305,32 @@ SimTime AcrossFtl::write_normal_sub(const SubRequest& sub, SimTime ready) {
     ready = engine_.flash_read(pe.ppn, ssd::OpKind::kDataRead, ready);
     engine_.stats().count_rmw_read();
   }
-  auto programmed = engine_.flash_program(
-      ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
-      ssd::OpKind::kDataWrite, ready);
-  // Re-fetch after the program: GC inside it may have relocated the old page
-  // (pe.ppn tracks the move).
-  const Ppn old = pe.ppn;
-
+  // OOB carries the logical write range: recovery uses it to tell a write
+  // that superseded an area's share of this page (replay the shrink) from
+  // one that landed beside it (area and page-mode data stay side by side).
+  const nand::OobExtra oob{sub.range.begin, sub.range.end, 0, {}};
+  std::vector<std::uint64_t> stamps;
   if (tracking()) {
     for (std::uint32_t s = 0; s < pgeom_.sectors_per_page; ++s) {
       const SectorAddr logical = page.begin + s;
       if (sub.range.contains(logical)) {
-        engine_.write_stamp(programmed.ppn, s, new_stamp(logical));
-      } else if (old.valid()) {
-        engine_.write_stamp(programmed.ppn, s, engine_.read_stamp(old, s));
+        stamps.push_back(new_stamp(logical));
+      } else {
+        stamps.push_back(pe.ppn.valid() ? engine_.read_stamp(pe.ppn, s) : 0);
       }
     }
   }
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
+      ssd::OpKind::kDataWrite, ready, &oob, tracking() ? &stamps : nullptr);
+  // Re-fetch after the program: GC inside it may have relocated the old page
+  // (pe.ppn tracks the move; a relocation copies the payload, so the stamps
+  // staged above stay correct).
+  const Ppn old = pe.ppn;
 
   if (old.valid()) engine_.invalidate(old);
   pe.ppn = programmed.ppn;
+  journal_lpn(sub.lpn.get());
   return programmed.done;
 }
 
@@ -337,8 +358,10 @@ SimTime AcrossFtl::write_sub(const SubRequest& sub, SimTime ready) {
       free_area(aidx);
     } else {
       area.range = rem;
+      journal_area(aidx);
       push_area_weight(aidx);
       pmt_[sub.lpn.get()].aidx = kNoArea;
+      journal_lpn(sub.lpn.get());
     }
     ++engine_.stats().across().area_shrinks;
     return write_normal_sub(sub, ready);
@@ -524,8 +547,18 @@ SimTime AcrossFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
 void AcrossFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
                             SimTime& clock) {
   clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock);
-  auto moved =
-      engine_.gc_program(engine_.geometry().plane_of(victim), owner, clock);
+  // Area pages re-stamp their mapping payload so the relocated copy stays
+  // recoverable from OOB alone.
+  nand::OobExtra oob{};
+  const nand::OobExtra* extra = nullptr;
+  if (owner.kind == nand::PageOwner::Kind::kAcross) {
+    const auto aidx = static_cast<std::uint32_t>(owner.id);
+    oob = {amt_[aidx].range.begin, amt_[aidx].range.end, amt_[aidx].slot_base,
+           {}};
+    extra = &oob;
+  }
+  auto moved = engine_.gc_program(engine_.geometry().plane_of(victim), owner,
+                                  clock, extra);
   clock = moved.done;
   if (engine_.tracks_payload()) engine_.copy_stamps(victim, moved.ppn);
   engine_.invalidate(victim);
@@ -535,6 +568,7 @@ void AcrossFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
       const Lpn lpn{owner.id};
       AF_CHECK_MSG(pmt_[lpn.get()].ppn == victim, "GC/PMT desync");
       pmt_[lpn.get()].ppn = moved.ppn;
+      journal_lpn(lpn.get());
       clock = touch_pmt(lpn, /*dirty=*/true, clock);
       break;
     }
@@ -543,6 +577,7 @@ void AcrossFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
       AF_CHECK_MSG(amt_[aidx].live && amt_[aidx].appn == victim,
                    "GC/AMT desync");
       amt_[aidx].appn = moved.ppn;
+      journal_area(aidx);
       push_area_weight(aidx);
       clock = touch_amt(aidx, /*dirty=*/true, clock);
       break;
@@ -556,6 +591,212 @@ std::uint64_t AcrossFtl::map_bytes() const {
   const auto* dir = engine_.map_directory();
   return dir ? dir->touched_pages() * engine_.geometry().page_bytes : 0;
 }
+
+// --- RecoverableMapping -------------------------------------------------------
+
+namespace {
+void sink_pmt_entry(ssd::ByteSink& sink, std::uint64_t lpn,
+                    const AcrossFtl::PmtEntry& pe) {
+  sink.u64(lpn);
+  sink.u64(pe.ppn.get());
+  sink.u32(pe.aidx);
+}
+void sink_amt_entry(ssd::ByteSink& sink, const AcrossFtl::AmtEntry& entry) {
+  sink.u8(entry.live ? 1 : 0);
+  sink.u64(entry.range.begin);
+  sink.u64(entry.range.end);
+  sink.u64(entry.appn.get());
+  sink.u64(entry.slot_base);
+}
+void source_amt_entry(ssd::ByteSource& src, AcrossFtl::AmtEntry& entry) {
+  entry.live = src.u8() != 0;
+  entry.range.begin = src.u64();
+  entry.range.end = src.u64();
+  entry.appn = Ppn{src.u64()};
+  entry.slot_base = src.u64();
+  // Generations are valve-FIFO staleness tokens, valid only within one
+  // incarnation: the FIFO is rebuilt at mount, so every restored table
+  // restarts them — which also keeps a checkpointed mount bit-identical
+  // to a from-scratch OOB scan (the scan cannot know pre-crash counters).
+  entry.generation = entry.live ? 1 : 0;
+}
+}  // namespace
+
+void AcrossFtl::serialize_mapping(ssd::ByteSink& sink) const {
+  std::uint64_t count = 0;
+  for (const PmtEntry& pe : pmt_) {
+    count += (pe.ppn.valid() || pe.aidx != kNoArea) ? 1u : 0u;
+  }
+  sink.u64(count);
+  for (std::uint64_t l = 0; l < pmt_.size(); ++l) {
+    const PmtEntry& pe = pmt_[l];
+    if (pe.ppn.valid() || pe.aidx != kNoArea) sink_pmt_entry(sink, l, pe);
+  }
+  // Trailing dead entries are canonically trimmed: a from-scratch OOB scan
+  // only ever materialises slots up to the highest live aidx, and allocation
+  // order is unaffected (rebuild_area_state hands out the lowest free id,
+  // then the vector grows).
+  std::uint64_t amt_count = amt_.size();
+  while (amt_count > 0 && !amt_[amt_count - 1].live) --amt_count;
+  sink.u64(amt_count);
+  for (std::uint64_t a = 0; a < amt_count; ++a) sink_amt_entry(sink, amt_[a]);
+}
+
+void AcrossFtl::serialize_delta(ssd::ByteSink& sink) {
+  std::sort(dirty_lpns_.begin(), dirty_lpns_.end());
+  dirty_lpns_.erase(std::unique(dirty_lpns_.begin(), dirty_lpns_.end()),
+                    dirty_lpns_.end());
+  sink.u64(dirty_lpns_.size());
+  for (const std::uint64_t l : dirty_lpns_) sink_pmt_entry(sink, l, pmt_[l]);
+  dirty_lpns_.clear();
+
+  std::sort(dirty_areas_.begin(), dirty_areas_.end());
+  dirty_areas_.erase(std::unique(dirty_areas_.begin(), dirty_areas_.end()),
+                     dirty_areas_.end());
+  sink.u64(dirty_areas_.size());
+  for (const std::uint32_t a : dirty_areas_) {
+    sink.u32(a);
+    sink_amt_entry(sink, amt_[a]);
+  }
+  dirty_areas_.clear();
+}
+
+void AcrossFtl::deserialize_mapping(ssd::ByteSource& src) {
+  const std::uint64_t pmt_count = src.u64();
+  for (std::uint64_t i = 0; i < pmt_count; ++i) {
+    const std::uint64_t l = src.u64();
+    AF_CHECK(l < pmt_.size());
+    pmt_[l].ppn = Ppn{src.u64()};
+    pmt_[l].aidx = src.u32();
+  }
+  const std::uint64_t amt_count = src.u64();
+  amt_.assign(static_cast<std::size_t>(amt_count), AmtEntry{});
+  for (AmtEntry& entry : amt_) source_amt_entry(src, entry);
+}
+
+void AcrossFtl::apply_delta(ssd::ByteSource& src) {
+  const std::uint64_t pmt_count = src.u64();
+  for (std::uint64_t i = 0; i < pmt_count; ++i) {
+    const std::uint64_t l = src.u64();
+    AF_CHECK(l < pmt_.size());
+    pmt_[l].ppn = Ppn{src.u64()};
+    pmt_[l].aidx = src.u32();
+  }
+  const std::uint64_t amt_count = src.u64();
+  for (std::uint64_t i = 0; i < amt_count; ++i) {
+    const std::uint32_t a = src.u32();
+    if (a >= amt_.size()) amt_.resize(a + 1);
+    source_amt_entry(src, amt_[a]);
+  }
+}
+
+void AcrossFtl::recover_claim_data(const nand::OobRecord& oob, Lpn lpn,
+                                   Ppn ppn) {
+  PmtEntry& pe = pmt_[lpn.get()];
+  if (pe.aidx != kNoArea) {
+    const std::uint32_t aidx = pe.aidx;
+    AmtEntry& area = amt_[aidx];
+    AF_CHECK_MSG(area.live, "dangling AIdx during claim replay");
+    const SectorRange page = pgeom_.page_range(lpn);
+    const SectorRange share = area.range.intersect(page);
+    AF_CHECK_MSG(!share.empty(), "AIdx mark without coverage during replay");
+    // The OOB write range decides between the two live-path outcomes: a
+    // write covering the area's whole share of this page shrank/dissolved
+    // the area (write_sub, rollback); anything narrower — or a GC move,
+    // which stamps no range — left the area serving its share beside the
+    // page-mode data.
+    const SectorRange wrote{oob.range_begin, oob.range_end};
+    if (wrote.contains(share)) {
+      const auto diff = area.range.subtract(page);
+      const SectorRange rem = diff.left.empty() ? diff.right : diff.left;
+      if (rem.empty()) {
+        auto [first, last] = pgeom_.lpn_span(area.range);
+        for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+          if (pmt_[l].aidx == aidx) pmt_[l].aidx = kNoArea;
+        }
+        const std::uint32_t generation = area.generation;
+        area = AmtEntry{};  // free_area semantics: the slot resets in full
+        area.generation = generation;
+      } else {
+        area.range = rem;
+        pe.aidx = kNoArea;
+      }
+    }
+  }
+  pe.ppn = ppn;
+}
+
+void AcrossFtl::recover_claim_across(const nand::OobRecord& oob, Ppn ppn) {
+  const auto aidx = static_cast<std::uint32_t>(oob.owner.id);
+  if (aidx >= amt_.size()) amt_.resize(aidx + 1);
+  AmtEntry& area = amt_[aidx];
+  if (area.live) {
+    // AMerge or GC reprogram of a live area: unmark the old span (the new
+    // range re-marks below; a pure GC move re-marks identically).
+    auto [first, last] = pgeom_.lpn_span(area.range);
+    for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+      if (pmt_[l].aidx == aidx) pmt_[l].aidx = kNoArea;
+    }
+  }
+  area.range = {oob.range_begin, oob.range_end};
+  area.appn = ppn;
+  area.slot_base = oob.slot_base;
+  area.live = true;
+  if (area.generation == 0) area.generation = 1;
+  auto [first, last] = pgeom_.lpn_span(area.range);
+  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+    AF_CHECK_MSG(pmt_[l].aidx == kNoArea || pmt_[l].aidx == aidx,
+                 "area collision during claim replay");
+    pmt_[l].aidx = aidx;
+  }
+}
+
+void AcrossFtl::recover_claim(const nand::OobRecord& oob, Ppn ppn) {
+  switch (oob.owner.kind) {
+    case nand::PageOwner::Kind::kData:
+      AF_CHECK(oob.owner.id < pmt_.size());
+      recover_claim_data(oob, Lpn{oob.owner.id}, ppn);
+      break;
+    case nand::PageOwner::Kind::kAcross:
+      recover_claim_across(oob, ppn);
+      break;
+    default:
+      AF_CHECK_MSG(false, "unexpected OOB owner kind in Across-FTL recovery");
+  }
+}
+
+void AcrossFtl::recover_enumerate(
+    const std::function<void(Ppn, nand::PageOwner)>& fn) const {
+  for (std::uint64_t l = 0; l < pmt_.size(); ++l) {
+    if (pmt_[l].ppn.valid()) fn(pmt_[l].ppn, nand::PageOwner::data(Lpn{l}));
+  }
+  for (std::uint32_t a = 0; a < amt_.size(); ++a) {
+    if (amt_[a].live) {
+      fn(amt_[a].appn, nand::PageOwner::across(AmtIndex{a}));
+    }
+  }
+}
+
+void AcrossFtl::rebuild_area_state() {
+  amt_free_.clear();
+  area_fifo_.clear();
+  live_areas_ = 0;
+  // Descending push so back() (the next allocation) is the lowest free id —
+  // deterministic regardless of the pre-crash free-list order.
+  for (std::size_t i = amt_.size(); i-- > 0;) {
+    if (!amt_[i].live) amt_free_.push_back(static_cast<std::uint32_t>(i));
+  }
+  // Valve FIFO: live areas in aidx order stand in for the lost creation
+  // order. Only affects which area the pressure valve drains first.
+  for (std::uint32_t a = 0; a < amt_.size(); ++a) {
+    if (amt_[a].live) {
+      area_fifo_.emplace_back(a, amt_[a].generation);
+      ++live_areas_;
+    }
+  }
+}
+
+void AcrossFtl::recover_finalize() { rebuild_area_state(); }
 
 // --- Introspection -----------------------------------------------------------------
 

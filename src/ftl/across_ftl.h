@@ -69,6 +69,17 @@ class AcrossFtl final : public FtlScheme {
                    SimTime& clock) override;
   [[nodiscard]] std::uint64_t map_bytes() const override;
 
+  // RecoverableMapping: PMT entries plus the full AMT (dead entries carry the
+  // generation counters the valve FIFO depends on).
+  void serialize_mapping(ssd::ByteSink& sink) const override;
+  void serialize_delta(ssd::ByteSink& sink) override;
+  void deserialize_mapping(ssd::ByteSource& src) override;
+  void apply_delta(ssd::ByteSource& src) override;
+  void recover_claim(const nand::OobRecord& oob, Ppn ppn) override;
+  void recover_enumerate(
+      const std::function<void(Ppn, nand::PageOwner)>& fn) const override;
+  void recover_finalize() override;
+
   // --- Introspection (tests, examples) --------------------------------------
   [[nodiscard]] const PmtEntry& pmt(Lpn lpn) const;
   [[nodiscard]] const AmtEntry& amt(std::uint32_t aidx) const;
@@ -134,6 +145,22 @@ class AcrossFtl final : public FtlScheme {
   /// victim accounting. No-op unless area_live_weight is enabled.
   void push_area_weight(std::uint32_t aidx);
 
+  // --- Crash recovery helpers -------------------------------------------------
+  void journal_lpn(std::uint64_t lpn) {
+    if (journaling()) dirty_lpns_.push_back(lpn);
+  }
+  void journal_area(std::uint32_t aidx) {
+    if (journaling()) dirty_areas_.push_back(aidx);
+  }
+  /// Replays a durable kData program: the new normal page supersedes this
+  /// LPN's share of any area covering it (the shrink/rollback semantics).
+  void recover_claim_data(const nand::OobRecord& oob, Lpn lpn, Ppn ppn);
+  /// Replays a durable kAcross program (direct write, AMerge or GC move).
+  void recover_claim_across(const nand::OobRecord& oob, Ppn ppn);
+  /// Rebuilds amt_free_, area_fifo_ and live_areas_ from the AMT (used after
+  /// checkpoint restore + claim replay).
+  void rebuild_area_state();
+
   std::vector<PmtEntry> pmt_;
   std::vector<AmtEntry> amt_;
   std::vector<std::uint32_t> amt_free_;
@@ -148,6 +175,10 @@ class AcrossFtl final : public FtlScheme {
   std::uint64_t pmt_tpages_;
   std::uint64_t max_amt_entries_;
   bool area_weight_on_ = false;  // snapshot of config.across.area_live_weight
+
+  // Delta-journal dirty sets (tracked only while journaling).
+  std::vector<std::uint64_t> dirty_lpns_;
+  std::vector<std::uint32_t> dirty_areas_;
 };
 
 }  // namespace af::ftl

@@ -91,6 +91,7 @@ SimTime MrsmFtl::touch_map(Lpn lpn, bool dirty, SimTime ready) {
 void MrsmFtl::upgrade_region(std::uint64_t region) {
   AF_CHECK(region_mode_[region] == 0);
   region_mode_[region] = 1;
+  journal_region(region);
   const std::uint64_t first = region * kRegionLpns;
   const std::uint64_t last = std::min<std::uint64_t>(
       first + kRegionLpns, pmt_.size());
@@ -102,6 +103,7 @@ void MrsmFtl::upgrade_region(std::uint64_t region) {
       subs_[l][k] = {pmt_[l], static_cast<std::uint8_t>(k)};
     }
     pmt_[l] = Ppn{};
+    journal_lpn(l);
   }
 }
 
@@ -109,9 +111,11 @@ void MrsmFtl::retire_subloc(Lpn lpn, std::uint32_t sub) {
   const SubLoc loc = subs_[lpn.get()][sub];
   if (!loc.valid()) return;
   subs_[lpn.get()][sub] = SubLoc{};
+  journal_lpn(lpn.get());
 
   auto it = packed_.find(loc.ppn.get());
   if (it != packed_.end()) {
+    journal_packed(loc.ppn);
     PackedPage::Slot& slot = it->second.slots[loc.slot];
     AF_CHECK(slot.live && slot.lpn == lpn && slot.sub == sub);
     slot.live = false;
@@ -142,46 +146,66 @@ ssd::Engine::Programmed MrsmFtl::program_packed(std::span<const Chunk> chunks,
                                                 std::uint64_t gc_plane) {
   AF_CHECK(!chunks.empty() && chunks.size() <= kSubsPerPage);
   const nand::PageOwner owner = nand::PageOwner::packed(next_pack_id_++);
+  // The slot directory rides the spare area so recovery can rebuild packed_
+  // from OOB alone.
+  nand::OobExtra oob{};
+  for (std::uint32_t i = 0; i < chunks.size(); ++i) {
+    oob.slots[i] = {chunks[i].lpn.get(), chunks[i].sub, true};
+  }
+  // Stamps ride the program itself (data and spare land atomically on real
+  // flash, and power-cut recovery depends on that). They must be staged
+  // before any retire_subloc below mutates the sub-location table.
+  std::vector<std::uint64_t> stamps;
+  if (tracking()) {
+    stamps.assign(static_cast<std::size_t>(pgeom_.sectors_per_page), 0);
+    for (std::uint32_t i = 0; i < chunks.size(); ++i) {
+      const Chunk& chunk = chunks[i];
+      const SubLoc old_loc = subs_[chunk.lpn.get()][chunk.sub];
+      const SectorRange whole = sub_range(chunk.lpn, chunk.sub);
+      for (std::uint32_t j = 0; j < sub_sectors(); ++j) {
+        const SectorAddr s = whole.begin + j;
+        std::uint64_t stamp = 0;
+        if (chunk.fresh.contains(s)) {
+          stamp = new_stamp(s);
+        } else if (old_loc.valid()) {
+          stamp = engine_.read_stamp(old_loc.ppn,
+                                     old_loc.slot * sub_sectors() + j);
+        }
+        stamps[i * sub_sectors() + j] = stamp;
+      }
+    }
+  }
   const ssd::Engine::Programmed programmed =
-      gc ? engine_.gc_program(gc_plane, owner, ready)
+      gc ? engine_.gc_program(gc_plane, owner, ready, &oob)
          : engine_.flash_program(ssd::Stream::kData, owner,
-                                 ssd::OpKind::kDataWrite, ready);
+                                 ssd::OpKind::kDataWrite, ready, &oob,
+                                 tracking() ? &stamps : nullptr);
+  if (gc && tracking()) {
+    // gc_program issues no further flash ops before we land here, so writing
+    // the spare area now is still atomic with respect to power cuts.
+    for (std::uint32_t s = 0; s < stamps.size(); ++s) {
+      engine_.write_stamp(programmed.ppn, s, stamps[s]);
+    }
+  }
 
   PackedPage dir;
+  dir.pack_id = owner.id;
   for (std::uint32_t i = 0; i < chunks.size(); ++i) {
     const Chunk& chunk = chunks[i];
     engine_.dram_access(1);  // per-sub-entry update within the cached page
-    const SubLoc old_loc = subs_[chunk.lpn.get()][chunk.sub];
-    if (tracking()) {
-      stamp_chunk(chunk, programmed.ppn, i, old_loc);
-    }
     retire_subloc(chunk.lpn, chunk.sub);
     subs_[chunk.lpn.get()][chunk.sub] = {programmed.ppn,
                                          static_cast<std::uint8_t>(i)};
+    journal_lpn(chunk.lpn.get());
     dir.slots[i] = {chunk.lpn, chunk.sub, true};
   }
   // Unfilled slots are dead on arrival — the packing tax MRSM pays.
   const bool inserted = packed_.emplace(programmed.ppn.get(), dir).second;
   AF_CHECK_MSG(inserted, "stale packed-page directory entry");
+  journal_packed(programmed.ppn);
   engine_.note_page_weight(
       programmed.ppn, static_cast<std::uint32_t>(chunks.size()) * kSlotWeight);
   return programmed;
-}
-
-void MrsmFtl::stamp_chunk(const Chunk& chunk, Ppn dst, std::uint32_t dst_slot,
-                          SubLoc old_loc) {
-  const SectorRange whole = sub_range(chunk.lpn, chunk.sub);
-  for (std::uint32_t i = 0; i < sub_sectors(); ++i) {
-    const SectorAddr s = whole.begin + i;
-    std::uint64_t stamp = 0;
-    if (chunk.fresh.contains(s)) {
-      stamp = new_stamp(s);
-    } else if (old_loc.valid()) {
-      stamp = engine_.read_stamp(old_loc.ppn,
-                                 old_loc.slot * sub_sectors() + i);
-    }
-    engine_.write_stamp(dst, dst_slot * sub_sectors() + i, stamp);
-  }
 }
 
 SimTime MrsmFtl::write_page_mode(const SubRequest& sub, SimTime ready) {
@@ -194,23 +218,30 @@ SimTime MrsmFtl::write_page_mode(const SubRequest& sub, SimTime ready) {
                                ready);
     engine_.stats().count_rmw_read();
   }
-  auto programmed = engine_.flash_program(
-      ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
-      ssd::OpKind::kDataWrite, ready);
-  // Re-fetched after the program: GC inside it may have moved the old page.
-  const Ppn old = pmt_[sub.lpn.get()];
+  // Stamps ride the program itself (data and spare land atomically on real
+  // flash, and power-cut recovery depends on that).
+  std::vector<std::uint64_t> stamps;
   if (tracking()) {
+    const Ppn from = pmt_[sub.lpn.get()];
     for (std::uint32_t s = 0; s < pgeom_.sectors_per_page; ++s) {
       const SectorAddr logical = page.begin + s;
       if (sub.range.contains(logical)) {
-        engine_.write_stamp(programmed.ppn, s, new_stamp(logical));
-      } else if (old.valid()) {
-        engine_.write_stamp(programmed.ppn, s, engine_.read_stamp(old, s));
+        stamps.push_back(new_stamp(logical));
+      } else {
+        stamps.push_back(from.valid() ? engine_.read_stamp(from, s) : 0);
       }
     }
   }
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
+      ssd::OpKind::kDataWrite, ready, nullptr,
+      tracking() ? &stamps : nullptr);
+  // Re-fetched after the program: GC inside it may have moved the old page
+  // (relocation copies the payload, so the staged stamps stay correct).
+  const Ppn old = pmt_[sub.lpn.get()];
   if (old.valid()) engine_.invalidate(old);
   pmt_[sub.lpn.get()] = programmed.ppn;
+  journal_lpn(sub.lpn.get());
   return programmed.done;
 }
 
@@ -375,10 +406,15 @@ void MrsmFtl::flush_staged_group(std::uint64_t plane, SimTime& clock) {
   AF_CHECK(count > 0);
 
   const nand::PageOwner owner = nand::PageOwner::packed(next_pack_id_++);
-  const auto programmed = engine_.gc_program(plane, owner, clock);
+  nand::OobExtra oob{};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    oob.slots[i] = {staged_[i].lpn.get(), staged_[i].sub, true};
+  }
+  const auto programmed = engine_.gc_program(plane, owner, clock, &oob);
   clock = programmed.done;
 
   PackedPage dir;
+  dir.pack_id = owner.id;
   for (std::uint32_t i = 0; i < count; ++i) {
     const StagedChunk& staged = staged_[i];
     engine_.dram_access(1);
@@ -390,11 +426,13 @@ void MrsmFtl::flush_staged_group(std::uint64_t plane, SimTime& clock) {
     }
     subs_[staged.lpn.get()][staged.sub] = {programmed.ppn,
                                            static_cast<std::uint8_t>(i)};
+    journal_lpn(staged.lpn.get());
     dir.slots[i] = {staged.lpn, staged.sub, true};
     clock = touch_map(staged.lpn, /*dirty=*/true, clock);
   }
   const bool inserted = packed_.emplace(programmed.ppn.get(), dir).second;
   AF_CHECK_MSG(inserted, "stale packed-page directory entry");
+  journal_packed(programmed.ppn);
   engine_.note_page_weight(programmed.ppn,
                            static_cast<std::uint32_t>(count) * kSlotWeight);
   staged_.erase(staged_.begin(),
@@ -419,6 +457,7 @@ void MrsmFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
       if (engine_.tracks_payload()) engine_.copy_stamps(victim, moved.ppn);
       engine_.invalidate(victim);
       pmt_[lpn.get()] = moved.ppn;
+      journal_lpn(lpn.get());
       clock = touch_map(lpn, /*dirty=*/true, clock);
       return;
     }
@@ -445,6 +484,247 @@ void MrsmFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
   }
   AF_CHECK_MSG(!live.empty(), "valid packed page with no live slots");
   stage_victim_chunks(victim, live, plane, clock);
+}
+
+// --- RecoverableMapping -------------------------------------------------------
+//
+// Snapshot layout: next_pack_id, the full region-mode vector, sparse PMT
+// pairs, sparse sub-tables and the packed-page directories (sorted by PPN for
+// determinism). Deltas re-emit the *current* value of every dirty key, so
+// replay order within one delta does not matter.
+
+void MrsmFtl::sink_lpn_entry(ssd::ByteSink& sink, std::uint64_t l) const {
+  sink.u64(l);
+  sink.u64(pmt_[l].get());
+  for (const SubLoc& loc : subs_[l]) {
+    sink.u64(loc.ppn.get());
+    sink.u8(loc.slot);
+  }
+}
+
+void MrsmFtl::source_lpn_entry(ssd::ByteSource& src) {
+  const std::uint64_t l = src.u64();
+  AF_CHECK(l < pmt_.size());
+  pmt_[l] = Ppn{src.u64()};
+  for (SubLoc& loc : subs_[l]) {
+    loc.ppn = Ppn{src.u64()};
+    loc.slot = src.u8();
+  }
+}
+
+void MrsmFtl::sink_packed_dir(ssd::ByteSink& sink, const PackedPage& dir) {
+  sink.u64(dir.pack_id);
+  for (const PackedPage::Slot& slot : dir.slots) {
+    sink.u64(slot.lpn.get());
+    sink.u8(slot.sub);
+    sink.u8(slot.live ? 1 : 0);
+  }
+}
+
+MrsmFtl::PackedPage MrsmFtl::source_packed_dir(ssd::ByteSource& src) {
+  PackedPage dir;
+  dir.pack_id = src.u64();
+  for (PackedPage::Slot& slot : dir.slots) {
+    slot.lpn = Lpn{src.u64()};
+    slot.sub = src.u8();
+    slot.live = src.u8() != 0;
+  }
+  return dir;
+}
+
+void MrsmFtl::serialize_mapping(ssd::ByteSink& sink) const {
+  sink.u64(next_pack_id_);
+
+  sink.u64(region_mode_.size());
+  for (const std::uint8_t mode : region_mode_) sink.u8(mode);
+
+  auto lpn_used = [this](std::uint64_t l) {
+    if (pmt_[l].valid()) return true;
+    for (const SubLoc& loc : subs_[l]) {
+      if (loc.valid()) return true;
+    }
+    return false;
+  };
+  std::uint64_t count = 0;
+  for (std::uint64_t l = 0; l < pmt_.size(); ++l) count += lpn_used(l) ? 1u : 0u;
+  sink.u64(count);
+  for (std::uint64_t l = 0; l < pmt_.size(); ++l) {
+    if (lpn_used(l)) sink_lpn_entry(sink, l);
+  }
+
+  std::vector<std::uint64_t> ppns;
+  ppns.reserve(packed_.size());
+  for (const auto& [ppn, dir] : packed_) ppns.push_back(ppn);
+  std::sort(ppns.begin(), ppns.end());
+  sink.u64(ppns.size());
+  for (const std::uint64_t ppn : ppns) {
+    sink.u64(ppn);
+    sink_packed_dir(sink, packed_.at(ppn));
+  }
+}
+
+void MrsmFtl::serialize_delta(ssd::ByteSink& sink) {
+  auto dedup = [](std::vector<std::uint64_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedup(dirty_regions_);
+  dedup(dirty_lpns_);
+  dedup(dirty_packed_);
+
+  sink.u64(next_pack_id_);
+
+  sink.u64(dirty_regions_.size());
+  for (const std::uint64_t r : dirty_regions_) {
+    sink.u64(r);
+    sink.u8(region_mode_[r]);
+  }
+
+  sink.u64(dirty_lpns_.size());
+  for (const std::uint64_t l : dirty_lpns_) sink_lpn_entry(sink, l);
+
+  sink.u64(dirty_packed_.size());
+  for (const std::uint64_t ppn : dirty_packed_) {
+    sink.u64(ppn);
+    const auto it = packed_.find(ppn);
+    sink.u8(it != packed_.end() ? 1 : 0);
+    if (it != packed_.end()) sink_packed_dir(sink, it->second);
+  }
+
+  dirty_regions_.clear();
+  dirty_lpns_.clear();
+  dirty_packed_.clear();
+}
+
+void MrsmFtl::deserialize_mapping(ssd::ByteSource& src) {
+  next_pack_id_ = std::max(next_pack_id_, src.u64());
+
+  const std::uint64_t regions = src.u64();
+  AF_CHECK(regions == region_mode_.size());
+  for (std::uint64_t r = 0; r < regions; ++r) region_mode_[r] = src.u8();
+
+  const std::uint64_t lpns = src.u64();
+  for (std::uint64_t i = 0; i < lpns; ++i) source_lpn_entry(src);
+
+  const std::uint64_t dirs = src.u64();
+  for (std::uint64_t i = 0; i < dirs; ++i) {
+    const std::uint64_t ppn = src.u64();
+    packed_[ppn] = source_packed_dir(src);
+  }
+}
+
+void MrsmFtl::apply_delta(ssd::ByteSource& src) {
+  next_pack_id_ = std::max(next_pack_id_, src.u64());
+
+  const std::uint64_t regions = src.u64();
+  for (std::uint64_t i = 0; i < regions; ++i) {
+    const std::uint64_t r = src.u64();
+    AF_CHECK(r < region_mode_.size());
+    region_mode_[r] = src.u8();
+  }
+
+  const std::uint64_t lpns = src.u64();
+  for (std::uint64_t i = 0; i < lpns; ++i) source_lpn_entry(src);
+
+  const std::uint64_t dirs = src.u64();
+  for (std::uint64_t i = 0; i < dirs; ++i) {
+    const std::uint64_t ppn = src.u64();
+    const bool present = src.u8() != 0;
+    if (present) {
+      packed_[ppn] = source_packed_dir(src);
+    } else {
+      packed_.erase(ppn);
+    }
+  }
+}
+
+void MrsmFtl::recover_displace(Lpn lpn, std::uint32_t sub) {
+  const SubLoc loc = subs_[lpn.get()][sub];
+  if (!loc.valid()) return;
+  subs_[lpn.get()][sub] = SubLoc{};
+
+  const auto it = packed_.find(loc.ppn.get());
+  if (it == packed_.end()) return;  // converted page — dies by reference count
+  PackedPage::Slot& slot = it->second.slots[loc.slot];
+  // The directory may already reflect a later state (checkpointed after the
+  // displacement) — only clear slots that still name this sub-page.
+  if (slot.live && slot.lpn == lpn && slot.sub == sub) slot.live = false;
+  if (it->second.live_count() == 0) packed_.erase(it);
+}
+
+void MrsmFtl::recover_claim_packed(const nand::OobRecord& oob, Ppn ppn) {
+  // A stale directory can survive at this PPN if the checkpoint predates the
+  // block's erase cycle; this program supersedes it wholesale.
+  packed_.erase(ppn.get());
+
+  PackedPage dir;
+  dir.pack_id = oob.owner.id;
+  for (std::uint32_t i = 0; i < kSubsPerPage; ++i) {
+    const nand::OobRecord::Slot& slot = oob.slots[i];
+    if (!slot.used) continue;
+    const Lpn lpn{slot.lpn};
+    AF_CHECK(lpn.get() < pmt_.size());
+    const std::uint64_t region = lpn.get() / kRegionLpns;
+    // A packed program implies the region was sub-mapped by then; replaying
+    // the upgrade here keeps region modes chronologically consistent.
+    if (region_mode_[region] == 0) upgrade_region(region);
+    recover_displace(lpn, slot.sub);
+    subs_[lpn.get()][slot.sub] = {ppn, static_cast<std::uint8_t>(i)};
+    dir.slots[i] = {lpn, slot.sub, true};
+  }
+  packed_.emplace(ppn.get(), dir);
+  next_pack_id_ = std::max(next_pack_id_, oob.owner.id + 1);
+}
+
+void MrsmFtl::recover_claim(const nand::OobRecord& oob, Ppn ppn) {
+  switch (oob.owner.kind) {
+    case nand::PageOwner::Kind::kData: {
+      AF_CHECK(oob.owner.id < pmt_.size());
+      const Lpn lpn{oob.owner.id};
+      AF_CHECK_MSG(!region_is_sub(lpn),
+                   "kData program replayed into a sub-mapped region");
+      pmt_[oob.owner.id] = ppn;  // newest seq wins
+      return;
+    }
+    case nand::PageOwner::Kind::kPacked:
+      recover_claim_packed(oob, ppn);
+      return;
+    default:
+      AF_CHECK_MSG(false, "unexpected OOB owner kind in MRSM recovery");
+  }
+}
+
+void MrsmFtl::recover_enumerate(
+    const std::function<void(Ppn, nand::PageOwner)>& fn) const {
+  for (std::uint64_t l = 0; l < pmt_.size(); ++l) {
+    if (pmt_[l].valid()) fn(pmt_[l], nand::PageOwner::data(Lpn{l}));
+  }
+  // Packed pages are referenced through their directory (a page with live
+  // slots is live, whoever points at it).
+  for (const auto& [raw, dir] : packed_) {
+    fn(Ppn{raw}, nand::PageOwner::packed(dir.pack_id));
+  }
+  // Converted pages (page-mapped data re-interpreted as four slots) carry a
+  // kData owner and can be referenced by several sub-entries of the same LPN
+  // — emit each distinct PPN once.
+  for (std::uint64_t l = 0; l < subs_.size(); ++l) {
+    for (std::uint32_t k = 0; k < kSubsPerPage; ++k) {
+      const SubLoc& loc = subs_[l][k];
+      if (!loc.valid() || packed_.count(loc.ppn.get()) != 0) continue;
+      bool first = true;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        if (subs_[l][j].ppn == loc.ppn) {
+          first = false;
+          break;
+        }
+      }
+      if (first) fn(loc.ppn, nand::PageOwner::data(Lpn{l}));
+    }
+  }
+}
+
+void MrsmFtl::recover_finalize() {
+  AF_CHECK_MSG(staged_.empty(), "GC staging buffer non-empty at mount");
 }
 
 std::uint64_t MrsmFtl::map_bytes() const {

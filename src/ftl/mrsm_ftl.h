@@ -38,6 +38,17 @@ class MrsmFtl final : public FtlScheme {
                    SimTime& clock) override;
   [[nodiscard]] std::uint64_t map_bytes() const override;
 
+  // RecoverableMapping: region modes, the page-mode PMT, the sub-page tables
+  // and the packed-page slot directories.
+  void serialize_mapping(ssd::ByteSink& sink) const override;
+  void serialize_delta(ssd::ByteSink& sink) override;
+  void deserialize_mapping(ssd::ByteSource& src) override;
+  void apply_delta(ssd::ByteSource& src) override;
+  void recover_claim(const nand::OobRecord& oob, Ppn ppn) override;
+  void recover_enumerate(
+      const std::function<void(Ppn, nand::PageOwner)>& fn) const override;
+  void recover_finalize() override;
+
   // --- Introspection ----------------------------------------------------------
   [[nodiscard]] bool region_is_sub(Lpn lpn) const {
     return region_mode_[lpn.get() / kRegionLpns] != 0;
@@ -63,6 +74,9 @@ class MrsmFtl final : public FtlScheme {
       bool live = false;
     };
     std::array<Slot, kSubsPerPage> slots;
+    /// The pack id the page was programmed under (its PageOwner::packed id);
+    /// recovery re-derives the owner from this.
+    std::uint64_t pack_id = 0;
     [[nodiscard]] std::uint32_t live_count() const {
       std::uint32_t n = 0;
       for (const auto& s : slots) n += s.live ? 1 : 0;
@@ -112,11 +126,27 @@ class MrsmFtl final : public FtlScheme {
   void flush_staged_group(std::uint64_t plane, SimTime& clock);
   /// Drains the whole staging buffer (end-of-GC hook).
   void flush_staged(std::uint64_t plane, SimTime& clock);
-  /// Copies the stamps of a chunk's sectors into its new slot.
-  void stamp_chunk(const Chunk& chunk, Ppn dst, std::uint32_t dst_slot,
-                   SubLoc old_loc);
-
   [[nodiscard]] SimTime write_page_mode(const SubRequest& sub, SimTime ready);
+
+  // --- Crash recovery helpers -------------------------------------------------
+  void journal_lpn(std::uint64_t lpn) {
+    if (journaling()) dirty_lpns_.push_back(lpn);
+  }
+  void journal_region(std::uint64_t region) {
+    if (journaling()) dirty_regions_.push_back(region);
+  }
+  void journal_packed(Ppn ppn) {
+    if (journaling()) dirty_packed_.push_back(ppn.get());
+  }
+  /// RAM-only variant of retire_subloc for claim replay: clears the old
+  /// subloc and its packed-directory slot, never touching the engine.
+  void recover_displace(Lpn lpn, std::uint32_t sub);
+  void recover_claim_packed(const nand::OobRecord& oob, Ppn ppn);
+  // Serialization helpers: one LPN's PMT + sub-table row, one slot directory.
+  void sink_lpn_entry(ssd::ByteSink& sink, std::uint64_t l) const;
+  void source_lpn_entry(ssd::ByteSource& src);
+  static void sink_packed_dir(ssd::ByteSink& sink, const PackedPage& dir);
+  static PackedPage source_packed_dir(ssd::ByteSource& src);
 
   std::vector<Ppn> pmt_;                          // page-mode mapping
   std::vector<std::array<SubLoc, kSubsPerPage>> subs_;  // sub-mode mapping
@@ -129,6 +159,11 @@ class MrsmFtl final : public FtlScheme {
   std::uint64_t page_tpages_;
   std::uint64_t page_entries_per_tpage_;
   std::uint64_t sub_entries_per_tpage_;
+
+  // Delta-journal dirty sets (tracked only while journaling).
+  std::vector<std::uint64_t> dirty_lpns_;
+  std::vector<std::uint64_t> dirty_regions_;
+  std::vector<std::uint64_t> dirty_packed_;  // raw PPNs of touched directories
 };
 
 }  // namespace af::ftl

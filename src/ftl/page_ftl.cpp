@@ -28,26 +28,32 @@ SimTime PageFtl::write_sub(const SubRequest& sub, SimTime ready) {
     engine_.stats().count_rmw_read();
   }
 
-  auto programmed = engine_.flash_program(
-      ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
-      ssd::OpKind::kDataWrite, ready);
-  // Re-fetch after the program: it may have run GC and relocated the old
-  // page (the PMT entry tracks the move).
-  const Ppn old = pmt_[sub.lpn.get()];
-
+  // Stamps ride the program itself (data and spare land atomically on real
+  // flash, and power-cut recovery depends on that).
+  std::vector<std::uint64_t> stamps;
   if (tracking()) {
+    const Ppn from = pmt_[sub.lpn.get()];
     for (std::uint32_t s = 0; s < pgeom_.sectors_per_page; ++s) {
       const SectorAddr logical = page.begin + s;
       if (sub.range.contains(logical)) {
-        engine_.write_stamp(programmed.ppn, s, new_stamp(logical));
-      } else if (old.valid()) {
-        engine_.write_stamp(programmed.ppn, s, engine_.read_stamp(old, s));
+        stamps.push_back(new_stamp(logical));
+      } else {
+        stamps.push_back(from.valid() ? engine_.read_stamp(from, s) : 0);
       }
     }
   }
+  auto programmed = engine_.flash_program(
+      ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
+      ssd::OpKind::kDataWrite, ready, nullptr,
+      tracking() ? &stamps : nullptr);
+  // Re-fetch after the program: it may have run GC and relocated the old
+  // page (the PMT entry tracks the move; relocation copies the payload, so
+  // the staged stamps stay correct).
+  const Ppn old = pmt_[sub.lpn.get()];
 
   if (old.valid()) engine_.invalidate(old);
   pmt_[sub.lpn.get()] = programmed.ppn;
+  journal_lpn(sub.lpn.get());
   return programmed.done;
 }
 
@@ -108,8 +114,61 @@ void PageFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
   if (engine_.tracks_payload()) engine_.copy_stamps(victim, moved.ppn);
   engine_.invalidate(victim);
   pmt_[lpn.get()] = moved.ppn;
+  journal_lpn(lpn.get());
   clock = engine_.map_touch(map_page_of(lpn), /*dirty=*/true, clock);
 }
+
+// --- RecoverableMapping -------------------------------------------------------
+
+void PageFtl::serialize_mapping(ssd::ByteSink& sink) const {
+  std::uint64_t count = 0;
+  for (const Ppn ppn : pmt_) count += ppn.valid() ? 1u : 0u;
+  sink.u64(count);
+  for (std::uint64_t l = 0; l < pmt_.size(); ++l) {
+    if (!pmt_[l].valid()) continue;
+    sink.u64(l);
+    sink.u64(pmt_[l].get());
+  }
+}
+
+void PageFtl::serialize_delta(ssd::ByteSink& sink) {
+  std::sort(dirty_lpns_.begin(), dirty_lpns_.end());
+  dirty_lpns_.erase(std::unique(dirty_lpns_.begin(), dirty_lpns_.end()),
+                    dirty_lpns_.end());
+  sink.u64(dirty_lpns_.size());
+  for (const std::uint64_t l : dirty_lpns_) {
+    sink.u64(l);
+    sink.u64(pmt_[l].get());
+  }
+  dirty_lpns_.clear();
+}
+
+void PageFtl::deserialize_mapping(ssd::ByteSource& src) {
+  const std::uint64_t count = src.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t l = src.u64();
+    AF_CHECK(l < pmt_.size());
+    pmt_[l] = Ppn{src.u64()};
+  }
+}
+
+void PageFtl::apply_delta(ssd::ByteSource& src) { deserialize_mapping(src); }
+
+void PageFtl::recover_claim(const nand::OobRecord& oob, Ppn ppn) {
+  AF_CHECK_MSG(oob.owner.kind == nand::PageOwner::Kind::kData,
+               "unexpected OOB owner kind in page-FTL recovery");
+  AF_CHECK(oob.owner.id < pmt_.size());
+  pmt_[oob.owner.id] = ppn;  // newest seq wins — claims replay in order
+}
+
+void PageFtl::recover_enumerate(
+    const std::function<void(Ppn, nand::PageOwner)>& fn) const {
+  for (std::uint64_t l = 0; l < pmt_.size(); ++l) {
+    if (pmt_[l].valid()) fn(pmt_[l], nand::PageOwner::data(Lpn{l}));
+  }
+}
+
+void PageFtl::recover_finalize() {}
 
 std::uint64_t PageFtl::map_bytes() const {
   const auto* dir = engine_.map_directory();

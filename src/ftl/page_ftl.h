@@ -23,6 +23,16 @@ class PageFtl final : public FtlScheme {
                    SimTime& clock) override;
   [[nodiscard]] std::uint64_t map_bytes() const override;
 
+  // RecoverableMapping: the PMT is the whole mapping state.
+  void serialize_mapping(ssd::ByteSink& sink) const override;
+  void serialize_delta(ssd::ByteSink& sink) override;
+  void deserialize_mapping(ssd::ByteSource& src) override;
+  void apply_delta(ssd::ByteSource& src) override;
+  void recover_claim(const nand::OobRecord& oob, Ppn ppn) override;
+  void recover_enumerate(
+      const std::function<void(Ppn, nand::PageOwner)>& fn) const override;
+  void recover_finalize() override;
+
   /// Test access: current physical location of a logical page.
   [[nodiscard]] Ppn mapping(Lpn lpn) const;
 
@@ -34,8 +44,13 @@ class PageFtl final : public FtlScheme {
   /// page program. Returns program completion.
   [[nodiscard]] SimTime write_sub(const SubRequest& sub, SimTime ready);
 
+  void journal_lpn(std::uint64_t lpn) {
+    if (journaling()) dirty_lpns_.push_back(lpn);
+  }
+
   std::vector<Ppn> pmt_;
   std::uint64_t entries_per_tpage_;
+  std::vector<std::uint64_t> dirty_lpns_;  // delta-journal dirty set
 };
 
 }  // namespace af::ftl

@@ -12,6 +12,7 @@
 #include "common/types.h"
 #include "ftl/request.h"
 #include "ssd/engine.h"
+#include "ssd/recovery.h"
 
 namespace af::ftl {
 
@@ -35,10 +36,13 @@ struct ReadPlan {
   std::vector<Observation> observed;
 };
 
-class FtlScheme {
+/// Every scheme is also a RecoverableMapping: its tables can be serialized
+/// into checkpoint-journal entries and rebuilt at mount from a checkpoint
+/// plus OOB claims (ssd/recovery.h).
+class FtlScheme : public ssd::RecoverableMapping {
  public:
   explicit FtlScheme(ssd::Engine& engine);
-  virtual ~FtlScheme() = default;
+  ~FtlScheme() override = default;
 
   FtlScheme(const FtlScheme&) = delete;
   FtlScheme& operator=(const FtlScheme&) = delete;
@@ -69,7 +73,12 @@ class FtlScheme {
 
   [[nodiscard]] const PageGeometry& page_geometry() const { return pgeom_; }
 
+  void enable_journal(bool on) override { journal_ = on; }
+
  protected:
+  /// Dirty-entry tracking is on (a Checkpointer is writing delta entries).
+  [[nodiscard]] bool journaling() const { return journal_; }
+
   [[nodiscard]] bool tracking() const {
     return stamps_ != nullptr && engine_.tracks_payload();
   }
@@ -83,6 +92,7 @@ class FtlScheme {
 
  private:
   const StampProvider* stamps_ = nullptr;
+  bool journal_ = false;
 };
 
 enum class SchemeKind { kPageFtl, kMrsm, kAcrossFtl };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace af::nand {
 
@@ -12,6 +13,7 @@ FlashArray::FlashArray(const Geometry& geometry, bool track_payload,
   const auto total = static_cast<std::size_t>(geom_.total_pages());
   pages_.assign(total, PageState::kFree);
   owners_.assign(total, PageOwner{});
+  oob_.assign(total, OobRecord{});
   blocks_.assign(static_cast<std::size_t>(geom_.total_blocks()), BlockInfo{});
   if (track_payload) {
     stamps_.assign(total * geom_.sectors_per_page(), 0);
@@ -19,7 +21,21 @@ FlashArray::FlashArray(const Geometry& geometry, bool track_payload,
   counters_.free_pages = total;
 }
 
-bool FlashArray::program(Ppn ppn, PageOwner owner) {
+void FlashArray::arm_power_cut(const PowerCutPlan& plan) {
+  power_cut_ = plan;
+  ops_since_arm_ = 0;
+}
+
+bool FlashArray::cut_now() {
+  ++ops_since_arm_;
+  return power_cut_.armed() && ops_since_arm_ == power_cut_.at_op;
+}
+
+void FlashArray::count_read() {
+  if (cut_now()) throw PowerLoss{ops_since_arm_};
+}
+
+bool FlashArray::program(Ppn ppn, PageOwner owner, const OobExtra* extra) {
   const std::size_t i = index(ppn);
   AF_CHECK_MSG(pages_[i] == PageState::kFree, "program of non-free page");
   const std::uint64_t b = geom_.block_of(ppn);
@@ -32,17 +48,44 @@ bool FlashArray::program(Ppn ppn, PageOwner owner) {
   ++blk.written;
   ++counters_.programs;
   --counters_.free_pages;
+  const std::uint64_t seq = ++next_seq_;
+  blk.max_seq = seq;
+  if (cut_now()) {
+    // Power died mid-program: the page is torn exactly like a program fault,
+    // and the spare area records that so mount-time recovery can tell "never
+    // written" from "interrupted". No fault-model draw is consumed.
+    pages_[i] = PageState::kInvalid;
+    owners_[i] = PageOwner{};
+    oob_[i] = OobRecord{};
+    oob_[i].torn = true;
+    oob_[i].seq = seq;
+    ++counters_.invalid_pages;
+    throw PowerLoss{ops_since_arm_};
+  }
   if (faults_.program_fails(blk.erase_count)) {
     // Torn page: the program cycle was spent but the data is unreadable.
     // It stays kInvalid (no owner) until the block is erased.
     pages_[i] = PageState::kInvalid;
     owners_[i] = PageOwner{};
+    oob_[i] = OobRecord{};
+    oob_[i].torn = true;
+    oob_[i].seq = seq;
     ++counters_.invalid_pages;
     ++counters_.program_faults;
     return false;
   }
   pages_[i] = PageState::kValid;
   owners_[i] = owner;
+  OobRecord& rec = oob_[i];
+  rec = OobRecord{};
+  rec.owner = owner;
+  rec.seq = seq;
+  if (extra != nullptr) {
+    rec.range_begin = extra->range_begin;
+    rec.range_end = extra->range_end;
+    rec.slot_base = extra->slot_base;
+    rec.slots = extra->slots;
+  }
   ++blk.valid_pages;
   ++counters_.valid_pages;
   return true;
@@ -60,11 +103,38 @@ void FlashArray::invalidate(Ppn ppn) {
   ++counters_.invalid_pages;
 }
 
+void FlashArray::recover_revive(Ppn ppn, PageOwner owner) {
+  const std::size_t i = index(ppn);
+  AF_CHECK_MSG(pages_[i] == PageState::kInvalid, "revive of non-invalid page");
+  AF_CHECK_MSG(!oob_[i].torn && oob_[i].written(),
+               "revive of a page with no durable program");
+  pages_[i] = PageState::kValid;
+  owners_[i] = owner;
+  BlockInfo& blk = blocks_[geom_.block_of(ppn)];
+  ++blk.valid_pages;
+  ++counters_.valid_pages;
+  --counters_.invalid_pages;
+}
+
+void FlashArray::scrub_page(std::size_t i) {
+  oob_[i] = OobRecord{};
+  blobs_.erase(static_cast<std::uint64_t>(i));
+  if (!stamps_.empty()) {
+    const std::size_t base = i * geom_.sectors_per_page();
+    std::fill_n(stamps_.begin() + static_cast<std::ptrdiff_t>(base),
+                geom_.sectors_per_page(), 0);
+  }
+}
+
 bool FlashArray::erase_block(std::uint64_t flat_block) {
   AF_CHECK(flat_block < blocks_.size());
   BlockInfo& blk = blocks_[flat_block];
   AF_CHECK_MSG(!blk.retired, "erase of retired block");
   AF_CHECK_MSG(blk.valid_pages == 0, "erase of block holding valid pages");
+  // Erase is atomic under power loss: either it completed or the block is
+  // untouched. The cut check precedes the fault draw so a cut-on-erase run
+  // consumes no extra RNG state.
+  if (cut_now()) throw PowerLoss{ops_since_arm_};
   if (faults_.erase_fails(blk.erase_count)) {
     ++counters_.erase_faults;
     do_retire(flat_block);
@@ -79,13 +149,10 @@ bool FlashArray::erase_block(std::uint64_t flat_block) {
     }
     pages_[i] = PageState::kFree;
     owners_[i] = PageOwner{};
-    if (!stamps_.empty()) {
-      const std::size_t base = i * geom_.sectors_per_page();
-      std::fill_n(stamps_.begin() + static_cast<std::ptrdiff_t>(base),
-                  geom_.sectors_per_page(), 0);
-    }
+    scrub_page(i);
   }
   blk.written = 0;
+  blk.max_seq = 0;
   ++blk.erase_count;
   ++counters_.erases;
   return true;
@@ -111,15 +178,12 @@ void FlashArray::do_retire(std::uint64_t flat_block) {
     }
     pages_[i] = PageState::kRetired;
     owners_[i] = PageOwner{};
-    if (!stamps_.empty()) {
-      const std::size_t base = i * geom_.sectors_per_page();
-      std::fill_n(stamps_.begin() + static_cast<std::ptrdiff_t>(base),
-                  geom_.sectors_per_page(), 0);
-    }
+    scrub_page(i);
   }
   counters_.retired_pages += geom_.pages_per_block;
   ++counters_.retired_blocks;
   blk.retired = true;
+  blk.max_seq = 0;
   // Full frontier keeps the retired block out of every "has space" path.
   blk.written = geom_.pages_per_block;
 }
@@ -172,6 +236,23 @@ FlashArray::WearSummary FlashArray::wear() const {
                      : static_cast<double>(total) /
                            static_cast<double>(blocks_.size());
   return summary;
+}
+
+void FlashArray::set_ckpt_blob(Ppn ppn, std::vector<std::uint8_t> bytes) {
+  blobs_[static_cast<std::uint64_t>(index(ppn))] = std::move(bytes);
+}
+
+const std::vector<std::uint8_t>* FlashArray::ckpt_blob(Ppn ppn) const {
+  const auto it = blobs_.find(static_cast<std::uint64_t>(index(ppn)));
+  return it == blobs_.end() ? nullptr : &it->second;
+}
+
+void FlashArray::move_ckpt_blob(Ppn from, Ppn to) {
+  const auto it = blobs_.find(static_cast<std::uint64_t>(index(from)));
+  AF_CHECK_MSG(it != blobs_.end(), "move of missing checkpoint blob");
+  std::vector<std::uint8_t> bytes = std::move(it->second);
+  blobs_.erase(it);
+  blobs_[static_cast<std::uint64_t>(index(to))] = std::move(bytes);
 }
 
 void FlashArray::set_stamp(Ppn ppn, std::uint32_t sector_in_page,

@@ -8,15 +8,25 @@
 // leaves a torn (invalid) page, a failed erase retires the block into the
 // bad-block table. Recovery — reallocation, spare management, degradation —
 // is the engine's job.
+//
+// Crash consistency: every program additionally stamps a spare-area
+// (out-of-band) record — owner, array-wide sequence number, and for
+// across/packed pages the mapping payload — which survives power loss and is
+// what mount-time recovery replays. An armed PowerCutPlan kills the device
+// at an exact op (see nand/power.h); the interrupted program leaves a torn
+// OOB record that recovery detects and skips.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
 #include "nand/faults.h"
 #include "nand/geometry.h"
+#include "nand/power.h"
 
 namespace af::nand {
 
@@ -28,7 +38,8 @@ enum class PageState : std::uint8_t { kFree, kValid, kInvalid, kRetired };
 struct PageOwner {
   /// kPacked marks pages whose slots hold sub-page chunks from multiple LPNs
   /// (MRSM's log-packed layout); the owning scheme keeps the slot directory.
-  enum class Kind : std::uint8_t { kNone, kData, kAcross, kMap, kPacked };
+  /// kCkpt marks checkpoint-journal pages (mapping snapshot / delta chunks).
+  enum class Kind : std::uint8_t { kNone, kData, kAcross, kMap, kPacked, kCkpt };
   Kind kind = Kind::kNone;
   std::uint64_t id = 0;
 
@@ -36,8 +47,67 @@ struct PageOwner {
   static PageOwner across(AmtIndex idx) { return {Kind::kAcross, idx.get()}; }
   static PageOwner map(std::uint64_t map_page) { return {Kind::kMap, map_page}; }
   static PageOwner packed(std::uint64_t log_id) { return {Kind::kPacked, log_id}; }
+  static PageOwner ckpt(std::uint64_t journal_id) { return {Kind::kCkpt, journal_id}; }
 
   friend bool operator==(const PageOwner&, const PageOwner&) = default;
+};
+
+/// Spare-area slot directory capacity. Sized for MRSM's four quarter-page
+/// sub-chunks — the densest per-page mapping payload any scheme writes.
+inline constexpr std::uint32_t kOobSlots = 4;
+
+/// One out-of-band record per page, written atomically with the page program
+/// and erased with the block. This is the durable side of the mapping: RAM
+/// tables are a cache; after power loss, recovery re-derives them from these
+/// records (newest `seq` wins) on top of the last checkpoint.
+struct OobRecord {
+  /// Who the page belonged to at program time (kNone until programmed).
+  PageOwner owner;
+  /// Program was interrupted (fault or power cut): no readable data, no
+  /// usable payload. Detected and counted at mount, never replayed.
+  bool torn = false;
+  /// Array-wide monotonic program sequence, 1-based; 0 = never programmed.
+  std::uint64_t seq = 0;
+  /// Across-page payload — the paper's AMT entry {Off, Size} as a sector
+  /// range plus the slot base the stamps were laid out from.
+  SectorAddr range_begin = 0;
+  SectorAddr range_end = 0;
+  SectorAddr slot_base = 0;
+  /// Packed-page payload: slot `i` holds sub-chunk `sub` of `lpn`.
+  struct Slot {
+    std::uint64_t lpn = 0;
+    std::uint8_t sub = 0;
+    bool used = false;
+  };
+  std::array<Slot, kOobSlots> slots{};
+
+  [[nodiscard]] bool written() const { return seq != 0; }
+};
+
+/// Caller-supplied spare-area payload beyond the owner itself. Data/map/ckpt
+/// pages need none (the owner id is the whole story); across and packed
+/// programs pass their mapping payload here.
+struct OobExtra {
+  SectorAddr range_begin = 0;
+  SectorAddr range_end = 0;
+  SectorAddr slot_base = 0;
+  std::array<OobRecord::Slot, kOobSlots> slots{};
+};
+
+/// Durable root record for the checkpoint journal — modelled after the fixed
+/// root block real firmware reserves. Updated only after a journal entry is
+/// completely on flash, so a crash mid-journal-write leaves the previous
+/// (complete) chain in force and the partial entry as orphan pages.
+struct MountRoot {
+  bool valid = false;
+  /// Array seq at the moment the snapshot was serialized.
+  std::uint64_t snapshot_seq = 0;
+  /// Seq at the newest complete journal entry: recovery only replays OOB
+  /// records newer than this.
+  std::uint64_t journal_seq = 0;
+  std::vector<Ppn> snapshot_pages;
+  /// Delta entries since the snapshot, oldest first.
+  std::vector<std::vector<Ppn>> delta_pages;
 };
 
 struct BlockInfo {
@@ -46,6 +116,10 @@ struct BlockInfo {
   /// erase. NAND requires in-order programming within a block.
   std::uint32_t written = 0;
   std::uint64_t erase_count = 0;
+  /// Largest OOB seq programmed into the block since its last erase (torn
+  /// programs included) — lets recovery skip blocks older than the
+  /// checkpoint without touching their pages.
+  std::uint64_t max_seq = 0;
   /// Grown bad block: a failed erase (or explicit retirement) removed it
   /// from service permanently. Retired blocks are never programmed or
   /// erased again.
@@ -90,9 +164,14 @@ class FlashArray {
   /// the fault model fails the program — the page is then torn: it consumed
   /// a program cycle and the write frontier, holds no data, and is left
   /// kInvalid for GC to reclaim. The caller must re-program elsewhere.
-  [[nodiscard]] bool program(Ppn ppn, PageOwner owner);
+  /// `extra` carries the spare-area mapping payload for across/packed pages.
+  /// Throws PowerLoss (after tearing the page) if an armed cut fires here.
+  [[nodiscard]] bool program(Ppn ppn, PageOwner owner,
+                             const OobExtra* extra = nullptr);
 
   /// Marks a valid page as invalid (its logical owner moved elsewhere).
+  /// RAM-side bookkeeping only: the OOB record stays until erase, which is
+  /// exactly what recovery replays.
   void invalidate(Ppn ppn);
 
   /// Erases a block (flat block index): every page returns to kFree. All
@@ -100,11 +179,28 @@ class FlashArray {
   /// the caller, not a legal operation. Returns false when the fault model
   /// fails the erase: the block is then retired (grown bad block) and its
   /// pages leave service; the caller must not reuse it.
+  /// Throws PowerLoss (before any state change — erase is atomic) if an
+  /// armed cut fires here.
   [[nodiscard]] bool erase_block(std::uint64_t flat_block);
 
   /// Explicit retirement (firmware policy, e.g. after repeated program
   /// failures). The block must hold no valid data.
   void retire_block(std::uint64_t flat_block);
+
+  // --- Power-cut injection -------------------------------------------------
+
+  /// Arms (or re-arms) the power-cut plan; the op counter restarts at zero.
+  /// A disarmed plan (`at_op == 0`) still counts ops, so harnesses can
+  /// measure a run's op horizon before sampling a crash point.
+  void arm_power_cut(const PowerCutPlan& plan);
+  void disarm_power_cut() { power_cut_ = PowerCutPlan{}; }
+  [[nodiscard]] bool power_cut_armed() const { return power_cut_.armed(); }
+  /// Physical ops observed since the last arm_power_cut call.
+  [[nodiscard]] std::uint64_t ops_since_arm() const { return ops_since_arm_; }
+  /// Read ops don't pass through this class, so the engine reports each page
+  /// read here for op counting. Throws PowerLoss (reads change no state) if
+  /// the armed cut fires on it.
+  void count_read();
 
   // --- Queries -------------------------------------------------------------
 
@@ -167,6 +263,33 @@ class FlashArray {
   };
   [[nodiscard]] WearSummary wear() const;
 
+  // --- Spare-area (OOB) records --------------------------------------------
+
+  [[nodiscard]] const OobRecord& oob(Ppn ppn) const { return oob_[index(ppn)]; }
+  /// Largest OOB seq handed out so far (0 = nothing programmed yet).
+  [[nodiscard]] std::uint64_t last_seq() const { return next_seq_; }
+
+  // --- Checkpoint journal storage ------------------------------------------
+
+  /// Serialized journal chunks live in a side table keyed by page — the
+  /// simulator doesn't model page data, only its existence — and follow the
+  /// page's lifecycle: erased with the block, moved when GC relocates it.
+  void set_ckpt_blob(Ppn ppn, std::vector<std::uint8_t> bytes);
+  [[nodiscard]] const std::vector<std::uint8_t>* ckpt_blob(Ppn ppn) const;
+  void move_ckpt_blob(Ppn from, Ppn to);
+
+  [[nodiscard]] const MountRoot& mount_root() const { return root_; }
+  void set_mount_root(MountRoot root) { root_ = std::move(root); }
+
+  // --- Mount-time reconciliation (Recovery only) ---------------------------
+
+  /// Invalidate a page recovery found to be an orphan (programmed, still
+  /// marked valid, but not referenced by any recovered mapping entry).
+  void recover_invalidate(Ppn ppn) { invalidate(ppn); }
+  /// Re-validate a page whose program was durable but whose invalidation was
+  /// RAM-only at crash time and is NOT superseded by newer OOB records.
+  void recover_revive(Ppn ppn, PageOwner owner);
+
   // --- Payload stamps (oracle support) --------------------------------------
 
   [[nodiscard]] bool tracks_payload() const { return !stamps_.empty(); }
@@ -183,17 +306,30 @@ class FlashArray {
     return index(ppn) * geom_.sectors_per_page() + sector;
   }
 
+  /// Counts one physical op; true when the armed cut fires on it.
+  [[nodiscard]] bool cut_now();
+
   /// Moves every page of the block to kRetired and flags the block. The
   /// block must hold no valid data.
   void do_retire(std::uint64_t flat_block);
+
+  /// Clears a page's stamps and checkpoint blob (erase/retire path).
+  void scrub_page(std::size_t i);
 
   Geometry geom_;
   FaultModel faults_;
   std::vector<PageState> pages_;
   std::vector<PageOwner> owners_;
+  std::vector<OobRecord> oob_;
   std::vector<BlockInfo> blocks_;
   std::vector<std::uint64_t> stamps_;  // empty unless track_payload
+  // Keyed by raw ppn; lookups only — never iterated, so determinism holds.
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> blobs_;
+  MountRoot root_;
   ArrayCounters counters_;
+  std::uint64_t next_seq_ = 0;
+  PowerCutPlan power_cut_;
+  std::uint64_t ops_since_arm_ = 0;
 };
 
 }  // namespace af::nand

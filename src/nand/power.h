@@ -1,0 +1,43 @@
+// Deterministic sudden-power-off injection.
+//
+// A PowerCutPlan names the exact flash operation (program, erase or read —
+// counted from the moment the plan is armed) at which power dies. The
+// FlashArray checks the plan on every physical op and, when the counter
+// reaches the cut point, throws PowerLoss after applying exactly the state a
+// real power cut would leave behind: a program in flight tears its page
+// (spare area marked torn, no readable data), an erase or read changes
+// nothing. Everything that lived only in RAM — mapping tables, caches,
+// buffered writes — is gone; only FlashArray state survives into the next
+// mount.
+//
+// Same determinism contract as nand/faults.*: the plan is plain data, the
+// cut point is an op index, and harnesses that want a "random" crash sample
+// `at_op` themselves from `seed` so the same seed always kills the same op.
+#pragma once
+
+#include <cstdint>
+
+namespace af::nand {
+
+/// Thrown by FlashArray when an armed power cut fires. Deliberately not a
+/// std::exception: power loss is not an error the op's caller can handle —
+/// only the harness that armed the plan catches it, at the mount boundary.
+struct PowerLoss {
+  /// 1-based index (since arming) of the op that was interrupted.
+  std::uint64_t op_index = 0;
+};
+
+/// Schedule for one sudden power-off. `at_op` is 1-based and counts every
+/// physical flash operation after arming; 0 leaves the plan disarmed (ops
+/// are still counted, which lets harnesses measure a run's op horizon).
+struct PowerCutPlan {
+  std::uint64_t at_op = 0;
+  /// Not consumed by the array itself: harnesses derive `at_op` from this
+  /// seed (e.g. uniformly over a measured op horizon) so crash-point fuzzing
+  /// stays reproducible.
+  std::uint64_t seed = 0x0FFC0DEu;
+
+  [[nodiscard]] bool armed() const { return at_op != 0; }
+};
+
+}  // namespace af::nand

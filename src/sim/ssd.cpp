@@ -18,14 +18,52 @@ class Ssd::OracleStamps final : public ftl::StampProvider {
   const ssd::Oracle& oracle_;
 };
 
-Ssd::Ssd(const ssd::SsdConfig& config, ftl::SchemeKind kind)
-    : engine_(std::make_unique<ssd::Engine>(config)) {
+Ssd::Ssd(std::unique_ptr<ssd::Engine> engine, ftl::SchemeKind kind,
+         const ssd::Oracle* oracle_seed)
+    : engine_(std::move(engine)) {
   scheme_ = ftl::make_scheme(kind, *engine_);
-  if (config.track_payload) {
-    oracle_ = std::make_unique<ssd::Oracle>(config.logical_sectors());
+  if (engine_->config().track_payload) {
+    // A mount continues the pre-crash stamp sequence (the adopted flash
+    // image still carries the old stamps); a fresh device starts at 1.
+    oracle_ = oracle_seed ? std::make_unique<ssd::Oracle>(*oracle_seed)
+                          : std::make_unique<ssd::Oracle>(
+                                engine_->config().logical_sectors());
     stamp_provider_ = std::make_unique<OracleStamps>(*oracle_);
     scheme_->set_stamp_provider(stamp_provider_.get());
   }
+}
+
+Ssd::Ssd(const ssd::SsdConfig& config, ftl::SchemeKind kind)
+    : Ssd(std::make_unique<ssd::Engine>(config), kind, nullptr) {
+  attach_checkpointer();
+}
+
+void Ssd::attach_checkpointer() {
+  if (engine_->config().checkpoint.enabled()) {
+    checkpointer_ = std::make_unique<ssd::Checkpointer>(
+        *engine_, *scheme_, engine_->config().checkpoint);
+  }
+}
+
+std::unique_ptr<Ssd> Ssd::mount(const ssd::SsdConfig& config,
+                                ftl::SchemeKind kind, nand::FlashArray image,
+                                const ssd::Oracle* oracle_seed,
+                                ssd::RecoveryReport* report) {
+  image.disarm_power_cut();  // the new incarnation starts with clean power
+  auto device = std::unique_ptr<Ssd>(new Ssd(
+      std::make_unique<ssd::Engine>(config, std::move(image)), kind,
+      oracle_seed));
+  const ssd::RecoveryReport rep =
+      ssd::Recovery::mount(*device->engine_, *device->scheme_);
+  if (report != nullptr) *report = rep;
+  // Journaling re-attaches only now: claim replay must not dirty the tables.
+  device->attach_checkpointer();
+  return device;
+}
+
+nand::FlashArray Ssd::release_flash() {
+  checkpointer_.reset();  // unregisters the engine's ckpt-moved callback
+  return engine_->release_array();
 }
 
 Ssd::~Ssd() = default;
@@ -75,6 +113,7 @@ Ssd::Completion Ssd::submit(const ftl::IoRequest& req) {
   AF_CHECK(completion.done >= req.arrival);
   completion.latency = completion.done - req.arrival;
   engine_->stats().record_request(cls, completion.latency, req.range.size());
+  if (req.write && checkpointer_) checkpointer_->note_write(completion.done);
   return completion;
 }
 

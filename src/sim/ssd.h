@@ -12,9 +12,11 @@
 
 #include "ftl/request.h"
 #include "ftl/scheme.h"
+#include "ssd/checkpoint.h"
 #include "ssd/config.h"
 #include "ssd/engine.h"
 #include "ssd/oracle.h"
+#include "ssd/recovery.h"
 
 namespace af::sim {
 
@@ -25,6 +27,17 @@ class Ssd {
 
   Ssd(const Ssd&) = delete;
   Ssd& operator=(const Ssd&) = delete;
+
+  /// Mount path: adopts a flash image that survived a power cut, rebuilds
+  /// the mapping stack through ssd::Recovery (checkpoint chain + OOB scan)
+  /// and re-attaches the checkpoint journal when `config` enables it.
+  /// `oracle_seed` (required when track_payload is on) is copied so new
+  /// writes continue the pre-crash stamp sequence; pass the crashed device's
+  /// oracle. `report`, when non-null, receives the mount statistics.
+  [[nodiscard]] static std::unique_ptr<Ssd> mount(
+      const ssd::SsdConfig& config, ftl::SchemeKind kind,
+      nand::FlashArray image, const ssd::Oracle* oracle_seed = nullptr,
+      ssd::RecoveryReport* report = nullptr);
 
   struct Completion {
     SimTime done = 0;
@@ -60,6 +73,11 @@ class Ssd {
   [[nodiscard]] ftl::FtlScheme& scheme() { return *scheme_; }
   [[nodiscard]] const ftl::FtlScheme& scheme() const { return *scheme_; }
   [[nodiscard]] const ssd::Oracle* oracle() const { return oracle_.get(); }
+  /// Mutable oracle access for the crash harness (Oracle::force fixups).
+  [[nodiscard]] ssd::Oracle* oracle_mut() { return oracle_.get(); }
+  [[nodiscard]] const ssd::Checkpointer* checkpointer() const {
+    return checkpointer_.get();
+  }
   [[nodiscard]] const ssd::SsdConfig& config() const {
     return engine_->config();
   }
@@ -67,16 +85,26 @@ class Ssd {
     return verified_sectors_;
   }
 
+  /// Surrenders the flash image after a power cut (the engine and scheme
+  /// must not be used afterwards); hand the result to mount().
+  [[nodiscard]] nand::FlashArray release_flash();
+
   /// Captures the scheme's current mapping footprint into the stats (peak).
   void snapshot_map_footprint();
 
  private:
   class OracleStamps;  // adapts Oracle to ftl::StampProvider
 
+  /// Shared tail of both construction paths: scheme, oracle, checkpointer.
+  Ssd(std::unique_ptr<ssd::Engine> engine, ftl::SchemeKind kind,
+      const ssd::Oracle* oracle_seed);
+  void attach_checkpointer();
+
   std::unique_ptr<ssd::Engine> engine_;
   std::unique_ptr<ftl::FtlScheme> scheme_;
   std::unique_ptr<ssd::Oracle> oracle_;
   std::unique_ptr<OracleStamps> stamp_provider_;
+  std::unique_ptr<ssd::Checkpointer> checkpointer_;
   std::uint64_t verified_sectors_ = 0;
 };
 

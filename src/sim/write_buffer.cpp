@@ -108,6 +108,18 @@ Ssd::Completion BufferedSsd::submit(const ftl::IoRequest& req) {
   return ssd_.submit(req);
 }
 
+std::uint64_t BufferedSsd::drop_all() {
+  std::uint64_t dropped = 0;
+  while (!entries_.empty()) {
+    auto it = entries_.begin();
+    dropped += it->second.range.size();
+    erase_entry(it);
+  }
+  AF_CHECK(held_ == 0);
+  dropped_flush_sectors_ += dropped;
+  return dropped;
+}
+
 void BufferedSsd::flush_all(SimTime now) {
   while (!entries_.empty()) {
     auto it = entries_.find(fifo_.front());

@@ -32,6 +32,12 @@ class BufferedSsd {
   /// Flushes everything to the device (shutdown / barrier).
   void flush_all(SimTime now);
 
+  /// Power-cut path: everything still buffered vanishes without reaching
+  /// flash. The host already saw those writes complete at DRAM latency, so
+  /// the loss is counted into dropped_flush_sectors(). Returns the sectors
+  /// dropped by this call.
+  std::uint64_t drop_all();
+
   // --- Introspection ---------------------------------------------------------
   [[nodiscard]] std::uint64_t buffered_sectors() const { return held_; }
   [[nodiscard]] std::uint64_t write_hits() const { return write_hits_; }

@@ -1,0 +1,70 @@
+// Periodic checkpoint journal (DESIGN.md §7).
+//
+// Every `interval_requests` accepted writes, the Checkpointer serializes
+// mapping state — a full snapshot every `snapshot_every`-th entry, the
+// dirtied entries (scheme tables + GTD) otherwise — splits the bytes into
+// page-sized chunks, and programs them through the normal map-stream write
+// path (owner kCkpt, OpKind::kCkptWrite), so journal traffic competes for
+// the same flash the host uses and is priced by the same timeline. The
+// array's MountRoot is repointed only after a journal entry is completely
+// programmed: a power cut mid-entry leaves the previous complete chain in
+// force and the partial chunks as orphans for reconciliation to reap.
+//
+// Recovery (ssd/recovery.h) consumes the chain: restore snapshot, apply
+// deltas in order, then replay only OOB records newer than `journal_seq`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "ssd/config.h"
+#include "ssd/recovery.h"
+
+namespace af::ssd {
+
+class Engine;
+
+class Checkpointer {
+ public:
+  struct Counters {
+    std::uint64_t journal_writes = 0;
+    std::uint64_t snapshots = 0;
+    std::uint64_t deltas = 0;
+    std::uint64_t pages_written = 0;
+  };
+
+  /// Enables journaling on the scheme and the GTD; registers for GC
+  /// relocation callbacks of checkpoint pages. The scheme must already have
+  /// called init_map_space on this engine.
+  Checkpointer(Engine& engine, RecoverableMapping& scheme,
+               SsdConfig::CheckpointPolicy policy);
+  ~Checkpointer();
+
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Counts one accepted write request; when the interval elapses, writes a
+  /// journal entry whose programs ride the device timeline behind `now`
+  /// (background work, like GC — request latency is not extended).
+  void note_write(SimTime now);
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  void write_journal(SimTime now, bool snapshot);
+  void on_ckpt_moved(Ppn from, Ppn to);
+
+  Engine& engine_;
+  RecoverableMapping& scheme_;
+  SsdConfig::CheckpointPolicy policy_;
+  std::uint64_t since_last_ = 0;
+  std::uint64_t entries_ = 0;
+  std::uint64_t next_chunk_id_ = 0;
+  /// Chunk list of the entry being programmed right now: GC can relocate an
+  /// earlier chunk while a later one's program triggers a pass.
+  std::vector<Ppn>* pending_ = nullptr;
+  Counters counters_;
+};
+
+}  // namespace af::ssd

@@ -49,6 +49,22 @@ struct SsdConfig {
   /// trigger + reserve + this margin (writes would otherwise wedge GC).
   std::uint32_t degrade_margin_blocks = 2;
 
+  /// Crash-consistency checkpoint journal (DESIGN.md §7). Off by default:
+  /// `interval_requests == 0` writes no journal and tracks no dirty state,
+  /// keeping the no-crash path bit-identical to the PR 2 baseline; recovery
+  /// then falls back to a full OOB scan.
+  struct CheckpointPolicy {
+    /// Write a journal entry every this many accepted write requests (0 =
+    /// journaling off).
+    std::uint64_t interval_requests = 0;
+    /// Every Nth journal entry is a full mapping snapshot; the entries in
+    /// between are deltas (dirty entries only).
+    std::uint32_t snapshot_every = 8;
+
+    [[nodiscard]] bool enabled() const { return interval_requests > 0; }
+  };
+  CheckpointPolicy checkpoint;
+
   /// Across-FTL design-choice toggles (ablation knobs; DESIGN.md §ablations).
   struct AcrossPolicy {
     /// Remap across-page writes at all; false degrades to baseline servicing

@@ -7,20 +7,42 @@
 namespace af::ssd {
 
 Engine::Engine(const SsdConfig& config)
+    : Engine(config,
+             nand::FlashArray(config.geometry, config.track_payload,
+                              config.faults),
+             /*adopted=*/false) {}
+
+Engine::Engine(const SsdConfig& config, nand::FlashArray image)
+    : Engine(config, std::move(image), /*adopted=*/true) {}
+
+Engine::Engine(const SsdConfig& config, nand::FlashArray image, bool adopted)
     : config_(config),
-      array_(config.geometry, config.track_payload, config.faults),
+      array_(std::move(image)),
       timeline_(config.geometry, config.timing) {
+  AF_CHECK_MSG(array_.geometry().total_pages() ==
+                       config_.geometry.total_pages() &&
+                   array_.geometry().page_bytes == config_.geometry.page_bytes,
+               "mounted flash image does not match the configured geometry");
   const auto planes = config_.geometry.total_planes();
   planes_.resize(planes);
-  for (auto& plane : planes_) {
+  for (std::uint64_t p = 0; p < planes; ++p) {
+    PlaneState& plane = planes_[p];
     plane.free_blocks.reserve(config_.geometry.blocks_per_plane);
-    // Pop from the back; seed in reverse so block 0 is used first.
+    // Pop from the back; seed in reverse so the lowest free block is used
+    // first. On a fresh array every block qualifies; on a mounted image only
+    // untouched, unretired blocks do — partially-written ones have lost
+    // their stream identity and re-enter service through GC.
     for (std::uint32_t b = config_.geometry.blocks_per_plane; b-- > 0;) {
-      plane.free_blocks.push_back(b);
+      const std::uint64_t flat = p * config_.geometry.blocks_per_plane + b;
+      const nand::BlockInfo& info = array_.block(flat);
+      if (info.retired) {
+        ++plane.retired;
+      } else if (info.written == 0) {
+        plane.free_blocks.push_back(b);
+      }
     }
     plane.active.fill(kNoBlock);
     plane.gc_victim = kNoBlock;
-    plane.retired = 0;
   }
   page_weight_.assign(config_.geometry.total_pages(), 0);
   cached_weight_.assign(planes * config_.geometry.blocks_per_plane, 0);
@@ -33,6 +55,16 @@ Engine::Engine(const SsdConfig& config)
   AF_CHECK_MSG(gc_trigger_blocks() + 2 + config_.gc_reserve_blocks <
                    config_.geometry.blocks_per_plane,
                "GC threshold leaves no usable capacity");
+  if (adopted) {
+    // Re-derive the degradation verdict the crashed device had reached.
+    const std::uint32_t floor = gc_trigger_blocks() + config_.gc_reserve_blocks +
+                                config_.degrade_margin_blocks;
+    for (std::uint64_t p = 0; p < planes; ++p) {
+      if (config_.geometry.blocks_per_plane - planes_[p].retired < floor) {
+        read_only_ = true;
+      }
+    }
+  }
 }
 
 Engine::~Engine() = default;
@@ -42,12 +74,14 @@ Engine::~Engine() = default;
 SimTime Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
   AF_CHECK_MSG(array_.state(ppn) == nand::PageState::kValid,
                "flash read of non-valid page");
+  array_.count_read();  // power-cut op accounting (may throw PowerLoss)
   stats_.count_flash_op(kind);
   SimTime done = timeline_.schedule_read(config_.geometry.decode(ppn), ready);
   // Transient read failures recover through read-retry: re-sense the same
   // page (tuned reference voltages); each retry costs a full read on the
   // page's chip and channel.
   for (std::uint32_t r = array_.faults().read_retries(); r > 0; --r) {
+    array_.count_read();
     stats_.count_flash_op(kind);
     ++stats_.faults().read_retries;
     done = timeline_.schedule_read(config_.geometry.decode(ppn), done);
@@ -55,15 +89,21 @@ SimTime Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
   return done;
 }
 
+SimTime Engine::mount_read(Ppn ppn, SimTime ready) {
+  stats_.count_flash_op(OpKind::kMountRead);
+  return timeline_.schedule_read(config_.geometry.decode(ppn), ready);
+}
+
 Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
                                       nand::PageOwner owner, OpKind kind,
-                                      SimTime ready) {
+                                      SimTime ready,
+                                      const nand::OobExtra* oob) {
   const std::uint32_t attempts =
       1 + std::max(1u, config_.faults.max_program_retries);
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (!plane_has_space(plane, stream)) plane = pick_plane(stream);
     const Ppn ppn = take_frontier(plane, stream);
-    const bool ok = array_.program(ppn, owner);
+    const bool ok = array_.program(ppn, owner, oob);
     stats_.count_flash_op(kind);
     if (kind == OpKind::kDataWrite && current_class_) {
       stats_.count_class_flush(*current_class_);
@@ -98,9 +138,19 @@ Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
 }
 
 Engine::Programmed Engine::flash_program(Stream stream, nand::PageOwner owner,
-                                         OpKind kind, SimTime ready) {
+                                         OpKind kind, SimTime ready,
+                                         const nand::OobExtra* oob,
+                                         const std::vector<std::uint64_t>* stamps) {
   const Programmed programmed =
-      program_on(pick_plane(stream), stream, owner, kind, ready);
+      program_on(pick_plane(stream), stream, owner, kind, ready, oob);
+  // Payload lands with the program: the GC pass below can be interrupted by
+  // power-cut injection, and a completed program must never be recovered
+  // without its data.
+  if (stamps != nullptr) {
+    for (std::uint32_t s = 0; s < stamps->size(); ++s) {
+      array_.set_stamp(programmed.ppn, s, (*stamps)[s]);
+    }
+  }
   // Reallocation can spill planes, so trigger GC where the data landed.
   const std::uint64_t plane = config_.geometry.plane_of(programmed.ppn);
 
@@ -378,6 +428,22 @@ std::uint32_t Engine::pick_victim_scan(std::uint64_t plane) const {
   return best;
 }
 
+void Engine::rebuild_victim_state() {
+  std::fill(page_weight_.begin(), page_weight_.end(), std::uint16_t{0});
+  std::fill(cached_weight_.begin(), cached_weight_.end(), std::uint32_t{0});
+  for (std::uint64_t p = 0; p < config_.geometry.total_pages(); ++p) {
+    const Ppn ppn{p};
+    if (array_.state(ppn) != nand::PageState::kValid) continue;
+    const std::uint32_t w =
+        victim_weight_ ? victim_weight_(ppn) : kFullPageWeight;
+    page_weight_[p] = static_cast<std::uint16_t>(w);
+    cached_weight_[config_.geometry.block_of(ppn)] += w;
+  }
+  for (std::uint64_t plane = 0; plane < planes_.size(); ++plane) {
+    rebuild_victim_heap(plane);
+  }
+}
+
 void Engine::verify_victim_accounting() const {
   const auto& geom = config_.geometry;
   const std::uint64_t blocks = geom.total_planes() * geom.blocks_per_plane;
@@ -438,6 +504,15 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
         AF_CHECK(map_ != nullptr);
         map_->on_relocated(owner.id, moved.ppn);
         invalidate(live);
+      } else if (owner.kind == nand::PageOwner::Kind::kCkpt) {
+        // Checkpoint-journal pages are engine-owned too: copy the serialized
+        // chunk and let the journal repoint its root at the new location.
+        clock = flash_read(live, OpKind::kGcRead, clock);
+        auto moved = gc_program(plane, owner, clock);
+        clock = moved.done;
+        array_.move_ckpt_blob(live, moved.ppn);
+        if (ckpt_moved_) ckpt_moved_(live, moved.ppn);
+        invalidate(live);
       } else {
         relocator_(live, owner, clock);
       }
@@ -446,6 +521,12 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
     if (array_.block(flat).valid_pages > 0) break;  // budget ran out mid-victim
     AF_CHECK_MSG(cached_weight_[flat] == 0,
                  "drained victim still carries cached live weight");
+
+    // Crash-safe GC: with a power cut armed, chunks staged off this victim
+    // must be durable before its erase destroys their OOB records (real
+    // controllers hold the erase for the same reason). Without a cut armed
+    // the end-of-pass flush keeps the cheaper cross-victim packing.
+    if (gc_flush_ && array_.power_cut_armed()) gc_flush_(plane, clock);
 
     clock = timeline_.schedule_erase(
         config_.geometry.decode(Ppn{flat * config_.geometry.pages_per_block}),
@@ -469,14 +550,15 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
 }
 
 Engine::Programmed Engine::gc_program(std::uint64_t plane,
-                                      nand::PageOwner owner, SimTime ready) {
+                                      nand::PageOwner owner, SimTime ready,
+                                      const nand::OobExtra* oob) {
   AF_CHECK_MSG(in_gc_, "gc_program outside GC");
   std::uint64_t target = plane;
   if (!plane_has_space(target, Stream::kGc)) {
     // Reserve exhausted in this plane (pathological); spill anywhere.
     target = pick_plane(Stream::kGc);
   }
-  return program_on(target, Stream::kGc, owner, OpKind::kGcWrite, ready);
+  return program_on(target, Stream::kGc, owner, OpKind::kGcWrite, ready, oob);
 }
 
 void Engine::note_retirement(std::uint64_t plane) {

@@ -30,6 +30,12 @@ constexpr std::size_t kStreamCount =
 class Engine final : private MapIo {
  public:
   explicit Engine(const SsdConfig& config);
+  /// Mount path: adopts a flash image that survived power loss. Free lists,
+  /// retirement counts and the read-only floor are rebuilt from the image;
+  /// active blocks start empty (partially-written blocks become GC
+  /// candidates), and the victim-weight caches stay zero until Recovery has
+  /// re-derived page liveness and calls rebuild_victim_state().
+  Engine(const SsdConfig& config, nand::FlashArray image);
   ~Engine() override;
 
   Engine(const Engine&) = delete;
@@ -45,11 +51,18 @@ class Engine final : private MapIo {
     SimTime done = 0;
   };
 
-  /// Allocates the next page of `stream` (running GC first if the target
-  /// plane is low on free blocks), programs it, and returns its address and
-  /// completion time.
-  [[nodiscard]] Programmed flash_program(Stream stream, nand::PageOwner owner,
-                                         OpKind kind, SimTime ready);
+  /// Allocates the next page of `stream`, programs it, and returns its
+  /// address and completion time (threshold GC may run behind the program).
+  /// `oob` carries the spare-area mapping payload for across/packed pages;
+  /// plain data/map/ckpt pages derive theirs from the owner alone. `stamps`
+  /// is the page's payload (slots [0, stamps->size())), written atomically
+  /// with the program — on real flash data and spare land in one operation,
+  /// so under power-cut injection a completed program must never be
+  /// separable from its payload.
+  [[nodiscard]] Programmed flash_program(
+      Stream stream, nand::PageOwner owner, OpKind kind, SimTime ready,
+      const nand::OobExtra* oob = nullptr,
+      const std::vector<std::uint64_t>* stamps = nullptr);
 
   /// Marks a page stale. No timing cost: invalidation is a metadata action.
   void invalidate(Ppn ppn);
@@ -112,7 +125,13 @@ class Engine final : private MapIo {
   /// Program dedicated to relocation: writes into the GC stream of the
   /// victim's plane.
   [[nodiscard]] Programmed gc_program(std::uint64_t plane,
-                                      nand::PageOwner owner, SimTime ready);
+                                      nand::PageOwner owner, SimTime ready,
+                                      const nand::OobExtra* oob = nullptr);
+
+  /// Notification that GC moved a checkpoint-journal page, so the journal
+  /// owner (ssd::Checkpointer) can repoint the mount root at the new copy.
+  using CkptMoved = std::function<void(Ppn from, Ppn to)>;
+  void set_ckpt_moved(CkptMoved moved) { ckpt_moved_ = std::move(moved); }
 
   // --- Payload stamps (oracle) ----------------------------------------------
 
@@ -134,7 +153,26 @@ class Engine final : private MapIo {
   [[nodiscard]] DeviceStats& stats() { return stats_; }
   [[nodiscard]] const DeviceStats& stats() const { return stats_; }
   [[nodiscard]] const MapDirectory* map_directory() const { return map_.get(); }
+  /// Mutable directory access for the checkpoint/recovery machinery (GTD
+  /// serialization and mount-time restore).
+  [[nodiscard]] MapDirectory* map_directory_mut() { return map_.get(); }
   [[nodiscard]] ResourceTimeline& timeline() { return timeline_; }
+
+  // --- Mount/recovery support -----------------------------------------------
+
+  /// Spare-area scan read during mount: charges one flash read (OOB reads
+  /// ride the page-read latency here) without the valid-page assertion —
+  /// recovery reads invalid and torn pages too.
+  [[nodiscard]] SimTime mount_read(Ppn ppn, SimTime ready);
+
+  /// Surrenders the flash image (e.g. after a power cut, to hand it to a
+  /// freshly mounted engine). The engine must not be used afterwards.
+  [[nodiscard]] nand::FlashArray release_array() { return std::move(array_); }
+
+  /// Recomputes per-page/per-block live-weight caches from the array and the
+  /// installed victim-weight oracle, then rebuilds every plane's victim
+  /// heap. Recovery calls this once the scheme's tables are back.
+  void rebuild_victim_state();
 
   /// Free blocks currently available in a plane (excluding active blocks).
   [[nodiscard]] std::uint64_t free_blocks(std::uint64_t plane) const;
@@ -237,7 +275,11 @@ class Engine final : private MapIo {
   /// runs dry. Shared by host/map programs and GC migrations.
   [[nodiscard]] Programmed program_on(std::uint64_t plane, Stream stream,
                                       nand::PageOwner owner, OpKind kind,
-                                      SimTime ready);
+                                      SimTime ready, const nand::OobExtra* oob);
+
+  /// Shared body of the two constructors; `adopted` distinguishes a fresh
+  /// array from a crash-survivor image.
+  Engine(const SsdConfig& config, nand::FlashArray image, bool adopted);
 
   /// Spare-capacity bookkeeping after a block retirement in `plane`; drops
   /// the device to read-only mode when the plane's usable blocks fall below
@@ -288,6 +330,7 @@ class Engine final : private MapIo {
   std::uint64_t rr_plane_ = 0;
   Relocator relocator_;
   GcFlush gc_flush_;
+  CkptMoved ckpt_moved_;
   VictimWeight victim_weight_;
   bool in_gc_ = false;
   bool read_only_ = false;

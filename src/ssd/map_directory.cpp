@@ -1,5 +1,8 @@
 #include "ssd/map_directory.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
 
 namespace af::ssd {
@@ -69,6 +72,7 @@ SimTime MapDirectory::evict_one(SimTime ready) {
       io_.map_flash_invalidate(flash_loc_[victim]);
     }
     flash_loc_[victim] = ppn;
+    note_gtd_change(victim);
     ready = done;
   }
   return ready;
@@ -77,11 +81,39 @@ SimTime MapDirectory::evict_one(SimTime ready) {
 void MapDirectory::on_relocated(std::uint64_t map_page, Ppn new_ppn) {
   AF_CHECK(map_page < num_map_pages_);
   flash_loc_[map_page] = new_ppn;
+  note_gtd_change(map_page);
 }
 
 Ppn MapDirectory::flash_location(std::uint64_t map_page) const {
   AF_CHECK(map_page < num_map_pages_);
   return flash_loc_[map_page];
+}
+
+std::vector<std::uint64_t> MapDirectory::drain_dirty_gtd() {
+  std::sort(dirty_gtd_.begin(), dirty_gtd_.end());
+  dirty_gtd_.erase(std::unique(dirty_gtd_.begin(), dirty_gtd_.end()),
+                   dirty_gtd_.end());
+  return std::exchange(dirty_gtd_, {});
+}
+
+void MapDirectory::serialize_gtd(ByteSink& sink) const {
+  std::uint64_t count = 0;
+  for_each_flash_location([&](std::uint64_t, Ppn) { ++count; });
+  sink.u64(count);
+  for_each_flash_location([&](std::uint64_t map_page, Ppn ppn) {
+    sink.u64(map_page);
+    sink.u64(ppn.get());
+  });
+}
+
+void MapDirectory::recover_set_location(std::uint64_t map_page, Ppn ppn) {
+  AF_CHECK(map_page < num_map_pages_);
+  flash_loc_[map_page] = ppn;
+  if (!touched_[map_page]) {
+    touched_[map_page] = true;
+    ++touched_count_;
+  }
+  note_gtd_change(map_page);
 }
 
 }  // namespace af::ssd

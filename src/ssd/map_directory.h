@@ -16,6 +16,7 @@
 
 #include "common/types.h"
 #include "nand/flash_array.h"
+#include "ssd/serialize.h"
 
 namespace af::ssd {
 
@@ -60,6 +61,31 @@ class MapDirectory {
   [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
   [[nodiscard]] std::uint64_t cached_pages() const { return lru_.size(); }
   [[nodiscard]] std::uint64_t capacity_pages() const { return cache_pages_; }
+  [[nodiscard]] std::uint64_t num_map_pages() const { return num_map_pages_; }
+
+  // --- Crash consistency ----------------------------------------------------
+
+  /// With journaling on, GTD changes (dirty-eviction write-backs, GC
+  /// relocations) are tracked so checkpoint deltas can persist them —
+  /// without this, a checkpoint's GTD would go stale the moment GC moved a
+  /// translation page whose move predates the next snapshot.
+  void enable_journal(bool on) { journal_ = on; }
+  /// Map-page ids whose GTD entry changed since the last drain, sorted and
+  /// deduplicated; clears the set.
+  [[nodiscard]] std::vector<std::uint64_t> drain_dirty_gtd();
+  /// Serializes every valid GTD entry (snapshot payload).
+  void serialize_gtd(ByteSink& sink) const;
+  /// Mount-time restore of one GTD entry (checkpoint replay and kMap OOB
+  /// claims; later calls win, matching seq order).
+  void recover_set_location(std::uint64_t map_page, Ppn ppn);
+  /// Walks valid GTD entries: `fn(map_page, ppn)`. Reconciliation uses this
+  /// to enumerate the translation pages the recovered state references.
+  template <typename Fn>
+  void for_each_flash_location(Fn&& fn) const {
+    for (std::uint64_t p = 0; p < num_map_pages_; ++p) {
+      if (flash_loc_[p].valid()) fn(p, flash_loc_[p]);
+    }
+  }
 
  private:
   struct CacheEntry {
@@ -68,6 +94,9 @@ class MapDirectory {
   };
 
   [[nodiscard]] SimTime evict_one(SimTime ready);
+  void note_gtd_change(std::uint64_t map_page) {
+    if (journal_) dirty_gtd_.push_back(map_page);
+  }
 
   MapIo& io_;
   std::uint64_t num_map_pages_;
@@ -80,6 +109,8 @@ class MapDirectory {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  bool journal_ = false;
+  std::vector<std::uint64_t> dirty_gtd_;
 };
 
 }  // namespace af::ssd

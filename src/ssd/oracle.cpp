@@ -20,4 +20,10 @@ std::uint64_t Oracle::expected(SectorAddr sector) const {
   return shadow_[static_cast<std::size_t>(sector)];
 }
 
+void Oracle::force(SectorAddr sector, std::uint64_t stamp) {
+  AF_CHECK(sector < shadow_.size());
+  AF_CHECK_MSG(stamp < next_stamp_, "forced stamp was never issued");
+  shadow_[static_cast<std::size_t>(sector)] = stamp;
+}
+
 }  // namespace af::ssd

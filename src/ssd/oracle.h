@@ -24,6 +24,12 @@ class Oracle {
   /// The stamp the most recent write left on this sector; 0 = never written.
   [[nodiscard]] std::uint64_t expected(SectorAddr sector) const;
 
+  /// Recovery fixup: pins a sector back to a previously issued stamp. A
+  /// power cut may legitimately lose the one in-flight (never-acknowledged)
+  /// request; after verifying the device serves the pre-request data, the
+  /// harness re-aligns the shadow with what flash actually holds.
+  void force(SectorAddr sector, std::uint64_t stamp);
+
   [[nodiscard]] std::uint64_t logical_sectors() const {
     return static_cast<std::uint64_t>(shadow_.size());
   }

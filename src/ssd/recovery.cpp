@@ -1,0 +1,183 @@
+#include "ssd/recovery.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "ssd/engine.h"
+
+namespace af::ssd {
+
+RecoveryReport Recovery::mount(Engine& engine, RecoverableMapping& scheme) {
+  RecoveryReport report;
+  nand::FlashArray& array = engine.array();
+  const nand::Geometry& geom = array.geometry();
+  MapDirectory* dir = engine.map_directory_mut();
+  AF_CHECK_MSG(dir != nullptr, "Recovery::mount before init_map_space");
+  SimTime clock = 0;
+
+  // --- 1. Checkpoint chain --------------------------------------------------
+  std::uint64_t journal_seq = 0;
+  {
+    // Copy: restoring the GTD below touches the directory, never the root,
+    // but keep the loop independent of live root mutation anyway.
+    const nand::MountRoot root = array.mount_root();
+    if (root.valid) {
+      report.used_checkpoint = true;
+      report.checkpoint_seq = root.journal_seq;
+      journal_seq = root.journal_seq;
+
+      const auto read_entry = [&](const std::vector<Ppn>& pages) {
+        std::vector<std::uint8_t> bytes;
+        for (const Ppn ppn : pages) {
+          clock = engine.mount_read(ppn, clock);
+          ++report.checkpoint_pages_read;
+          const std::vector<std::uint8_t>* blob = array.ckpt_blob(ppn);
+          AF_CHECK_MSG(blob != nullptr, "checkpoint page lost its payload");
+          bytes.insert(bytes.end(), blob->begin(), blob->end());
+        }
+        return bytes;
+      };
+      const auto restore_gtd = [&](ByteSource& src) {
+        const std::uint64_t n = src.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const std::uint64_t map_page = src.u64();
+          dir->recover_set_location(map_page, Ppn{src.u64()});
+        }
+      };
+
+      {
+        const std::vector<std::uint8_t> bytes = read_entry(root.snapshot_pages);
+        ByteSource src(bytes);
+        scheme.deserialize_mapping(src);
+        restore_gtd(src);
+        AF_CHECK_MSG(src.done(), "snapshot payload has trailing bytes");
+      }
+      for (const std::vector<Ppn>& delta : root.delta_pages) {
+        const std::vector<std::uint8_t> bytes = read_entry(delta);
+        ByteSource src(bytes);
+        scheme.apply_delta(src);
+        restore_gtd(src);
+        AF_CHECK_MSG(src.done(), "delta payload has trailing bytes");
+      }
+    }
+  }
+
+  // --- 2. Bounded OOB scan --------------------------------------------------
+  struct Claim {
+    std::uint64_t seq = 0;
+    Ppn ppn;
+  };
+  std::vector<Claim> claims;
+  for (std::uint64_t flat = 0; flat < geom.total_blocks(); ++flat) {
+    const nand::BlockInfo& info = array.block(flat);
+    if (info.retired || info.written == 0) continue;
+    if (info.max_seq <= journal_seq) {
+      ++report.blocks_skipped;
+      continue;
+    }
+    ++report.blocks_scanned;
+    const std::uint64_t first = flat * geom.pages_per_block;
+    for (std::uint32_t p = 0; p < info.written; ++p) {
+      const Ppn ppn{first + p};
+      clock = engine.mount_read(ppn, clock);
+      ++report.pages_scanned;
+      const nand::OobRecord& oob = array.oob(ppn);
+      AF_CHECK_MSG(oob.written(), "programmed page without an OOB record");
+      if (oob.seq <= journal_seq) continue;  // covered by the checkpoint
+      if (oob.torn) {
+        ++report.torn_pages;
+        continue;
+      }
+      claims.push_back({oob.seq, ppn});
+    }
+  }
+  std::sort(claims.begin(), claims.end(),
+            [](const Claim& a, const Claim& b) { return a.seq < b.seq; });
+
+  // --- 3. Replay claims, oldest first ---------------------------------------
+  // Later claims overwrite earlier ones exactly as the pre-crash execution
+  // did (every remap programmed the new copy before dropping the old).
+  for (const Claim& claim : claims) {
+    const nand::OobRecord& oob = array.oob(claim.ppn);
+    switch (oob.owner.kind) {
+      case nand::PageOwner::Kind::kMap:
+        dir->recover_set_location(oob.owner.id, claim.ppn);
+        break;
+      case nand::PageOwner::Kind::kCkpt:
+        // Journal chunks are referenced through the mount root, not claimed;
+        // chunks of an incomplete entry are orphans and die in step 4.
+        break;
+      case nand::PageOwner::Kind::kNone:
+        AF_CHECK_MSG(false, "written page with no owner");
+        break;
+      default:
+        scheme.recover_claim(oob, claim.ppn);
+        break;
+    }
+    ++report.claims_applied;
+  }
+  scheme.recover_finalize();
+
+  // --- 4. Reconciliation ----------------------------------------------------
+  // Flash validity is RAM-fiction: invalidations never hit the medium, so
+  // re-derive page validity from what the recovered tables reference.
+  // Ordered map: iteration order feeds determinism-sensitive counters.
+  std::map<std::uint64_t, nand::PageOwner> referenced;
+  const auto add_ref = [&](Ppn ppn, nand::PageOwner owner) {
+    const auto [it, inserted] = referenced.emplace(ppn.get(), owner);
+    (void)it;
+    AF_CHECK_MSG(inserted, "two recovered mapping entries claim one page");
+  };
+  scheme.recover_enumerate(add_ref);
+  dir->for_each_flash_location([&](std::uint64_t map_page, Ppn ppn) {
+    add_ref(ppn, nand::PageOwner::map(map_page));
+  });
+  {
+    const nand::MountRoot& root = array.mount_root();
+    if (root.valid) {
+      for (const Ppn ppn : root.snapshot_pages) {
+        add_ref(ppn, array.oob(ppn).owner);
+      }
+      for (const std::vector<Ppn>& delta : root.delta_pages) {
+        for (const Ppn ppn : delta) add_ref(ppn, array.oob(ppn).owner);
+      }
+    }
+  }
+  for (std::uint64_t raw = 0; raw < geom.total_pages(); ++raw) {
+    const Ppn ppn{raw};
+    const auto it = referenced.find(raw);
+    switch (array.state(ppn)) {
+      case nand::PageState::kValid:
+        if (it == referenced.end()) {
+          array.recover_invalidate(ppn);
+          ++report.orphans_invalidated;
+        } else {
+          AF_CHECK_MSG(array.owner(ppn) == it->second,
+                       "recovered owner disagrees with the page's OOB owner");
+        }
+        break;
+      case nand::PageState::kInvalid:
+        if (it != referenced.end()) {
+          array.recover_revive(ppn, it->second);
+          ++report.pages_revived;
+        }
+        break;
+      case nand::PageState::kFree:
+      case nand::PageState::kRetired:
+        AF_CHECK_MSG(it == referenced.end(),
+                     "recovered mapping references a free/retired page");
+        break;
+    }
+  }
+
+  // --- 5. GC victim state ---------------------------------------------------
+  engine.rebuild_victim_state();
+
+  report.flash_reads = report.checkpoint_pages_read + report.pages_scanned;
+  report.mount_time_ns = clock;
+  return report;
+}
+
+}  // namespace af::ssd

@@ -10,6 +10,8 @@ const char* to_string(OpKind kind) {
     case OpKind::kMapWrite: return "map-write";
     case OpKind::kGcRead: return "gc-read";
     case OpKind::kGcWrite: return "gc-write";
+    case OpKind::kCkptWrite: return "ckpt-write";
+    case OpKind::kMountRead: return "mount-read";
     case OpKind::kKindCount: break;
   }
   return "?";

@@ -20,6 +20,8 @@ enum class OpKind : std::uint8_t {
   kMapWrite,
   kGcRead,
   kGcWrite,
+  kCkptWrite,  // checkpoint-journal page programs (crash consistency)
+  kMountRead,  // spare-area scan reads during mount-time recovery
   kKindCount
 };
 
@@ -91,11 +93,11 @@ class DeviceStats {
   }
   [[nodiscard]] std::uint64_t flash_reads() const {
     return flash_ops(OpKind::kDataRead) + flash_ops(OpKind::kMapRead) +
-           flash_ops(OpKind::kGcRead);
+           flash_ops(OpKind::kGcRead) + flash_ops(OpKind::kMountRead);
   }
   [[nodiscard]] std::uint64_t flash_writes() const {
     return flash_ops(OpKind::kDataWrite) + flash_ops(OpKind::kMapWrite) +
-           flash_ops(OpKind::kGcWrite);
+           flash_ops(OpKind::kGcWrite) + flash_ops(OpKind::kCkptWrite);
   }
 
   void count_erase() { ++erases_; }

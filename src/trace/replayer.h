@@ -3,12 +3,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "ftl/scheme.h"
 #include "nand/flash_array.h"
 #include "ssd/config.h"
 #include "ssd/engine.h"
+#include "ssd/recovery.h"
 #include "ssd/stats.h"
 #include "trace/event.h"
 
@@ -19,6 +21,9 @@ struct ReplayOptions {
   double age_used = 0.90;  // §4.1: 90% of capacity consumed before measuring
   double age_live = 0.398;  // §4.1: valid data occupies 39.8% after warm-up
   std::uint64_t age_seed = 42;
+  /// Crash-harness hook: invoked right after a power-cut mount completes,
+  /// before the post-recovery verification sweep.
+  std::function<void(const ssd::RecoveryReport&)> on_recovery;
 };
 
 struct ReplayResult {
@@ -45,5 +50,42 @@ struct ReplayResult {
 [[nodiscard]] ReplayResult replay(const ssd::SsdConfig& config,
                                   ftl::SchemeKind kind, const Trace& trace,
                                   const ReplayOptions& options = {});
+
+/// One scheduled sudden power-off for replay_with_power_cut.
+struct PowerCutSpec {
+  /// 1-based flash-op index, counted from the start of the measured replay
+  /// (aging is never interrupted), at which power dies. 0 = sample one
+  /// uniformly from `seed` over the run's op horizon, at the cost of one
+  /// extra dry replay to measure that horizon.
+  std::uint64_t at_op = 0;
+  std::uint64_t seed = 1;
+};
+
+struct CrashReplayResult {
+  /// False when the cut point lay beyond the run's op horizon — the replay
+  /// completed normally and no recovery happened.
+  bool crashed = false;
+  std::uint64_t cut_at_op = 0;   // resolved cut point (post seed-sampling)
+  std::uint64_t total_ops = 0;   // flash ops the measured phase issued
+  std::size_t crash_event = 0;   // trace index of the interrupted request
+  ssd::RecoveryReport recovery;  // what the mount cost and found
+  /// Sectors checked by the post-mount oracle sweep (every logical sector,
+  /// with only the interrupted request's range tolerating the pre-crash
+  /// version).
+  std::uint64_t verified_sectors = 0;
+  /// Final stats, measured over the post-recovery continuation replay (or
+  /// the whole run when the cut never fired).
+  ReplayResult result;
+};
+
+/// Crash-point harness: replays `trace`, kills the device at the spec'd
+/// flash op, mounts the surviving image (checkpoint chain + OOB scan),
+/// verifies every logical sector against the acknowledged-write oracle and
+/// finishes the trace on the recovered device. Aborts on any post-recovery
+/// divergence. Deterministic in (config, trace, spec). Requires
+/// config.track_payload.
+[[nodiscard]] CrashReplayResult replay_with_power_cut(
+    const ssd::SsdConfig& config, ftl::SchemeKind kind, const Trace& trace,
+    const PowerCutSpec& spec, const ReplayOptions& options = {});
 
 }  // namespace af::trace

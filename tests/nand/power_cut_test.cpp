@@ -1,0 +1,145 @@
+// Power-cut injection semantics (nand/power.h): exact-op determinism, torn
+// pages on interrupted programs, erase atomicity, and the OOB records that
+// mount-time recovery replays.
+#include <gtest/gtest.h>
+
+#include "nand/flash_array.h"
+#include "nand/power.h"
+
+namespace af::nand {
+namespace {
+
+Geometry tiny_geom() {
+  Geometry g;
+  g.channels = 1;
+  g.chips_per_channel = 1;
+  g.dies_per_chip = 1;
+  g.planes_per_die = 2;
+  g.blocks_per_plane = 4;
+  g.pages_per_block = 4;
+  g.page_bytes = 8192;
+  return g;
+}
+
+TEST(PowerCut, ProgramCutTearsPageAndThrows) {
+  FlashArray array(tiny_geom());
+  array.arm_power_cut({/*at_op=*/2, /*seed=*/0});
+
+  ASSERT_TRUE(array.program(Ppn{0}, PageOwner::data(Lpn{5})));
+  EXPECT_THROW((void)array.program(Ppn{1}, PageOwner::data(Lpn{6})),
+               PowerLoss);
+
+  // The interrupted page consumed its program cycle but holds nothing.
+  EXPECT_EQ(array.state(Ppn{1}), PageState::kInvalid);
+  EXPECT_TRUE(array.oob(Ppn{1}).torn);
+  EXPECT_TRUE(array.oob(Ppn{1}).written());
+  EXPECT_EQ(array.block(0).written, 2u);
+  // The page programmed before the cut is untouched and claimable.
+  EXPECT_EQ(array.state(Ppn{0}), PageState::kValid);
+  EXPECT_FALSE(array.oob(Ppn{0}).torn);
+  EXPECT_EQ(array.oob(Ppn{0}).owner, PageOwner::data(Lpn{5}));
+}
+
+TEST(PowerCut, EraseCutIsAtomic) {
+  FlashArray array(tiny_geom());
+  for (std::uint64_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(array.program(Ppn{p}, PageOwner::data(Lpn{p})));
+    array.invalidate(Ppn{p});
+  }
+  array.arm_power_cut({/*at_op=*/1, /*seed=*/0});
+  EXPECT_THROW((void)array.erase_block(0), PowerLoss);
+
+  // Nothing changed: pages still invalid, OOB still in place, no erase
+  // counted.
+  EXPECT_EQ(array.state(Ppn{0}), PageState::kInvalid);
+  EXPECT_TRUE(array.oob(Ppn{0}).written());
+  EXPECT_EQ(array.block(0).erase_count, 0u);
+  EXPECT_EQ(array.counters().erases, 0u);
+}
+
+TEST(PowerCut, ReadCutChangesNothing) {
+  FlashArray array(tiny_geom());
+  ASSERT_TRUE(array.program(Ppn{0}, PageOwner::data(Lpn{0})));
+  array.arm_power_cut({/*at_op=*/1, /*seed=*/0});
+  EXPECT_THROW(array.count_read(), PowerLoss);
+  EXPECT_EQ(array.state(Ppn{0}), PageState::kValid);
+}
+
+TEST(PowerCut, DisarmedPlanStillCountsOps) {
+  FlashArray array(tiny_geom());
+  array.arm_power_cut(PowerCutPlan{});  // at_op = 0: counting only
+  ASSERT_TRUE(array.program(Ppn{0}, PageOwner::data(Lpn{0})));
+  array.count_read();
+  array.invalidate(Ppn{0});  // metadata action, not a physical op
+  EXPECT_EQ(array.ops_since_arm(), 2u);
+}
+
+TEST(PowerCut, ArmRestartsTheOpCounter) {
+  FlashArray array(tiny_geom());
+  array.arm_power_cut(PowerCutPlan{});
+  ASSERT_TRUE(array.program(Ppn{0}, PageOwner::data(Lpn{0})));
+  ASSERT_TRUE(array.program(Ppn{1}, PageOwner::data(Lpn{1})));
+  array.arm_power_cut({/*at_op=*/1, /*seed=*/0});
+  EXPECT_EQ(array.ops_since_arm(), 0u);
+  EXPECT_THROW((void)array.program(Ppn{2}, PageOwner::data(Lpn{2})),
+               PowerLoss);
+}
+
+TEST(PowerCut, SameOpIndexKillsTheSameOp) {
+  for (int run = 0; run < 2; ++run) {
+    FlashArray array(tiny_geom());
+    array.arm_power_cut({/*at_op=*/3, /*seed=*/99});
+    std::uint64_t completed = 0;
+    try {
+      for (std::uint64_t p = 0;; ++p) {
+        (void)array.program(Ppn{p}, PageOwner::data(Lpn{p}));
+        ++completed;
+      }
+    } catch (const PowerLoss& loss) {
+      EXPECT_EQ(loss.op_index, 3u);
+    }
+    EXPECT_EQ(completed, 2u);
+  }
+}
+
+TEST(PowerCut, OobRecordsSurviveInvalidateAndDieWithErase) {
+  FlashArray array(tiny_geom());
+  OobExtra extra;
+  extra.range_begin = 10;
+  extra.range_end = 26;
+  extra.slot_base = 10;
+  ASSERT_TRUE(array.program(Ppn{0}, PageOwner::across(AmtIndex{3}), &extra));
+  array.invalidate(Ppn{0});
+
+  // Validity is RAM fiction: the spare area still tells the whole story.
+  const OobRecord& rec = array.oob(Ppn{0});
+  EXPECT_EQ(rec.owner, PageOwner::across(AmtIndex{3}));
+  EXPECT_EQ(rec.range_begin, 10u);
+  EXPECT_EQ(rec.range_end, 26u);
+  EXPECT_EQ(rec.slot_base, 10u);
+
+  for (std::uint64_t p = 1; p < 4; ++p) {
+    ASSERT_TRUE(array.program(Ppn{p}, PageOwner::data(Lpn{p})));
+    array.invalidate(Ppn{p});
+  }
+  ASSERT_TRUE(array.erase_block(0));
+  EXPECT_FALSE(array.oob(Ppn{0}).written());
+  EXPECT_EQ(array.block(0).max_seq, 0u);
+}
+
+TEST(PowerCut, SeqIsMonotonicAndTornProgramsConsumeIt) {
+  FlashArray array(tiny_geom());
+  ASSERT_TRUE(array.program(Ppn{0}, PageOwner::data(Lpn{0})));
+  array.arm_power_cut({/*at_op=*/1, /*seed=*/0});
+  EXPECT_THROW((void)array.program(Ppn{1}, PageOwner::data(Lpn{1})),
+               PowerLoss);
+  array.disarm_power_cut();
+  ASSERT_TRUE(array.program(Ppn{2}, PageOwner::data(Lpn{2})));
+
+  EXPECT_LT(array.oob(Ppn{0}).seq, array.oob(Ppn{1}).seq);
+  EXPECT_LT(array.oob(Ppn{1}).seq, array.oob(Ppn{2}).seq);
+  EXPECT_EQ(array.block(0).max_seq, array.oob(Ppn{2}).seq);
+}
+
+}  // namespace
+}  // namespace af::nand

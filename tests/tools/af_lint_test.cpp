@@ -61,6 +61,25 @@ TEST(AfLint, NodiscardRuleOnlyCoversSrcHeaders) {
   EXPECT_TRUE(as_cpp.empty());
 }
 
+TEST(AfLint, RecoveryApisMustBeNodiscard) {
+  const auto findings =
+      lint_fixture("bad_recovery.txt", "src/ssd/bad_recovery.h");
+  // mount(), recover_block(), mount_root() by name; inspect_last() by its
+  // RecoveryReport return. The void hooks and the annotated APIs stay clean.
+  EXPECT_EQ(count_rule(findings, "nodiscard-recovery"), 4);
+  // recover_block() returns bool, so the type-keyed rule fires there too.
+  EXPECT_EQ(count_rule(findings, "nodiscard-status"), 1);
+}
+
+TEST(AfLint, RecoveryRuleOnlyCoversSrcHeaders) {
+  const auto in_tests =
+      lint_fixture("bad_recovery.txt", "tests/ssd/bad_recovery.h");
+  EXPECT_EQ(count_rule(in_tests, "nodiscard-recovery"), 0);
+  const auto as_cpp =
+      lint_fixture("bad_recovery.txt", "src/ssd/bad_recovery.cpp");
+  EXPECT_EQ(count_rule(as_cpp, "nodiscard-recovery"), 0);
+}
+
 TEST(AfLint, CheckSideEffects) {
   const auto findings = lint_fixture("bad_check.txt", "src/ftl/bad_check.cpp");
   // count++, flag.exchange(true), and the wrapped (count += 2) condition.

@@ -209,6 +209,55 @@ void rule_nodiscard_status(const FileView& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: nodiscard-recovery
+// ---------------------------------------------------------------------------
+
+void rule_nodiscard_recovery(const FileView& f, std::vector<Finding>& out) {
+  if (!starts_with(f.path, "src/") || !ends_with(f.path, ".h")) return;
+  // Mount/recovery status APIs must be [[nodiscard]]: a silently dropped
+  // mount() / recover*() return value (or a RecoveryReport) is a crash
+  // recovery whose outcome nobody checked. Complements nodiscard-status,
+  // which keys off the return type — this rule keys off the name, so even a
+  // recovery API returning some new type stays guarded.
+  static const std::regex kNamed(
+      R"(^\s*(?:virtual\s+)?(?:static\s+)?(?:constexpr\s+)?(?:const\s+)?)"
+      R"((?:[A-Za-z_]\w*::)*([A-Za-z_]\w*)\s*[&*]?\s+)"
+      R"(((?:mount|recover|remount)\w*)\s*\()");
+  static const std::regex kReport(
+      R"(^\s*(?:virtual\s+)?(?:static\s+)?(?:constexpr\s+)?(?:const\s+)?)"
+      R"((?:[A-Za-z_]\w*::)*(RecoveryReport|CrashReplayResult)\s*[&*]?\s+)"
+      R"(([A-Za-z_]\w*)\s*\()");
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (line.find("operator") != std::string::npos ||
+        line.find("friend") != std::string::npos ||
+        line.find("using") != std::string::npos ||
+        line.find("= delete") != std::string::npos) {
+      continue;
+    }
+    std::string type, name;
+    std::smatch m;
+    if (std::regex_search(line, m, kNamed) && m[1].str() != "void") {
+      type = m[1].str();
+      name = m[2].str();
+    } else if (std::regex_search(line, m, kReport)) {
+      type = m[1].str();
+      name = m[2].str();
+    } else {
+      continue;
+    }
+    std::string context = line;
+    if (i >= 1) context = f.code[i - 1] + context;
+    if (i >= 2) context = f.code[i - 2] + context;
+    if (context.find("[[nodiscard]]") != std::string::npos) continue;
+    report(f, out, i, "nodiscard-recovery",
+           "mount/recovery status API '" + name + "' (returns " + type +
+               ") must be [[nodiscard]] — recovery outcomes cannot be "
+               "silently ignored");
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: check-side-effects
 // ---------------------------------------------------------------------------
 
@@ -419,6 +468,7 @@ std::vector<Finding> lint_content(const std::string& display_path,
   std::vector<Finding> out;
   rule_pragma_once(f, out);
   rule_nodiscard_status(f, out);
+  rule_nodiscard_recovery(f, out);
   rule_check_side_effects(f, out);
   rule_no_raw_thread(f, out);
   rule_no_nondeterminism(f, out);
