@@ -1,0 +1,74 @@
+// Ablation — background scrub policy sweep (watermark × budget) under a
+// retention-dominated bit-error ramp, with parity stripes on. Prices the
+// refresh machinery: aggressive scrubbing burns program/erase bandwidth but
+// drains the uncorrectable/lost columns; a lazy watermark leaves data to rot
+// until the ECC ladder (and then parity) must save it. The "off" row doubles
+// as the regression anchor for the reliability CI job.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "trace/profiles.h"
+
+int main() {
+  using namespace af;
+  auto base_config = bench::device(8);
+  // Retention-dominated latent error growth: old pages accumulate expected
+  // raw bit errors fast enough to cross the ECC budget within the bench
+  // horizon, so scrub policy actually changes the outcome.
+  base_config.faults.ber_base = 0.5;
+  base_config.faults.ber_retention = 0.08;
+  base_config.faults.ber_read_disturb = 0.02;
+  base_config.integrity.parity_stripe_width = 8;
+  bench::print_header("Ablation: scrub watermark x budget (lun1)",
+                      base_config);
+  const auto tr = bench::lun_trace(0, bench::addressable_sectors(base_config));
+
+  std::printf("ber: base=%.2f retention=%.2f/kop disturb=%.2f/100reads; "
+              "ecc=%u bits, retry x%u, parity width=%u\n\n",
+              base_config.faults.ber_base, base_config.faults.ber_retention,
+              base_config.faults.ber_read_disturb,
+              base_config.integrity.ecc_correctable_bits,
+              base_config.integrity.read_retry_steps,
+              base_config.integrity.parity_stripe_width);
+
+  struct Policy {
+    const char* label;
+    std::uint64_t interval;  // requests per tick (0 = scrub off)
+    std::uint32_t budget;    // pages examined per tick
+    double watermark;        // expected raw bit errors triggering refresh
+  };
+  const Policy policies[] = {
+      {"off", 0, 0, 0.0},          {"lazy wm6 b4", 64, 4, 6.0},
+      {"mid wm4 b8", 64, 8, 4.0},  {"eager wm2 b8", 32, 8, 2.0},
+      {"eager wm2 b16", 32, 16, 2.0},
+  };
+
+  Table table({"scheme", "policy", "write mean ms", "read mean ms",
+               "scrub scans", "refreshed", "retry saves", "rebuilds",
+               "uncorrectable", "lost reqs", "erases"});
+  for (const Policy& policy : policies) {
+    auto config = base_config;
+    config.integrity.scrub_interval_requests = policy.interval;
+    config.integrity.scrub_pages_per_tick = policy.budget;
+    config.integrity.scrub_ber_watermark = policy.watermark;
+    const auto results = bench::run_schemes(config, tr);
+    for (std::size_t s = 0; s < results.size(); ++s) {
+      const auto kind = bench::all_schemes()[s];
+      const auto& result = results[s];
+      const auto& faults = result.stats.faults();
+      table.add_row({ftl::to_string(kind), policy.label,
+                     Table::num(result.write_latency_ms(), 3),
+                     Table::num(result.read_latency_ms(), 3),
+                     Table::num(faults.scrub_scans),
+                     Table::num(faults.scrub_relocations),
+                     Table::num(faults.ecc_retry_recoveries),
+                     Table::num(faults.parity_rebuilds),
+                     Table::num(faults.uncorrectable_reads),
+                     Table::num(result.lost_requests),
+                     Table::num(result.stats.erases())});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

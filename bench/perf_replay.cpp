@@ -15,6 +15,12 @@
 // oracle sweep verifies every sector, and the recovery economics land in the
 // JSON.
 //
+// (e) prices the data-integrity machinery (DESIGN.md §8): the same replay
+// under a retention-dominated bit-error ramp with background scrub and parity
+// stripes on. --scrub-budget N (pages per tick, default 8) and
+// --parity-width W (stripe width incl. parity, default 8) tune the policy;
+// the scrub/retry/rebuild economics land in the JSON's "reliability" section.
+//
 // Knobs: ACROSS_FTL_BENCH_REQS / ACROSS_FTL_BENCH_BLOCKS as everywhere, plus
 //   ACROSS_FTL_PERF_JSON  output path (default BENCH_perf.json)
 #include <chrono>
@@ -145,6 +151,8 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
                 const char* trace_name, const std::vector<ReplayRow>& rows,
                 const std::vector<ReplayRow>& ckpt_rows,
                 std::uint64_t ckpt_interval,
+                const std::vector<ReplayRow>& rel_rows,
+                const ssd::SsdConfig& rel_config,
                 const std::vector<VictimRow>& victims,
                 const std::vector<CrashRow>& crashes,
                 const trace::PowerCutSpec& spec) {
@@ -202,6 +210,44 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
         static_cast<unsigned long long>(row.result.stats.flash_writes()),
         static_cast<unsigned long long>(rows[i].result.stats.flash_writes()),
         i + 1 < ckpt_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
+  // Integrity machinery economics: scrub/retry/rebuild counters are fully
+  // deterministic; wall_s is the only noisy field.
+  std::fprintf(f,
+               "  \"reliability\": {\"scrub_interval_requests\": %llu, "
+               "\"scrub_budget\": %u, \"scrub_watermark\": %.2f, "
+               "\"parity_width\": %u, \"replays\": [\n",
+               static_cast<unsigned long long>(
+                   rel_config.integrity.scrub_interval_requests),
+               rel_config.integrity.scrub_pages_per_tick,
+               rel_config.integrity.scrub_ber_watermark,
+               rel_config.integrity.parity_stripe_width);
+  for (std::size_t i = 0; i < rel_rows.size(); ++i) {
+    const auto& row = rel_rows[i];
+    const auto& faults = row.result.stats.faults();
+    std::fprintf(
+        f,
+        "    {\"scheme\": \"%s\", \"wall_s\": %.3f, \"io_time_s\": %.4f, "
+        "\"base_io_time_s\": %.4f, \"scrub_scans\": %llu, "
+        "\"scrub_relocations\": %llu, \"read_disturb_reads\": %llu, "
+        "\"ecc_retry_steps\": %llu, \"ecc_retry_recoveries\": %llu, "
+        "\"uncorrectable_reads\": %llu, \"parity_writes\": %llu, "
+        "\"parity_rebuilds\": %llu, \"lost_pages\": %llu, "
+        "\"lost_requests\": %llu}%s\n",
+        row.scheme.c_str(), row.wall_s, row.result.io_time_s,
+        rows[i].result.io_time_s,
+        static_cast<unsigned long long>(faults.scrub_scans),
+        static_cast<unsigned long long>(faults.scrub_relocations),
+        static_cast<unsigned long long>(faults.read_disturb_reads),
+        static_cast<unsigned long long>(faults.ecc_retry_steps),
+        static_cast<unsigned long long>(faults.ecc_retry_recoveries),
+        static_cast<unsigned long long>(faults.uncorrectable_reads),
+        static_cast<unsigned long long>(faults.parity_writes),
+        static_cast<unsigned long long>(faults.parity_rebuilds),
+        static_cast<unsigned long long>(faults.lost_pages),
+        static_cast<unsigned long long>(row.result.lost_requests),
+        i + 1 < rel_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]},\n");
   if (!crashes.empty()) {
@@ -263,6 +309,8 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
 int main(int argc, char** argv) {
   trace::PowerCutSpec spec;
   bool power_cut = false;
+  std::uint32_t scrub_budget = 8;
+  std::uint32_t parity_width = 8;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--power-cut-at-op" && i + 1 < argc) {
@@ -271,12 +319,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--power-cut-seed" && i + 1 < argc) {
       spec.seed = std::strtoull(argv[++i], nullptr, 10);
       power_cut = true;
+    } else if (arg == "--scrub-budget" && i + 1 < argc) {
+      scrub_budget =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--parity-width" && i + 1 < argc) {
+      parity_width =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: perf_replay [--power-cut-at-op N] "
-                   "[--power-cut-seed S]\n"
+                   "[--power-cut-seed S] [--scrub-budget P] "
+                   "[--parity-width W]\n"
                    "  N = 1-based flash op to kill power at "
-                   "(0 = sample uniformly from S)\n");
+                   "(0 = sample uniformly from S)\n"
+                   "  P = scrub pages per tick for section (e), default 8\n"
+                   "  W = parity stripe width incl. parity, default 8 "
+                   "(0/1 = parity off)\n");
       return 2;
     }
   }
@@ -339,6 +397,45 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(kCkptInterval));
   ckpt_table.print(std::cout);
 
+  // (e) Reliability machinery: the same replay under a retention-dominated
+  // bit-error ramp, background scrub and parity stripes on. All counters are
+  // deterministic in (config, trace); wall_s is the only noisy column.
+  auto rel_config = config;
+  rel_config.faults.ber_base = 0.5;
+  rel_config.faults.ber_retention = 0.08;
+  rel_config.faults.ber_read_disturb = 0.02;
+  rel_config.integrity.scrub_interval_requests = 64;
+  rel_config.integrity.scrub_pages_per_tick = scrub_budget;
+  rel_config.integrity.parity_stripe_width = parity_width;
+  std::vector<ReplayRow> rel_rows;
+  Table rel_table({"scheme", "wall (s)", "io time s", "base io s",
+                   "scrub scans", "refreshed", "retry saves", "rebuilds",
+                   "uncorrectable", "lost reqs"});
+  for (std::size_t s = 0; s < bench::all_schemes().size(); ++s) {
+    ReplayRow row;
+    row.requests = tr.size();
+    const double t0 = now_s();
+    // af_lint: allow(bench-run-schemes) — timed one at a time, same as (a).
+    row.result = trace::replay(rel_config, bench::all_schemes()[s], tr);
+    row.wall_s = now_s() - t0;
+    row.scheme = row.result.scheme;
+    const auto& faults = row.result.stats.faults();
+    rel_table.add_row(
+        {row.scheme, Table::num(row.wall_s, 2),
+         Table::num(row.result.io_time_s, 3),
+         Table::num(rows[s].result.io_time_s, 3),
+         Table::num(faults.scrub_scans), Table::num(faults.scrub_relocations),
+         Table::num(faults.ecc_retry_recoveries),
+         Table::num(faults.parity_rebuilds),
+         Table::num(faults.uncorrectable_reads),
+         Table::num(row.result.lost_requests)});
+    rel_rows.push_back(std::move(row));
+  }
+  std::printf("\n(e) data-integrity machinery (scrub budget %u, parity "
+              "width %u)\n",
+              scrub_budget, parity_width);
+  rel_table.print(std::cout);
+
   // (d) Optional crash-and-remount run (flags): recovery economics per
   // scheme, oracle-verified by the harness as it sweeps.
   std::vector<CrashRow> crashes;
@@ -387,6 +484,7 @@ int main(int argc, char** argv) {
 
   const char* json = std::getenv("ACROSS_FTL_PERF_JSON");
   write_json(json != nullptr ? json : "BENCH_perf.json", config, trace_name,
-             rows, ckpt_rows, kCkptInterval, victims, crashes, spec);
+             rows, ckpt_rows, kCkptInterval, rel_rows, rel_config, victims,
+             crashes, spec);
   return 0;
 }

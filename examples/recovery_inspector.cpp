@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   auto config = ssd::SsdConfig::tiny();
   config.checkpoint.interval_requests = 4;   // journal every 4th write …
   config.checkpoint.snapshot_every = 2;      // … every 2nd entry a snapshot
+  config.integrity.parity_stripe_width = 4;  // RAID-5 stripes survive the cut
   auto ssd = std::make_unique<sim::Ssd>(config, ftl::SchemeKind::kAcrossFtl);
 
   // The §3.3 walkthrough as a crash workload: fills, an across-page area,
@@ -162,6 +163,20 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.pages_revived),
               static_cast<unsigned long long>(report.flash_reads),
               static_cast<double>(report.mount_time_ns) / 1e6);
+
+  // Integrity state after the remount: sealed parity stripes recovered from
+  // the OOB stamps, plus the §8 counters the recovered device starts with.
+  const auto& faults = mounted->stats().faults();
+  std::printf("parity: %llu sealed stripes recovered from OOB "
+              "(width %u); counters: %llu parity writes, %llu rebuilds, "
+              "%llu retry saves, %llu uncorrectable, %llu scrub refreshes\n",
+              static_cast<unsigned long long>(report.stripes_recovered),
+              config.integrity.parity_stripe_width,
+              static_cast<unsigned long long>(faults.parity_writes),
+              static_cast<unsigned long long>(faults.parity_rebuilds),
+              static_cast<unsigned long long>(faults.ecc_retry_recoveries),
+              static_cast<unsigned long long>(faults.uncorrectable_reads),
+              static_cast<unsigned long long>(faults.scrub_relocations));
 
   // Read back a settled range on the recovered device — the oracle verifies
   // every sector as it goes (a divergence would abort). Only the interrupted

@@ -174,7 +174,7 @@ SimTime AcrossFtl::amerge(std::uint32_t aidx, SectorRange w, bool profitable,
     }
   }
   // Carry the not-overwritten part of the old area into the new page.
-  ready = engine_.flash_read(entry.appn, ssd::OpKind::kDataRead, ready);
+  ready = engine_.flash_read(entry.appn, ssd::OpKind::kDataRead, ready).done;
   engine_.stats().count_rmw_read();
 
   const nand::OobExtra oob{merged.begin, merged.end, merged.begin, {}};
@@ -190,11 +190,14 @@ SimTime AcrossFtl::amerge(std::uint32_t aidx, SectorRange w, bool profitable,
       }
     }
   }
+  // Invalidate the old area page BEFORE the program (its stamps are staged
+  // above): GC inside the program must never relocate the superseded copy,
+  // or its stale payload would out-seq the merge in power-cut recovery.
+  engine_.invalidate(entry.appn);
   auto programmed = engine_.flash_program(
       ssd::Stream::kData, nand::PageOwner::across(AmtIndex{aidx}),
       ssd::OpKind::kDataWrite, ready, &oob, tracking() ? &stamps : nullptr);
 
-  engine_.invalidate(entry.appn);
   entry.range = merged;
   entry.appn = programmed.ppn;
   entry.slot_base = merged.begin;
@@ -220,34 +223,22 @@ SimTime AcrossFtl::rollback(std::uint32_t aidx, std::optional<SectorRange> u,
   ready = touch_amt(aidx, /*dirty=*/true, ready);
   // Dependencies: the old area page, plus any *other* live areas and normal
   // pages whose sectors feed the merged full-page writes.
-  ready = engine_.flash_read(area.appn, ssd::OpKind::kDataRead, ready);
+  ready = engine_.flash_read(area.appn, ssd::OpKind::kDataRead, ready).done;
   engine_.stats().count_rmw_read();
 
-  SimTime done = ready;
-  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
-    const Lpn lpn{l};
-    const SectorRange page = pgeom_.page_range(lpn);
-    PmtEntry& pe = pmt_[l];
-    const std::uint32_t other = (pe.aidx != aidx) ? pe.aidx : kNoArea;
-
-    SimTime cursor = touch_pmt(lpn, /*dirty=*/true, ready);
-    if (other != kNoArea) {
-      cursor = touch_amt(other, /*dirty=*/true, cursor);
-      cursor = engine_.flash_read(amt_[other].appn, ssd::OpKind::kDataRead,
-                                  cursor);
-      engine_.stats().count_rmw_read();
-    }
-    if (pe.ppn.valid()) {
-      cursor = engine_.flash_read(pe.ppn, ssd::OpKind::kDataRead, cursor);
-      engine_.stats().count_rmw_read();
-    }
-
-    // Rollback rewrites the page in full (area content merged in), so the
-    // OOB write range is the whole page: recovery dissolves every area's
-    // share here, exactly like the live path below.
-    const nand::OobExtra oob{page.begin, page.end, 0, {}};
-    std::vector<std::uint64_t> stamps;
-    if (tracking()) {
+  // Stage every page's stamps before the first program: each superseded
+  // source (the rolled-back area, old page copies, other areas' shares) is
+  // invalidated before the program that replaces it, because GC inside a
+  // program must never relocate superseded state — after a power cut the
+  // relocated stale copy would out-seq the rewrite in recovery's OOB replay.
+  // Staging first keeps the payload available once its source is dropped.
+  std::vector<std::vector<std::uint64_t>> staged;
+  if (tracking()) {
+    for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+      const SectorRange page = pgeom_.page_range(Lpn{l});
+      const PmtEntry& pe = pmt_[l];
+      const std::uint32_t other = (pe.aidx != aidx) ? pe.aidx : kNoArea;
+      std::vector<std::uint64_t> stamps;
       for (std::uint32_t i = 0; i < pgeom_.sectors_per_page; ++i) {
         const SectorAddr s = page.begin + i;
         std::uint64_t stamp = 0;
@@ -262,17 +253,36 @@ SimTime AcrossFtl::rollback(std::uint32_t aidx, std::optional<SectorRange> u,
         }
         stamps.push_back(stamp);
       }
+      staged.push_back(std::move(stamps));
     }
-    auto programmed = engine_.flash_program(
-        ssd::Stream::kData, nand::PageOwner::data(lpn),
-        ssd::OpKind::kDataWrite, cursor, &oob, tracking() ? &stamps : nullptr);
+  }
+  // The rolled-back area is superseded wholesale by the rewrites below.
+  engine_.invalidate(area.appn);
 
+  SimTime done = ready;
+  for (std::uint64_t l = first.get(); l <= last.get(); ++l) {
+    const Lpn lpn{l};
+    const SectorRange page = pgeom_.page_range(lpn);
+    PmtEntry& pe = pmt_[l];
+    const std::uint32_t other = (pe.aidx != aidx) ? pe.aidx : kNoArea;
+
+    SimTime cursor = touch_pmt(lpn, /*dirty=*/true, ready);
+    if (other != kNoArea) {
+      cursor = touch_amt(other, /*dirty=*/true, cursor);
+      cursor = engine_.flash_read(amt_[other].appn, ssd::OpKind::kDataRead,
+                                  cursor)
+                   .done;
+      engine_.stats().count_rmw_read();
+    }
+    if (pe.ppn.valid()) {
+      cursor = engine_.flash_read(pe.ppn, ssd::OpKind::kDataRead, cursor).done;
+      engine_.stats().count_rmw_read();
+    }
+
+    // Drop what this rewrite supersedes (see the staging note above): the
+    // old page copy, and — since the page is rewritten in full — any other
+    // area's now-stale share of it.
     if (pe.ppn.valid()) engine_.invalidate(pe.ppn);
-    pe.ppn = programmed.ppn;
-    journal_lpn(l);
-    done = std::max(done, programmed.done);
-
-    // This page was rewritten in full: any other area's share here is stale.
     if (other != kNoArea) {
       AmtEntry& oe = amt_[other];
       const auto diff = oe.range.subtract(page);
@@ -288,9 +298,21 @@ SimTime AcrossFtl::rollback(std::uint32_t aidx, std::optional<SectorRange> u,
       }
       ++engine_.stats().across().area_shrinks;
     }
+
+    // Rollback rewrites the page in full (area content merged in), so the
+    // OOB write range is the whole page: recovery dissolves every area's
+    // share here, exactly like the live path below.
+    const nand::OobExtra oob{page.begin, page.end, 0, {}};
+    auto programmed = engine_.flash_program(
+        ssd::Stream::kData, nand::PageOwner::data(lpn),
+        ssd::OpKind::kDataWrite, cursor, &oob,
+        tracking() ? &staged[l - first.get()] : nullptr);
+
+    pe.ppn = programmed.ppn;
+    journal_lpn(l);
+    done = std::max(done, programmed.done);
   }
 
-  engine_.invalidate(area.appn);
   free_area(aidx);
   ++engine_.stats().across().rollbacks;
   return done;
@@ -302,7 +324,7 @@ SimTime AcrossFtl::write_normal_sub(const SubRequest& sub, SimTime ready) {
   const bool full = sub.range == page;
 
   if (!full && pe.ppn.valid()) {
-    ready = engine_.flash_read(pe.ppn, ssd::OpKind::kDataRead, ready);
+    ready = engine_.flash_read(pe.ppn, ssd::OpKind::kDataRead, ready).done;
     engine_.stats().count_rmw_read();
   }
   // OOB carries the logical write range: recovery uses it to tell a write
@@ -320,15 +342,17 @@ SimTime AcrossFtl::write_normal_sub(const SubRequest& sub, SimTime ready) {
       }
     }
   }
+  // Drop the superseded copy BEFORE programming its replacement: the program
+  // can run GC, and a still-valid old copy it relocated would re-claim its
+  // stale payload with a newer OOB seq after a power cut (recovery replays
+  // claims newest-last). The stamps staged above already carried the payload
+  // forward, and invalidation is RAM-only — a cut before the program still
+  // recovers the old copy, the legal outcome for an unacknowledged write.
+  const Ppn old = pe.ppn;
+  if (old.valid()) engine_.invalidate(old);
   auto programmed = engine_.flash_program(
       ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
       ssd::OpKind::kDataWrite, ready, &oob, tracking() ? &stamps : nullptr);
-  // Re-fetch after the program: GC inside it may have relocated the old page
-  // (pe.ppn tracks the move; a relocation copies the payload, so the stamps
-  // staged above stay correct).
-  const Ppn old = pe.ppn;
-
-  if (old.valid()) engine_.invalidate(old);
   pe.ppn = programmed.ppn;
   journal_lpn(sub.lpn.get());
   return programmed.done;
@@ -521,8 +545,9 @@ SimTime AcrossFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
 
   SimTime done = map_ready;
   for (Ppn src : sources) {
-    done = std::max(done,
-                    engine_.flash_read(src, ssd::OpKind::kDataRead, map_ready));
+    done = std::max(
+        done,
+        engine_.flash_read(src, ssd::OpKind::kDataRead, map_ready).done);
   }
 
   // §3.3.2's direct/merged classification concerns reads *of across-page
@@ -546,7 +571,7 @@ SimTime AcrossFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
 
 void AcrossFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
                             SimTime& clock) {
-  clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock);
+  clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock).done;
   // Area pages re-stamp their mapping payload so the relocated copy stays
   // recoverable from OOB alone.
   nand::OobExtra oob{};

@@ -175,6 +175,12 @@ ssd::Engine::Programmed MrsmFtl::program_packed(std::span<const Chunk> chunks,
       }
     }
   }
+  // Retire the superseded sub-locations BEFORE the program: it can run GC,
+  // and a still-live old slot it relocated would re-claim its stale payload
+  // with a newer OOB seq after a power cut (recovery replays claims
+  // newest-last). Retirement is RAM-only, so a cut before the program still
+  // recovers the old slots — the legal unacknowledged-write outcome.
+  for (const Chunk& chunk : chunks) retire_subloc(chunk.lpn, chunk.sub);
   const ssd::Engine::Programmed programmed =
       gc ? engine_.gc_program(gc_plane, owner, ready, &oob)
          : engine_.flash_program(ssd::Stream::kData, owner,
@@ -193,7 +199,6 @@ ssd::Engine::Programmed MrsmFtl::program_packed(std::span<const Chunk> chunks,
   for (std::uint32_t i = 0; i < chunks.size(); ++i) {
     const Chunk& chunk = chunks[i];
     engine_.dram_access(1);  // per-sub-entry update within the cached page
-    retire_subloc(chunk.lpn, chunk.sub);
     subs_[chunk.lpn.get()][chunk.sub] = {programmed.ppn,
                                          static_cast<std::uint8_t>(i)};
     journal_lpn(chunk.lpn.get());
@@ -215,7 +220,8 @@ SimTime MrsmFtl::write_page_mode(const SubRequest& sub, SimTime ready) {
   if (!full && pmt_[sub.lpn.get()].valid()) {
     // Read-modify-write to preserve the untouched sectors.
     ready = engine_.flash_read(pmt_[sub.lpn.get()], ssd::OpKind::kDataRead,
-                               ready);
+                               ready)
+                .done;
     engine_.stats().count_rmw_read();
   }
   // Stamps ride the program itself (data and spare land atomically on real
@@ -232,14 +238,18 @@ SimTime MrsmFtl::write_page_mode(const SubRequest& sub, SimTime ready) {
       }
     }
   }
+  // Drop the superseded copy BEFORE programming its replacement: the program
+  // can run GC, and a still-valid old copy it relocated would re-claim its
+  // stale payload with a newer OOB seq after a power cut (recovery replays
+  // claims newest-last). The stamps staged above already carried the payload
+  // forward, and invalidation is RAM-only — a cut before the program still
+  // recovers the old copy, the legal outcome for an unacknowledged write.
+  const Ppn old = pmt_[sub.lpn.get()];
+  if (old.valid()) engine_.invalidate(old);
   auto programmed = engine_.flash_program(
       ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
       ssd::OpKind::kDataWrite, ready, nullptr,
       tracking() ? &stamps : nullptr);
-  // Re-fetched after the program: GC inside it may have moved the old page
-  // (relocation copies the payload, so the staged stamps stay correct).
-  const Ppn old = pmt_[sub.lpn.get()];
-  if (old.valid()) engine_.invalidate(old);
   pmt_[sub.lpn.get()] = programmed.ppn;
   journal_lpn(sub.lpn.get());
   return programmed.done;
@@ -299,7 +309,8 @@ SimTime MrsmFtl::write(const IoRequest& req, SimTime ready) {
           rmw_sources.end()) {
         rmw_sources.push_back(old_loc.ppn);
         group_ready =
-            engine_.flash_read(old_loc.ppn, ssd::OpKind::kDataRead, group_ready);
+            engine_.flash_read(old_loc.ppn, ssd::OpKind::kDataRead, group_ready)
+                .done;
         engine_.stats().count_rmw_read();
       }
     }
@@ -372,7 +383,8 @@ SimTime MrsmFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
 
   SimTime done = cursor;
   for (Ppn src : sources) {
-    done = std::max(done, engine_.flash_read(src, ssd::OpKind::kDataRead, cursor));
+    done = std::max(
+        done, engine_.flash_read(src, ssd::OpKind::kDataRead, cursor).done);
   }
   return done;
 }
@@ -380,7 +392,7 @@ SimTime MrsmFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
 void MrsmFtl::stage_victim_chunks(Ppn victim, std::span<const Chunk> live,
                                   std::uint64_t plane, SimTime& clock) {
   AF_CHECK(!live.empty());
-  clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock);
+  clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock).done;
   for (const Chunk& chunk : live) {
     StagedChunk staged{chunk.lpn, chunk.sub, {}};
     if (engine_.tracks_payload()) {
@@ -451,7 +463,7 @@ void MrsmFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
     const Lpn lpn{owner.id};
     if (!region_is_sub(lpn)) {
       AF_CHECK_MSG(pmt_[lpn.get()] == victim, "GC/PMT desync");
-      clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock);
+      clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock).done;
       auto moved = engine_.gc_program(plane, owner, clock);
       clock = moved.done;
       if (engine_.tracks_payload()) engine_.copy_stamps(victim, moved.ppn);

@@ -24,7 +24,8 @@ SimTime PageFtl::write_sub(const SubRequest& sub, SimTime ready) {
   if (!full && pmt_[sub.lpn.get()].valid()) {
     // Read-modify-write: fetch the old page to preserve untouched sectors.
     ready = engine_.flash_read(pmt_[sub.lpn.get()], ssd::OpKind::kDataRead,
-                               ready);
+                               ready)
+                .done;
     engine_.stats().count_rmw_read();
   }
 
@@ -42,16 +43,18 @@ SimTime PageFtl::write_sub(const SubRequest& sub, SimTime ready) {
       }
     }
   }
+  // Drop the superseded copy BEFORE programming its replacement: the program
+  // can run GC, and a still-valid old copy it relocated would re-claim its
+  // stale payload with a newer OOB seq after a power cut (recovery replays
+  // claims newest-last). The stamps staged above already carried the payload
+  // forward, and invalidation is RAM-only — a cut before the program still
+  // recovers the old copy, the legal outcome for an unacknowledged write.
+  const Ppn old = pmt_[sub.lpn.get()];
+  if (old.valid()) engine_.invalidate(old);
   auto programmed = engine_.flash_program(
       ssd::Stream::kData, nand::PageOwner::data(sub.lpn),
       ssd::OpKind::kDataWrite, ready, nullptr,
       tracking() ? &stamps : nullptr);
-  // Re-fetch after the program: it may have run GC and relocated the old
-  // page (the PMT entry tracks the move; relocation copies the payload, so
-  // the staged stamps stay correct).
-  const Ppn old = pmt_[sub.lpn.get()];
-
-  if (old.valid()) engine_.invalidate(old);
   pmt_[sub.lpn.get()] = programmed.ppn;
   journal_lpn(sub.lpn.get());
   return programmed.done;
@@ -84,8 +87,9 @@ SimTime PageFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
   for (const auto& sub : subs) {
     const Ppn ppn = pmt_[sub.lpn.get()];
     if (ppn.valid()) {
-      done = std::max(done,
-                      engine_.flash_read(ppn, ssd::OpKind::kDataRead, map_ready));
+      done = std::max(
+          done,
+          engine_.flash_read(ppn, ssd::OpKind::kDataRead, map_ready).done);
     }
     if (plan != nullptr && tracking()) {
       const SectorAddr base = pgeom_.page_range(sub.lpn).begin;
@@ -107,7 +111,7 @@ void PageFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
   const Lpn lpn{owner.id};
   AF_CHECK_MSG(pmt_[lpn.get()] == victim, "GC owner out of sync with PMT");
 
-  clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock);
+  clock = engine_.flash_read(victim, ssd::OpKind::kGcRead, clock).done;
   auto moved =
       engine_.gc_program(engine_.geometry().plane_of(victim), owner, clock);
   clock = moved.done;

@@ -1,9 +1,15 @@
 #include "nand/faults.h"
 
+#include <cmath>
+
 namespace af::nand {
 
 FaultModel::FaultModel(const FaultConfig& config)
-    : cfg_(config), rng_(config.seed) {}
+    : cfg_(config),
+      rng_(config.seed),
+      // Fixed-constant derivation, not a second config knob: one seed keeps
+      // the "same seed, same outcome" contract a single value.
+      ber_rng_(config.seed ^ 0xB17E770Au) {}
 
 double FaultModel::wear_ramped(double base, std::uint64_t erase_count) const {
   double p = base;
@@ -34,6 +40,39 @@ std::uint32_t FaultModel::read_retries() {
   std::uint32_t n = 0;
   while (n < cfg_.max_read_retries && rng_.chance(cfg_.read_fail)) ++n;
   return n;
+}
+
+double FaultModel::page_ber(std::uint64_t retention_ops,
+                            std::uint64_t block_reads,
+                            std::uint64_t erase_count) const {
+  double lambda = cfg_.ber_base;
+  lambda += cfg_.ber_retention * (static_cast<double>(retention_ops) / 1000.0);
+  lambda += cfg_.ber_read_disturb * (static_cast<double>(block_reads) / 100.0);
+  if (cfg_.ber_wear > 0.0 && erase_count > cfg_.wear_onset) {
+    lambda += cfg_.ber_wear * static_cast<double>(erase_count - cfg_.wear_onset);
+  }
+  return lambda;
+}
+
+std::uint32_t FaultModel::raw_bit_errors(double lambda) {
+  // Same inertness rule as draw(): a zero-intensity sensing consumes no RNG
+  // state, so pages with no error exposure cannot shift later draws.
+  if (lambda <= 0.0) return 0;
+  // Poisson by CDF inversion — one uniform per sensing keeps the stream's
+  // consumption independent of lambda, which is what makes seeded runs with
+  // different scrub/parity policies comparable draw-for-draw.
+  const double u = ber_rng_.uniform();
+  double p = std::exp(-lambda);
+  // A lambda big enough to underflow exp(-lambda) saturates every sensing.
+  if (p <= 0.0) return cfg_.ber_cap;
+  double cdf = p;
+  std::uint32_t k = 0;
+  while (u > cdf && k < cfg_.ber_cap) {
+    ++k;
+    p *= lambda / static_cast<double>(k);
+    cdf += p;
+  }
+  return k;
 }
 
 }  // namespace af::nand

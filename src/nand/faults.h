@@ -8,8 +8,20 @@
 // model never draws from its RNG and the simulator is bit-for-bit identical
 // to a fault-free build.
 //
-// This layer is policy-free: it only answers "does this op fail?". The
-// FlashArray applies the state consequences (torn page, retired block); the
+// Two independent failure families live here:
+//  - transient op failures (program/erase/read_fail + wear ramp), drawn from
+//    the primary RNG stream — bounded retries always recover these;
+//  - latent raw bit errors (ber_* rates), drawn from a second, independent
+//    RNG stream so enabling one family never perturbs the other's schedule.
+//    Bit errors grow with retention (op-count clock since program),
+//    read disturb (block reads since erase) and wear (block erase count);
+//    whether they are correctable is the ECC layer's decision (ssd::Engine),
+//    not this one's — past the ECC ladder a read is *uncorrectable* and the
+//    data is gone unless parity can rebuild it.
+//
+// This layer is policy-free: it only answers "does this op fail?" and "how
+// many raw bit errors does this sensing see?". The FlashArray applies the
+// state consequences (torn page, retired block, per-page error history); the
 // engine owns recovery and timing.
 #pragma once
 
@@ -27,8 +39,9 @@ struct FaultConfig {
   /// Probability a block erase fails; a failed erase retires the block.
   double erase_fail = 0.0;
   /// Probability a single read attempt needs a retry (transient; bounded
-  /// retries always recover the data — unrecoverable reads would be data
-  /// loss, which the recovery layer is designed to prevent, not model).
+  /// retries always recover the data). Persistent cell damage is the bit
+  /// error model's job (`ber_*` below), which *can* lose data once the ECC
+  /// ladder above it is exhausted.
   double read_fail = 0.0;
 
   /// Wear ramp: once a block's erase count exceeds `wear_onset`, program and
@@ -42,11 +55,36 @@ struct FaultConfig {
   /// Cap on program-with-reallocation attempts for one logical program.
   std::uint32_t max_program_retries = 8;
 
+  // --- Latent bit-error model (data-integrity subsystem, DESIGN.md §8) ----
+  // Expected raw bit errors per sensing of a page, as a Poisson intensity
+  // composed from the page's history. All-zero (the default) keeps the model
+  // inert: no per-page draws, counters bit-identical to a BER-free build.
+
+  /// Baseline expected raw bit errors of a fresh, unread, unworn page.
+  double ber_base = 0.0;
+  /// Added expected bit errors per 1000 physical ops of retention — the
+  /// op-count clock since the page was programmed (the simulator's proxy
+  /// for elapsed time).
+  double ber_retention = 0.0;
+  /// Added expected bit errors per 100 reads of the page's block since its
+  /// last erase (read disturb).
+  double ber_read_disturb = 0.0;
+  /// Added expected bit errors per block erase beyond `wear_onset` (wear
+  /// shares the transient ramp's onset so "aged" means one thing).
+  double ber_wear = 0.0;
+  /// Cap on raw bit errors drawn for a single sensing attempt.
+  std::uint32_t ber_cap = 64;
+
   std::uint64_t seed = 0x5EEDFA17u;
+
+  [[nodiscard]] bool ber_enabled() const {
+    return ber_base > 0.0 || ber_retention > 0.0 || ber_read_disturb > 0.0 ||
+           ber_wear > 0.0;
+  }
 
   [[nodiscard]] bool enabled() const {
     return program_fail > 0.0 || erase_fail > 0.0 || read_fail > 0.0 ||
-           wear_slope > 0.0;
+           wear_slope > 0.0 || ber_enabled();
   }
 };
 
@@ -76,11 +114,27 @@ class FaultModel {
   /// for tests and for benches that want to report the ramp they configured.
   [[nodiscard]] double wear_ramped(double base, std::uint64_t erase_count) const;
 
+  // --- Latent bit errors ----------------------------------------------------
+
+  /// Expected raw bit errors (Poisson intensity) for one sensing of a page
+  /// with this history. Pure — no RNG state is consumed.
+  [[nodiscard]] double page_ber(std::uint64_t retention_ops,
+                                std::uint64_t block_reads,
+                                std::uint64_t erase_count) const;
+
+  /// Draws the raw bit-error count of one sensing at intensity `lambda`
+  /// (Poisson by inversion, capped at `ber_cap`). Zero intensity draws
+  /// nothing, so a BER-free run never touches this stream either.
+  [[nodiscard]] std::uint32_t raw_bit_errors(double lambda);
+
  private:
   [[nodiscard]] bool draw(double p);
 
   FaultConfig cfg_;
   Rng rng_;
+  /// Dedicated stream for bit-error draws: the op-failure schedule above is
+  /// bit-identical whether or not the BER model is on, and vice versa.
+  Rng ber_rng_;
 };
 
 }  // namespace af::nand

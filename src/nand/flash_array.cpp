@@ -14,6 +14,7 @@ FlashArray::FlashArray(const Geometry& geometry, bool track_payload,
   pages_.assign(total, PageState::kFree);
   owners_.assign(total, PageOwner{});
   oob_.assign(total, OobRecord{});
+  programmed_at_.assign(total, 0);
   blocks_.assign(static_cast<std::size_t>(geom_.total_blocks()), BlockInfo{});
   if (track_payload) {
     stamps_.assign(total * geom_.sectors_per_page(), 0);
@@ -28,6 +29,7 @@ void FlashArray::arm_power_cut(const PowerCutPlan& plan) {
 
 bool FlashArray::cut_now() {
   ++ops_since_arm_;
+  ++op_clock_;
   return power_cut_.armed() && ops_since_arm_ == power_cut_.at_op;
 }
 
@@ -35,7 +37,28 @@ void FlashArray::count_read() {
   if (cut_now()) throw PowerLoss{ops_since_arm_};
 }
 
-bool FlashArray::program(Ppn ppn, PageOwner owner, const OobExtra* extra) {
+void FlashArray::note_read(Ppn ppn) {
+  ++blocks_[geom_.block_of(ppn)].reads;
+  count_read();
+}
+
+std::uint64_t FlashArray::retention_ops(Ppn ppn) const {
+  const std::size_t i = index(ppn);
+  AF_CHECK_MSG(programmed_at_[i] != 0, "retention query on unprogrammed page");
+  return op_clock_ - programmed_at_[i];
+}
+
+double FlashArray::page_ber(Ppn ppn) const {
+  const BlockInfo& blk = blocks_[geom_.block_of(ppn)];
+  return faults_.page_ber(retention_ops(ppn), blk.reads, blk.erase_count);
+}
+
+std::uint32_t FlashArray::draw_read_errors(Ppn ppn) {
+  return faults_.raw_bit_errors(page_ber(ppn));
+}
+
+bool FlashArray::program(Ppn ppn, PageOwner owner, const OobExtra* extra,
+                         std::uint64_t stripe) {
   const std::size_t i = index(ppn);
   AF_CHECK_MSG(pages_[i] == PageState::kFree, "program of non-free page");
   const std::uint64_t b = geom_.block_of(ppn);
@@ -76,10 +99,12 @@ bool FlashArray::program(Ppn ppn, PageOwner owner, const OobExtra* extra) {
   }
   pages_[i] = PageState::kValid;
   owners_[i] = owner;
+  programmed_at_[i] = op_clock_;  // retention clock starts at this op
   OobRecord& rec = oob_[i];
   rec = OobRecord{};
   rec.owner = owner;
   rec.seq = seq;
+  rec.stripe = stripe;
   if (extra != nullptr) {
     rec.range_begin = extra->range_begin;
     rec.range_end = extra->range_end;
@@ -118,6 +143,7 @@ void FlashArray::recover_revive(Ppn ppn, PageOwner owner) {
 
 void FlashArray::scrub_page(std::size_t i) {
   oob_[i] = OobRecord{};
+  programmed_at_[i] = 0;
   blobs_.erase(static_cast<std::uint64_t>(i));
   if (!stamps_.empty()) {
     const std::size_t base = i * geom_.sectors_per_page();
@@ -153,6 +179,7 @@ bool FlashArray::erase_block(std::uint64_t flat_block) {
   }
   blk.written = 0;
   blk.max_seq = 0;
+  blk.reads = 0;  // read-disturb exposure resets with the cells
   ++blk.erase_count;
   ++counters_.erases;
   return true;
@@ -184,6 +211,7 @@ void FlashArray::do_retire(std::uint64_t flat_block) {
   ++counters_.retired_blocks;
   blk.retired = true;
   blk.max_seq = 0;
+  blk.reads = 0;
   // Full frontier keeps the retired block out of every "has space" path.
   blk.written = geom_.pages_per_block;
 }

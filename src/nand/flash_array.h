@@ -39,7 +39,11 @@ struct PageOwner {
   /// kPacked marks pages whose slots hold sub-page chunks from multiple LPNs
   /// (MRSM's log-packed layout); the owning scheme keeps the slot directory.
   /// kCkpt marks checkpoint-journal pages (mapping snapshot / delta chunks).
-  enum class Kind : std::uint8_t { kNone, kData, kAcross, kMap, kPacked, kCkpt };
+  /// kParity marks die-level parity pages (id = stripe id); the engine's
+  /// stripe tracker owns them, not any FTL scheme.
+  enum class Kind : std::uint8_t {
+    kNone, kData, kAcross, kMap, kPacked, kCkpt, kParity
+  };
   Kind kind = Kind::kNone;
   std::uint64_t id = 0;
 
@@ -48,6 +52,9 @@ struct PageOwner {
   static PageOwner map(std::uint64_t map_page) { return {Kind::kMap, map_page}; }
   static PageOwner packed(std::uint64_t log_id) { return {Kind::kPacked, log_id}; }
   static PageOwner ckpt(std::uint64_t journal_id) { return {Kind::kCkpt, journal_id}; }
+  static PageOwner parity(std::uint64_t stripe_id) {
+    return {Kind::kParity, stripe_id};
+  }
 
   friend bool operator==(const PageOwner&, const PageOwner&) = default;
 };
@@ -80,6 +87,10 @@ struct OobRecord {
     bool used = false;
   };
   std::array<Slot, kOobSlots> slots{};
+  /// Parity-stripe membership (0 = none). Data pages carry the id of the
+  /// stripe they were programmed into; a kParity owner's page carries its
+  /// own stripe id here too. Recovery regroups stripes from these stamps.
+  std::uint64_t stripe = 0;
 
   [[nodiscard]] bool written() const { return seq != 0; }
 };
@@ -120,6 +131,9 @@ struct BlockInfo {
   /// programs included) — lets recovery skip blocks older than the
   /// checkpoint without touching their pages.
   std::uint64_t max_seq = 0;
+  /// Reads issued against this block's pages since its last erase — the
+  /// read-disturb exposure every resident page shares. Reset by erase.
+  std::uint64_t reads = 0;
   /// Grown bad block: a failed erase (or explicit retirement) removed it
   /// from service permanently. Retired blocks are never programmed or
   /// erased again.
@@ -164,10 +178,13 @@ class FlashArray {
   /// the fault model fails the program — the page is then torn: it consumed
   /// a program cycle and the write frontier, holds no data, and is left
   /// kInvalid for GC to reclaim. The caller must re-program elsewhere.
-  /// `extra` carries the spare-area mapping payload for across/packed pages.
+  /// `extra` carries the spare-area mapping payload for across/packed pages;
+  /// `stripe` (nonzero with parity striping on) is stamped into the OOB so
+  /// stripe membership survives power loss.
   /// Throws PowerLoss (after tearing the page) if an armed cut fires here.
   [[nodiscard]] bool program(Ppn ppn, PageOwner owner,
-                             const OobExtra* extra = nullptr);
+                             const OobExtra* extra = nullptr,
+                             std::uint64_t stripe = 0);
 
   /// Marks a valid page as invalid (its logical owner moved elsewhere).
   /// RAM-side bookkeeping only: the OOB record stays until erase, which is
@@ -201,6 +218,10 @@ class FlashArray {
   /// read here for op counting. Throws PowerLoss (reads change no state) if
   /// the armed cut fires on it.
   void count_read();
+  /// count_read() plus read-disturb accounting: the read ages every page
+  /// sharing `ppn`'s block. The disturb counter bumps before a cut can fire
+  /// — partial sensing disturbs cells too, and the image carries it.
+  void note_read(Ppn ppn);
 
   // --- Queries -------------------------------------------------------------
 
@@ -263,6 +284,23 @@ class FlashArray {
   };
   [[nodiscard]] WearSummary wear() const;
 
+  // --- Latent bit-error state (data-integrity subsystem) -------------------
+
+  /// Monotonic physical-op clock (programs + erases + reads); never resets,
+  /// unlike ops_since_arm(). The retention proxy: page age is measured in
+  /// device activity, keeping the model deterministic and wall-clock-free.
+  [[nodiscard]] std::uint64_t op_clock() const { return op_clock_; }
+  /// Physical ops elapsed since `ppn` was programmed. The page must have a
+  /// durable program (torn pages hold no data to age).
+  [[nodiscard]] std::uint64_t retention_ops(Ppn ppn) const;
+  /// Expected raw bit errors (Poisson intensity) a sensing of `ppn` sees
+  /// right now, from its retention, its block's read-disturb exposure and
+  /// wear. Pure — no RNG state consumed; the scrub policy keys off this.
+  [[nodiscard]] double page_ber(Ppn ppn) const;
+  /// Draws the raw bit-error count of one sensing of `ppn` at the current
+  /// page_ber() intensity (consumes the fault model's BER stream).
+  [[nodiscard]] std::uint32_t draw_read_errors(Ppn ppn);
+
   // --- Spare-area (OOB) records --------------------------------------------
 
   [[nodiscard]] const OobRecord& oob(Ppn ppn) const { return oob_[index(ppn)]; }
@@ -322,6 +360,9 @@ class FlashArray {
   std::vector<PageOwner> owners_;
   std::vector<OobRecord> oob_;
   std::vector<BlockInfo> blocks_;
+  /// op_clock_ value at each page's last durable program (0 = none); the
+  /// minuend of retention_ops(). Cleared with the block.
+  std::vector<std::uint64_t> programmed_at_;
   std::vector<std::uint64_t> stamps_;  // empty unless track_payload
   // Keyed by raw ppn; lookups only — never iterated, so determinism holds.
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> blobs_;
@@ -330,6 +371,7 @@ class FlashArray {
   std::uint64_t next_seq_ = 0;
   PowerCutPlan power_cut_;
   std::uint64_t ops_since_arm_ = 0;
+  std::uint64_t op_clock_ = 0;
 };
 
 }  // namespace af::nand

@@ -36,12 +36,20 @@ Ssd::Ssd(std::unique_ptr<ssd::Engine> engine, ftl::SchemeKind kind,
 Ssd::Ssd(const ssd::SsdConfig& config, ftl::SchemeKind kind)
     : Ssd(std::make_unique<ssd::Engine>(config), kind, nullptr) {
   attach_checkpointer();
+  attach_scrubber();
 }
 
 void Ssd::attach_checkpointer() {
   if (engine_->config().checkpoint.enabled()) {
     checkpointer_ = std::make_unique<ssd::Checkpointer>(
         *engine_, *scheme_, engine_->config().checkpoint);
+  }
+}
+
+void Ssd::attach_scrubber() {
+  if (engine_->config().integrity.scrub_enabled()) {
+    scrubber_ = std::make_unique<ssd::ScrubScheduler>(
+        *engine_, engine_->config().integrity);
   }
 }
 
@@ -58,6 +66,7 @@ std::unique_ptr<Ssd> Ssd::mount(const ssd::SsdConfig& config,
   if (report != nullptr) *report = rep;
   // Journaling re-attaches only now: claim replay must not dirty the tables.
   device->attach_checkpointer();
+  device->attach_scrubber();
   return device;
 }
 
@@ -90,6 +99,7 @@ Ssd::Completion Ssd::submit(const ftl::IoRequest& req) {
 
   Completion completion;
   completion.cls = cls;
+  const std::uint64_t lost_before = engine_->stats().faults().lost_pages;
   if (req.write) {
     if (oracle_) oracle_->on_write(req.range);
     completion.done = scheme_->write(req, req.arrival);
@@ -112,8 +122,14 @@ Ssd::Completion Ssd::submit(const ftl::IoRequest& req) {
 
   AF_CHECK(completion.done >= req.arrival);
   completion.latency = completion.done - req.arrival;
+  completion.data_lost =
+      engine_->stats().faults().lost_pages > lost_before;
   engine_->stats().record_request(cls, completion.latency, req.range.size());
   if (req.write && checkpointer_) checkpointer_->note_write(completion.done);
+  // Background refresh rides the request stream like the checkpointer does;
+  // its reads/programs count as physical ops, so an armed power cut can
+  // fire inside a scrub tick (PowerLoss propagates to the harness).
+  if (scrubber_) scrubber_->note_request(completion.done);
   return completion;
 }
 

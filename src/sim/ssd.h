@@ -15,6 +15,7 @@
 #include "ssd/checkpoint.h"
 #include "ssd/config.h"
 #include "ssd/engine.h"
+#include "ssd/integrity.h"
 #include "ssd/oracle.h"
 #include "ssd/recovery.h"
 
@@ -47,6 +48,10 @@ class Ssd {
     /// degradation after spare-block exhaustion). Refused writes change no
     /// state and cost no simulated time.
     bool accepted = true;
+    /// True when servicing this request hit an uncorrectable page that no
+    /// parity stripe could rebuild (DESIGN.md §8) — the returned payload
+    /// includes unrecoverable data. The device also drops to read-only.
+    bool data_lost = false;
   };
 
   /// Services one host request. When the oracle is active, writes update the
@@ -78,6 +83,9 @@ class Ssd {
   [[nodiscard]] const ssd::Checkpointer* checkpointer() const {
     return checkpointer_.get();
   }
+  [[nodiscard]] const ssd::ScrubScheduler* scrubber() const {
+    return scrubber_.get();
+  }
   [[nodiscard]] const ssd::SsdConfig& config() const {
     return engine_->config();
   }
@@ -99,12 +107,14 @@ class Ssd {
   Ssd(std::unique_ptr<ssd::Engine> engine, ftl::SchemeKind kind,
       const ssd::Oracle* oracle_seed);
   void attach_checkpointer();
+  void attach_scrubber();
 
   std::unique_ptr<ssd::Engine> engine_;
   std::unique_ptr<ftl::FtlScheme> scheme_;
   std::unique_ptr<ssd::Oracle> oracle_;
   std::unique_ptr<OracleStamps> stamp_provider_;
   std::unique_ptr<ssd::Checkpointer> checkpointer_;
+  std::unique_ptr<ssd::ScrubScheduler> scrubber_;
   std::uint64_t verified_sectors_ = 0;
 };
 

@@ -65,6 +65,44 @@ struct SsdConfig {
   };
   CheckpointPolicy checkpoint;
 
+  /// Data-integrity subsystem (DESIGN.md §8): ECC read-retry ladder over the
+  /// NAND bit-error model, background scrubbing, and die-level parity
+  /// stripes. Scrub and parity default off and the BER model (faults.ber_*)
+  /// defaults to zero, so a default-config run is bit-identical to a build
+  /// without the subsystem.
+  struct IntegrityConfig {
+    /// Raw bit errors the ECC engine corrects in a single sensing.
+    std::uint32_t ecc_correctable_bits = 8;
+    /// Read-retry ladder depth past the initial sensing. Each step re-senses
+    /// with tuned reference voltages — one extra flash read of latency —
+    /// and sees the page's bit errors scaled by `read_retry_ber_scale`.
+    /// An uncorrectable read is one that exhausts the ladder.
+    std::uint32_t read_retry_steps = 4;
+    double read_retry_ber_scale = 0.5;
+
+    /// Background scrub: every `scrub_interval_requests` accepted host
+    /// requests the scrubber examines up to `scrub_pages_per_tick` valid
+    /// pages (cursor sweep over the array) and refreshes — relocates through
+    /// the normal GC machinery — any whose expected bit errors have reached
+    /// `scrub_ber_watermark`. 0 = scrubbing off.
+    std::uint64_t scrub_interval_requests = 0;
+    std::uint32_t scrub_pages_per_tick = 8;
+    double scrub_ber_watermark = 4.0;
+
+    /// RAID-5-style stripes: every `parity_stripe_width - 1` page programs
+    /// close with one parity-page program, and an uncorrectable member is
+    /// rebuilt from its surviving peers + parity. 0 or 1 = parity off.
+    std::uint32_t parity_stripe_width = 0;
+
+    [[nodiscard]] bool scrub_enabled() const {
+      return scrub_interval_requests > 0;
+    }
+    [[nodiscard]] bool parity_enabled() const {
+      return parity_stripe_width >= 2;
+    }
+  };
+  IntegrityConfig integrity;
+
   /// Across-FTL design-choice toggles (ablation knobs; DESIGN.md §ablations).
   struct AcrossPolicy {
     /// Remap across-page writes at all; false degrades to baseline servicing

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "ssd/integrity.h"
 
 namespace af::ssd {
 
@@ -55,6 +56,10 @@ Engine::Engine(const SsdConfig& config, nand::FlashArray image, bool adopted)
   AF_CHECK_MSG(gc_trigger_blocks() + 2 + config_.gc_reserve_blocks <
                    config_.geometry.blocks_per_plane,
                "GC threshold leaves no usable capacity");
+  if (config_.integrity.parity_enabled()) {
+    stripes_ = std::make_unique<StripeTracker>(
+        config_.integrity.parity_stripe_width);
+  }
   if (adopted) {
     // Re-derive the degradation verdict the crashed device had reached.
     const std::uint32_t floor = gc_trigger_blocks() + config_.gc_reserve_blocks +
@@ -71,22 +76,101 @@ Engine::~Engine() = default;
 
 // --- Flash operations --------------------------------------------------------
 
-SimTime Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
+ReadResult Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
   AF_CHECK_MSG(array_.state(ppn) == nand::PageState::kValid,
                "flash read of non-valid page");
-  array_.count_read();  // power-cut op accounting (may throw PowerLoss)
+  const bool ber_on = config_.faults.ber_enabled();
+  // note_read: power-cut op accounting (may throw PowerLoss) plus the
+  // block's read-disturb exposure.
+  array_.note_read(ppn);
+  if (ber_on) ++stats_.faults().read_disturb_reads;
   stats_.count_flash_op(kind);
   SimTime done = timeline_.schedule_read(config_.geometry.decode(ppn), ready);
   // Transient read failures recover through read-retry: re-sense the same
   // page (tuned reference voltages); each retry costs a full read on the
   // page's chip and channel.
   for (std::uint32_t r = array_.faults().read_retries(); r > 0; --r) {
-    array_.count_read();
+    array_.note_read(ppn);
+    if (ber_on) ++stats_.faults().read_disturb_reads;
     stats_.count_flash_op(kind);
     ++stats_.faults().read_retries;
     done = timeline_.schedule_read(config_.geometry.decode(ppn), done);
   }
-  return done;
+  if (!ber_on) return {done, ReadStatus::kOk};
+
+  // Latent bit errors: one Poisson draw per sensing at the page's current
+  // intensity. Within the ECC engine's strength the read just succeeds.
+  const SsdConfig::IntegrityConfig& icfg = config_.integrity;
+  std::uint32_t errors = array_.draw_read_errors(ppn);
+  stats_.faults().raw_bit_errors += errors;
+  if (errors <= icfg.ecc_correctable_bits) return {done, ReadStatus::kOk};
+
+  // ECC read-retry ladder: each step re-senses with tuned reference
+  // voltages — a full extra read — and sees the page's error intensity
+  // scaled down by read_retry_ber_scale per step.
+  double scale = 1.0;
+  for (std::uint32_t step = 0; step < icfg.read_retry_steps; ++step) {
+    scale *= icfg.read_retry_ber_scale;
+    array_.note_read(ppn);
+    ++stats_.faults().read_disturb_reads;
+    stats_.count_flash_op(kind);
+    ++stats_.faults().ecc_retry_steps;
+    done = timeline_.schedule_read(config_.geometry.decode(ppn), done);
+    errors = array_.faults().raw_bit_errors(array_.page_ber(ppn) * scale);
+    stats_.faults().raw_bit_errors += errors;
+    if (errors <= icfg.ecc_correctable_bits) {
+      ++stats_.faults().ecc_retry_recoveries;
+      return {done, ReadStatus::kEccRetried};
+    }
+  }
+  ++stats_.faults().uncorrectable_reads;
+
+  // Uncorrectable: rebuild from the page's parity stripe if one is intact.
+  // A member rebuilds from its peers + parity; the parity page itself
+  // rebuilds from all members. Peer sensings are charged but draw no errors
+  // of their own (no recursion — the rebuild is an XOR over raw cells, not
+  // an ECC decode of each peer in isolation).
+  if (stripes_ != nullptr) {
+    bool is_parity = false;
+    const StripeTracker::Stripe* stripe = stripes_->stripe_of(ppn);
+    if (stripe == nullptr) {
+      stripe = stripes_->stripe_by_parity(ppn);
+      is_parity = stripe != nullptr;
+    }
+    if (stripe != nullptr) {
+      auto rebuild_sense = [&](Ppn peer) {
+        array_.note_read(peer);
+        ++stats_.faults().read_disturb_reads;
+        stats_.count_flash_op(OpKind::kRebuildRead);
+        ++stats_.faults().parity_rebuild_reads;
+        done = timeline_.schedule_read(config_.geometry.decode(peer), done);
+      };
+      for (const Ppn peer : stripe->members) {
+        if (peer.get() == ppn.get()) continue;
+        rebuild_sense(peer);
+      }
+      if (!is_parity) rebuild_sense(stripe->parity);
+      ++stats_.faults().parity_rebuilds;
+      return {done, ReadStatus::kRebuilt};
+    }
+  }
+
+  // A lost parity page costs only its stripe's protection (the caller drops
+  // the stripe); lost anything-else is host or mapping data gone — degrade
+  // to read-only like spare exhaustion does, and keep serving what remains.
+  if (array_.owner(ppn).kind == nand::PageOwner::Kind::kParity) {
+    return {done, ReadStatus::kLost};
+  }
+  ++stats_.faults().lost_pages;
+  if (!read_only_) {
+    read_only_ = true;
+    ++stats_.faults().read_only_entries;
+    AF_LOG_WARN(
+        "uncorrectable read of ppn %llu with no intact parity stripe: "
+        "device enters read-only mode",
+        static_cast<unsigned long long>(ppn.get()));
+  }
+  return {done, ReadStatus::kLost};
 }
 
 SimTime Engine::mount_read(Ppn ppn, SimTime ready) {
@@ -103,7 +187,11 @@ Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
     if (!plane_has_space(plane, stream)) plane = pick_plane(stream);
     const Ppn ppn = take_frontier(plane, stream);
-    const bool ok = array_.program(ppn, owner, oob);
+    // Durable stripe stamp: members carry the open stripe's id, the parity
+    // page the id of the stripe it is sealing.
+    const std::uint64_t stripe_id =
+        stripes_ ? (in_parity_ ? sealing_stripe_ : stripes_->open_id()) : 0;
+    const bool ok = array_.program(ppn, owner, oob, stripe_id);
     stats_.count_flash_op(kind);
     if (kind == OpKind::kDataWrite && current_class_) {
       stats_.count_class_flush(*current_class_);
@@ -116,6 +204,12 @@ Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
       // page's block is active, and re-indexes when it stops being so.
       page_weight_[ppn.get()] = static_cast<std::uint16_t>(kFullPageWeight);
       cached_weight_[config_.geometry.block_of(ppn)] += kFullPageWeight;
+      // Torn programs never join a stripe; only a completed page is worth
+      // protecting (its stamp is unreadable anyway).
+      if (stripes_ && !in_parity_) {
+        stripes_->note_member(ppn);
+        if (stripes_->open_full()) seal_stripe(done);
+      }
       return {ppn, done};
     }
     // Program failure: the array left the page torn (invalid, unowned).
@@ -195,7 +289,10 @@ void Engine::init_map_space(std::uint64_t num_map_pages) {
 // --- MapIo ---------------------------------------------------------------------
 
 SimTime Engine::map_flash_read(Ppn ppn, SimTime ready) {
-  return flash_read(ppn, OpKind::kMapRead, ready);
+  // The integrity grade is absorbed here: a lost translation page already
+  // dropped the device to read-only and bumped the loss counters inside
+  // flash_read; the directory itself only needs the completion time.
+  return flash_read(ppn, OpKind::kMapRead, ready).done;
 }
 
 std::pair<Ppn, SimTime> Engine::map_flash_program(std::uint64_t map_page,
@@ -494,28 +591,7 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
     array_.for_each_valid_page(flat, [&](Ppn live) {
       if (budget == 0) return false;
       --budget;
-      const nand::PageOwner owner = array_.owner(live);
-      if (owner.kind == nand::PageOwner::Kind::kMap) {
-        // Translation pages are engine-owned: copy and update the GTD.
-        clock = flash_read(live, OpKind::kGcRead, clock);
-        auto moved = gc_program(plane, owner, clock);
-        clock = moved.done;
-        if (array_.tracks_payload()) copy_stamps(live, moved.ppn);
-        AF_CHECK(map_ != nullptr);
-        map_->on_relocated(owner.id, moved.ppn);
-        invalidate(live);
-      } else if (owner.kind == nand::PageOwner::Kind::kCkpt) {
-        // Checkpoint-journal pages are engine-owned too: copy the serialized
-        // chunk and let the journal repoint its root at the new location.
-        clock = flash_read(live, OpKind::kGcRead, clock);
-        auto moved = gc_program(plane, owner, clock);
-        clock = moved.done;
-        array_.move_ckpt_blob(live, moved.ppn);
-        if (ckpt_moved_) ckpt_moved_(live, moved.ppn);
-        invalidate(live);
-      } else {
-        relocator_(live, owner, clock);
-      }
+      relocate_page(live, plane, clock);
       return true;
     });
     if (array_.block(flat).valid_pages > 0) break;  // budget ran out mid-victim
@@ -527,6 +603,10 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
     // controllers hold the erase for the same reason). Without a cut armed
     // the end-of-pass flush keeps the cheaper cross-victim packing.
     if (gc_flush_ && array_.power_cut_armed()) gc_flush_(plane, clock);
+
+    // The erase (or the retirement a failed erase turns into) destroys every
+    // raw page in the block; stripes touching it lose their protection now.
+    break_stripes_in(flat);
 
     clock = timeline_.schedule_erase(
         config_.geometry.decode(Ppn{flat * config_.geometry.pages_per_block}),
@@ -559,6 +639,126 @@ Engine::Programmed Engine::gc_program(std::uint64_t plane,
     target = pick_plane(Stream::kGc);
   }
   return program_on(target, Stream::kGc, owner, OpKind::kGcWrite, ready, oob);
+}
+
+void Engine::relocate_page(Ppn live, std::uint64_t plane, SimTime& clock) {
+  const nand::PageOwner owner = array_.owner(live);
+  if (owner.kind == nand::PageOwner::Kind::kMap) {
+    // Translation pages are engine-owned: copy and update the GTD.
+    clock = flash_read(live, OpKind::kGcRead, clock).done;
+    auto moved = gc_program(plane, owner, clock);
+    clock = moved.done;
+    if (array_.tracks_payload()) copy_stamps(live, moved.ppn);
+    AF_CHECK(map_ != nullptr);
+    map_->on_relocated(owner.id, moved.ppn);
+    invalidate(live);
+  } else if (owner.kind == nand::PageOwner::Kind::kCkpt) {
+    // Checkpoint-journal pages are engine-owned too: copy the serialized
+    // chunk and let the journal repoint its root at the new location.
+    clock = flash_read(live, OpKind::kGcRead, clock).done;
+    auto moved = gc_program(plane, owner, clock);
+    clock = moved.done;
+    array_.move_ckpt_blob(live, moved.ppn);
+    if (ckpt_moved_) ckpt_moved_(live, moved.ppn);
+    invalidate(live);
+  } else if (owner.kind == nand::PageOwner::Kind::kParity) {
+    // Parity pages move like any engine-owned page, keeping the stripe
+    // directory pointed at the new copy. An unreadable parity page (cannot
+    // even be rebuilt) just lapses its stripe's protection.
+    const ReadResult read = flash_read(live, OpKind::kGcRead, clock);
+    clock = read.done;
+    AF_CHECK(stripes_ != nullptr);
+    if (read.data_lost()) {
+      stripes_->drop(owner.id);
+      ++stats_.faults().stripes_broken;
+      invalidate(live);
+    } else {
+      in_parity_ = true;
+      sealing_stripe_ = owner.id;
+      auto moved = gc_program(plane, owner, clock);
+      in_parity_ = false;
+      clock = moved.done;
+      stripes_->on_parity_moved(live, moved.ppn);
+      invalidate(live);
+    }
+  } else {
+    relocator_(live, owner, clock);
+  }
+}
+
+void Engine::seal_stripe(SimTime ready) {
+  AF_CHECK(stripes_ != nullptr);
+  StripeTracker::OpenStripe open = stripes_->take_open();
+  in_parity_ = true;
+  sealing_stripe_ = open.id;
+  const Programmed parity =
+      program_on(pick_plane(Stream::kParity), Stream::kParity,
+                 nand::PageOwner::parity(open.id), OpKind::kParityWrite, ready,
+                 /*oob=*/nullptr);
+  in_parity_ = false;
+  ++stats_.faults().parity_writes;
+  stripes_->seal(open.id, std::move(open.members), parity.ppn);
+}
+
+void Engine::break_stripes_in(std::uint64_t flat_block) {
+  if (stripes_ == nullptr) return;
+  const std::uint64_t first = flat_block * config_.geometry.pages_per_block;
+  const std::uint64_t broken = stripes_->on_block_destroyed(
+      first, config_.geometry.pages_per_block, [&](Ppn parity) {
+        // The stripe is gone but its parity page survives elsewhere; it
+        // protects nothing any more, so free it for GC to reclaim.
+        if (array_.state(parity) == nand::PageState::kValid) {
+          invalidate(parity);
+        }
+      });
+  stats_.faults().stripes_broken += broken;
+}
+
+SimTime Engine::scrub_read(Ppn ppn, SimTime ready) {
+  AF_CHECK_MSG(array_.state(ppn) == nand::PageState::kValid,
+               "scrub read of non-valid page");
+  // Health-check sensing only: no transient-failure draw and no ECC ladder.
+  // The scrubber acts on the page's deterministic expected BER, so the
+  // sweep never consumes RNG and cannot perturb the fault schedules.
+  array_.note_read(ppn);
+  if (config_.faults.ber_enabled()) ++stats_.faults().read_disturb_reads;
+  stats_.count_flash_op(OpKind::kScrubRead);
+  return timeline_.schedule_read(config_.geometry.decode(ppn), ready);
+}
+
+SimTime Engine::scrub_relocate(Ppn ppn, SimTime ready) {
+  AF_CHECK_MSG(!in_gc_, "scrub relocation during GC");
+  AF_CHECK_MSG(relocator_, "scrub requires a relocator (set_relocator)");
+  // Borrow the GC allowances: the page moves into the GC stream through
+  // gc_program, so mapping updates, OOB stamps and weight caches follow the
+  // battle-tested relocation path, and the fresh program restarts the
+  // page's retention clock.
+  in_gc_ = true;
+  SimTime clock = ready;
+  const std::uint64_t plane = config_.geometry.plane_of(ppn);
+  relocate_page(ppn, plane, clock);
+  if (gc_flush_) gc_flush_(plane, clock);
+  in_gc_ = false;
+  ++stats_.faults().scrub_relocations;
+  // The copy (and any parity seal it caused) bypassed the per-program
+  // threshold check host writes get, and it may have spilled off this
+  // plane — so a refresh burst could outrun reclamation. Restore the
+  // free-block invariant before handing the device back.
+  for (std::uint64_t p = 0; p < config_.geometry.total_planes(); ++p) {
+    std::uint64_t before = free_blocks(p);
+    while (free_blocks(p) < plane_trigger_blocks(p)) {
+      clock = run_gc(p, clock);
+      const std::uint64_t now = free_blocks(p);
+      if (now <= before) break;  // nothing reclaimable: don't spin
+      before = now;
+    }
+  }
+  return clock;
+}
+
+std::uint64_t Engine::rebuild_parity_state() {
+  if (stripes_ == nullptr) return 0;
+  return stripes_->rebuild(array_);
 }
 
 void Engine::note_retirement(std::uint64_t plane) {

@@ -21,11 +21,33 @@
 
 namespace af::ssd {
 
-/// Write streams keep unlike data apart: host writes, GC migrations and
-/// translation pages each fill their own active block per plane.
-enum class Stream : std::uint8_t { kData = 0, kGc, kMap, kStreamCount };
+/// Write streams keep unlike data apart: host writes, GC migrations,
+/// translation pages and parity pages each fill their own active block per
+/// plane (parity separated so a stripe's members and its parity never share
+/// a block — one block failure must not take both).
+enum class Stream : std::uint8_t { kData = 0, kGc, kMap, kParity, kStreamCount };
 constexpr std::size_t kStreamCount =
     static_cast<std::size_t>(Stream::kStreamCount);
+
+class StripeTracker;
+
+/// How a flash read's data came back (DESIGN.md §8). Everything except kLost
+/// returned correct data; the grades price what it cost. kLost means the ECC
+/// ladder was exhausted and no intact parity stripe covered the page — the
+/// caller must treat the payload as gone (the sim surfaces it via counters
+/// and Completion::data_lost; stamps stay intact so the oracle keeps running).
+enum class ReadStatus : std::uint8_t {
+  kOk = 0,      // first sensing decoded (or BER model off)
+  kEccRetried,  // rescued by the read-retry ladder
+  kRebuilt,     // uncorrectable, rebuilt from stripe peers + parity
+  kLost         // uncorrectable, no intact stripe
+};
+
+struct ReadResult {
+  SimTime done = 0;
+  ReadStatus status = ReadStatus::kOk;
+  [[nodiscard]] bool data_lost() const { return status == ReadStatus::kLost; }
+};
 
 class Engine final : private MapIo {
  public:
@@ -43,8 +65,12 @@ class Engine final : private MapIo {
 
   // --- Scheme services ------------------------------------------------------
 
-  /// Reads a flash page; returns completion time.
-  [[nodiscard]] SimTime flash_read(Ppn ppn, OpKind kind, SimTime ready);
+  /// Reads a flash page; returns completion time plus the integrity grade.
+  /// With the BER model on, the read draws raw bit errors and may climb the
+  /// ECC read-retry ladder, rebuild from a parity stripe, or come back
+  /// kLost — callers must consume the status (enforced by [[nodiscard]] and
+  /// the af_lint integrity-status rule).
+  [[nodiscard]] ReadResult flash_read(Ppn ppn, OpKind kind, SimTime ready);
 
   struct Programmed {
     Ppn ppn;
@@ -132,6 +158,28 @@ class Engine final : private MapIo {
   /// owner (ssd::Checkpointer) can repoint the mount root at the new copy.
   using CkptMoved = std::function<void(Ppn from, Ppn to)>;
   void set_ckpt_moved(CkptMoved moved) { ckpt_moved_ = std::move(moved); }
+
+  // --- Data integrity (DESIGN.md §8) ----------------------------------------
+
+  /// Scrub health-check sensing: charges one read (no ECC ladder — the
+  /// scrubber acts on the page's *expected* BER, not a sampled draw, so the
+  /// sweep itself stays deterministic and draw-free).
+  [[nodiscard]] SimTime scrub_read(Ppn ppn, SimTime ready);
+
+  /// Relocates one valid page through the GC machinery (mapping updates, OOB
+  /// stamps and victim-weight caches all follow the normal relocation path),
+  /// refreshing its retention clock. Must not be called during GC.
+  [[nodiscard]] SimTime scrub_relocate(Ppn ppn, SimTime ready);
+
+  /// Mount-time parity-state rebuild from the OOB stripe stamps; returns the
+  /// number of sealed stripes recovered. No-op (0) with parity off. A pure
+  /// metadata pass: real firmware would persist a stripe directory in its
+  /// checkpoints, so mount charges no extra reads here.
+  std::uint64_t rebuild_parity_state();
+
+  /// Sealed-stripe directory, or nullptr with parity off. Recovery marks
+  /// parity pages as referenced through this.
+  [[nodiscard]] const StripeTracker* stripes() const { return stripes_.get(); }
 
   // --- Payload stamps (oracle) ----------------------------------------------
 
@@ -286,6 +334,20 @@ class Engine final : private MapIo {
   /// the degradation floor.
   void note_retirement(std::uint64_t plane);
 
+  /// Closes the open parity stripe: programs its parity page (kParity
+  /// stream) and seals the directory entry.
+  void seal_stripe(SimTime ready);
+
+  /// Stripe bookkeeping before a block's pages are destroyed (erase or
+  /// retirement): breaks affected stripes and invalidates orphaned parity
+  /// pages so GC reclaims them.
+  void break_stripes_in(std::uint64_t flat_block);
+
+  /// Relocates one live page during GC/scrub, dispatching on its owner kind
+  /// (map / checkpoint / parity pages are engine-owned; everything else goes
+  /// through the scheme's relocator).
+  void relocate_page(Ppn live, std::uint64_t plane, SimTime& clock);
+
   /// Picks the plane for the next allocation of `stream`: round-robin over
   /// planes with usable space. Pure striping balances *capacity* across
   /// planes — load-aware policies starve busy planes of writes and let
@@ -332,6 +394,11 @@ class Engine final : private MapIo {
   GcFlush gc_flush_;
   CkptMoved ckpt_moved_;
   VictimWeight victim_weight_;
+  // Parity-stripe state (null when integrity.parity_enabled() is false, so
+  // the default config allocates and touches nothing).
+  std::unique_ptr<StripeTracker> stripes_;
+  bool in_parity_ = false;  // a parity-page program is in flight
+  std::uint64_t sealing_stripe_ = 0;  // stripe id that program stamps
   bool in_gc_ = false;
   bool read_only_ = false;
   std::uint64_t gc_runs_ = 0;

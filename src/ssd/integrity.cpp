@@ -1,0 +1,158 @@
+#include "ssd/integrity.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "nand/flash_array.h"
+#include "ssd/engine.h"
+
+namespace af::ssd {
+
+// --- StripeTracker -----------------------------------------------------------
+
+StripeTracker::StripeTracker(std::uint32_t width) : width_(width) {
+  AF_CHECK_MSG(width_ >= 2, "a parity stripe needs at least one member");
+}
+
+void StripeTracker::note_member(Ppn ppn) {
+  AF_CHECK_MSG(!open_full(), "member pushed into a full stripe");
+  open_.push_back(ppn);
+}
+
+StripeTracker::OpenStripe StripeTracker::take_open() {
+  AF_CHECK_MSG(open_full(), "sealing a stripe that is not full");
+  OpenStripe out{open_id_, std::move(open_)};
+  open_.clear();
+  open_id_ = next_id_++;
+  return out;
+}
+
+void StripeTracker::seal(std::uint64_t id, std::vector<Ppn> members,
+                         Ppn parity) {
+  AF_CHECK_MSG(stripes_.find(id) == stripes_.end(), "stripe sealed twice");
+  for (const Ppn m : members) {
+    const auto [it, inserted] = member_of_.emplace(m.get(), id);
+    (void)it;
+    AF_CHECK_MSG(inserted, "page is a member of two stripes");
+  }
+  const auto [pit, pinserted] = parity_of_.emplace(parity.get(), id);
+  (void)pit;
+  AF_CHECK_MSG(pinserted, "page carries parity for two stripes");
+  stripes_.emplace(id, Stripe{std::move(members), parity});
+}
+
+const StripeTracker::Stripe* StripeTracker::stripe_of(Ppn ppn) const {
+  const auto mem = member_of_.find(ppn.get());
+  if (mem == member_of_.end()) return nullptr;
+  const auto it = stripes_.find(mem->second);
+  AF_CHECK_MSG(it != stripes_.end(), "stripe index points at no stripe");
+  return &it->second;
+}
+
+const StripeTracker::Stripe* StripeTracker::stripe_by_parity(Ppn ppn) const {
+  const auto par = parity_of_.find(ppn.get());
+  if (par == parity_of_.end()) return nullptr;
+  const auto it = stripes_.find(par->second);
+  AF_CHECK_MSG(it != stripes_.end(), "stripe index points at no stripe");
+  return &it->second;
+}
+
+void StripeTracker::on_parity_moved(Ppn from, Ppn to) {
+  const auto par = parity_of_.find(from.get());
+  AF_CHECK_MSG(par != parity_of_.end(), "moved page carried no parity");
+  const std::uint64_t id = par->second;
+  parity_of_.erase(par);
+  const auto [it, inserted] = parity_of_.emplace(to.get(), id);
+  (void)it;
+  AF_CHECK_MSG(inserted, "parity moved onto another stripe's parity page");
+  stripes_.at(id).parity = to;
+}
+
+void StripeTracker::drop(std::uint64_t id) {
+  const auto it = stripes_.find(id);
+  if (it == stripes_.end()) return;
+  for (const Ppn m : it->second.members) member_of_.erase(m.get());
+  parity_of_.erase(it->second.parity.get());
+  stripes_.erase(it);
+}
+
+std::uint64_t StripeTracker::rebuild(const nand::FlashArray& array) {
+  open_.clear();
+  stripes_.clear();
+  member_of_.clear();
+  parity_of_.clear();
+
+  // Regroup by stripe id from the durable stamps. Ordered maps: the sealing
+  // order below feeds deterministic rebuild-read sequences later.
+  std::map<std::uint64_t, std::vector<Ppn>> members;
+  std::map<std::uint64_t, Ppn> parity;
+  std::uint64_t max_id = 0;
+  const std::uint64_t total = array.geometry().total_pages();
+  for (std::uint64_t raw = 0; raw < total; ++raw) {
+    const Ppn ppn{raw};
+    const nand::OobRecord& oob = array.oob(ppn);
+    if (!oob.written() || oob.torn || oob.stripe == 0) continue;
+    max_id = std::max(max_id, oob.stripe);
+    if (oob.owner.kind == nand::PageOwner::Kind::kParity) {
+      // GC/scrub relocation leaves a stale invalid parity copy whose OOB
+      // still claims the stripe; newest seq wins, like every other replay.
+      const auto it = parity.find(oob.stripe);
+      if (it == parity.end() || array.oob(it->second).seq < oob.seq) {
+        parity[oob.stripe] = ppn;
+      }
+    } else {
+      members[oob.stripe].push_back(ppn);
+    }
+  }
+  for (const auto& [id, parity_ppn] : parity) {
+    const auto mem = members.find(id);
+    // Width must check out exactly: fewer members means a block erase broke
+    // the stripe before the crash (parity is stale), more is impossible.
+    if (mem == members.end() || mem->second.size() + 1 != width_) continue;
+    seal(id, mem->second, parity_ppn);
+  }
+  // Never reuse an id a durable stamp already carries.
+  open_id_ = max_id + 1;
+  next_id_ = max_id + 2;
+  return stripes_.size();
+}
+
+// --- ScrubScheduler ----------------------------------------------------------
+
+ScrubScheduler::ScrubScheduler(Engine& engine,
+                               const SsdConfig::IntegrityConfig& config)
+    : engine_(engine), cfg_(config) {
+  AF_CHECK_MSG(cfg_.scrub_enabled(), "ScrubScheduler with scrubbing off");
+}
+
+void ScrubScheduler::note_request(SimTime now) {
+  if (++since_tick_ < cfg_.scrub_interval_requests) return;
+  since_tick_ = 0;
+  tick(now);
+}
+
+void ScrubScheduler::tick(SimTime now) {
+  // Read-only degradation conserves the remaining spare capacity for GC;
+  // refresh writes would eat it, so scrubbing stands down.
+  if (engine_.read_only()) return;
+  ++engine_.stats().faults().scrub_ticks;
+  const nand::FlashArray& array = engine_.array();
+  const std::uint64_t total = array.geometry().total_pages();
+  std::uint32_t budget = std::max(1u, cfg_.scrub_pages_per_tick);
+  SimTime clock = now;
+  // One full lap at most per tick; the cursor persists across ticks so the
+  // sweep eventually visits every resident page no matter the budget.
+  for (std::uint64_t step = 0; step < total && budget > 0; ++step) {
+    const Ppn ppn{cursor_};
+    cursor_ = (cursor_ + 1) % total;
+    if (array.state(ppn) != nand::PageState::kValid) continue;
+    --budget;
+    ++engine_.stats().faults().scrub_scans;
+    clock = engine_.scrub_read(ppn, clock);
+    if (array.page_ber(ppn) >= cfg_.scrub_ber_watermark) {
+      clock = engine_.scrub_relocate(ppn, clock);
+    }
+  }
+}
+
+}  // namespace af::ssd

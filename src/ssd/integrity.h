@@ -1,0 +1,182 @@
+// Data-integrity subsystem (DESIGN.md §8): die-level parity stripes and the
+// background scrub scheduler.
+//
+// StripeTracker keeps the RAM-side stripe directory for RAID-5-style parity
+// across the engine's page programs: every `width - 1` non-parity programs
+// are closed with one parity-page program, and an uncorrectable member read
+// is rebuilt from its surviving peers + the parity page. Stripes protect
+// *physical* pages — a member stays rebuildable after logical invalidation
+// (its raw cells are intact) and only erasing or retiring a member's or the
+// parity's block breaks the stripe. The durable side is the OOB stripe stamp
+// (nand::OobRecord::stripe) plus the parity page's own kParity owner record,
+// from which rebuild() regroups the directory after a power cut.
+//
+// ScrubScheduler budgets background refresh: every N accepted host requests
+// it health-checks up to `scrub_pages_per_tick` valid pages (cursor sweep)
+// and relocates any whose expected bit errors crossed the watermark through
+// Engine::scrub_relocate — i.e. through the normal GC relocation machinery,
+// so PMT/AMT/MRSM remapping, OOB stamps and victim-weight caches all stay
+// coherent for free.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "ssd/config.h"
+
+namespace af::nand {
+class FlashArray;
+}
+
+namespace af::ssd {
+
+class Engine;
+
+class StripeTracker {
+ public:
+  /// `width` counts the parity page: width-1 data members + 1 parity.
+  explicit StripeTracker(std::uint32_t width);
+
+  [[nodiscard]] std::uint32_t width() const { return width_; }
+
+  // --- Stripe building (engine program path) -------------------------------
+
+  /// Stripe id the next non-parity program joins (stamped into its OOB).
+  [[nodiscard]] std::uint64_t open_id() const { return open_id_; }
+  /// Records a successful non-parity program into the open stripe.
+  void note_member(Ppn ppn);
+  /// True once the open stripe holds width-1 members and needs its parity.
+  [[nodiscard]] bool open_full() const {
+    return open_.size() + 1 >= width_;
+  }
+  struct OpenStripe {
+    std::uint64_t id = 0;
+    std::vector<Ppn> members;
+  };
+  /// Hands the full open stripe to the engine for parity programming and
+  /// opens the next one. seal() completes it once the parity page is down.
+  [[nodiscard]] OpenStripe take_open();
+  void seal(std::uint64_t id, std::vector<Ppn> members, Ppn parity);
+
+  // --- Queries ---------------------------------------------------------------
+
+  struct Stripe {
+    std::vector<Ppn> members;
+    Ppn parity;
+  };
+  /// Sealed stripe a page is a member of, or nullptr (open, broken or
+  /// never striped). The engine's rebuild path reads members + parity.
+  [[nodiscard]] const Stripe* stripe_of(Ppn ppn) const;
+  /// Sealed stripe whose *parity* page this is, or nullptr. An uncorrectable
+  /// parity page is itself rebuildable — from all of its members.
+  [[nodiscard]] const Stripe* stripe_by_parity(Ppn ppn) const;
+  [[nodiscard]] std::uint64_t sealed_stripes() const { return stripes_.size(); }
+
+  /// Deterministic iteration over sealed stripes in id order; recovery uses
+  /// this to mark parity pages as referenced during reconciliation.
+  template <typename Fn>
+  void for_each_sealed(Fn&& fn) const {
+    for (const auto& [id, stripe] : stripes_) fn(id, stripe);
+  }
+
+  // --- Lifecycle -------------------------------------------------------------
+
+  /// The pages [first_ppn, first_ppn + count) are about to lose their data
+  /// (block erase or retirement). Breaks every stripe with a member or its
+  /// parity in the range; for each broken stripe whose parity page survives
+  /// *outside* the range, calls `on_orphaned_parity(parity_ppn)` so the
+  /// engine can invalidate it for GC. Returns the number of sealed stripes
+  /// broken (open-stripe members in range are dropped silently — they were
+  /// never protected).
+  template <typename Fn>
+  std::uint64_t on_block_destroyed(std::uint64_t first_ppn, std::uint32_t count,
+                                   Fn&& on_orphaned_parity) {
+    std::uint64_t broken = 0;
+    for (std::uint64_t raw = first_ppn; raw < first_ppn + count; ++raw) {
+      // Open-stripe members: silently un-member (no protection existed yet).
+      for (std::size_t i = 0; i < open_.size();) {
+        if (open_[i].get() == raw) {
+          open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+      const auto mem = member_of_.find(raw);
+      std::uint64_t id = 0;
+      bool was_parity = false;
+      if (mem != member_of_.end()) {
+        id = mem->second;
+      } else {
+        const auto par = parity_of_.find(raw);
+        if (par == parity_of_.end()) continue;
+        id = par->second;
+        was_parity = true;
+      }
+      const auto it = stripes_.find(id);
+      AF_CHECK_MSG(it != stripes_.end(), "stripe index points at no stripe");
+      const Ppn parity = it->second.parity;
+      drop(id);
+      ++broken;
+      if (!was_parity &&
+          (parity.get() < first_ppn || parity.get() >= first_ppn + count)) {
+        on_orphaned_parity(parity);
+      }
+    }
+    return broken;
+  }
+
+  /// GC moved a sealed stripe's parity page.
+  void on_parity_moved(Ppn from, Ppn to);
+
+  /// Drops a sealed stripe (protection lapsed, e.g. its parity page became
+  /// unreadable). No-op if the id is unknown.
+  void drop(std::uint64_t id);
+
+  // --- Mount-time rebuild ----------------------------------------------------
+
+  /// Regroups the sealed-stripe directory from the array's OOB records: a
+  /// stripe survives the crash iff its parity page and exactly width-1
+  /// member pages are still physically present (erase wipes OOB, so broken
+  /// stripes fall out naturally). Open stripes died with RAM — members
+  /// without a parity page stay unprotected. Returns stripes recovered.
+  std::uint64_t rebuild(const nand::FlashArray& array);
+
+ private:
+  std::uint32_t width_;
+  std::uint64_t open_id_ = 1;
+  std::uint64_t next_id_ = 2;
+  std::vector<Ppn> open_;
+  // Ordered: for_each_sealed feeds recovery's determinism-sensitive refs.
+  std::map<std::uint64_t, Stripe> stripes_;
+  // Raw ppn -> stripe id. Lookups only — never iterated (determinism).
+  std::unordered_map<std::uint64_t, std::uint64_t> member_of_;
+  std::unordered_map<std::uint64_t, std::uint64_t> parity_of_;
+};
+
+/// Budgeted background refresh, owned by the sim::Ssd facade (like the
+/// Checkpointer) and driven once per accepted host request.
+class ScrubScheduler {
+ public:
+  ScrubScheduler(Engine& engine, const SsdConfig::IntegrityConfig& config);
+
+  /// Called after each accepted host request completes at `now`; runs one
+  /// scrub tick when the interval elapses. May throw nand::PowerLoss (scrub
+  /// reads/programs count as physical ops under an armed cut).
+  void note_request(SimTime now);
+
+  [[nodiscard]] std::uint64_t cursor() const { return cursor_; }
+
+ private:
+  void tick(SimTime now);
+
+  Engine& engine_;
+  SsdConfig::IntegrityConfig cfg_;
+  std::uint64_t since_tick_ = 0;
+  std::uint64_t cursor_ = 0;  // raw ppn sweep position
+};
+
+}  // namespace af::ssd

@@ -63,14 +63,16 @@ SimTime MapDirectory::evict_one(SimTime ready) {
   cache_.erase(it);
   if (dirty) {
     ++evictions_;
-    // Program the new copy first: the program may run GC, which can both
-    // relocate the stale flash copy (updating flash_loc_) and re-insert the
-    // victim into the cache — so the stale copy is invalidated through its
-    // *current* location afterwards.
-    auto [ppn, done] = io_.map_flash_program(victim, ready);
+    // Drop the stale flash copy BEFORE programming the new one: the program
+    // may run GC, and a still-valid stale copy it relocated would out-seq
+    // the fresh copy in power-cut recovery's OOB replay. (The program may
+    // still re-insert the victim into the cache; touch() guards against
+    // double insertion.)
     if (flash_loc_[victim].valid()) {
       io_.map_flash_invalidate(flash_loc_[victim]);
+      flash_loc_[victim] = Ppn{};
     }
+    auto [ppn, done] = io_.map_flash_program(victim, ready);
     flash_loc_[victim] = ppn;
     note_gtd_change(victim);
     ready = done;

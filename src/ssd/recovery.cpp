@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "ssd/engine.h"
+#include "ssd/integrity.h"
 
 namespace af::ssd {
 
@@ -98,7 +99,10 @@ RecoveryReport Recovery::mount(Engine& engine, RecoverableMapping& scheme) {
 
   // --- 3. Replay claims, oldest first ---------------------------------------
   // Later claims overwrite earlier ones exactly as the pre-crash execution
-  // did (every remap programmed the new copy before dropping the old).
+  // did. This leans on a write-path invariant: every remap drops the
+  // superseded copy BEFORE programming its replacement, so no later-seq
+  // program (in particular a GC relocation running inside the replacing
+  // program) can ever carry superseded payload.
   for (const Claim& claim : claims) {
     const nand::OobRecord& oob = array.oob(claim.ppn);
     switch (oob.owner.kind) {
@@ -108,6 +112,11 @@ RecoveryReport Recovery::mount(Engine& engine, RecoverableMapping& scheme) {
       case nand::PageOwner::Kind::kCkpt:
         // Journal chunks are referenced through the mount root, not claimed;
         // chunks of an incomplete entry are orphans and die in step 4.
+        break;
+      case nand::PageOwner::Kind::kParity:
+        // Parity pages are engine-owned: the stripe rebuild below regroups
+        // them from their OOB stripe stamps, and reconciliation references
+        // the ones whose stripes survived.
         break;
       case nand::PageOwner::Kind::kNone:
         AF_CHECK_MSG(false, "written page with no owner");
@@ -119,6 +128,11 @@ RecoveryReport Recovery::mount(Engine& engine, RecoverableMapping& scheme) {
     ++report.claims_applied;
   }
   scheme.recover_finalize();
+
+  // Regroup the parity-stripe directory from OOB stamps (a metadata pass:
+  // the stamps were already read by the scan above, or would live in the
+  // checkpoint a real firmware writes — no extra reads charged).
+  report.stripes_recovered = engine.rebuild_parity_state();
 
   // --- 4. Reconciliation ----------------------------------------------------
   // Flash validity is RAM-fiction: invalidations never hit the medium, so
@@ -144,6 +158,14 @@ RecoveryReport Recovery::mount(Engine& engine, RecoverableMapping& scheme) {
         for (const Ppn ppn : delta) add_ref(ppn, array.oob(ppn).owner);
       }
     }
+  }
+  if (const StripeTracker* stripes = engine.stripes()) {
+    // Parity pages of surviving stripes stay valid; parity whose stripe
+    // broke before the crash is an orphan and gets reclaimed below.
+    stripes->for_each_sealed([&](std::uint64_t id,
+                                 const StripeTracker::Stripe& stripe) {
+      add_ref(stripe.parity, nand::PageOwner::parity(id));
+    });
   }
   for (std::uint64_t raw = 0; raw < geom.total_pages(); ++raw) {
     const Ppn ppn{raw};

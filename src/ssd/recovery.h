@@ -84,6 +84,8 @@ struct RecoveryReport {
   std::uint64_t torn_pages = 0;            // interrupted programs detected
   std::uint64_t orphans_invalidated = 0;
   std::uint64_t pages_revived = 0;
+  /// Parity stripes regrouped from OOB stripe stamps (0 with parity off).
+  std::uint64_t stripes_recovered = 0;
   std::uint64_t flash_reads = 0;           // checkpoint_pages_read + pages_scanned
   std::uint64_t mount_time_ns = 0;
 };

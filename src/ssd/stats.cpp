@@ -12,6 +12,9 @@ const char* to_string(OpKind kind) {
     case OpKind::kGcWrite: return "gc-write";
     case OpKind::kCkptWrite: return "ckpt-write";
     case OpKind::kMountRead: return "mount-read";
+    case OpKind::kScrubRead: return "scrub-read";
+    case OpKind::kRebuildRead: return "rebuild-read";
+    case OpKind::kParityWrite: return "parity-write";
     case OpKind::kKindCount: break;
   }
   return "?";

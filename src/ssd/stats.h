@@ -20,8 +20,11 @@ enum class OpKind : std::uint8_t {
   kMapWrite,
   kGcRead,
   kGcWrite,
-  kCkptWrite,  // checkpoint-journal page programs (crash consistency)
-  kMountRead,  // spare-area scan reads during mount-time recovery
+  kCkptWrite,   // checkpoint-journal page programs (crash consistency)
+  kMountRead,   // spare-area scan reads during mount-time recovery
+  kScrubRead,   // background scrub health-check sensings
+  kRebuildRead, // stripe peer + parity reads during a parity rebuild
+  kParityWrite, // parity-page programs closing a stripe
   kKindCount
 };
 
@@ -79,6 +82,22 @@ struct FaultRecoveryStats {
   std::uint64_t read_only_entries = 0;  // drops into read-only degradation
   std::uint64_t rejected_writes = 0;  // writes refused while read-only
 
+  // --- Data-integrity subsystem (DESIGN.md §8) -----------------------------
+  // All zero unless the BER model / scrub / parity are configured on.
+  std::uint64_t read_disturb_reads = 0;  // sensings aging their block's cells
+  std::uint64_t raw_bit_errors = 0;      // total raw bit errors drawn
+  std::uint64_t ecc_retry_steps = 0;     // extra ladder sensings issued
+  std::uint64_t ecc_retry_recoveries = 0;  // reads the ladder rescued
+  std::uint64_t uncorrectable_reads = 0;   // ladder exhausted
+  std::uint64_t parity_writes = 0;       // parity programs closing stripes
+  std::uint64_t parity_rebuilds = 0;     // uncorrectables rebuilt from peers
+  std::uint64_t parity_rebuild_reads = 0;  // peer+parity reads those cost
+  std::uint64_t stripes_broken = 0;      // stripes whose protection lapsed
+  std::uint64_t scrub_ticks = 0;         // scrub scheduler invocations
+  std::uint64_t scrub_scans = 0;         // pages health-checked by scrub
+  std::uint64_t scrub_relocations = 0;   // pages refreshed past the watermark
+  std::uint64_t lost_pages = 0;          // uncorrectable with no intact stripe
+
   [[nodiscard]] std::uint64_t total_faults() const {
     return program_faults + erase_faults + read_retries;
   }
@@ -93,11 +112,13 @@ class DeviceStats {
   }
   [[nodiscard]] std::uint64_t flash_reads() const {
     return flash_ops(OpKind::kDataRead) + flash_ops(OpKind::kMapRead) +
-           flash_ops(OpKind::kGcRead) + flash_ops(OpKind::kMountRead);
+           flash_ops(OpKind::kGcRead) + flash_ops(OpKind::kMountRead) +
+           flash_ops(OpKind::kScrubRead) + flash_ops(OpKind::kRebuildRead);
   }
   [[nodiscard]] std::uint64_t flash_writes() const {
     return flash_ops(OpKind::kDataWrite) + flash_ops(OpKind::kMapWrite) +
-           flash_ops(OpKind::kGcWrite) + flash_ops(OpKind::kCkptWrite);
+           flash_ops(OpKind::kGcWrite) + flash_ops(OpKind::kCkptWrite) +
+           flash_ops(OpKind::kParityWrite);
   }
 
   void count_erase() { ++erases_; }

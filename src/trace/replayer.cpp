@@ -40,15 +40,18 @@ ReplayResult replay(const ssd::SsdConfig& config, ftl::SchemeKind kind,
     ssd.reset_measurement();
   }
 
+  std::uint64_t lost_requests = 0;
   for (const auto& rec : trace) {
     ftl::IoRequest req{rec.timestamp, rec.write, rec.range()};
     // Rejected writes (read-only degradation under fault injection) are
     // accounted in stats().faults().rejected_writes, which the benches
     // report; the replay itself carries on serving reads.
-    (void)ssd.submit(req);
+    if (ssd.submit(req).data_lost) ++lost_requests;
   }
   ssd.snapshot_map_footprint();
-  return snapshot_result(ssd);
+  ReplayResult result = snapshot_result(ssd);
+  result.lost_requests = lost_requests;
+  return result;
 }
 
 CrashReplayResult replay_with_power_cut(const ssd::SsdConfig& config,

@@ -33,6 +33,7 @@ struct ReplayResult {
   std::uint64_t map_bytes = 0;      // scheme mapping footprint
   std::uint64_t map_cache_hits = 0;
   std::uint64_t map_cache_misses = 0;
+  std::uint64_t lost_requests = 0;  // completions flagged data_lost (§8)
   double used_fraction = 0;
   double io_time_s = 0;             // sum of request latencies
   nand::FlashArray::WearSummary wear;  // block erase distribution

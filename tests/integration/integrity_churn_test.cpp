@@ -1,0 +1,233 @@
+// End-to-end data-integrity churn (DESIGN.md §8): every scheme runs a mixed
+// oracle-verified workload while latent bit errors grow, the ECC ladder
+// rescues marginal reads, background scrub refreshes rotting pages and
+// parity stripes rebuild uncorrectable ones — including errors landing on
+// live across-page areas and MRSM packed slots (the RMW reads inside writes
+// go through the same ladder). Degradation order under wear is pinned: data
+// stays intact until parity protection is exhausted, then the device drops
+// to read-only exactly like spare exhaustion. A power cut may land inside a
+// scrub tick; the mount must still recover oracle-equivalent state and
+// re-seal surviving stripes from OOB.
+#include <gtest/gtest.h>
+
+#include "ftl/across_ftl.h"
+#include "trace/profiles.h"
+#include "trace/replayer.h"
+#include "trace/synth.h"
+#include "../helpers.h"
+
+namespace af {
+namespace {
+
+/// Moderate rot: the ECC ladder and the scrubber both see real work, but
+/// jointly they keep every page recoverable (no uncorrectables expected).
+ssd::SsdConfig rotting_config() {
+  auto config = test::tiny_config();
+  config.faults.ber_base = 4.0;
+  config.faults.ber_retention = 0.25;     // per 1000 ops since program
+  config.faults.ber_read_disturb = 0.05;  // per 100 block reads
+  config.integrity.scrub_interval_requests = 16;
+  config.integrity.scrub_pages_per_tick = 8;
+  config.integrity.scrub_ber_watermark = 5.0;
+  config.integrity.parity_stripe_width = 4;
+  return config;
+}
+
+class IntegrityChurn : public ::testing::TestWithParam<ftl::SchemeKind> {};
+
+TEST_P(IntegrityChurn, OracleSurvivesScrubAndParityChurn) {
+  const auto config = rotting_config();
+  sim::Ssd ssd(config, GetParam());
+  // Half the logical space: width-4 parity carries ~13% live overhead, which
+  // the tiny geometry cannot absorb at full (75%) utilization.
+  test::WorkloadGen gen(config.logical_sectors() / 2,
+                        config.geometry.sectors_per_page(), 17);
+  for (int i = 0; i < 8'000; ++i) {
+    const auto completion = test::submit_ok(ssd, gen.next());
+    ASSERT_FALSE(completion.data_lost);
+  }
+
+  // Every layer of the machinery actually ran.
+  const auto& faults = ssd.stats().faults();
+  EXPECT_GT(faults.raw_bit_errors, 0u);
+  EXPECT_GT(faults.read_disturb_reads, 0u);
+  EXPECT_GT(faults.ecc_retry_steps, 0u);
+  EXPECT_GT(faults.ecc_retry_recoveries, 0u);
+  EXPECT_GT(faults.scrub_ticks, 0u);
+  EXPECT_GT(faults.scrub_scans, 0u);
+  EXPECT_GT(faults.scrub_relocations, 0u);
+  EXPECT_GT(faults.parity_writes, 0u);
+  EXPECT_GT(faults.stripes_broken, 0u);  // GC erased striped blocks
+  // ...and jointly kept everything readable.
+  EXPECT_EQ(faults.uncorrectable_reads, 0u);
+  EXPECT_EQ(faults.lost_pages, 0u);
+  EXPECT_FALSE(ssd.engine().read_only());
+
+  if (auto* across = dynamic_cast<ftl::AcrossFtl*>(&ssd.scheme())) {
+    across->check_invariants();
+  }
+  test::verify_full_space(ssd);
+}
+
+TEST_P(IntegrityChurn, UncorrectableLivePagesRebuildFromParity) {
+  // Every sensing saturates past the ECC budget, so *all* reads — host
+  // reads, RMW reads of MRSM slots, across-area merges, GC relocation reads
+  // — are uncorrectable and survive only through their parity stripe. The
+  // oracle proves the rebuilt payloads are the acknowledged ones.
+  auto config = test::tiny_config();
+  config.faults.ber_base = 1e9;
+  config.integrity.read_retry_steps = 1;
+  config.integrity.read_retry_ber_scale = 1.0;
+  config.integrity.parity_stripe_width = 3;
+  sim::Ssd ssd(config, GetParam());
+  test::WorkloadGen gen(config.logical_sectors() / 2,
+                        config.geometry.sectors_per_page(), 5);
+  std::uint64_t lost_completions = 0;
+  for (int i = 0; i < 1'500; ++i) {
+    const auto completion = ssd.submit(gen.next());
+    // Writes are refused once a broken-stripe page is lost and the device
+    // degrades; reads keep flowing either way.
+    if (completion.accepted && completion.data_lost) ++lost_completions;
+  }
+
+  const auto& faults = ssd.stats().faults();
+  EXPECT_GT(faults.uncorrectable_reads, 0u);
+  EXPECT_GT(faults.parity_rebuilds, 0u);
+  EXPECT_GT(faults.parity_rebuild_reads, faults.parity_rebuilds);
+  // Loss is only possible where GC had already broken the stripe, and every
+  // loss was surfaced per-completion, never silent.
+  EXPECT_EQ(faults.lost_pages > 0, lost_completions > 0 ||
+                                       ssd.engine().read_only());
+  // Stamps survive simulated data loss, so the sweep still verifies: the
+  // counters above, not corrupted payloads, are the loss model.
+  test::verify_full_space(ssd);
+}
+
+TEST_P(IntegrityChurn, WearRetirementAndScrubDegradeInOrder) {
+  // Wear-ramped erase failures retire blocks while scrub keeps refreshing:
+  // parity stripes break as their blocks die, and once spares are exhausted
+  // the device enters read-only (PR 1 semantics) with all data intact.
+  auto config = rotting_config();
+  config.faults.erase_fail = 1.0;
+  config.faults.seed = 7;
+  config.gc_threshold = 0.5;
+  sim::Ssd ssd(config, GetParam());
+  const auto spp = config.geometry.sectors_per_page();
+  const std::uint64_t footprint_pages = config.logical_pages() / 8;
+
+  Rng rng(21);
+  SimTime t = 0;
+  int submitted = 0;
+  for (; submitted < 20'000 && !ssd.engine().read_only(); ++submitted) {
+    const std::uint64_t p = rng.below(footprint_pages);
+    (void)ssd.submit({t++, true, SectorRange::of(p * spp, spp)});
+  }
+  ASSERT_TRUE(ssd.engine().read_only())
+      << "device never degraded after " << submitted << " writes";
+  const auto& faults = ssd.stats().faults();
+  EXPECT_GT(faults.retired_blocks, 0u);
+  EXPECT_GT(faults.stripes_broken, 0u);  // retirement tore stripes down
+  EXPECT_EQ(faults.lost_pages, 0u);      // ...but lost no data doing it
+
+  // Read-only: writes refused, scrub stands down, reads still verify.
+  const std::uint64_t ticks_at_degrade = faults.scrub_ticks;
+  EXPECT_FALSE(ssd.submit({t++, true, SectorRange::of(0, spp)}).accepted);
+  const auto read = ssd.submit({t++, false, SectorRange::of(0, spp)});
+  EXPECT_TRUE(read.accepted);
+  EXPECT_EQ(faults.scrub_ticks, ticks_at_degrade);
+  test::verify_full_space(ssd);
+}
+
+TEST_P(IntegrityChurn, PowerCutInsideScrubRecoversAndReseals) {
+  // Scrub reads/programs are physical ops, so sampled cuts land before,
+  // inside and after scrub ticks; the checkpointed mount must come back
+  // oracle-equivalent with surviving stripes re-sealed from OOB stamps.
+  auto config = rotting_config();
+  config.integrity.scrub_interval_requests = 8;  // scrub often: more windows
+  config.checkpoint.interval_requests = 16;
+  config.checkpoint.snapshot_every = 3;
+  trace::SynthProfile profile = trace::lun_profile(0, 250);
+  const trace::Trace t = trace::generate(profile, config.logical_sectors());
+
+  trace::ReplayOptions options;  // aged: GC and scrub both live at the cut
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto res = trace::replay_with_power_cut(config, GetParam(), t,
+                                                  {/*at_op=*/0, seed}, options);
+    ASSERT_TRUE(res.crashed) << "seed " << seed;
+    EXPECT_GT(res.verified_sectors, 0u);
+    // The continuation ran with the machinery back on.
+    EXPECT_GT(res.result.stats.faults().parity_writes, 0u);
+  }
+}
+
+TEST_P(IntegrityChurn, InertIntegrityKnobsAreBitIdentical) {
+  // With BER rates zero, scrub off and parity off, the remaining integrity
+  // knobs (ECC strength, ladder depth, watermark) must be dead weight: the
+  // device is bit-for-bit the baseline one, completion times included.
+  auto tuned = test::tiny_config();
+  tuned.integrity.ecc_correctable_bits = 2;
+  tuned.integrity.read_retry_steps = 9;
+  tuned.integrity.read_retry_ber_scale = 0.9;
+  tuned.integrity.scrub_ber_watermark = 0.01;
+  tuned.integrity.scrub_pages_per_tick = 64;
+  sim::Ssd a(test::tiny_config(), GetParam());
+  sim::Ssd b(tuned, GetParam());
+  test::WorkloadGen gen_a(tuned.logical_sectors(),
+                          tuned.geometry.sectors_per_page(), 8);
+  test::WorkloadGen gen_b(tuned.logical_sectors(),
+                          tuned.geometry.sectors_per_page(), 8);
+  for (int i = 0; i < 4'000; ++i) {
+    const auto done_a = test::submit_ok(a, gen_a.next()).done;
+    const auto done_b = test::submit_ok(b, gen_b.next()).done;
+    ASSERT_EQ(done_a, done_b);
+  }
+  EXPECT_EQ(a.stats().flash_writes(), b.stats().flash_writes());
+  EXPECT_EQ(a.stats().flash_reads(), b.stats().flash_reads());
+  EXPECT_EQ(a.stats().erases(), b.stats().erases());
+  EXPECT_EQ(b.stats().faults().raw_bit_errors, 0u);
+  EXPECT_EQ(b.stats().faults().scrub_ticks, 0u);
+  EXPECT_EQ(b.stats().faults().parity_writes, 0u);
+}
+
+TEST_P(IntegrityChurn, SameSeedSameIntegrityOutcome) {
+  // Full machinery on: two devices with the same seed agree on every §8
+  // counter and completion time after the same workload.
+  const auto config = rotting_config();
+  sim::Ssd a(config, GetParam());
+  sim::Ssd b(config, GetParam());
+  test::WorkloadGen gen_a(config.logical_sectors() / 2,
+                          config.geometry.sectors_per_page(), 23);
+  test::WorkloadGen gen_b(config.logical_sectors() / 2,
+                          config.geometry.sectors_per_page(), 23);
+  for (int i = 0; i < 3'000; ++i) {
+    ASSERT_EQ(test::submit_ok(a, gen_a.next()).done,
+              test::submit_ok(b, gen_b.next()).done);
+  }
+  const auto& fa = a.stats().faults();
+  const auto& fb = b.stats().faults();
+  EXPECT_EQ(fa.raw_bit_errors, fb.raw_bit_errors);
+  EXPECT_EQ(fa.ecc_retry_steps, fb.ecc_retry_steps);
+  EXPECT_EQ(fa.ecc_retry_recoveries, fb.ecc_retry_recoveries);
+  EXPECT_EQ(fa.scrub_scans, fb.scrub_scans);
+  EXPECT_EQ(fa.scrub_relocations, fb.scrub_relocations);
+  EXPECT_EQ(fa.parity_writes, fb.parity_writes);
+  EXPECT_EQ(fa.stripes_broken, fb.stripes_broken);
+  EXPECT_EQ(a.stats().flash_writes(), b.stats().flash_writes());
+  EXPECT_EQ(a.stats().erases(), b.stats().erases());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, IntegrityChurn,
+                         ::testing::Values(ftl::SchemeKind::kPageFtl,
+                                           ftl::SchemeKind::kMrsm,
+                                           ftl::SchemeKind::kAcrossFtl),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case ftl::SchemeKind::kPageFtl: return "PageFtl";
+                             case ftl::SchemeKind::kMrsm: return "Mrsm";
+                             case ftl::SchemeKind::kAcrossFtl: return "Across";
+                           }
+                           return "unknown";
+                         });
+
+}  // namespace
+}  // namespace af

@@ -19,7 +19,7 @@ struct SimpleRelocator {
   explicit SimpleRelocator(Engine& engine) : engine_(engine) {
     engine.set_relocator([this](Ppn victim, const nand::PageOwner& owner,
                                 SimTime& clock) {
-      clock = engine_.flash_read(victim, OpKind::kGcRead, clock);
+      clock = engine_.flash_read(victim, OpKind::kGcRead, clock).done;
       auto moved = engine_.gc_program(engine_.geometry().plane_of(victim),
                                       owner, clock);
       clock = moved.done;
@@ -64,7 +64,8 @@ TEST(Engine, ReadRequiresValidPage) {
   auto programmed = engine.flash_program(
       Stream::kData, nand::PageOwner::data(Lpn{0}), OpKind::kDataWrite, 0);
   const SimTime done = engine.flash_read(programmed.ppn, OpKind::kDataRead,
-                                         programmed.done);
+                                         programmed.done)
+                           .done;
   EXPECT_GT(done, programmed.done);
 }
 

@@ -1,0 +1,401 @@
+// Data-integrity subsystem units (DESIGN.md §8): the StripeTracker's RAM
+// directory, the engine's ECC read-retry ladder, parity-rebuild of
+// uncorrectable pages, the mount-time stripe rebuild from OOB stamps, and
+// the scrub scheduler's budgeted sweep.
+#include "ssd/integrity.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nand/flash_array.h"
+#include "ssd/engine.h"
+
+namespace af::ssd {
+namespace {
+
+SsdConfig base_config() {
+  SsdConfig config = SsdConfig::tiny();
+  config.track_payload = true;
+  return config;
+}
+
+/// Trivial relocator: copy the page, keep the oracle stamps, observe moves.
+struct SimpleRelocator {
+  explicit SimpleRelocator(Engine& engine) : engine_(engine) {
+    engine.set_relocator([this](Ppn victim, const nand::PageOwner& owner,
+                                SimTime& clock) {
+      clock = engine_.flash_read(victim, OpKind::kGcRead, clock).done;
+      auto moved = engine_.gc_program(engine_.geometry().plane_of(victim),
+                                      owner, clock);
+      clock = moved.done;
+      engine_.copy_stamps(victim, moved.ppn);
+      engine_.invalidate(victim);
+      moves.push_back({victim, moved.ppn});
+    });
+  }
+  Engine& engine_;
+  std::vector<std::pair<Ppn, Ppn>> moves;
+};
+
+// --- StripeTracker -----------------------------------------------------------
+
+TEST(StripeTracker, BuildSealLookup) {
+  StripeTracker tracker(4);
+  EXPECT_EQ(tracker.open_id(), 1u);
+  tracker.note_member(Ppn{10});
+  tracker.note_member(Ppn{11});
+  EXPECT_FALSE(tracker.open_full());
+  tracker.note_member(Ppn{12});
+  ASSERT_TRUE(tracker.open_full());
+
+  auto open = tracker.take_open();
+  EXPECT_EQ(open.id, 1u);
+  EXPECT_EQ(open.members.size(), 3u);
+  EXPECT_EQ(tracker.open_id(), 2u);  // next stripe is already open
+
+  tracker.seal(open.id, std::move(open.members), Ppn{20});
+  EXPECT_EQ(tracker.sealed_stripes(), 1u);
+  const auto* stripe = tracker.stripe_of(Ppn{11});
+  ASSERT_NE(stripe, nullptr);
+  EXPECT_EQ(stripe->parity.get(), 20u);
+  EXPECT_EQ(tracker.stripe_of(Ppn{20}), nullptr);  // parity is not a member
+  ASSERT_NE(tracker.stripe_by_parity(Ppn{20}), nullptr);
+  EXPECT_EQ(tracker.stripe_by_parity(Ppn{20})->members.size(), 3u);
+  EXPECT_EQ(tracker.stripe_of(Ppn{13}), nullptr);
+}
+
+TEST(StripeTracker, ParityMoveKeepsDirectoryCurrent) {
+  StripeTracker tracker(3);
+  tracker.note_member(Ppn{1});
+  tracker.note_member(Ppn{2});
+  auto open = tracker.take_open();
+  tracker.seal(open.id, std::move(open.members), Ppn{9});
+
+  tracker.on_parity_moved(Ppn{9}, Ppn{30});
+  EXPECT_EQ(tracker.stripe_by_parity(Ppn{9}), nullptr);
+  ASSERT_NE(tracker.stripe_by_parity(Ppn{30}), nullptr);
+  EXPECT_EQ(tracker.stripe_of(Ppn{1})->parity.get(), 30u);
+}
+
+TEST(StripeTracker, DestroyedMemberBreaksStripeAndOrphansParity) {
+  StripeTracker tracker(3);
+  tracker.note_member(Ppn{10});
+  tracker.note_member(Ppn{11});
+  auto open = tracker.take_open();
+  tracker.seal(open.id, std::move(open.members), Ppn{40});
+
+  std::vector<Ppn> orphaned;
+  const auto broken = tracker.on_block_destroyed(
+      8, 8, [&](Ppn parity) { orphaned.push_back(parity); });
+  EXPECT_EQ(broken, 1u);
+  EXPECT_EQ(tracker.sealed_stripes(), 0u);
+  ASSERT_EQ(orphaned.size(), 1u);  // parity survives outside [8, 16)
+  EXPECT_EQ(orphaned[0].get(), 40u);
+  EXPECT_EQ(tracker.stripe_of(Ppn{10}), nullptr);
+}
+
+TEST(StripeTracker, DestroyedParityBreaksStripeWithoutOrphanCallback) {
+  StripeTracker tracker(3);
+  tracker.note_member(Ppn{10});
+  tracker.note_member(Ppn{11});
+  auto open = tracker.take_open();
+  tracker.seal(open.id, std::move(open.members), Ppn{40});
+
+  std::vector<Ppn> orphaned;
+  const auto broken = tracker.on_block_destroyed(
+      40, 8, [&](Ppn parity) { orphaned.push_back(parity); });
+  EXPECT_EQ(broken, 1u);
+  EXPECT_TRUE(orphaned.empty());  // the parity page itself went down
+  EXPECT_EQ(tracker.sealed_stripes(), 0u);
+}
+
+TEST(StripeTracker, OpenMembersDropSilently) {
+  StripeTracker tracker(4);
+  tracker.note_member(Ppn{10});
+  tracker.note_member(Ppn{11});
+  std::vector<Ppn> orphaned;
+  const auto broken = tracker.on_block_destroyed(
+      8, 8, [&](Ppn parity) { orphaned.push_back(parity); });
+  EXPECT_EQ(broken, 0u);  // open members were never protected
+  EXPECT_TRUE(orphaned.empty());
+  // The open stripe lost both members: it needs three fresh ones again.
+  tracker.note_member(Ppn{20});
+  tracker.note_member(Ppn{21});
+  EXPECT_FALSE(tracker.open_full());
+  tracker.note_member(Ppn{22});
+  EXPECT_TRUE(tracker.open_full());
+}
+
+TEST(StripeTracker, DropUnknownIdIsNoop) {
+  StripeTracker tracker(2);
+  tracker.drop(99);
+  EXPECT_EQ(tracker.sealed_stripes(), 0u);
+}
+
+// --- Engine: stripe building and the ECC ladder ------------------------------
+
+TEST(Integrity, EveryWidthMinusOneProgramsSealAStripe) {
+  auto config = base_config();
+  config.integrity.parity_stripe_width = 4;
+  Engine engine(config);
+  std::vector<Ppn> members;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    members.push_back(engine
+                          .flash_program(Stream::kData,
+                                         nand::PageOwner::data(Lpn{i}),
+                                         OpKind::kDataWrite, 0)
+                          .ppn);
+  }
+  ASSERT_NE(engine.stripes(), nullptr);
+  EXPECT_EQ(engine.stripes()->sealed_stripes(), 1u);
+  EXPECT_EQ(engine.stats().faults().parity_writes, 1u);
+  EXPECT_EQ(engine.stats().flash_ops(OpKind::kParityWrite), 1u);
+
+  const auto* stripe = engine.stripes()->stripe_of(members[0]);
+  ASSERT_NE(stripe, nullptr);
+  EXPECT_EQ(stripe->members.size(), 3u);
+  // The parity page is a real programmed page with a kParity owner and the
+  // stripe id stamped durably into its OOB.
+  const auto& array = engine.array();
+  EXPECT_EQ(array.owner(stripe->parity).kind,
+            nand::PageOwner::Kind::kParity);
+  EXPECT_EQ(array.oob(stripe->parity).stripe, 1u);
+  EXPECT_EQ(array.oob(members[1]).stripe, 1u);
+  // Parity lives in its own write stream: never in a member's block.
+  for (const Ppn m : stripe->members) {
+    EXPECT_NE(engine.geometry().block_of(m),
+              engine.geometry().block_of(stripe->parity));
+  }
+}
+
+TEST(Integrity, EccLadderRescuesWithinRetryBudget) {
+  auto config = base_config();
+  config.faults.ber_base = 1e9;  // saturates every first sensing at the cap
+  config.integrity.read_retry_steps = 2;
+  config.integrity.read_retry_ber_scale = 0.0;  // first re-sense is clean
+  Engine engine(config);
+  const auto programmed = engine.flash_program(
+      Stream::kData, nand::PageOwner::data(Lpn{0}), OpKind::kDataWrite, 0);
+
+  const ReadResult read =
+      engine.flash_read(programmed.ppn, OpKind::kDataRead, programmed.done);
+  EXPECT_EQ(read.status, ReadStatus::kEccRetried);
+  EXPECT_FALSE(read.data_lost());
+  const auto& faults = engine.stats().faults();
+  EXPECT_EQ(faults.ecc_retry_steps, 1u);
+  EXPECT_EQ(faults.ecc_retry_recoveries, 1u);
+  EXPECT_EQ(faults.uncorrectable_reads, 0u);
+  EXPECT_GT(faults.raw_bit_errors, 0u);
+  EXPECT_FALSE(engine.read_only());
+}
+
+TEST(Integrity, UncorrectableWithoutParityLosesPageAndDegrades) {
+  auto config = base_config();
+  config.faults.ber_base = 1e9;
+  config.integrity.read_retry_steps = 2;
+  config.integrity.read_retry_ber_scale = 1.0;  // retries never help
+  Engine engine(config);
+  const auto programmed = engine.flash_program(
+      Stream::kData, nand::PageOwner::data(Lpn{0}), OpKind::kDataWrite, 0);
+
+  const ReadResult read =
+      engine.flash_read(programmed.ppn, OpKind::kDataRead, programmed.done);
+  EXPECT_EQ(read.status, ReadStatus::kLost);
+  EXPECT_TRUE(read.data_lost());
+  const auto& faults = engine.stats().faults();
+  EXPECT_EQ(faults.ecc_retry_steps, 2u);  // the whole ladder was walked
+  EXPECT_EQ(faults.ecc_retry_recoveries, 0u);
+  EXPECT_EQ(faults.uncorrectable_reads, 1u);
+  EXPECT_EQ(faults.lost_pages, 1u);
+  EXPECT_TRUE(engine.read_only());
+  EXPECT_EQ(faults.read_only_entries, 1u);
+}
+
+TEST(Integrity, ParityRebuildsUncorrectableMemberAndParity) {
+  auto config = base_config();
+  config.faults.ber_base = 1e9;
+  config.integrity.read_retry_steps = 1;
+  config.integrity.read_retry_ber_scale = 1.0;
+  config.integrity.parity_stripe_width = 4;
+  Engine engine(config);
+  std::vector<Ppn> members;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    members.push_back(engine
+                          .flash_program(Stream::kData,
+                                         nand::PageOwner::data(Lpn{i}),
+                                         OpKind::kDataWrite, 0)
+                          .ppn);
+  }
+  ASSERT_EQ(engine.stripes()->sealed_stripes(), 1u);
+
+  // A member rebuilds from its 2 surviving peers + the parity page.
+  const ReadResult member_read =
+      engine.flash_read(members[0], OpKind::kDataRead, 0);
+  EXPECT_EQ(member_read.status, ReadStatus::kRebuilt);
+  EXPECT_FALSE(member_read.data_lost());
+  const auto& faults = engine.stats().faults();
+  EXPECT_EQ(faults.parity_rebuilds, 1u);
+  EXPECT_EQ(faults.parity_rebuild_reads, 3u);
+  EXPECT_EQ(engine.stats().flash_ops(OpKind::kRebuildRead), 3u);
+  EXPECT_FALSE(engine.read_only());
+  EXPECT_EQ(faults.lost_pages, 0u);
+
+  // The parity page itself rebuilds from all 3 members.
+  const Ppn parity = engine.stripes()->stripe_of(members[0])->parity;
+  const ReadResult parity_read =
+      engine.flash_read(parity, OpKind::kDataRead, 0);
+  EXPECT_EQ(parity_read.status, ReadStatus::kRebuilt);
+  EXPECT_EQ(faults.parity_rebuilds, 2u);
+  EXPECT_EQ(faults.parity_rebuild_reads, 6u);
+  EXPECT_FALSE(engine.read_only());
+}
+
+TEST(Integrity, GcErasesBreakStripes) {
+  auto config = base_config();
+  config.integrity.parity_stripe_width = 2;  // every program seals a stripe
+  Engine engine(config);
+  SimpleRelocator relocator(engine);
+  Ppn prev{};
+  const std::uint64_t total = engine.geometry().total_pages() * 2;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    auto programmed = engine.flash_program(
+        Stream::kData, nand::PageOwner::data(Lpn{i % 32}), OpKind::kDataWrite,
+        0);
+    if (prev.valid()) engine.invalidate(prev);
+    prev = programmed.ppn;
+  }
+  EXPECT_GT(engine.gc_runs(), 0u);
+  EXPECT_GT(engine.stats().faults().stripes_broken, 0u);
+  EXPECT_GT(engine.stats().faults().parity_writes, 0u);
+  EXPECT_FALSE(engine.read_only());
+}
+
+TEST(Integrity, StripeDirectoryRebuildsFromOob) {
+  auto config = base_config();
+  config.integrity.parity_stripe_width = 4;
+  Engine first(config);
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    (void)first.flash_program(Stream::kData, nand::PageOwner::data(Lpn{i}),
+                              OpKind::kDataWrite, 0);
+  }
+  // 6 members sealed two stripes; the 7th sits in the open stripe, which
+  // dies with RAM and must not resurrect.
+  ASSERT_EQ(first.stripes()->sealed_stripes(), 2u);
+  const std::uint64_t pre_open_id = first.stripes()->open_id();
+
+  Engine second(config, first.release_array());
+  EXPECT_EQ(second.rebuild_parity_state(), 2u);
+  EXPECT_EQ(second.stripes()->sealed_stripes(), 2u);
+  // Ids resume above every durably stamped one.
+  EXPECT_GE(second.stripes()->open_id(), pre_open_id);
+}
+
+TEST(Integrity, ZeroRatesLeaveIntegrityCountersUntouched) {
+  // Integrity knobs without a BER model are inert: reads return kOk and no
+  // §8 counter moves (the bit-identical-baseline contract).
+  auto config = base_config();
+  config.integrity.read_retry_steps = 7;
+  config.integrity.scrub_ber_watermark = 0.1;
+  Engine engine(config);
+  const auto programmed = engine.flash_program(
+      Stream::kData, nand::PageOwner::data(Lpn{0}), OpKind::kDataWrite, 0);
+  const ReadResult read =
+      engine.flash_read(programmed.ppn, OpKind::kDataRead, programmed.done);
+  EXPECT_EQ(read.status, ReadStatus::kOk);
+  const auto& faults = engine.stats().faults();
+  EXPECT_EQ(faults.read_disturb_reads, 0u);
+  EXPECT_EQ(faults.raw_bit_errors, 0u);
+  EXPECT_EQ(faults.ecc_retry_steps, 0u);
+  EXPECT_EQ(faults.uncorrectable_reads, 0u);
+  EXPECT_EQ(faults.parity_writes, 0u);
+  EXPECT_EQ(faults.lost_pages, 0u);
+}
+
+// --- ScrubScheduler ----------------------------------------------------------
+
+TEST(Scrub, TickSweepsBudgetAndRefreshesPastWatermark) {
+  auto config = base_config();
+  config.faults.ber_base = 2.0;  // every page sits above the watermark
+  config.integrity.ecc_correctable_bits = 64;  // relocation reads never fail
+  config.integrity.scrub_interval_requests = 2;
+  config.integrity.scrub_pages_per_tick = 4;
+  config.integrity.scrub_ber_watermark = 1.0;
+  Engine engine(config);
+  SimpleRelocator relocator(engine);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    (void)engine.flash_program(Stream::kData, nand::PageOwner::data(Lpn{i}),
+                               OpKind::kDataWrite, 0);
+  }
+
+  ScrubScheduler scrubber(engine, config.integrity);
+  scrubber.note_request(0);  // 1 of 2: below the interval, no tick
+  EXPECT_EQ(engine.stats().faults().scrub_ticks, 0u);
+  scrubber.note_request(0);
+  const auto& faults = engine.stats().faults();
+  EXPECT_EQ(faults.scrub_ticks, 1u);
+  EXPECT_EQ(faults.scrub_scans, 4u);  // exactly the per-tick budget
+  EXPECT_EQ(faults.scrub_relocations, 4u);
+  EXPECT_EQ(engine.stats().flash_ops(OpKind::kScrubRead), 4u);
+  EXPECT_EQ(relocator.moves.size(), 4u);
+  // Refresh went through the normal GC program path.
+  EXPECT_GT(engine.stats().flash_ops(OpKind::kGcWrite), 0u);
+}
+
+TEST(Scrub, HealthyPagesAreScannedNotMoved) {
+  auto config = base_config();
+  config.faults.ber_base = 0.5;
+  config.integrity.scrub_interval_requests = 1;
+  config.integrity.scrub_pages_per_tick = 8;
+  config.integrity.scrub_ber_watermark = 1e9;  // nothing ever crosses it
+  Engine engine(config);
+  SimpleRelocator relocator(engine);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    (void)engine.flash_program(Stream::kData, nand::PageOwner::data(Lpn{i}),
+                               OpKind::kDataWrite, 0);
+  }
+  ScrubScheduler scrubber(engine, config.integrity);
+  scrubber.note_request(0);
+  EXPECT_EQ(engine.stats().faults().scrub_scans, 8u);
+  EXPECT_EQ(engine.stats().faults().scrub_relocations, 0u);
+  EXPECT_TRUE(relocator.moves.empty());
+  // The sweep is draw-free: scanning consumed no fault-model randomness, so
+  // a second identical engine agrees on every counter after the same tick.
+  Engine twin(config);
+  SimpleRelocator twin_relocator(twin);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    (void)twin.flash_program(Stream::kData, nand::PageOwner::data(Lpn{i}),
+                             OpKind::kDataWrite, 0);
+  }
+  ScrubScheduler twin_scrubber(twin, config.integrity);
+  twin_scrubber.note_request(0);
+  EXPECT_EQ(engine.stats().faults().raw_bit_errors,
+            twin.stats().faults().raw_bit_errors);
+  EXPECT_EQ(engine.stats().flash_reads(), twin.stats().flash_reads());
+}
+
+TEST(Scrub, StandsDownInReadOnlyMode) {
+  auto config = base_config();
+  config.faults.ber_base = 1e9;  // every host read is uncorrectable
+  config.integrity.read_retry_steps = 1;
+  config.integrity.read_retry_ber_scale = 1.0;
+  config.integrity.scrub_interval_requests = 1;
+  config.integrity.scrub_ber_watermark = 1.0;
+  Engine engine(config);
+  SimpleRelocator relocator(engine);
+  const auto programmed = engine.flash_program(
+      Stream::kData, nand::PageOwner::data(Lpn{0}), OpKind::kDataWrite, 0);
+  ASSERT_TRUE(
+      engine.flash_read(programmed.ppn, OpKind::kDataRead, 0).data_lost());
+  ASSERT_TRUE(engine.read_only());
+
+  // Scrub must not consume the remaining spare capacity of a degraded
+  // device: the tick is counted as skipped work, nothing is scanned.
+  ScrubScheduler scrubber(engine, config.integrity);
+  scrubber.note_request(0);
+  EXPECT_EQ(engine.stats().faults().scrub_ticks, 0u);
+  EXPECT_EQ(engine.stats().faults().scrub_scans, 0u);
+}
+
+}  // namespace
+}  // namespace af::ssd

@@ -116,6 +116,22 @@ TEST(AfLint, NondeterminismAllowedInsideCommon) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(AfLint, IntegrityStatusDiscardsAreFlagged) {
+  const auto findings =
+      lint_fixture("bad_integrity.txt", "src/ftl/bad_integrity.cpp");
+  // The two statement-position calls; assignments, return, (void), the
+  // map_flash_read suffix-lookalikes, the declaration line and the
+  // allow()-suppressed probe all stay clean.
+  EXPECT_EQ(count_rule(findings, "integrity-status"), 2);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(AfLint, IntegrityStatusRuleOnlyCoversSrc) {
+  const auto findings =
+      lint_fixture("bad_integrity.txt", "tests/ftl/bad_integrity.cpp");
+  EXPECT_EQ(count_rule(findings, "integrity-status"), 0);
+}
+
 TEST(AfLint, MultiSchemeBenchMustUseRunSchemes) {
   const auto findings = lint_fixture("bad_bench.txt", "bench/bad_bench.cpp");
   EXPECT_EQ(count_rule(findings, "bench-run-schemes"), 1);

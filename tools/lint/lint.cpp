@@ -186,7 +186,7 @@ void rule_nodiscard_status(const FileView& f, std::vector<Finding>& out) {
   // whose silent drop loses a failure or a completion time.
   static const std::regex kDecl(
       R"(^\s*(?:virtual\s+)?(?:static\s+)?(?:constexpr\s+)?)"
-      R"((?:[A-Za-z_]\w*::)*(bool|SimTime|Programmed|Completion|ReplayResult))"
+      R"((?:[A-Za-z_]\w*::)*(bool|SimTime|Programmed|Completion|ReplayResult|ReadResult))"
       R"(\s+([A-Za-z_]\w*)\s*\()");
   for (std::size_t i = 0; i < f.code.size(); ++i) {
     const std::string& line = f.code[i];
@@ -426,6 +426,68 @@ void rule_no_nondeterminism(const FileView& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: integrity-status
+// ---------------------------------------------------------------------------
+
+void rule_integrity_status(const FileView& f, std::vector<Finding>& out) {
+  // Engine::flash_read returns a ReadResult whose status can say "this data
+  // is gone" (uncorrectable, no parity stripe). A call in statement position
+  // throws that verdict away — [[nodiscard]] catches the bare call, but not
+  // one hidden behind a comma operator or cast-free discard idioms; this
+  // rule closes the class at the source level.
+  if (!starts_with(f.path, "src/")) return;
+  static constexpr std::string_view kCall = "flash_read(";
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    std::size_t pos = 0;
+    while ((pos = line.find(kCall, pos)) != std::string::npos) {
+      // Token boundary: map_flash_read / mount-scan helpers with the name as
+      // a suffix return plain SimTime and are not this rule's business.
+      if (pos > 0 && (std::isalnum(static_cast<unsigned char>(line[pos - 1])) ||
+                      line[pos - 1] == '_')) {
+        pos += kCall.size();
+        continue;
+      }
+      // Walk back over the object chain (receiver, ., ->, ::) to find what
+      // syntactically precedes the call expression.
+      std::size_t chain = pos;
+      while (chain > 0) {
+        const char c = line[chain - 1];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '.' || c == ':' || c == '>' || c == '-') {
+          --chain;
+        } else {
+          break;
+        }
+      }
+      std::string prefix = line.substr(0, chain);
+      const auto last = prefix.find_last_not_of(" \t");
+      prefix = last == std::string::npos ? "" : prefix.substr(0, last + 1);
+      // A call that starts its line may be the continuation of a wrapped
+      // expression (argument list, assignment RHS) — the decisive character
+      // then lives on an earlier line. Comment-only lines are already
+      // blanked in f.code, so they skip naturally.
+      for (std::size_t li = i; prefix.empty() && li > 0;) {
+        const std::string& prev = f.code[--li];
+        const auto plast = prev.find_last_not_of(" \t");
+        if (plast != std::string::npos) prefix = prev.substr(0, plast + 1);
+      }
+      // Statement position: nothing before the call, or the previous
+      // statement just ended. Anything else — assignment, return, argument,
+      // declaration, explicit (void) — consumes or visibly discards it.
+      if (prefix.empty() || prefix.back() == ';' || prefix.back() == '{' ||
+          prefix.back() == '}') {
+        report(f, out, i, "integrity-status",
+               "flash_read result discarded — its ReadResult carries the "
+               "data-integrity verdict (uncorrectable/lost); consume .done "
+               "and .status, or discard explicitly with (void)");
+      }
+      pos += kCall.size();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: bench-run-schemes
 // ---------------------------------------------------------------------------
 
@@ -472,6 +534,7 @@ std::vector<Finding> lint_content(const std::string& display_path,
   rule_check_side_effects(f, out);
   rule_no_raw_thread(f, out);
   rule_no_nondeterminism(f, out);
+  rule_integrity_status(f, out);
   rule_bench_run_schemes(f, out);
   return out;
 }
