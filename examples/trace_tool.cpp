@@ -20,7 +20,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  trace_tool gen <lun1..lun6> <requests> <out-file>\n"
+               "  trace_tool gen <lun1..lun6> <requests> <out-file> [trim%%]\n"
+               "    trim%% (0..50, default 0): fraction of requests emitted as\n"
+               "    TRIM records ('T' lines in the native format)\n"
                "  trace_tool stat <trace-file>\n");
   return 2;
 }
@@ -41,7 +43,12 @@ int main(int argc, char** argv) {
     }
     const auto idx = static_cast<std::size_t>(lun[3] - '1');
     const auto requests = std::strtoull(argv[3], nullptr, 10);
-    const auto profile = trace::lun_profile(idx, requests);
+    auto profile = trace::lun_profile(idx, requests);
+    if (argc >= 6) {
+      const double trim_pct = std::strtod(argv[5], nullptr);
+      if (trim_pct < 0.0 || trim_pct > 50.0) return usage();
+      profile.trim_fraction = trim_pct / 100.0;
+    }
     // A 16 GiB addressable span, page-aligned.
     const auto tr = trace::generate(profile, 16ull << 21);
     std::ofstream out(argv[4]);
@@ -50,7 +57,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     trace::write_native(out, tr);
-    std::printf("wrote %zu records to %s\n", tr.size(), argv[4]);
+    std::uint64_t trims = 0;
+    for (const auto& rec : tr) trims += rec.trim ? 1 : 0;
+    std::printf("wrote %zu records (%llu trims) to %s\n", tr.size(),
+                static_cast<unsigned long long>(trims), argv[4]);
     return 0;
   }
 
@@ -73,7 +83,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     Table table({"page size", "# of Req.", "Write R", "Write SZ (KB)",
-                 "Across R", "Unaligned R"});
+                 "Across R", "Unaligned R", "Trim R"});
     for (std::uint32_t page_kb : {4u, 8u, 16u}) {
       const auto stats = trace::characterize(tr, page_kb * 2);
       table.add_row({std::to_string(page_kb) + " KB",
@@ -83,7 +93,35 @@ int main(int argc, char** argv) {
                      Table::percent(stats.across_ratio),
                      Table::percent(
                          static_cast<double>(stats.unaligned_requests) /
-                         static_cast<double>(stats.requests))});
+                         static_cast<double>(stats.requests)),
+                     Table::percent(stats.trim_ratio)});
+      // Same hardening style as the malformed-line warnings: a trim too
+      // small or misaligned to cover one full page unmaps nothing at this
+      // page size — almost always a generator or unit-conversion bug.
+      if (stats.empty_trims > 0) {
+        std::fprintf(stderr,
+                     "warning: %llu of %llu trim extents cover no full "
+                     "%u KiB page (malformed?)\n",
+                     static_cast<unsigned long long>(stats.empty_trims),
+                     static_cast<unsigned long long>(stats.trims), page_kb);
+      }
+    }
+    // Out-of-range trims: extents past the furthest sector any read or
+    // write touches discard space the workload never used — harmless to a
+    // device, but a strong sign of a truncated or mis-scaled trace.
+    const auto bounds = trace::characterize(tr, 16);
+    if (bounds.trims > 0 && bounds.max_sector > bounds.max_data_sector) {
+      std::uint64_t beyond = 0;
+      for (const auto& rec : tr) {
+        if (rec.trim && rec.range().end > bounds.max_data_sector) ++beyond;
+      }
+      std::fprintf(stderr,
+                   "warning: %llu trim extent%s beyond the data footprint "
+                   "(last data sector %llu, last trimmed sector %llu)\n",
+                   static_cast<unsigned long long>(beyond),
+                   beyond == 1 ? " reaches" : "s reach",
+                   static_cast<unsigned long long>(bounds.max_data_sector),
+                   static_cast<unsigned long long>(bounds.max_sector));
     }
     table.print(std::cout);
     return 0;

@@ -404,6 +404,52 @@ SimTime AcrossFtl::write_sub(const SubRequest& sub, SimTime ready) {
   return write_normal_sub(sub, ready);
 }
 
+SimTime AcrossFtl::trim(SectorRange range, SimTime ready) {
+  const auto [first, last] = trim_span(range);
+  // RAM phase first: every covered mapping (normal page and area share)
+  // dies before any mapping-table traffic is charged — a map eviction can
+  // trigger GC, and a relocated covered page would out-seq the trim
+  // tombstone and resurrect after a power cut.
+  std::vector<std::uint32_t> touched_areas;
+  for (std::uint64_t l = first; l < last; ++l) {
+    const Lpn lpn{l};
+    PmtEntry& pe = pmt_[l];
+    if (pe.aidx != kNoArea) {
+      // A fully-covered page takes the area's whole share with it: shrink
+      // the area to its remainder in the neighbouring page (metadata only),
+      // or drop it outright — the same outcomes as write_sub's full-cover
+      // path, minus the replacement program.
+      const std::uint32_t aidx = pe.aidx;
+      AmtEntry& area = amt_[aidx];
+      touched_areas.push_back(aidx);
+      const auto diff = area.range.subtract(pgeom_.page_range(lpn));
+      const SectorRange rem = diff.left.empty() ? diff.right : diff.left;
+      if (rem.empty()) {
+        engine_.invalidate(area.appn);
+        free_area(aidx);
+      } else {
+        area.range = rem;
+        journal_area(aidx);
+        push_area_weight(aidx);
+        pe.aidx = kNoArea;
+      }
+      ++engine_.stats().across().area_shrinks;
+    }
+    if (pe.ppn.valid()) {
+      engine_.invalidate(pe.ppn);
+      pe.ppn = Ppn{};
+    }
+    journal_lpn(l);
+  }
+  for (std::uint64_t l = first; l < last; ++l) {
+    ready = touch_pmt(Lpn{l}, /*dirty=*/true, ready);
+  }
+  for (const std::uint32_t aidx : touched_areas) {
+    ready = touch_amt(aidx, /*dirty=*/true, ready);
+  }
+  return ready;
+}
+
 SimTime AcrossFtl::write_across(const IoRequest& req, SimTime ready) {
   const auto [first, last] = pgeom_.lpn_span(req.range);
   AF_CHECK(last.get() == first.get() + 1);
@@ -773,6 +819,33 @@ void AcrossFtl::recover_claim_across(const nand::OobRecord& oob, Ppn ppn) {
     AF_CHECK_MSG(pmt_[l].aidx == kNoArea || pmt_[l].aidx == aidx,
                  "area collision during claim replay");
     pmt_[l].aidx = aidx;
+  }
+}
+
+void AcrossFtl::recover_trim(SectorRange range) {
+  const auto [first, last] = trim_span(range);
+  for (std::uint64_t l = first; l < last; ++l) {
+    PmtEntry& pe = pmt_[l];
+    if (pe.aidx != kNoArea) {
+      const std::uint32_t aidx = pe.aidx;
+      AmtEntry& area = amt_[aidx];
+      AF_CHECK_MSG(area.live, "dangling AIdx during trim replay");
+      const auto diff = area.range.subtract(pgeom_.page_range(Lpn{l}));
+      const SectorRange rem = diff.left.empty() ? diff.right : diff.left;
+      if (rem.empty()) {
+        auto [afirst, alast] = pgeom_.lpn_span(area.range);
+        for (std::uint64_t m = afirst.get(); m <= alast.get(); ++m) {
+          if (pmt_[m].aidx == aidx) pmt_[m].aidx = kNoArea;
+        }
+        const std::uint32_t generation = area.generation;
+        area = AmtEntry{};  // free_area semantics: the slot resets in full
+        area.generation = generation;
+      } else {
+        area.range = rem;
+        pe.aidx = kNoArea;
+      }
+    }
+    pe.ppn = Ppn{};
   }
 }
 

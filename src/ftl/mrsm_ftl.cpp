@@ -319,6 +319,42 @@ SimTime MrsmFtl::write(const IoRequest& req, SimTime ready) {
   return done;
 }
 
+SimTime MrsmFtl::trim(SectorRange range, SimTime ready) {
+  const auto [first, last] = trim_span(range);
+  // RAM phase first: all covered mappings die before any mapping-table
+  // traffic is charged — a map eviction can trigger GC, and a relocated
+  // covered page would out-seq the trim tombstone and resurrect after a
+  // power cut.
+  for (std::uint64_t l = first; l < last; ++l) {
+    const Lpn lpn{l};
+    if (region_is_sub(lpn)) {
+      // retire_subloc handles the packed-directory bookkeeping: slot
+      // live-counts, weight pushes, invalidation when the last slot dies.
+      for (std::uint32_t k = 0; k < kSubsPerPage; ++k) retire_subloc(lpn, k);
+    } else {
+      if (pmt_[l].valid()) {
+        engine_.invalidate(pmt_[l]);
+        pmt_[l] = Ppn{};
+      }
+      journal_lpn(l);
+    }
+  }
+  for (std::uint64_t l = first; l < last; ++l) {
+    ready = touch_map(Lpn{l}, /*dirty=*/true, ready);
+  }
+  return ready;
+}
+
+bool MrsmFtl::lpn_mapped(Lpn lpn) const {
+  if (pmt_[lpn.get()].valid()) return true;
+  if (region_is_sub(lpn)) {
+    for (const SubLoc& loc : subs_[lpn.get()]) {
+      if (loc.valid()) return true;
+    }
+  }
+  return false;
+}
+
 SimTime MrsmFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
   const auto subs = split(req.range, pgeom_);
 
@@ -508,6 +544,15 @@ void MrsmFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
 void MrsmFtl::sink_lpn_entry(ssd::ByteSink& sink, std::uint64_t l) const {
   sink.u64(l);
   sink.u64(pmt_[l].get());
+  // Most of the space stays page-mapped (subs all invalid); a presence flag
+  // cuts those entries from 52 to 17 bytes. Unconditional sub encoding made
+  // MRSM snapshots ~3.5x the page-FTL's, and the resulting ~150-page journal
+  // bursts on the map stream stalled data traffic badly enough to show up as
+  // a 4x io_time inflation in perf_replay's checkpoint section.
+  bool any_sub = false;
+  for (const SubLoc& loc : subs_[l]) any_sub = any_sub || loc.valid();
+  sink.u8(any_sub ? 1 : 0);
+  if (!any_sub) return;
   for (const SubLoc& loc : subs_[l]) {
     sink.u64(loc.ppn.get());
     sink.u8(loc.slot);
@@ -518,6 +563,12 @@ void MrsmFtl::source_lpn_entry(ssd::ByteSource& src) {
   const std::uint64_t l = src.u64();
   AF_CHECK(l < pmt_.size());
   pmt_[l] = Ppn{src.u64()};
+  if (src.u8() == 0) {
+    // Entry was serialized with no live subs; clear ours — a delta replay
+    // may be overwriting an entry that had subs when it was last applied.
+    for (SubLoc& loc : subs_[l]) loc = SubLoc{};
+    return;
+  }
   for (SubLoc& loc : subs_[l]) {
     loc.ppn = Ppn{src.u64()};
     loc.slot = src.u8();
@@ -526,10 +577,14 @@ void MrsmFtl::source_lpn_entry(ssd::ByteSource& src) {
 
 void MrsmFtl::sink_packed_dir(ssd::ByteSink& sink, const PackedPage& dir) {
   sink.u64(dir.pack_id);
+  // Dead slots are one flag byte: their lpn/sub are never read (every
+  // consumer checks `live` first), and packed pages age toward mostly-dead
+  // before GC reclaims them, so this halves a typical directory.
   for (const PackedPage::Slot& slot : dir.slots) {
+    sink.u8(slot.live ? 1 : 0);
+    if (!slot.live) continue;
     sink.u64(slot.lpn.get());
     sink.u8(slot.sub);
-    sink.u8(slot.live ? 1 : 0);
   }
 }
 
@@ -537,9 +592,10 @@ MrsmFtl::PackedPage MrsmFtl::source_packed_dir(ssd::ByteSource& src) {
   PackedPage dir;
   dir.pack_id = src.u64();
   for (PackedPage::Slot& slot : dir.slots) {
+    slot.live = src.u8() != 0;
+    if (!slot.live) continue;
     slot.lpn = Lpn{src.u64()};
     slot.sub = src.u8();
-    slot.live = src.u8() != 0;
   }
   return dir;
 }
@@ -703,6 +759,18 @@ void MrsmFtl::recover_claim(const nand::OobRecord& oob, Ppn ppn) {
       return;
     default:
       AF_CHECK_MSG(false, "unexpected OOB owner kind in MRSM recovery");
+  }
+}
+
+void MrsmFtl::recover_trim(SectorRange range) {
+  const auto [first, last] = trim_span(range);
+  for (std::uint64_t l = first; l < last; ++l) {
+    const Lpn lpn{l};
+    if (region_is_sub(lpn)) {
+      for (std::uint32_t k = 0; k < kSubsPerPage; ++k) recover_displace(lpn, k);
+    } else {
+      pmt_[l] = Ppn{};
+    }
   }
 }
 

@@ -34,6 +34,8 @@ class MrsmFtl final : public FtlScheme {
   [[nodiscard]] const char* name() const override { return "MRSM"; }
   SimTime write(const IoRequest& req, SimTime ready) override;
   SimTime read(const IoRequest& req, SimTime ready, ReadPlan* plan) override;
+  [[nodiscard]] SimTime trim(SectorRange range, SimTime ready) override;
+  [[nodiscard]] bool lpn_mapped(Lpn lpn) const override;
   void gc_relocate(Ppn victim, const nand::PageOwner& owner,
                    SimTime& clock) override;
   [[nodiscard]] std::uint64_t map_bytes() const override;
@@ -45,6 +47,7 @@ class MrsmFtl final : public FtlScheme {
   void deserialize_mapping(ssd::ByteSource& src) override;
   void apply_delta(ssd::ByteSource& src) override;
   void recover_claim(const nand::OobRecord& oob, Ppn ppn) override;
+  void recover_trim(SectorRange range) override;
   void recover_enumerate(
       const std::function<void(Ppn, nand::PageOwner)>& fn) const override;
   void recover_finalize() override;

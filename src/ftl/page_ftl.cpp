@@ -105,6 +105,26 @@ SimTime PageFtl::read(const IoRequest& req, SimTime ready, ReadPlan* plan) {
   return done;
 }
 
+SimTime PageFtl::trim(SectorRange range, SimTime ready) {
+  const auto [first, last] = trim_span(range);
+  // Drop every covered mapping before charging any mapping-table traffic: a
+  // map eviction below can trigger GC, and a still-valid covered page it
+  // relocated would carry an OOB seq newer than the trim's tombstone —
+  // resurrecting the page after a power cut. Invalidation is RAM-only, so
+  // no cut can land inside this loop.
+  for (std::uint64_t l = first; l < last; ++l) {
+    if (pmt_[l].valid()) {
+      engine_.invalidate(pmt_[l]);
+      pmt_[l] = Ppn{};
+    }
+    journal_lpn(l);
+  }
+  for (std::uint64_t l = first; l < last; ++l) {
+    ready = engine_.map_touch(map_page_of(Lpn{l}), /*dirty=*/true, ready);
+  }
+  return ready;
+}
+
 void PageFtl::gc_relocate(Ppn victim, const nand::PageOwner& owner,
                           SimTime& clock) {
   AF_CHECK(owner.kind == nand::PageOwner::Kind::kData);
@@ -163,6 +183,11 @@ void PageFtl::recover_claim(const nand::OobRecord& oob, Ppn ppn) {
                "unexpected OOB owner kind in page-FTL recovery");
   AF_CHECK(oob.owner.id < pmt_.size());
   pmt_[oob.owner.id] = ppn;  // newest seq wins — claims replay in order
+}
+
+void PageFtl::recover_trim(SectorRange range) {
+  const auto [first, last] = trim_span(range);
+  for (std::uint64_t l = first; l < last; ++l) pmt_[l] = Ppn{};
 }
 
 void PageFtl::recover_enumerate(

@@ -15,6 +15,10 @@ struct IoRequest {
   SimTime arrival = 0;
   bool write = false;
   SectorRange range;
+  /// TRIM/discard: unmap the range's fully covered logical pages instead of
+  /// transferring data. `write` is false for trims (last field so existing
+  /// {arrival, write, range} aggregate initializers stay valid).
+  bool trim = false;
 
   [[nodiscard]] SectorCount sectors() const { return range.size(); }
 };

@@ -26,7 +26,9 @@ std::vector<SubRequest> split(SectorRange range, const PageGeometry& geom) {
 
 ssd::ReqClass classify(const IoRequest& req, const PageGeometry& geom) {
   const bool across = geom.is_across_page(req.range);
-  if (req.write) {
+  // Trims count as writes: they mutate the device and contend for the same
+  // mapping-table resources, even though no data transfers.
+  if (req.write || req.trim) {
     return across ? ssd::ReqClass::kAcrossWrite : ssd::ReqClass::kNormalWrite;
   }
   return across ? ssd::ReqClass::kAcrossRead : ssd::ReqClass::kNormalRead;

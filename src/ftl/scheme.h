@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/interval.h"
@@ -57,6 +58,12 @@ class FtlScheme : public ssd::RecoverableMapping {
   [[nodiscard]] virtual SimTime read(const IoRequest& req, SimTime ready,
                                      ReadPlan* plan) = 0;
 
+  /// Services a TRIM/discard: unmaps every logical page fully covered by
+  /// `range` (partial head/tail pages keep their data), invalidating the
+  /// freed flash pages and pushing GC live-weight updates. Pure metadata —
+  /// the cost is the mapping-table touches. Returns completion time.
+  [[nodiscard]] virtual SimTime trim(SectorRange range, SimTime ready) = 0;
+
   /// GC relocation hook: move live page `victim` owned by `owner`, update
   /// the scheme's mapping, and advance `clock` past the copy operations.
   virtual void gc_relocate(Ppn victim, const nand::PageOwner& owner,
@@ -66,6 +73,25 @@ class FtlScheme : public ssd::RecoverableMapping {
   /// quantity Figure 12(a) plots. Includes second-level structures (AMT,
   /// MRSM sub-tables).
   [[nodiscard]] virtual std::uint64_t map_bytes() const = 0;
+
+  /// True when the logical page currently occupies flash in any form (page
+  /// mapping, MRSM sub-slots, or an Across area overlapping it). A write to
+  /// a mapped page is an overwrite — it adds no net valid pages — so the
+  /// capacity admission guard charges only the unmapped pages of a request;
+  /// otherwise a device at the ceiling would refuse overwrites of its own
+  /// data forever.
+  [[nodiscard]] virtual bool lpn_mapped(Lpn lpn) const = 0;
+
+  /// Net-new logical pages a write spanning `range` would materialise:
+  /// pages of the footprint with no current mapping.
+  [[nodiscard]] std::uint64_t unmapped_pages(SectorRange range) const {
+    const std::uint32_t spp = page_geometry().sectors_per_page;
+    std::uint64_t count = 0;
+    for (std::uint64_t l = range.begin / spp; l * spp < range.end; ++l) {
+      if (!lpn_mapped(Lpn{l})) ++count;
+    }
+    return count;
+  }
 
   void set_stamp_provider(const StampProvider* provider) {
     stamps_ = provider;
@@ -78,6 +104,16 @@ class FtlScheme : public ssd::RecoverableMapping {
  protected:
   /// Dirty-entry tracking is on (a Checkpointer is writing delta entries).
   [[nodiscard]] bool journaling() const { return journal_; }
+
+  /// LPNs fully covered by `range`, as a half-open raw index span
+  /// [first, last); empty (first >= last) when no whole page is covered.
+  /// The shared inward-rounding rule of every trim path (live, recovery and
+  /// oracle sides must agree on it exactly).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> trim_span(
+      SectorRange range) const {
+    const std::uint32_t spp = pgeom_.sectors_per_page;
+    return {(range.begin + spp - 1) / spp, range.end / spp};
+  }
 
   [[nodiscard]] bool tracking() const {
     return stamps_ != nullptr && engine_.tracks_payload();

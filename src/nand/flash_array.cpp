@@ -253,17 +253,36 @@ FlashArray::WearSummary FlashArray::wear() const {
   WearSummary summary;
   summary.min = std::numeric_limits<std::uint64_t>::max();
   std::uint64_t total = 0;
+  std::uint64_t counted = 0;
+  // Retired blocks are permanently out of the erase rotation: counting them
+  // would pin the spread at whatever count they died with and make the
+  // leveling target unreachable.
   for (const auto& b : blocks_) {
+    if (b.retired) continue;
     summary.min = std::min(summary.min, b.erase_count);
     summary.max = std::max(summary.max, b.erase_count);
     total += b.erase_count;
+    ++counted;
   }
-  if (blocks_.empty()) summary.min = 0;
-  summary.mean = blocks_.empty()
-                     ? 0.0
-                     : static_cast<double>(total) /
-                           static_cast<double>(blocks_.size());
+  if (counted == 0) summary.min = 0;
+  summary.mean = counted == 0 ? 0.0
+                              : static_cast<double>(total) /
+                                    static_cast<double>(counted);
   return summary;
+}
+
+std::uint64_t FlashArray::note_trim(SectorRange range) {
+  AF_CHECK_MSG(!range.empty(), "trim tombstone for an empty range");
+  const std::uint64_t seq = ++next_seq_;
+  trim_log_.push_back({seq, range.begin, range.end});
+  return seq;
+}
+
+void FlashArray::prune_trim_log(std::uint64_t upto) {
+  // The log is seq-ascending, so subsumed tombstones form a prefix.
+  auto it = trim_log_.begin();
+  while (it != trim_log_.end() && it->seq <= upto) ++it;
+  trim_log_.erase(trim_log_.begin(), it);
 }
 
 void FlashArray::set_ckpt_blob(Ppn ppn, std::vector<std::uint8_t> bytes) {

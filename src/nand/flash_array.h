@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/interval.h"
 #include "common/types.h"
 #include "nand/faults.h"
 #include "nand/geometry.h"
@@ -307,6 +308,32 @@ class FlashArray {
   /// Largest OOB seq handed out so far (0 = nothing programmed yet).
   [[nodiscard]] std::uint64_t last_seq() const { return next_seq_; }
 
+  // --- TRIM tombstones ------------------------------------------------------
+
+  /// Durable record of one host TRIM, ordered against page programs by the
+  /// shared OOB sequence counter. Real firmware journals trims into its log
+  /// block; like MountRoot, the tombstone is modeled as durable the moment
+  /// it is appended — a power cut after note_trim() recovers with the trim
+  /// in force (a completed discard), one before it loses the trim (an
+  /// unacknowledged discard). Recovery replays tombstones newer than the
+  /// checkpoint interleaved with OOB claims, newest seq winning.
+  struct TrimTombstone {
+    std::uint64_t seq = 0;
+    SectorAddr begin = 0;
+    SectorAddr end = 0;
+  };
+
+  /// Appends a tombstone for `range`, consuming the next OOB seq; returns
+  /// that seq. No physical op is counted (metadata journal append).
+  std::uint64_t note_trim(SectorRange range);
+  [[nodiscard]] const std::vector<TrimTombstone>& trim_log() const {
+    return trim_log_;
+  }
+  /// Drops tombstones with seq ≤ `upto` — they are subsumed by a checkpoint
+  /// journal entry serialized at that seq. Bounds the log under sustained
+  /// trim traffic.
+  void prune_trim_log(std::uint64_t upto);
+
   // --- Checkpoint journal storage ------------------------------------------
 
   /// Serialized journal chunks live in a side table keyed by page — the
@@ -366,6 +393,9 @@ class FlashArray {
   std::vector<std::uint64_t> stamps_;  // empty unless track_payload
   // Keyed by raw ppn; lookups only — never iterated, so determinism holds.
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> blobs_;
+  /// Seq-ascending (append-only) durable TRIM records; pruned as checkpoints
+  /// subsume them.
+  std::vector<TrimTombstone> trim_log_;
   MountRoot root_;
   ArrayCounters counters_;
   std::uint64_t next_seq_ = 0;

@@ -83,24 +83,64 @@ Ssd::Completion Ssd::submit(const ftl::IoRequest& req) {
                "request beyond logical capacity");
 
   const ssd::ReqClass cls = ftl::classify(req, scheme_->page_geometry());
+  const bool mutates = req.write || req.trim;
 
-  if (req.write && engine_->read_only()) {
+  if (mutates && engine_->read_only()) {
     // Graceful degradation: spare blocks are exhausted, so the device
-    // refuses new writes rather than wedging GC. The shadow space is not
-    // advanced — the refusal is surfaced, not silently dropped.
+    // refuses new writes (and trims — they dirty mapping tables that must
+    // eventually be programmed) rather than wedging GC. The shadow space is
+    // not advanced — the refusal is surfaced, not silently dropped.
     ++engine_->stats().faults().rejected_writes;
     Completion rejected;
     rejected.cls = cls;
     rejected.done = req.arrival;
     rejected.accepted = false;
+    rejected.status = ssd::Status::kReadOnly;
     return rejected;
+  }
+  if (req.write && !req.trim) {
+    // Capacity admission: a write the device cannot absorb without eating
+    // the GC reserve fails cleanly with kNoSpace — the host can trim or
+    // back off, instead of the old behaviour of asserting out of planes.
+    // Only the net-new logical pages count: overwrites of mapped pages add
+    // no valid-page population, so a device at the ceiling still accepts
+    // them (and stays overwritable until a trim or retirement moves the
+    // ceiling).
+    const ssd::Status admit =
+        engine_->admit_write(scheme_->unmapped_pages(req.range));
+    if (admit != ssd::Status::kOk) {
+      ++engine_->stats().faults().no_space_rejections;
+      Completion rejected;
+      rejected.cls = cls;
+      rejected.done = req.arrival;
+      rejected.accepted = false;
+      rejected.status = admit;
+      return rejected;
+    }
   }
   engine_->set_request_class(cls);
 
   Completion completion;
   completion.cls = cls;
   const std::uint64_t lost_before = engine_->stats().faults().lost_pages;
-  if (req.write) {
+  if (req.trim) {
+    // Order matters for crash consistency: zero the shadow, then make the
+    // tombstone durable (RAM-only — no power cut can land between the two),
+    // and only then let the scheme touch mapping tables. Any flash op the
+    // trim provokes (map evictions, GC) happens with the tombstone already
+    // in force, so a cut mid-trim still replays the unmap — a GC move of a
+    // covered page carries a newer seq than its tombstone otherwise, and
+    // the page would resurrect.
+    const std::uint32_t spp = scheme_->page_geometry().sectors_per_page;
+    if (oracle_) oracle_->on_trim(req.range, spp);
+    (void)engine_->array().note_trim(req.range);
+    completion.done = scheme_->trim(req.range, req.arrival);
+    auto& faults = engine_->stats().faults();
+    ++faults.trims;
+    const std::uint64_t first = (req.range.begin + spp - 1) / spp;
+    const std::uint64_t last = req.range.end / spp;
+    faults.trimmed_pages += last > first ? last - first : 0;
+  } else if (req.write) {
     if (oracle_) oracle_->on_write(req.range);
     completion.done = scheme_->write(req, req.arrival);
   } else {
@@ -125,7 +165,7 @@ Ssd::Completion Ssd::submit(const ftl::IoRequest& req) {
   completion.data_lost =
       engine_->stats().faults().lost_pages > lost_before;
   engine_->stats().record_request(cls, completion.latency, req.range.size());
-  if (req.write && checkpointer_) checkpointer_->note_write(completion.done);
+  if (mutates && checkpointer_) checkpointer_->note_write(completion.done);
   // Background refresh rides the request stream like the checkpointer does;
   // its reads/programs count as physical ops, so an armed power cut can
   // fire inside a scrub tick (PowerLoss propagates to the harness).

@@ -45,9 +45,11 @@ class Ssd {
     SimDuration latency = 0;
     ssd::ReqClass cls = ssd::ReqClass::kNormalRead;
     /// False when the device refused the request (write in read-only
-    /// degradation after spare-block exhaustion). Refused writes change no
-    /// state and cost no simulated time.
+    /// degradation after spare-block exhaustion, or kNoSpace admission:
+    /// accepting it would leave GC no blocks to turn over). Refused writes
+    /// change no state and cost no simulated time; `status` says why.
     bool accepted = true;
+    ssd::Status status = ssd::Status::kOk;
     /// True when servicing this request hit an uncorrectable page that no
     /// parity stripe could rebuild (DESIGN.md §8) — the returned payload
     /// includes unrecoverable data. The device also drops to read-only.
@@ -57,7 +59,10 @@ class Ssd {
   /// Services one host request. When the oracle is active, writes update the
   /// shadow space and reads are verified sector-by-sector (aborting on any
   /// divergence). Writes are rejected (accepted=false) once block
-  /// retirement has degraded the device to read-only mode.
+  /// retirement has degraded the device to read-only mode, or with
+  /// Status::kNoSpace when the device is too full to keep GC viable (trim
+  /// or wait for reclamation, then retry). Trim requests (req.trim) unmap
+  /// the fully covered pages and are durable the instant they are accepted.
   [[nodiscard]] Completion submit(const ftl::IoRequest& req);
 
   /// Ages the device: fills `live_fraction` of raw capacity with valid data

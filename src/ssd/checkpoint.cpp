@@ -28,9 +28,24 @@ void Checkpointer::note_write(SimTime now) {
   if (!policy_.enabled()) return;
   if (++since_last_ < policy_.interval_requests) return;
   since_last_ = 0;
+  if (engine_.read_only()) {
+    // The device stopped taking writes; a journal entry's map-stream burst
+    // is not admission-checked and would eat the free blocks GC still needs
+    // for its own relocations. Recovery stays correct without the entry —
+    // the OOB scan replays everything past the last committed one.
+    ++counters_.deferred;
+    return;
+  }
   const std::uint32_t cadence = std::max<std::uint32_t>(1, policy_.snapshot_every);
   const bool snapshot = entries_ % cadence == 0;
-  write_journal(now, snapshot);
+  if (!write_journal(now, snapshot)) {
+    // Not enough free headroom for the entry right now. entries_ stays put,
+    // so the retry next interval attempts the same (snapshot/delta) kind —
+    // in particular the first-ever entry is always a snapshot, and deltas
+    // never land without a root to hang off.
+    ++counters_.deferred;
+    return;
+  }
   ++entries_;
   ++counters_.journal_writes;
   if (snapshot) {
@@ -40,7 +55,7 @@ void Checkpointer::note_write(SimTime now) {
   }
 }
 
-void Checkpointer::write_journal(SimTime now, bool snapshot) {
+bool Checkpointer::write_journal(SimTime now, bool snapshot) {
   nand::FlashArray& array = engine_.array();
   MapDirectory& dir = *engine_.map_directory_mut();
 
@@ -53,6 +68,17 @@ void Checkpointer::write_journal(SimTime now, bool snapshot) {
   if (snapshot) {
     scheme_.serialize_mapping(sink);
     dir.serialize_gtd(sink);
+    // Capacity gate, checked before anything is drained (serialization above
+    // is const): a full snapshot is the one burst that can exceed the free
+    // pool outright at deep end-of-life, when erase faults have eaten most
+    // spares and GC can no longer backfill behind the chunk programs. Defer
+    // it — nothing is lost, the dirty state simply rides to the next try.
+    const std::uint64_t page_bytes = engine_.geometry().page_bytes;
+    const std::uint64_t need =
+        (sink.bytes().size() + page_bytes - 1) / page_bytes;
+    if (engine_.free_headroom_pages() < need) {
+      return false;
+    }
     // A snapshot supersedes all prior dirty state: drain it into the void so
     // the next delta carries only post-snapshot changes.
     ByteSink scratch;
@@ -119,6 +145,11 @@ void Checkpointer::write_journal(SimTime now, bool snapshot) {
     root.delta_pages.push_back(std::move(pages));
     array.set_mount_root(std::move(root));
   }
+  // Trims dirty their mapping entries like writes do, so every tombstone at
+  // or below seq_at is folded into the entry just committed; recovery skips
+  // that span (tomb.seq <= journal_seq). Drop them so the log stays bounded.
+  array.prune_trim_log(seq_at);
+  return true;
 }
 
 void Checkpointer::on_ckpt_moved(Ppn from, Ppn to) {

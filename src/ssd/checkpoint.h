@@ -32,6 +32,9 @@ class Checkpointer {
     std::uint64_t snapshots = 0;
     std::uint64_t deltas = 0;
     std::uint64_t pages_written = 0;
+    /// Entries skipped under capacity pressure (device read-only, or a
+    /// snapshot larger than the free pool) — retried next interval.
+    std::uint64_t deferred = 0;
   };
 
   /// Enables journaling on the scheme and the GTD; registers for GC
@@ -52,7 +55,9 @@ class Checkpointer {
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
  private:
-  void write_journal(SimTime now, bool snapshot);
+  /// Returns false when the entry was deferred by the capacity gate (a
+  /// snapshot that does not fit the free pool); all state is left untouched.
+  [[nodiscard]] bool write_journal(SimTime now, bool snapshot);
   void on_ckpt_moved(Ppn from, Ppn to);
 
   Engine& engine_;

@@ -103,6 +103,43 @@ struct SsdConfig {
   };
   IntegrityConfig integrity;
 
+  /// Capacity-pressure subsystem (DESIGN.md §9). Zero-default: the write
+  /// throttle and wear leveling are off, and while the TRIM path and the
+  /// kNoSpace admission check are always armed, they only act when the host
+  /// actually sends trims or fills the device past what GC can sustain —
+  /// situations the default benches never create, so a default-config run is
+  /// bit-identical to a build without the subsystem.
+  struct CapacityPolicy {
+    /// GC-debt write-pacing valve: a host data program issued while its
+    /// plane holds fewer than plane_trigger + throttle_window_blocks free
+    /// blocks stalls throttle_ns_per_block × shortfall before hitting flash
+    /// (the stall rides the request latency, so it surfaces as p-latency).
+    /// 0 = valve off.
+    std::uint32_t throttle_window_blocks = 0;
+    std::uint64_t throttle_ns_per_block = 0;
+
+    /// Static+dynamic wear leveling: once the array-wide (max − min) erase
+    /// spread reaches this, each GC pass additionally migrates the plane's
+    /// coldest (least-erased, fully written) block so its erase count
+    /// catches up. 0 = leveling off.
+    std::uint32_t wear_spread_threshold = 0;
+    /// Cold-block migrations allowed per GC pass while the spread is high.
+    std::uint32_t wear_migrate_per_pass = 1;
+
+    /// Admission headroom: writes are refused with kNoSpace once projected
+    /// live pages would leave some plane fewer usable blocks than
+    /// gc_reserve_blocks + this margin (frontier + GC need room to turn).
+    std::uint32_t no_space_margin_blocks = 2;
+
+    [[nodiscard]] bool throttle_enabled() const {
+      return throttle_window_blocks > 0 && throttle_ns_per_block > 0;
+    }
+    [[nodiscard]] bool wear_enabled() const {
+      return wear_spread_threshold > 0;
+    }
+  };
+  CapacityPolicy capacity;
+
   /// Across-FTL design-choice toggles (ablation knobs; DESIGN.md §ablations).
   struct AcrossPolicy {
     /// Remap across-page writes at all; false degrades to baseline servicing

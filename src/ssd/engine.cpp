@@ -77,6 +77,14 @@ Engine::~Engine() = default;
 // --- Flash operations --------------------------------------------------------
 
 ReadResult Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
+  if (array_.state(ppn) != nand::PageState::kValid) {
+    const nand::PageOwner owner = array_.owner(ppn);
+    AF_LOG_WARN("flash read of non-valid ppn %llu (state %d, owner kind %d id %llu)",
+                static_cast<unsigned long long>(ppn.get()),
+                static_cast<int>(array_.state(ppn)),
+                static_cast<int>(owner.kind),
+                static_cast<unsigned long long>(owner.id));
+  }
   AF_CHECK_MSG(array_.state(ppn) == nand::PageState::kValid,
                "flash read of non-valid page");
   const bool ber_on = config_.faults.ber_enabled();
@@ -235,8 +243,23 @@ Engine::Programmed Engine::flash_program(Stream stream, nand::PageOwner owner,
                                          OpKind kind, SimTime ready,
                                          const nand::OobExtra* oob,
                                          const std::vector<std::uint64_t>* stamps) {
+  const std::uint64_t first_plane = pick_plane(stream);
+  // GC-debt pacing: host data programs (never GC's own, never map/parity
+  // traffic) absorb a stall proportional to how far the target plane has
+  // sunk below its trigger + window. The stall is simulated time only — it
+  // pushes `ready`, so the request's completion (and thus its recorded
+  // latency) carries the wait, exactly like a real device holding the host
+  // queue while reclamation catches up.
+  if (!in_gc_ && stream == Stream::kData) {
+    const SimDuration stall = throttle_delay(first_plane);
+    if (stall > 0) {
+      ready += stall;
+      ++stats_.faults().throttle_stalls;
+      stats_.faults().throttle_stall_ns += stall;
+    }
+  }
   const Programmed programmed =
-      program_on(pick_plane(stream), stream, owner, kind, ready, oob);
+      program_on(first_plane, stream, owner, kind, ready, oob);
   // Payload lands with the program: the GC pass below can be interrupted by
   // power-cut injection, and a completed program must never be recovered
   // without its data.
@@ -269,6 +292,35 @@ void Engine::invalidate(Ppn ppn) {
   push_victim_key(config_.geometry.plane_of(ppn),
                   static_cast<std::uint32_t>(
                       flat % config_.geometry.blocks_per_plane));
+}
+
+Status Engine::admit_write(std::uint64_t pages) const {
+  if (read_only_) return Status::kReadOnly;
+  const auto& geom = config_.geometry;
+  const auto& ctr = array_.counters();
+  // Device-wide arithmetic off the O(1) array counters: the valid-page
+  // population after this write must leave every plane's GC reserve plus
+  // the admission margin worth of pages unclaimed, or block turnover stops.
+  const std::uint64_t reserve_pages =
+      geom.total_planes() *
+      std::uint64_t{config_.gc_reserve_blocks +
+                    config_.capacity.no_space_margin_blocks} *
+      geom.pages_per_block;
+  const std::uint64_t usable = geom.total_pages() - ctr.retired_pages;
+  if (ctr.valid_pages + pages + reserve_pages > usable) {
+    return Status::kNoSpace;
+  }
+  return Status::kOk;
+}
+
+SimDuration Engine::throttle_delay(std::uint64_t plane) const {
+  const SsdConfig::CapacityPolicy& cap = config_.capacity;
+  if (!cap.throttle_enabled()) return 0;
+  const std::uint64_t target =
+      std::uint64_t{plane_trigger_blocks(plane)} + cap.throttle_window_blocks;
+  const std::uint64_t free = free_blocks(plane);
+  if (free >= target) return 0;
+  return cap.throttle_ns_per_block * (target - free);
 }
 
 SimTime Engine::map_touch(std::uint64_t map_page, bool dirty, SimTime ready) {
@@ -330,6 +382,13 @@ std::uint64_t Engine::pick_plane(Stream stream) {
       return plane;
     }
   }
+  for (std::uint64_t p = 0; p < planes; ++p) {
+    AF_LOG_WARN("plane %llu: free=%llu retired=%u active[%d]=%u",
+                static_cast<unsigned long long>(p),
+                static_cast<unsigned long long>(free_blocks(p)),
+                planes_[p].retired, static_cast<int>(stream),
+                planes_[p].active[static_cast<std::size_t>(stream)]);
+  }
   AF_CHECK_MSG(false, "no plane has free space — device over-filled");
   return 0;
 }
@@ -348,8 +407,27 @@ Ppn Engine::take_frontier(std::uint64_t plane, Stream stream) {
     push_victim_key(plane, filled);  // it just became a GC candidate
   }
   AF_CHECK_MSG(!st.free_blocks.empty(), "plane out of free blocks");
-  active = st.free_blocks.back();
-  st.free_blocks.pop_back();
+  if (config_.capacity.wear_enabled()) {
+    // Dynamic wear leveling: take the least-erased free block, so the hot
+    // rotation spreads across the whole pool instead of the LIFO stack
+    // recycling the same few blocks while untouched ones pin the spread's
+    // minimum at zero. (Gated on the policy knob: the default LIFO order is
+    // part of the baseline's bit-identical behaviour.)
+    std::size_t pick = 0;
+    for (std::size_t i = 1; i < st.free_blocks.size(); ++i) {
+      const std::uint64_t base = plane * config_.geometry.blocks_per_plane;
+      if (array_.block(base + st.free_blocks[i]).erase_count <
+          array_.block(base + st.free_blocks[pick]).erase_count) {
+        pick = i;
+      }
+    }
+    active = st.free_blocks[pick];
+    st.free_blocks.erase(st.free_blocks.begin() +
+                         static_cast<std::ptrdiff_t>(pick));
+  } else {
+    active = st.free_blocks.back();
+    st.free_blocks.pop_back();
+  }
   const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + active;
   const Ppn frontier = array_.write_frontier(flat);
   AF_CHECK(frontier.valid());
@@ -358,6 +436,12 @@ Ppn Engine::take_frontier(std::uint64_t plane, Stream stream) {
 
 std::uint64_t Engine::free_blocks(std::uint64_t plane) const {
   return planes_[plane].free_blocks.size();
+}
+
+std::uint64_t Engine::free_headroom_pages() const {
+  std::uint64_t blocks = 0;
+  for (const PlaneState& st : planes_) blocks += st.free_blocks.size();
+  return blocks * config_.geometry.pages_per_block;
 }
 
 std::uint32_t Engine::gc_trigger_blocks() const {
@@ -623,10 +707,124 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
     }
     victim = kNoBlock;
   }
+  if (config_.capacity.wear_enabled()) clock = wear_level(plane, clock);
   if (gc_flush_) gc_flush_(plane, clock);
 
   in_gc_ = false;
+
+  // Free-space floor, distinct from the spare-count floor in
+  // note_retirement: at deep wear a GC pass can *lose* ground — relocation
+  // burns frontier pages and the faulted erase then retires the victim
+  // instead of reclaiming it — so physical free space can run out while
+  // every plane still counts enough usable blocks. If reclamation could not
+  // hold one free block per plane device-wide, stop taking writes before
+  // allocation has nothing left to hand out.
+  if (!read_only_ &&
+      free_headroom_pages() < config_.geometry.total_planes() *
+                                  std::uint64_t{config_.geometry.pages_per_block}) {
+    read_only_ = true;
+    ++stats_.faults().read_only_entries;
+    AF_LOG_WARN(
+        "GC cannot hold the free-space floor (%llu pages left device-wide): "
+        "device enters read-only mode",
+        static_cast<unsigned long long>(free_headroom_pages()));
+  }
   return clock;
+}
+
+SimTime Engine::wear_level(std::uint64_t plane, SimTime clock) {
+  const SsdConfig::CapacityPolicy& cap = config_.capacity;
+  const nand::FlashArray::WearSummary wear = array_.wear();
+  stats_.faults().wear_spread =
+      std::max(stats_.faults().wear_spread, wear.spread());
+  if (wear.spread() < cap.wear_spread_threshold) return clock;
+
+  for (std::uint32_t n = 0; n < std::max(1u, cap.wear_migrate_per_pass); ++n) {
+    // Leveling is strictly optional work: each migration burns up to a
+    // block's worth of frontier pages before its erase pays any back — and
+    // at deep wear the erase may retire the block instead. Without this
+    // yield a single pass can drop the free pool from comfortable to empty,
+    // sailing straight through the free-space floor run_gc checks only at
+    // the end. (Migrating cold data on a dying device buys nothing anyway.)
+    if (free_headroom_pages() <
+        2 * config_.geometry.total_planes() *
+            std::uint64_t{config_.geometry.pages_per_block}) {
+      break;
+    }
+    // Steer the migrated data toward the least-worn plane that can absorb a
+    // whole block without draining its pool: within-plane leveling alone
+    // cannot narrow the device spread when the imbalance is the per-plane
+    // GC rate itself — a plane pinning more cold data erases more, and
+    // re-homing that data in place preserves the skew. Re-evaluated per
+    // block because each migration shifts a block of slack between planes.
+    std::uint64_t target = plane;
+    std::uint64_t target_erases = std::numeric_limits<std::uint64_t>::max();
+    for (std::uint64_t q = 0; q < config_.geometry.total_planes(); ++q) {
+      if (free_blocks(q) < 2) continue;
+      std::uint64_t erases = 0;
+      const std::uint64_t base = q * config_.geometry.blocks_per_plane;
+      for (std::uint32_t b = 0; b < config_.geometry.blocks_per_plane; ++b) {
+        erases += array_.block(base + b).erase_count;
+      }
+      if (erases < target_erases) {
+        target_erases = erases;
+        target = q;
+      }
+    }
+    // Opportunistic, never mandatory: with no slack anywhere, skip the pass
+    // rather than eat the last reserve a GC spill might need.
+    if (target == plane && free_blocks(plane) == 0) break;
+    wear_target_ = target;
+
+    const std::uint32_t cold = pick_cold_block(plane);
+    if (cold == kNoBlock) break;
+    const std::uint64_t flat =
+        plane * config_.geometry.blocks_per_plane + cold;
+    array_.for_each_valid_page(flat, [&](Ppn live) {
+      relocate_page(live, target, clock);
+      return true;
+    });
+    AF_CHECK_MSG(cached_weight_[flat] == 0,
+                 "recycled cold block still carries cached live weight");
+    // Same erase discipline as the GC loop: staged chunks must outlive the
+    // OOB records the erase destroys when a power cut is armed, and stripes
+    // over the block lapse now.
+    if (gc_flush_ && array_.power_cut_armed()) gc_flush_(plane, clock);
+    break_stripes_in(flat);
+    clock = timeline_.schedule_erase(
+        config_.geometry.decode(Ppn{flat * config_.geometry.pages_per_block}),
+        clock);
+    if (array_.erase_block(flat)) {
+      stats_.count_erase();
+      planes_[plane].free_blocks.push_back(cold);
+    } else {
+      ++stats_.faults().erase_faults;
+      ++stats_.faults().retired_blocks;
+      note_retirement(plane);
+    }
+    ++stats_.faults().wear_level_migrations;
+    if (array_.wear().spread() < cap.wear_spread_threshold) break;
+  }
+  wear_target_ = kNoPlane;
+  return clock;
+}
+
+std::uint32_t Engine::pick_cold_block(std::uint64_t plane) const {
+  std::uint32_t best = kNoBlock;
+  std::uint64_t best_erases = UINT64_MAX;
+  for (std::uint32_t b = 0; b < config_.geometry.blocks_per_plane; ++b) {
+    if (is_active_block(plane, b) || b == planes_[plane].gc_victim) continue;
+    const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + b;
+    const nand::BlockInfo& info = array_.block(flat);
+    // Free blocks re-age the moment they are reused; only a written block
+    // pins its (possibly cold) data away from the erase rotation.
+    if (info.retired || info.written == 0) continue;
+    if (info.erase_count < best_erases) {
+      best = b;
+      best_erases = info.erase_count;
+    }
+  }
+  return best;
 }
 
 Engine::Programmed Engine::gc_program(std::uint64_t plane,
@@ -634,6 +832,9 @@ Engine::Programmed Engine::gc_program(std::uint64_t plane,
                                       const nand::OobExtra* oob) {
   AF_CHECK_MSG(in_gc_, "gc_program outside GC");
   std::uint64_t target = plane;
+  if (wear_target_ != kNoPlane && plane_has_space(wear_target_, Stream::kGc)) {
+    target = wear_target_;  // best-effort: never eat another plane's reserve
+  }
   if (!plane_has_space(target, Stream::kGc)) {
     // Reserve exhausted in this plane (pathological); spill anywhere.
     target = pick_plane(Stream::kGc);

@@ -17,6 +17,7 @@
 #include "ssd/config.h"
 #include "ssd/map_directory.h"
 #include "ssd/stats.h"
+#include "ssd/status.h"
 #include "ssd/timeline.h"
 
 namespace af::ssd {
@@ -92,6 +93,24 @@ class Engine final : private MapIo {
 
   /// Marks a page stale. No timing cost: invalidation is a metadata action.
   void invalidate(Ppn ppn);
+
+  // --- Capacity admission & pacing (DESIGN.md §9) ---------------------------
+
+  /// Admission check for a host write needing up to `pages` fresh data
+  /// pages. Pure arithmetic over the array counters — no RNG, no timing, no
+  /// state change — so arming it costs default runs nothing. kReadOnly once
+  /// degradation engaged; kNoSpace when the projected valid-page population
+  /// would eat into the per-plane GC reserve plus
+  /// config.capacity.no_space_margin_blocks (a device that full can no
+  /// longer turn blocks over). Never fires while exported_fraction leaves
+  /// the stock over-provisioning in place.
+  [[nodiscard]] Status admit_write(std::uint64_t pages) const;
+
+  /// GC-debt pacing valve: simulated stall (ns) to charge a host data
+  /// program landing on `plane`. Zero with the valve unconfigured or while
+  /// the plane's free-block count clears trigger + throttle_window_blocks;
+  /// below that, ns_per_block per missing block — deeper debt, longer stall.
+  [[nodiscard]] SimDuration throttle_delay(std::uint64_t plane) const;
 
   /// Accesses one translation page of the scheme's mapping table through the
   /// CMT. Must be preceded by init_map_space(). Returns advanced ready time.
@@ -225,6 +244,11 @@ class Engine final : private MapIo {
   /// Free blocks currently available in a plane (excluding active blocks).
   [[nodiscard]] std::uint64_t free_blocks(std::uint64_t plane) const;
 
+  /// Device-wide free capacity in pages (free blocks only — active-block
+  /// frontiers are excluded). The checkpointer sizes journal entries against
+  /// this so a snapshot burst never eats the free blocks GC still needs.
+  [[nodiscard]] std::uint64_t free_headroom_pages() const;
+
   /// Per-plane free-block floor below which GC engages. Public because
   /// schemes derive their space-pressure watermarks from it. The effective
   /// per-plane trigger adds a small deterministic stagger (see
@@ -278,6 +302,7 @@ class Engine final : private MapIo {
   [[nodiscard]] const GcPerf& gc_perf() const { return gc_perf_; }
 
   static constexpr std::uint32_t kNoBlock = UINT32_MAX;
+  static constexpr std::uint64_t kNoPlane = UINT64_MAX;
 
   /// Greedy victim choice off the plane's weight-indexed heap; returns
   /// kNoBlock when nothing is reclaimable. Public (with pick_victim_scan)
@@ -358,6 +383,16 @@ class Engine final : private MapIo {
 
   /// Runs GC on `plane` until its free-block count clears the threshold.
   [[nodiscard]] SimTime run_gc(std::uint64_t plane, SimTime ready);
+
+  /// Static wear leveling (end-of-GC hook, in_gc_ still set): when the
+  /// array-wide erase spread reaches config.capacity.wear_spread_threshold,
+  /// recycle up to wear_migrate_per_pass of the plane's coldest blocks —
+  /// migrate their long-lived data to the hot frontier and erase them, so
+  /// they rejoin the rotation. Also refreshes the wear_spread gauge.
+  [[nodiscard]] SimTime wear_level(std::uint64_t plane, SimTime clock);
+  /// Least-erased recyclable block of `plane` (not active, not retired, not
+  /// the in-flight GC victim, written at least once), or kNoBlock.
+  [[nodiscard]] std::uint32_t pick_cold_block(std::uint64_t plane) const;
   [[nodiscard]] bool is_active_block(std::uint64_t plane,
                                      std::uint32_t block) const;
 
@@ -400,6 +435,11 @@ class Engine final : private MapIo {
   bool in_parity_ = false;  // a parity-page program is in flight
   std::uint64_t sealing_stripe_ = 0;  // stripe id that program stamps
   bool in_gc_ = false;
+  // While the wear-leveling migration loop runs, gc_program overrides its
+  // caller's plane with this target: schemes re-home relocated pages on the
+  // victim's own plane, which would preserve the very per-plane population
+  // skew the migration exists to drain.
+  std::uint64_t wear_target_ = kNoPlane;
   bool read_only_ = false;
   std::uint64_t gc_runs_ = 0;
   std::optional<ReqClass> current_class_;

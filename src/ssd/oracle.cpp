@@ -15,6 +15,18 @@ void Oracle::on_write(SectorRange range) {
   }
 }
 
+void Oracle::on_trim(SectorRange range, std::uint32_t sectors_per_page) {
+  AF_CHECK_MSG(range.end <= shadow_.size(), "trim beyond logical space");
+  AF_CHECK(sectors_per_page > 0);
+  // Round inward to whole pages: only fully covered pages are unmapped.
+  const SectorAddr first =
+      (range.begin + sectors_per_page - 1) / sectors_per_page * sectors_per_page;
+  const SectorAddr last = range.end / sectors_per_page * sectors_per_page;
+  for (SectorAddr s = first; s < last; ++s) {
+    shadow_[static_cast<std::size_t>(s)] = 0;
+  }
+}
+
 std::uint64_t Oracle::expected(SectorAddr sector) const {
   AF_CHECK(sector < shadow_.size());
   return shadow_[static_cast<std::size_t>(sector)];

@@ -21,6 +21,13 @@ class Oracle {
   /// returns nothing; the per-sector values are then read via expected().
   void on_write(SectorRange range);
 
+  /// TRIM: the sectors of every logical page fully covered by `range` revert
+  /// to stamp 0 — "undefined but stable", the same deterministic value a
+  /// never-written sector reads. Partial head/tail pages keep their data
+  /// (the device unmaps whole pages only). `sectors_per_page` supplies the
+  /// alignment.
+  void on_trim(SectorRange range, std::uint32_t sectors_per_page);
+
   /// The stamp the most recent write left on this sector; 0 = never written.
   [[nodiscard]] std::uint64_t expected(SectorAddr sector) const;
 

@@ -69,8 +69,23 @@ RecoveryReport Recovery::mount(Engine& engine, RecoverableMapping& scheme) {
   struct Claim {
     std::uint64_t seq = 0;
     Ppn ppn;
+    SectorRange trim{};     // tombstone range when trim_event
+    bool trim_event = false;
   };
   std::vector<Claim> claims;
+  // TRIM tombstones share the programs' seq counter, so merging them into
+  // the claim stream replays the pre-crash interleaving exactly: a trim
+  // unmaps everything claimed before it, and a later program re-maps over
+  // it. Tombstones at or below journal_seq are already folded into the
+  // checkpoint (the checkpointer prunes them).
+  for (const nand::FlashArray::TrimTombstone& tomb : array.trim_log()) {
+    if (tomb.seq <= journal_seq) continue;
+    Claim ev;
+    ev.seq = tomb.seq;
+    ev.trim = {tomb.begin, tomb.end};
+    ev.trim_event = true;
+    claims.push_back(ev);
+  }
   for (std::uint64_t flat = 0; flat < geom.total_blocks(); ++flat) {
     const nand::BlockInfo& info = array.block(flat);
     if (info.retired || info.written == 0) continue;
@@ -104,6 +119,11 @@ RecoveryReport Recovery::mount(Engine& engine, RecoverableMapping& scheme) {
   // program (in particular a GC relocation running inside the replacing
   // program) can ever carry superseded payload.
   for (const Claim& claim : claims) {
+    if (claim.trim_event) {
+      scheme.recover_trim(claim.trim);
+      ++report.trims_replayed;
+      continue;
+    }
     const nand::OobRecord& oob = array.oob(claim.ppn);
     switch (oob.owner.kind) {
       case nand::PageOwner::Kind::kMap:

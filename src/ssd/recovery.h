@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/interval.h"
 #include "common/types.h"
 #include "nand/flash_array.h"
 #include "ssd/serialize.h"
@@ -62,6 +63,11 @@ class RecoverableMapping {
   /// record, newer (by seq) than anything applied before it. RAM tables
   /// only — flash validity is reconciled afterwards in one pass.
   virtual void recover_claim(const nand::OobRecord& oob, Ppn ppn) = 0;
+  /// Replays one durable TRIM tombstone, ordered against claims by seq:
+  /// clears the mapping of every logical page fully covered by `range`.
+  /// RAM tables only — the flash pages it orphans are reconciled afterwards
+  /// like any other unreferenced page.
+  virtual void recover_trim(SectorRange range) = 0;
   /// Enumerates every flash page the recovered tables reference, with the
   /// owner it should carry (reconciliation's ground truth).
   virtual void recover_enumerate(
@@ -81,6 +87,7 @@ struct RecoveryReport {
   std::uint64_t blocks_skipped = 0;        // max_seq <= journal_seq
   std::uint64_t pages_scanned = 0;         // OOB reads issued by the scan
   std::uint64_t claims_applied = 0;
+  std::uint64_t trims_replayed = 0;        // durable tombstones re-applied
   std::uint64_t torn_pages = 0;            // interrupted programs detected
   std::uint64_t orphans_invalidated = 0;
   std::uint64_t pages_revived = 0;

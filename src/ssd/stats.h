@@ -98,6 +98,17 @@ struct FaultRecoveryStats {
   std::uint64_t scrub_relocations = 0;   // pages refreshed past the watermark
   std::uint64_t lost_pages = 0;          // uncorrectable with no intact stripe
 
+  // --- Capacity pressure (DESIGN.md §9) ------------------------------------
+  // All zero unless the host issues trims or config.capacity arms the
+  // throttle valve / wear leveler.
+  std::uint64_t trims = 0;                 // TRIM commands serviced
+  std::uint64_t trimmed_pages = 0;         // logical pages unmapped by them
+  std::uint64_t no_space_rejections = 0;   // writes refused with kNoSpace
+  std::uint64_t throttle_stalls = 0;       // host programs the valve delayed
+  std::uint64_t throttle_stall_ns = 0;     // total simulated stall injected
+  std::uint64_t wear_level_migrations = 0; // cold blocks recycled by leveling
+  std::uint64_t wear_spread = 0;           // gauge: max-min erase count seen
+
   [[nodiscard]] std::uint64_t total_faults() const {
     return program_faults + erase_faults + read_retries;
   }

@@ -1,0 +1,39 @@
+// Admission status of a host command (DESIGN.md §9). The capacity-pressure
+// subsystem turns what used to be hard asserts (plane out of free blocks,
+// device over-filled) into a modeled, graceful outcome: writes that cannot
+// be absorbed fail with kNoSpace, writes against a degraded device fail with
+// kReadOnly, and the host decides whether to trim, back off or give up.
+//
+// The enum itself is [[nodiscard]]: dropping an admission verdict and
+// programming anyway is exactly the bug this type exists to prevent (also
+// enforced textually by af_lint's nodiscard-space-status rule).
+#pragma once
+
+#include <cstdint>
+
+namespace af::ssd {
+
+enum class [[nodiscard]] Status : std::uint8_t {
+  kOk = 0,
+  /// The device cannot absorb the write: projected live data would leave GC
+  /// without the per-plane headroom it needs to ever reclaim space again.
+  /// Trimming dead LPNs clears the condition.
+  kNoSpace,
+  /// The device is in read-only degradation (block retirement ate the spare
+  /// capacity some plane needs to keep GC viable). Permanent.
+  kReadOnly,
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kNoSpace:
+      return "no-space";
+    case Status::kReadOnly:
+      return "read-only";
+  }
+  return "?";
+}
+
+}  // namespace af::ssd

@@ -15,6 +15,18 @@ TraceStats characterize(const Trace& trace, std::uint32_t sectors_per_page) {
   for (const auto& rec : trace) {
     ++stats.requests;
     const SectorRange range = rec.range();
+    if (rec.trim) {
+      // Trims are not data traffic: they carry no payload, so they stay out
+      // of the size/across/alignment columns (a trim extent clips inward to
+      // full pages rather than straddling them).
+      ++stats.trims;
+      const std::uint64_t first =
+          (range.begin + sectors_per_page - 1) / sectors_per_page;
+      const std::uint64_t last = range.end / sectors_per_page;
+      if (last <= first) ++stats.empty_trims;
+      stats.max_sector = std::max(stats.max_sector, range.end);
+      continue;
+    }
     if (rec.write) {
       ++stats.writes;
       write_sectors += range.size();
@@ -24,6 +36,7 @@ TraceStats characterize(const Trace& trace, std::uint32_t sectors_per_page) {
     if (geom.is_across_page(range)) ++stats.across_requests;
     if (!geom.is_aligned(range)) ++stats.unaligned_requests;
     stats.max_sector = std::max(stats.max_sector, range.end);
+    stats.max_data_sector = std::max(stats.max_data_sector, range.end);
   }
 
   if (stats.requests > 0) {
@@ -31,12 +44,14 @@ TraceStats characterize(const Trace& trace, std::uint32_t sectors_per_page) {
                         static_cast<double>(stats.requests);
     stats.across_ratio = static_cast<double>(stats.across_requests) /
                          static_cast<double>(stats.requests);
+    stats.trim_ratio = static_cast<double>(stats.trims) /
+                       static_cast<double>(stats.requests);
   }
   if (stats.writes > 0) {
     stats.avg_write_kb = static_cast<double>(write_sectors) * kSectorBytes /
                          1024.0 / static_cast<double>(stats.writes);
   }
-  const std::uint64_t reads = stats.requests - stats.writes;
+  const std::uint64_t reads = stats.requests - stats.writes - stats.trims;
   if (reads > 0) {
     stats.avg_read_kb = static_cast<double>(read_sectors) * kSectorBytes /
                         1024.0 / static_cast<double>(reads);

@@ -12,13 +12,19 @@ namespace af::trace {
 struct TraceStats {
   std::uint64_t requests = 0;
   std::uint64_t writes = 0;
+  std::uint64_t trims = 0;
   std::uint64_t across_requests = 0;  // size ≤ page, spans two pages
   std::uint64_t unaligned_requests = 0;
+  /// Trim extents that unmap nothing at this page size (no fully covered
+  /// page) — legal but suspect, usually a generator or unit-conversion bug.
+  std::uint64_t empty_trims = 0;
   double write_ratio = 0;
   double across_ratio = 0;
+  double trim_ratio = 0;
   double avg_write_kb = 0;
   double avg_read_kb = 0;
-  SectorAddr max_sector = 0;  // footprint bound
+  SectorAddr max_sector = 0;       // footprint bound (all records)
+  SectorAddr max_data_sector = 0;  // footprint bound of reads/writes only
 };
 
 /// Computes the stats at the given page size (sectors per page).

@@ -15,6 +15,10 @@ struct TraceRecord {
   bool write = false;
   SectorAddr offset = 0;  // 512 B sectors
   SectorCount sectors = 0;
+  /// TRIM/discard: the range's logical pages are unmapped instead of
+  /// written. `write` is false for trim records (last field so existing
+  /// {ts, write, offset, sectors} aggregate initializers stay valid).
+  bool trim = false;
 
   [[nodiscard]] SectorRange range() const {
     return SectorRange::of(offset, sectors);

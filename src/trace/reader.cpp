@@ -143,11 +143,12 @@ Trace read_native(std::istream& in, std::uint64_t* skipped) {
     std::string kind;
     TraceRecord rec;
     if (!(ss >> kind >> rec.offset >> rec.sectors >> rec.timestamp) ||
-        (kind != "R" && kind != "W") || rec.sectors == 0) {
+        (kind != "R" && kind != "W" && kind != "T") || rec.sectors == 0) {
       ++bad;
       continue;
     }
     rec.write = (kind == "W");
+    rec.trim = (kind == "T");
     trace.push_back(rec);
   }
   warn_if_mostly_bad("native", trace.size(), bad);
@@ -158,8 +159,9 @@ Trace read_native(std::istream& in, std::uint64_t* skipped) {
 void write_native(std::ostream& out, const Trace& trace) {
   out << "# kind offset_sectors size_sectors timestamp_ns\n";
   for (const auto& rec : trace) {
-    out << (rec.write ? 'W' : 'R') << ' ' << rec.offset << ' ' << rec.sectors
-        << ' ' << rec.timestamp << '\n';
+    const char kind = rec.trim ? 'T' : (rec.write ? 'W' : 'R');
+    out << kind << ' ' << rec.offset << ' ' << rec.sectors << ' '
+        << rec.timestamp << '\n';
   }
 }
 

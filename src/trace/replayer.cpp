@@ -42,7 +42,7 @@ ReplayResult replay(const ssd::SsdConfig& config, ftl::SchemeKind kind,
 
   std::uint64_t lost_requests = 0;
   for (const auto& rec : trace) {
-    ftl::IoRequest req{rec.timestamp, rec.write, rec.range()};
+    ftl::IoRequest req{rec.timestamp, rec.write, rec.range(), rec.trim};
     // Rejected writes (read-only degradation under fault injection) are
     // accounted in stats().faults().rejected_writes, which the benches
     // report; the replay itself carries on serving reads.
@@ -73,7 +73,7 @@ CrashReplayResult replay_with_power_cut(const ssd::SsdConfig& config,
     }
     probe.engine().array().arm_power_cut(nand::PowerCutPlan{});
     for (const auto& rec : trace) {
-      (void)probe.submit({rec.timestamp, rec.write, rec.range()});
+      (void)probe.submit({rec.timestamp, rec.write, rec.range(), rec.trim});
     }
     const std::uint64_t horizon = probe.engine().array().ops_since_arm();
     AF_CHECK_MSG(horizon > 0, "trace issued no flash ops to cut");
@@ -108,7 +108,11 @@ CrashReplayResult replay_with_power_cut(const ssd::SsdConfig& config,
       }
     }
     try {
-      (void)device->submit({rec.timestamp, rec.write, rec.range()});
+      // Trims need no in-flight tolerance: the tombstone is durable before
+      // the first flash op a trim can issue, so a cut mid-trim always
+      // recovers with the unmap in force — matching the already-zeroed
+      // shadow.
+      (void)device->submit({rec.timestamp, rec.write, rec.range(), rec.trim});
     } catch (const nand::PowerLoss& loss) {
       AF_CHECK(loss.op_index == resolved.at_op);
       out.crashed = true;
@@ -183,7 +187,7 @@ CrashReplayResult replay_with_power_cut(const ssd::SsdConfig& config,
   mounted->reset_measurement();
   for (std::size_t i = resume_from; i < trace.size(); ++i) {
     const TraceRecord& rec = trace[i];
-    (void)mounted->submit({rec.timestamp, rec.write, rec.range()});
+    (void)mounted->submit({rec.timestamp, rec.write, rec.range(), rec.trim});
   }
   mounted->snapshot_map_footprint();
   out.result = snapshot_result(*mounted);

@@ -141,6 +141,29 @@ Trace generate(const SynthProfile& profile, std::uint64_t addressable_sectors) {
 
   for (std::uint64_t i = 0; i < profile.requests; ++i) {
     TraceRecord rec;
+    // Gate the chance() draw itself on the knob: with trim_fraction == 0 the
+    // RNG stream is untouched and the trace is bit-identical to a generator
+    // without trim support.
+    if (profile.trim_fraction > 0 && rng.chance(profile.trim_fraction)) {
+      // Page-aligned run inside a hot segment: whole pages, so the inward
+      // rounding of the trim path drops every one of them.
+      const std::uint64_t base = pick_segment_base();
+      const std::uint64_t pages = kSegmentSectors / kSpp;
+      const std::uint64_t count = rng.between(
+          1, std::min<std::uint64_t>(std::max<std::uint64_t>(
+                                         1, profile.trim_pages_max),
+                                     pages));
+      const std::uint64_t start = rng.between(0, pages - count);
+      rec.trim = true;
+      rec.offset = base + start * kSpp;
+      rec.sectors = count * kSpp;
+      const double u = std::max(1e-12, rng.uniform());
+      now += static_cast<SimTime>(
+          -std::log(u) * static_cast<double>(profile.mean_iat_ns));
+      rec.timestamp = now;
+      trace.push_back(rec);
+      continue;
+    }
     rec.write = rng.chance(profile.write_ratio);
 
     SectorRange range;

@@ -47,6 +47,12 @@ struct SynthProfile {
   /// Chance a write re-targets a recent across-page write (perturbed), the
   /// driver of AMerge/ARollback traffic.
   double update_fraction = 0.25;
+  /// Fraction of requests emitted as TRIM/discard of a page-aligned run.
+  /// 0 (the default) draws nothing from the RNG, so traces generated with
+  /// trims off are bit-identical to pre-trim builds.
+  double trim_fraction = 0.0;
+  /// Largest page-aligned run one synthetic trim covers.
+  std::uint64_t trim_pages_max = 16;
   std::uint64_t mean_iat_ns = 300'000;
   std::uint64_t seed = 1;
 };

@@ -132,6 +132,22 @@ TEST(AfLint, IntegrityStatusRuleOnlyCoversSrc) {
   EXPECT_EQ(count_rule(findings, "integrity-status"), 0);
 }
 
+TEST(AfLint, SpaceStatusDiscardsAreFlagged) {
+  const auto findings =
+      lint_fixture("bad_space.txt", "src/sim/bad_space.cpp");
+  // The four statement-position calls (admit_write, throttle_delay, trim,
+  // note_trim); assignments, conditions, compound-assignment, (void), and
+  // the on_trim / prune_trim_log suffix lookalikes stay clean.
+  EXPECT_EQ(count_rule(findings, "nodiscard-space-status"), 4);
+  EXPECT_EQ(findings.size(), 4u);
+}
+
+TEST(AfLint, SpaceStatusRuleOnlyCoversSrc) {
+  const auto findings =
+      lint_fixture("bad_space.txt", "tests/sim/bad_space.cpp");
+  EXPECT_EQ(count_rule(findings, "nodiscard-space-status"), 0);
+}
+
 TEST(AfLint, MultiSchemeBenchMustUseRunSchemes) {
   const auto findings = lint_fixture("bad_bench.txt", "bench/bad_bench.cpp");
   EXPECT_EQ(count_rule(findings, "bench-run-schemes"), 1);

@@ -186,7 +186,7 @@ void rule_nodiscard_status(const FileView& f, std::vector<Finding>& out) {
   // whose silent drop loses a failure or a completion time.
   static const std::regex kDecl(
       R"(^\s*(?:virtual\s+)?(?:static\s+)?(?:constexpr\s+)?)"
-      R"((?:[A-Za-z_]\w*::)*(bool|SimTime|Programmed|Completion|ReplayResult|ReadResult))"
+      R"((?:[A-Za-z_]\w*::)*(bool|SimTime|SimDuration|Status|Programmed|Completion|ReplayResult|ReadResult))"
       R"(\s+([A-Za-z_]\w*)\s*\()");
   for (std::size_t i = 0; i < f.code.size(); ++i) {
     const std::string& line = f.code[i];
@@ -488,6 +488,91 @@ void rule_integrity_status(const FileView& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: nodiscard-space-status
+// ---------------------------------------------------------------------------
+
+void rule_nodiscard_space_status(const FileView& f, std::vector<Finding>& out) {
+  // The capacity subsystem's unmap/throttle APIs return state the caller
+  // must act on: admit_write's Status decides whether a write may proceed at
+  // all, throttle_delay's stall must be added to the request clock, trim's
+  // completion time feeds the timeline, and note_trim's seq orders the
+  // tombstone against OOB claims. A call in statement position silently
+  // drops that — same closure as integrity-status, keyed on the space APIs.
+  if (!starts_with(f.path, "src/")) return;
+  static constexpr std::string_view kCalls[] = {
+      "admit_write(", "throttle_delay(", "note_trim(", "trim("};
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (const std::string_view call : kCalls) {
+      std::size_t pos = 0;
+      while ((pos = line.find(call, pos)) != std::string::npos) {
+        // Token boundary: on_trim / prune_trim_log-style names carrying the
+        // API name as a suffix are different functions.
+        if (pos > 0 &&
+            (std::isalnum(static_cast<unsigned char>(line[pos - 1])) ||
+             line[pos - 1] == '_')) {
+          pos += call.size();
+          continue;
+        }
+        // Walk back over the object chain (receiver, ., ->, ::) to find
+        // what syntactically precedes the call expression. A `()` in the
+        // chain — `engine.array().note_trim(...)` — is hopped over whole.
+        std::size_t chain = pos;
+        while (chain > 0) {
+          const char c = line[chain - 1];
+          if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '.' || c == ':' || c == '>' || c == '-') {
+            --chain;
+          } else if (c == ')') {
+            int depth = 0;
+            std::size_t j = chain;
+            while (j > 0) {
+              if (line[j - 1] == ')') ++depth;
+              if (line[j - 1] == '(' && --depth == 0) break;
+              --j;
+            }
+            // Hop only over *call* parens (preceded by an identifier, as in
+            // `array()`): a cast like `(void)` must stay in the prefix, where
+            // it reads as an explicit discard.
+            if (j <= 1 ||
+                !(std::isalnum(static_cast<unsigned char>(line[j - 2])) ||
+                  line[j - 2] == '_')) {
+              break;
+            }
+            chain = j - 1;
+          } else {
+            break;
+          }
+        }
+        std::string prefix = line.substr(0, chain);
+        const auto last = prefix.find_last_not_of(" \t");
+        prefix = last == std::string::npos ? "" : prefix.substr(0, last + 1);
+        for (std::size_t li = i; prefix.empty() && li > 0;) {
+          const std::string& prev = f.code[--li];
+          const auto plast = prev.find_last_not_of(" \t");
+          if (plast != std::string::npos) prefix = prev.substr(0, plast + 1);
+        }
+        // Statement position: nothing before the call, or the previous
+        // statement just ended. Anything else — assignment, return,
+        // argument, declaration, explicit (void) — consumes or visibly
+        // discards it. A declaration (`virtual SimTime trim(`) never sits
+        // in statement position, so headers pass untouched.
+        if (prefix.empty() || prefix.back() == ';' || prefix.back() == '{' ||
+            prefix.back() == '}') {
+          const std::string name(call.substr(0, call.size() - 1));
+          report(f, out, i, "nodiscard-space-status",
+                 "space-status API '" + name +
+                     "' result discarded — consume the Status/completion "
+                     "(admission verdict, throttle stall, tombstone seq), "
+                     "or discard explicitly with (void)");
+        }
+        pos += call.size();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: bench-run-schemes
 // ---------------------------------------------------------------------------
 
@@ -535,6 +620,7 @@ std::vector<Finding> lint_content(const std::string& display_path,
   rule_no_raw_thread(f, out);
   rule_no_nondeterminism(f, out);
   rule_integrity_status(f, out);
+  rule_nodiscard_space_status(f, out);
   rule_bench_run_schemes(f, out);
   return out;
 }

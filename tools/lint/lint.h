@@ -19,6 +19,12 @@
 //                      bench::run_schemes, never a hand-rolled
 //                      trace::replay loop (keeps fan-out + determinism
 //                      checks in one place)
+//   nodiscard-space-status
+//                      statement-position calls of the capacity subsystem's
+//                      unmap/throttle APIs (admit_write, throttle_delay,
+//                      trim, note_trim) in src/ discard the admission
+//                      verdict / stall / completion / tombstone seq — the
+//                      caller must consume it or (void)-discard explicitly
 //
 // Suppressions (each needs a justification in the same comment):
 //   // af_lint: allow(rule)        this line or the next line
