@@ -21,6 +21,12 @@
 // --parity-width W (stripe width incl. parity, default 8) tune the policy;
 // the scrub/retry/rebuild economics land in the JSON's "reliability" section.
 //
+// (f) sweeps the concurrent in-flight pipeline (DESIGN.md §10) over queue
+// depths (--queue-depth N, repeatable; default 1, 4, 16): per scheme, the
+// closed-loop simulated throughput (requests per simulated second,
+// deterministic in config x trace x QD) plus service-latency percentiles.
+// The QD=1 row is the serial baseline the speedups are measured against.
+//
 // Knobs: ACROSS_FTL_BENCH_REQS / ACROSS_FTL_BENCH_BLOCKS as everywhere, plus
 //   ACROSS_FTL_PERF_JSON  output path (default BENCH_perf.json)
 #include <chrono>
@@ -147,6 +153,12 @@ struct CrashRow {
   trace::CrashReplayResult result;
 };
 
+struct PipelineRow {
+  std::string scheme;
+  double wall_s = 0;
+  trace::PipelineReplayResult result;
+};
+
 void write_json(const std::string& path, const ssd::SsdConfig& config,
                 const char* trace_name, const std::vector<ReplayRow>& rows,
                 const std::vector<ReplayRow>& ckpt_rows,
@@ -154,6 +166,7 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
                 const std::vector<ReplayRow>& rel_rows,
                 const ssd::SsdConfig& rel_config,
                 const std::vector<VictimRow>& victims,
+                const std::vector<PipelineRow>& pipeline_rows,
                 const std::vector<CrashRow>& crashes,
                 const trace::PowerCutSpec& spec) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -288,6 +301,40 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
     }
     std::fprintf(f, "  ]},\n");
   }
+  // Queue-depth sweep: every number except wall_s is simulated and
+  // deterministic, so the perf gate can compare them across builds. Speedup
+  // is against the same scheme's QD=1 row of this run.
+  std::fprintf(f, "  \"pipeline\": [\n");
+  for (std::size_t i = 0; i < pipeline_rows.size(); ++i) {
+    const auto& row = pipeline_rows[i];
+    const auto& r = row.result;
+    double base = r.sim_requests_per_s();
+    for (const auto& other : pipeline_rows) {
+      if (other.scheme == row.scheme && other.result.queue_depth <= 1) {
+        base = other.result.sim_requests_per_s();
+      }
+    }
+    const auto reads = r.result.stats.all_reads();
+    const auto writes = r.result.stats.all_writes();
+    std::fprintf(
+        f,
+        "    {\"scheme\": \"%s\", \"queue_depth\": %u, \"workers\": %u, "
+        "\"wall_s\": %.3f, \"requests\": %llu, \"makespan_ms\": %.3f, "
+        "\"sim_requests_per_s\": %.1f, \"speedup_vs_qd1\": %.3f, "
+        "\"read_p50_ms\": %.4f, \"read_p95_ms\": %.4f, "
+        "\"read_p99_ms\": %.4f, \"read_max_ms\": %.4f, "
+        "\"write_p50_ms\": %.4f, \"write_p95_ms\": %.4f, "
+        "\"write_p99_ms\": %.4f, \"write_max_ms\": %.4f}%s\n",
+        row.scheme.c_str(), r.queue_depth, r.workers, row.wall_s,
+        static_cast<unsigned long long>(r.requests),
+        static_cast<double>(r.makespan_ns) / 1e6, r.sim_requests_per_s(),
+        base > 0 ? r.sim_requests_per_s() / base : 0.0, reads.p50_ns() / 1e6,
+        reads.p95_ns() / 1e6, reads.p99_ns() / 1e6, reads.max_ns() / 1e6,
+        writes.p50_ns() / 1e6, writes.p95_ns() / 1e6, writes.p99_ns() / 1e6,
+        writes.max_ns() / 1e6,
+        i + 1 < pipeline_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"victim_select\": [\n");
   for (std::size_t i = 0; i < victims.size(); ++i) {
     const auto& v = victims[i];
@@ -311,6 +358,7 @@ int main(int argc, char** argv) {
   bool power_cut = false;
   std::uint32_t scrub_budget = 8;
   std::uint32_t parity_width = 8;
+  std::vector<std::uint32_t> queue_depths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--power-cut-at-op" && i + 1 < argc) {
@@ -325,19 +373,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--parity-width" && i + 1 < argc) {
       parity_width =
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--queue-depth" && i + 1 < argc) {
+      queue_depths.push_back(
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10)));
     } else {
       std::fprintf(stderr,
                    "usage: perf_replay [--power-cut-at-op N] "
                    "[--power-cut-seed S] [--scrub-budget P] "
-                   "[--parity-width W]\n"
+                   "[--parity-width W] [--queue-depth D]...\n"
                    "  N = 1-based flash op to kill power at "
                    "(0 = sample uniformly from S)\n"
                    "  P = scrub pages per tick for section (e), default 8\n"
                    "  W = parity stripe width incl. parity, default 8 "
-                   "(0/1 = parity off)\n");
+                   "(0/1 = parity off)\n"
+                   "  D = queue depths for the pipeline sweep (f), "
+                   "repeatable; default 1 4 16\n");
       return 2;
     }
   }
+  if (queue_depths.empty()) queue_depths = {1, 4, 16};
 
   const auto config = bench::device(8);
   bench::print_header("perf_replay: simulator wall-clock performance", config);
@@ -466,6 +520,41 @@ int main(int argc, char** argv) {
     crash_table.print(std::cout);
   }
 
+  // (f) Pipeline queue-depth sweep: closed-loop simulated throughput per
+  // scheme. Simulated numbers are deterministic in (config, trace, QD);
+  // wall_s is the only noisy column.
+  std::vector<PipelineRow> pipeline_rows;
+  Table qd_table({"scheme", "QD", "req/sim-s", "speedup", "read p50 ms",
+                  "read p99 ms", "write p50 ms", "write p99 ms", "wall (s)"});
+  for (auto kind : bench::all_schemes()) {
+    double base = 0;
+    for (std::uint32_t qd : queue_depths) {
+      PipelineRow row;
+      auto qd_config = config;
+      qd_config.pipeline.queue_depth = qd;
+      const double t0 = now_s();
+      // af_lint: allow(bench-run-schemes) — timed one at a time, same as (a).
+      row.result = trace::replay_pipeline(qd_config, kind, tr);
+      row.wall_s = now_s() - t0;
+      row.scheme = row.result.result.scheme;
+      const double rps = row.result.sim_requests_per_s();
+      if (qd <= 1 || base == 0) base = qd <= 1 ? rps : base;
+      const auto reads = row.result.result.stats.all_reads();
+      const auto writes = row.result.result.stats.all_writes();
+      qd_table.add_row(
+          {row.scheme, Table::num(std::uint64_t{qd}), Table::num(rps, 0),
+           Table::num(base > 0 ? rps / base : 0.0, 2) + "x",
+           Table::num(reads.p50_ns() / 1e6, 2),
+           Table::num(reads.p99_ns() / 1e6, 2),
+           Table::num(writes.p50_ns() / 1e6, 2),
+           Table::num(writes.p99_ns() / 1e6, 2), Table::num(row.wall_s, 2)});
+      pipeline_rows.push_back(std::move(row));
+    }
+  }
+  std::printf("\n(f) pipeline queue-depth sweep (simulated closed-loop "
+              "throughput)\n");
+  qd_table.print(std::cout);
+
   // (b) Victim selection: legacy scan vs weight index, per pick.
   std::vector<VictimRow> victims;
   Table picks({"blocks/plane", "picks", "scan ns/pick", "indexed ns/pick",
@@ -485,6 +574,6 @@ int main(int argc, char** argv) {
   const char* json = std::getenv("ACROSS_FTL_PERF_JSON");
   write_json(json != nullptr ? json : "BENCH_perf.json", config, trace_name,
              rows, ckpt_rows, kCkptInterval, rel_rows, rel_config, victims,
-             crashes, spec);
+             pipeline_rows, crashes, spec);
   return 0;
 }

@@ -104,6 +104,13 @@ class LatencyRecorder {
     return sectors_ ? latency_.sum() / static_cast<double>(sectors_) : 0.0;
   }
 
+  // Tail-latency accessors for the queue-depth sweeps (ns; p* approximate
+  // via the log2 histogram, max exact via the streaming summary).
+  [[nodiscard]] double p50_ns() const { return hist_.percentile(50); }
+  [[nodiscard]] double p95_ns() const { return hist_.percentile(95); }
+  [[nodiscard]] double p99_ns() const { return hist_.percentile(99); }
+  [[nodiscard]] double max_ns() const { return latency_.max(); }
+
   void merge(const LatencyRecorder& o) {
     latency_.merge(o.latency_);
     hist_.merge(o.hist_);

@@ -78,6 +78,18 @@ nand::FlashArray Ssd::release_flash() {
 Ssd::~Ssd() = default;
 
 Ssd::Completion Ssd::submit(const ftl::IoRequest& req) {
+  return submit_impl(req, nullptr);
+}
+
+Ssd::Completion Ssd::submit_deferred(const ftl::IoRequest& req,
+                                     ftl::ReadPlan* plan_out) {
+  AF_CHECK_MSG(plan_out != nullptr, "submit_deferred needs a plan sink");
+  plan_out->observed.clear();
+  return submit_impl(req, plan_out);
+}
+
+Ssd::Completion Ssd::submit_impl(const ftl::IoRequest& req,
+                                 ftl::ReadPlan* plan_out) {
   AF_CHECK_MSG(!req.range.empty(), "empty request");
   AF_CHECK_MSG(req.range.end <= engine_->config().logical_sectors(),
                "request beyond logical capacity");
@@ -144,17 +156,18 @@ Ssd::Completion Ssd::submit(const ftl::IoRequest& req) {
     if (oracle_) oracle_->on_write(req.range);
     completion.done = scheme_->write(req, req.arrival);
   } else {
-    ftl::ReadPlan plan;
+    ftl::ReadPlan local_plan;
+    ftl::ReadPlan* plan = plan_out != nullptr ? plan_out : &local_plan;
     completion.done =
-        scheme_->read(req, req.arrival, oracle_ ? &plan : nullptr);
-    if (oracle_) {
-      for (const auto& obs : plan.observed) {
+        scheme_->read(req, req.arrival, oracle_ ? plan : nullptr);
+    if (oracle_ && plan_out == nullptr) {
+      for (const auto& obs : plan->observed) {
         const std::uint64_t expected = oracle_->expected(obs.sector);
         AF_CHECK_MSG(obs.stamp == expected,
                      "oracle mismatch: FTL returned stale or wrong data");
         ++verified_sectors_;
       }
-      AF_CHECK_MSG(plan.observed.size() == req.range.size(),
+      AF_CHECK_MSG(plan->observed.size() == req.range.size(),
                    "read plan did not cover the whole request");
     }
   }

@@ -65,6 +65,18 @@ class Ssd {
   /// the fully covered pages and are durable the instant they are accepted.
   [[nodiscard]] Completion submit(const ftl::IoRequest& req);
 
+  /// Pipeline device-stage entry (DESIGN.md §10): identical to submit() —
+  /// same classification, admission checks, oracle/shadow updates and stats,
+  /// in the same order — except that a read's plan is handed back through
+  /// `plan_out` instead of being verified inline, so the pipeline can verify
+  /// it on a worker thread while younger requests enter the device. The
+  /// caller owns serialization: calls must be externally ordered (the
+  /// pipeline holds its mutex across this call) and verification must finish
+  /// before any overlapping write is serviced (the range-lock table enforces
+  /// that). With the oracle off, `plan_out` is left empty.
+  [[nodiscard]] Completion submit_deferred(const ftl::IoRequest& req,
+                                           ftl::ReadPlan* plan_out);
+
   /// Ages the device: fills `live_fraction` of raw capacity with valid data
   /// and keeps overwriting it until `used_fraction` of all physical pages
   /// have been consumed (GC active throughout), mirroring §4.1. Call
@@ -107,6 +119,12 @@ class Ssd {
 
  private:
   class OracleStamps;  // adapts Oracle to ftl::StampProvider
+
+  /// Common body of submit() and submit_deferred(): `plan_out == nullptr`
+  /// verifies reads inline (the serial path, byte-for-byte the pre-pipeline
+  /// behaviour); otherwise the plan is exported for deferred verification.
+  [[nodiscard]] Completion submit_impl(const ftl::IoRequest& req,
+                                       ftl::ReadPlan* plan_out);
 
   /// Shared tail of both construction paths: scheme, oracle, checkpointer.
   Ssd(std::unique_ptr<ssd::Engine> engine, ftl::SchemeKind kind,

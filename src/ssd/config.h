@@ -140,6 +140,36 @@ struct SsdConfig {
   };
   CapacityPolicy capacity;
 
+  /// Concurrent in-flight request pipeline (DESIGN.md §10). Zero-default:
+  /// `queue_depth <= 1` keeps the pipeline machinery out of the request path
+  /// entirely (no threads, no locks, no queue), so a default-config run is
+  /// bit-identical to a build without the subsystem. At `queue_depth > 1`
+  /// the host driver keeps up to queue_depth requests in flight: the device
+  /// stage still services them in submission order (determinism contract),
+  /// but their simulated issue times overlap across channels/chips and read
+  /// verification completes out of order on worker threads.
+  struct PipelineConfig {
+    /// Host requests allowed in flight at once (closed-loop driver). 0 or 1
+    /// = pipeline off; the inline serial path services every request.
+    std::uint32_t queue_depth = 0;
+    /// Worker threads (via common/thread_pool.h) that drive the device
+    /// stage and verify completed reads. 0 = pick a small default. Worker
+    /// count never changes any simulated number — only wall-clock time.
+    std::uint32_t workers = 0;
+    /// Granularity of the sharded per-LPN-range lock table: logical pages
+    /// per lock region. Smaller regions mean fewer false conflicts between
+    /// near-miss requests; larger regions mean fewer lock entries per
+    /// request. Dependency gating (and therefore simulated timing) keys off
+    /// the same regions, so this knob is part of the determinism tuple.
+    std::uint32_t region_pages = 1;
+
+    [[nodiscard]] bool enabled() const { return queue_depth > 1; }
+    [[nodiscard]] std::uint32_t effective_workers() const {
+      return workers > 0 ? workers : 2;
+    }
+  };
+  PipelineConfig pipeline;
+
   /// Across-FTL design-choice toggles (ablation knobs; DESIGN.md §ablations).
   struct AcrossPolicy {
     /// Remap across-page writes at all; false degrades to baseline servicing

@@ -375,10 +375,22 @@ bool Engine::plane_has_space(std::uint64_t plane, Stream stream) const {
 
 std::uint64_t Engine::pick_plane(Stream stream) {
   const std::uint64_t planes = config_.geometry.total_planes();
+  // Flat plane indices are chip-major (geometry.h): planes p..p+3 share one
+  // chip, so a naive round-robin lands consecutive programs on the same chip
+  // and they serialize in the timeline. With a concurrent host queue the
+  // allocator instead walks planes chip-rotating (channel-first allocation),
+  // so simultaneous in-flight programs spread across chips. The serial path
+  // keeps the legacy walk: at QD<=1 the order never changes timing, and the
+  // committed tables depend on the legacy data placement.
+  const bool stripe = config_.pipeline.enabled();
+  const std::uint64_t chips = config_.geometry.total_chips();
+  const std::uint64_t planes_per_chip = planes / chips;
   for (std::uint64_t i = 0; i < planes; ++i) {
-    const std::uint64_t plane = (rr_plane_ + i) % planes;
+    const std::uint64_t v = (rr_plane_ + i) % planes;
+    const std::uint64_t plane =
+        stripe ? (v % chips) * planes_per_chip + v / chips : v;
     if (plane_has_space(plane, stream)) {
-      rr_plane_ = (plane + 1) % planes;
+      rr_plane_ = (v + 1) % planes;
       return plane;
     }
   }

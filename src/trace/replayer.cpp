@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "ftl/request.h"
 #include "nand/power.h"
+#include "sim/pipeline.h"
 #include "sim/ssd.h"
 
 namespace af::trace {
@@ -52,6 +53,31 @@ ReplayResult replay(const ssd::SsdConfig& config, ftl::SchemeKind kind,
   ReplayResult result = snapshot_result(ssd);
   result.lost_requests = lost_requests;
   return result;
+}
+
+PipelineReplayResult replay_pipeline(const ssd::SsdConfig& config,
+                                     ftl::SchemeKind kind, const Trace& trace,
+                                     const ReplayOptions& options) {
+  sim::SsdPipeline pipeline(config, kind);
+  if (options.age) {
+    pipeline.age(options.age_used, options.age_live, options.age_seed);
+    pipeline.reset_measurement();
+  }
+  for (const auto& rec : trace) {
+    pipeline.submit({rec.timestamp, rec.write, rec.range(), rec.trim});
+  }
+  pipeline.drain();
+  pipeline.device().snapshot_map_footprint();
+
+  PipelineReplayResult out;
+  out.result = snapshot_result(pipeline.device());
+  out.result.lost_requests = pipeline.lost_requests();
+  out.queue_depth = pipeline.queue_depth();
+  out.workers = pipeline.workers();
+  out.verified_sectors = pipeline.verified_sectors();
+  out.makespan_ns = pipeline.makespan_ns();
+  out.requests = pipeline.submitted();
+  return out;
 }
 
 CrashReplayResult replay_with_power_cut(const ssd::SsdConfig& config,

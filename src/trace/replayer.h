@@ -52,6 +52,33 @@ struct ReplayResult {
                                   ftl::SchemeKind kind, const Trace& trace,
                                   const ReplayOptions& options = {});
 
+/// replay() through the concurrent in-flight pipeline (DESIGN.md §10).
+struct PipelineReplayResult {
+  ReplayResult result;             // same snapshot as a serial replay
+  std::uint32_t queue_depth = 1;
+  std::uint32_t workers = 1;
+  std::uint64_t verified_sectors = 0;
+  /// Latest simulated completion of the measured phase; with the closed-loop
+  /// driver this is the device-limited makespan, so requests/sim-second =
+  /// requests / (makespan_ns / 1e9) — the fio-style QD-sweep throughput.
+  std::uint64_t makespan_ns = 0;
+  std::uint64_t requests = 0;
+
+  [[nodiscard]] double sim_requests_per_s() const {
+    return makespan_ns > 0 ? static_cast<double>(requests) * 1e9 /
+                                 static_cast<double>(makespan_ns)
+                           : 0.0;
+  }
+};
+
+/// Replays `trace` through an SsdPipeline at config.pipeline's queue depth
+/// (closed-loop: trace arrival times are ignored, the driver keeps the
+/// window full). Every simulated number in the result is deterministic in
+/// (config, trace) — worker count changes wall-clock time only.
+[[nodiscard]] PipelineReplayResult replay_pipeline(
+    const ssd::SsdConfig& config, ftl::SchemeKind kind, const Trace& trace,
+    const ReplayOptions& options = {});
+
 /// One scheduled sudden power-off for replay_with_power_cut.
 struct PowerCutSpec {
   /// 1-based flash-op index, counted from the start of the measured replay

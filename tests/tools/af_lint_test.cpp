@@ -92,10 +92,10 @@ TEST(AfLint, CheckSideEffects) {
 TEST(AfLint, RawThreadsOutsideCommon) {
   const auto findings =
       lint_fixture("bad_thread.txt", "bench/bad_thread.cpp");
-  // std::thread construction and std::async; hardware_concurrency() is a
-  // read-only query and stays legal.
-  EXPECT_EQ(count_rule(findings, "no-raw-thread"), 2);
-  EXPECT_EQ(findings.size(), 2u);
+  // std::thread and std::jthread construction and std::async;
+  // hardware_concurrency() is a read-only query and stays legal.
+  EXPECT_EQ(count_rule(findings, "no-raw-thread"), 3);
+  EXPECT_EQ(findings.size(), 3u);
 }
 
 TEST(AfLint, RawThreadsAllowedInsideCommon) {
@@ -157,6 +157,37 @@ TEST(AfLint, BenchRuleOnlyAppliesToBenchDir) {
   const auto findings =
       lint_fixture("bad_bench.txt", "tests/integration/bad_bench.cpp");
   EXPECT_EQ(count_rule(findings, "bench-run-schemes"), 0);
+}
+
+TEST(AfLint, PipelineGuardedStateFlagsUnannotatedMembers) {
+  const auto findings = lint_fixture("bad_pipeline_state.txt",
+                                     "src/sim/bad_pipeline_state.h");
+  // pending_ and completed_ lack annotations; the const member, the Mutex,
+  // the AF_GUARDED_BY member, the atomic and the allow-justified member
+  // must all pass.
+  EXPECT_EQ(count_rule(findings, "pipeline-guarded-state"), 2);
+}
+
+TEST(AfLint, PipelineGuardedStateOnlyCoversMutexBearingSsdSimHeaders) {
+  // Same content elsewhere in src/, or as a .cpp, is out of jurisdiction.
+  const auto in_ftl = lint_fixture("bad_pipeline_state.txt",
+                                   "src/ftl/bad_pipeline_state.h");
+  EXPECT_EQ(count_rule(in_ftl, "pipeline-guarded-state"), 0);
+  const auto as_cpp = lint_fixture("bad_pipeline_state.txt",
+                                   "src/sim/bad_pipeline_state.cpp");
+  EXPECT_EQ(count_rule(as_cpp, "pipeline-guarded-state"), 0);
+  // A header with plain members but no Mutex member is single-threaded
+  // state and stays unannotated.
+  const std::string no_mutex =
+      "#pragma once\n"
+      "namespace af::sim {\n"
+      "class Counters {\n"
+      " private:\n"
+      "  unsigned long long completed_ = 0;\n"
+      "};\n"
+      "}  // namespace af::sim\n";
+  const auto findings = lint_content("src/sim/counters.h", no_mutex);
+  EXPECT_EQ(count_rule(findings, "pipeline-guarded-state"), 0);
 }
 
 TEST(AfLint, SuppressionsSilenceJustifiedFindings) {

@@ -598,6 +598,73 @@ void rule_bench_run_schemes(const FileView& f, std::vector<Finding>& out) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Rule: pipeline-guarded-state
+// ---------------------------------------------------------------------------
+
+void rule_pipeline_guarded_state(const FileView& f, std::vector<Finding>& out) {
+  // Headers in the concurrency-bearing layers (src/ssd, src/sim) that declare
+  // an af::Mutex member are shared between threads; every trailing-underscore
+  // data member there must say how it is synchronized: AF_GUARDED_BY /
+  // AF_PT_GUARDED_BY, std::atomic, or an internally-synchronized type
+  // (Mutex, condition_variable, ThreadPool, RangeLockTable). Everything else
+  // needs an explicit af_lint allow with a justification — "I forgot the
+  // annotation" and "this is thread-confined by design" must look different.
+  if (!ends_with(f.path, ".h")) return;
+  if (!starts_with(f.path, "src/ssd/") && !starts_with(f.path, "src/sim/")) {
+    return;
+  }
+  static const std::regex kMutexMember(
+      R"(^\s*(?:mutable\s+)?(?:af::)?Mutex\s+\w+\s*;)");
+  bool has_mutex = false;
+  for (const std::string& line : f.code) {
+    if (std::regex_search(line, kMutexMember)) {
+      has_mutex = true;
+      break;
+    }
+  }
+  if (!has_mutex) return;
+  // A member declaration: a type, then a trailing-underscore name, ending the
+  // statement (possibly with an initializer). Multi-line declarations whose
+  // annotation sits on a continuation line never end in ';' here and skip.
+  static const std::regex kMember(
+      R"(^\s*[A-Za-z_][\w:<>,\s\*&]*[\s&\*>][A-Za-z_]\w*_\s*(;|=[^=]|\{))");
+  static const char* kSyncTypes[] = {"Mutex", "condition_variable",
+                                     "ThreadPool", "RangeLockTable"};
+  static const char* kSkipLeaders[] = {"static", "const",  "constexpr",
+                                       "using",  "return", "friend",
+                                       "enum",   "#",      "typedef"};
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (line.find("AF_GUARDED_BY") != std::string::npos ||
+        line.find("AF_PT_GUARDED_BY") != std::string::npos ||
+        line.find("std::atomic") != std::string::npos) {
+      continue;
+    }
+    // Any other parenthesis means a function declaration or an in-class call.
+    if (line.find('(') != std::string::npos) continue;
+    const auto last = line.find_last_not_of(" \t");
+    if (last == std::string::npos || line[last] != ';') continue;
+    if (!std::regex_search(line, kMember)) continue;
+    const auto first = line.find_first_not_of(" \t");
+    bool skip = false;
+    for (const char* leader : kSkipLeaders) {
+      if (line.compare(first, std::string(leader).size(), leader) == 0) {
+        skip = true;
+        break;
+      }
+    }
+    for (const char* type : kSyncTypes) {
+      if (line.find(type) != std::string::npos) skip = true;
+    }
+    if (skip) continue;
+    report(f, out, i, "pipeline-guarded-state",
+           "shared mutable member in a mutex-bearing ssd/sim header without "
+           "AF_GUARDED_BY / std::atomic — annotate the guard, or justify "
+           "thread confinement with an af_lint allow comment");
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -622,6 +689,7 @@ std::vector<Finding> lint_content(const std::string& display_path,
   rule_integrity_status(f, out);
   rule_nodiscard_space_status(f, out);
   rule_bench_run_schemes(f, out);
+  rule_pipeline_guarded_state(f, out);
   return out;
 }
 

@@ -25,6 +25,13 @@
 //                      trim, note_trim) in src/ discard the admission
 //                      verdict / stall / completion / tombstone seq — the
 //                      caller must consume it or (void)-discard explicitly
+//   pipeline-guarded-state
+//                      src/ssd + src/sim headers that declare a Mutex member
+//                      are shared between pipeline threads: every mutable
+//                      trailing-underscore data member must carry
+//                      AF_GUARDED_BY / AF_PT_GUARDED_BY / std::atomic, be an
+//                      internally-synchronized type, or justify its thread
+//                      confinement with an allow comment
 //
 // Suppressions (each needs a justification in the same comment):
 //   // af_lint: allow(rule)        this line or the next line

@@ -1,0 +1,349 @@
+// perf_gate — compares two BENCH_perf.json files and fails the build when
+// the candidate regresses the committed baseline.
+//
+// Checks, in order:
+//   1. Wall-clock replay throughput per scheme ("replays" section):
+//      candidate requests_per_s must stay within --max-regression (default
+//      25%) of the baseline. Skipped (with a note) when the two files were
+//      measured at different config.requests — wall numbers at different
+//      trace lengths are not comparable.
+//   2. Pipeline simulated throughput per (scheme, queue depth): the same
+//      threshold. These numbers are deterministic in (config, trace, QD),
+//      so any drift at equal request counts is a behaviour change, not
+//      noise. Also skipped across differing request counts.
+//   3. Within the candidate alone: every pipeline row at queue depth >= 4
+//      must hold speedup_vs_qd1 >= --min-qd-speedup (default 2.0) — the
+//      concurrency win the pipeline exists to deliver (DESIGN.md §10).
+//
+// The parser covers exactly the JSON subset perf_replay emits (objects,
+// arrays, strings, numbers, booleans); it is not a general JSON library.
+//
+// Usage:
+//   perf_gate --baseline BENCH_perf.json --candidate BENCH_perf_ci.json \
+//             [--max-regression 0.25] [--min-qd-speedup 2.0]
+// Exit status: 0 = gate passed, 1 = regression found, 2 = usage/parse error.
+#include <cstdarg>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser.
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] double num_or(const std::string& key, double fallback) const {
+    const Json* v = find(key);
+    return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+  }
+  [[nodiscard]] std::string str_or(const std::string& key,
+                                   const std::string& fallback) const {
+    const Json* v = find(key);
+    return v != nullptr && v->type == Type::kString ? v->str : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  [[nodiscard]] bool parse(Json* out) {
+    const bool ok = value(out);
+    skip_ws();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool literal(const char* word) {
+    skip_ws();
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] bool string(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+      out->push_back(text_[pos_++]);
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+  [[nodiscard]] bool value(Json* out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out->type = Json::Type::kString;
+      return string(&out->str);
+    }
+    if (literal("true")) {
+      out->type = Json::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out->type = Json::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out->type = Json::Type::kNull;
+      return true;
+    }
+    char* end = nullptr;
+    out->number = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return false;
+    out->type = Json::Type::kNumber;
+    pos_ = static_cast<std::size_t>(end - text_.c_str());
+    return true;
+  }
+  [[nodiscard]] bool object(Json* out) {
+    if (!consume('{')) return false;
+    out->type = Json::Type::kObject;
+    if (consume('}')) return true;
+    do {
+      std::string key;
+      if (!string(&key) || !consume(':')) return false;
+      if (!value(&out->object[key])) return false;
+    } while (consume(','));
+    return consume('}');
+  }
+  [[nodiscard]] bool array(Json* out) {
+    if (!consume('[')) return false;
+    out->type = Json::Type::kArray;
+    if (consume(']')) return true;
+    do {
+      Json element;
+      if (!value(&element)) return false;
+      out->array.push_back(std::move(element));
+    } while (consume(','));
+    return consume(']');
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] bool load(const std::string& path, Json* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "perf_gate: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (!Parser(text).parse(out) || out->type != Json::Type::kObject) {
+    std::fprintf(stderr, "perf_gate: %s is not valid JSON\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Gate logic.
+
+struct Gate {
+  double max_regression = 0.25;
+  double min_qd_speedup = 2.0;
+  int failures = 0;
+
+  void fail(const char* fmt, ...) __attribute__((format(printf, 2, 3))) {
+    va_list args;
+    va_start(args, fmt);
+    std::fprintf(stderr, "perf_gate: FAIL: ");
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+    va_end(args);
+    ++failures;
+  }
+};
+
+[[nodiscard]] double requests_of(const Json& doc) {
+  const Json* config = doc.find("config");
+  return config != nullptr ? config->num_or("requests", -1) : -1;
+}
+
+/// Prints a baseline/candidate/delta row and returns the relative delta
+/// (negative = candidate slower).
+double delta_row(const std::string& label, double base, double cand) {
+  const double delta = base > 0 ? (cand - base) / base : 0;
+  std::printf("  %-28s %12.1f %12.1f %+8.1f%%\n", label.c_str(), base, cand,
+              delta * 100);
+  return delta;
+}
+
+void check_wall_replays(const Json& base, const Json& cand, Gate* gate) {
+  const Json* base_rows = base.find("replays");
+  const Json* cand_rows = cand.find("replays");
+  if (base_rows == nullptr || cand_rows == nullptr) {
+    gate->fail("missing \"replays\" section");
+    return;
+  }
+  std::printf("wall-clock replay throughput (requests_per_s)\n");
+  std::printf("  %-28s %12s %12s %9s\n", "scheme", "baseline", "candidate",
+              "delta");
+  for (const Json& b : base_rows->array) {
+    const std::string scheme = b.str_or("scheme", "?");
+    const Json* match = nullptr;
+    for (const Json& c : cand_rows->array) {
+      if (c.str_or("scheme", "") == scheme) match = &c;
+    }
+    if (match == nullptr) {
+      gate->fail("scheme %s missing from candidate replays", scheme.c_str());
+      continue;
+    }
+    const double delta =
+        delta_row(scheme, b.num_or("requests_per_s", 0),
+                  match->num_or("requests_per_s", 0));
+    if (delta < -gate->max_regression) {
+      gate->fail("%s wall throughput regressed %.1f%% (limit %.0f%%)",
+                 scheme.c_str(), -delta * 100, gate->max_regression * 100);
+    }
+  }
+}
+
+void check_pipeline_cross(const Json& base, const Json& cand, Gate* gate) {
+  const Json* base_rows = base.find("pipeline");
+  const Json* cand_rows = cand.find("pipeline");
+  if (base_rows == nullptr || cand_rows == nullptr) return;  // older file
+  std::printf("pipeline simulated throughput (sim_requests_per_s)\n");
+  std::printf("  %-28s %12s %12s %9s\n", "scheme @ QD", "baseline",
+              "candidate", "delta");
+  for (const Json& b : base_rows->array) {
+    const std::string scheme = b.str_or("scheme", "?");
+    const double qd = b.num_or("queue_depth", 0);
+    const Json* match = nullptr;
+    for (const Json& c : cand_rows->array) {
+      if (c.str_or("scheme", "") == scheme && c.num_or("queue_depth", -1) == qd)
+        match = &c;
+    }
+    if (match == nullptr) {
+      gate->fail("pipeline row %s @ QD %.0f missing from candidate",
+                 scheme.c_str(), qd);
+      continue;
+    }
+    char label[64];
+    std::snprintf(label, sizeof label, "%s @ QD %.0f", scheme.c_str(), qd);
+    const double delta =
+        delta_row(label, b.num_or("sim_requests_per_s", 0),
+                  match->num_or("sim_requests_per_s", 0));
+    if (delta < -gate->max_regression) {
+      gate->fail("%s simulated throughput regressed %.1f%% (limit %.0f%%)",
+                 label, -delta * 100, gate->max_regression * 100);
+    }
+  }
+}
+
+void check_qd_speedup(const Json& cand, Gate* gate) {
+  const Json* rows = cand.find("pipeline");
+  if (rows == nullptr) {
+    gate->fail("candidate has no \"pipeline\" section");
+    return;
+  }
+  std::printf("candidate pipeline speedup vs QD=1 (floor %.2fx at QD >= 4)\n",
+              gate->min_qd_speedup);
+  for (const Json& r : rows->array) {
+    const double qd = r.num_or("queue_depth", 0);
+    const double speedup = r.num_or("speedup_vs_qd1", 0);
+    std::printf("  %-28s QD %-4.0f %.2fx\n", r.str_or("scheme", "?").c_str(),
+                qd, speedup);
+    if (qd >= 4 && speedup < gate->min_qd_speedup) {
+      gate->fail("%s @ QD %.0f speedup %.2fx below floor %.2fx",
+                 r.str_or("scheme", "?").c_str(), qd, speedup,
+                 gate->min_qd_speedup);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string candidate_path;
+  Gate gate;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--candidate" && i + 1 < argc) {
+      candidate_path = argv[++i];
+    } else if (arg == "--max-regression" && i + 1 < argc) {
+      gate.max_regression = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--min-qd-speedup" && i + 1 < argc) {
+      gate.min_qd_speedup = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_gate --baseline A.json --candidate B.json "
+                   "[--max-regression 0.25] [--min-qd-speedup 2.0]\n");
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || candidate_path.empty()) {
+    std::fprintf(stderr, "perf_gate: --baseline and --candidate required\n");
+    return 2;
+  }
+
+  Json base;
+  Json cand;
+  if (!load(baseline_path, &base) || !load(candidate_path, &cand)) return 2;
+
+  const double base_reqs = requests_of(base);
+  const double cand_reqs = requests_of(cand);
+  if (base_reqs == cand_reqs) {
+    check_wall_replays(base, cand, &gate);
+    check_pipeline_cross(base, cand, &gate);
+  } else {
+    std::printf(
+        "cross-file throughput compare skipped: baseline measured %.0f "
+        "requests, candidate %.0f (not comparable)\n",
+        base_reqs, cand_reqs);
+  }
+  check_qd_speedup(cand, &gate);
+
+  if (gate.failures > 0) {
+    std::fprintf(stderr, "perf_gate: %d check(s) failed\n", gate.failures);
+    return 1;
+  }
+  std::printf("perf_gate: all checks passed\n");
+  return 0;
+}
