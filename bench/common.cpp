@@ -14,15 +14,19 @@ namespace af::bench {
 const Knobs& knobs() {
   static const Knobs kKnobs = [] {
     Knobs k;
-    if (const char* reqs = std::getenv("ACROSS_FTL_BENCH_REQS")) {
+    // getenv runs once here, before any ThreadPool exists.
+    if (const char* reqs =
+            std::getenv("ACROSS_FTL_BENCH_REQS")) {  // NOLINT(concurrency-mt-unsafe)
       k.requests = std::strtoull(reqs, nullptr, 10);
     }
-    if (const char* blocks = std::getenv("ACROSS_FTL_BENCH_BLOCKS")) {
+    if (const char* blocks =
+            std::getenv("ACROSS_FTL_BENCH_BLOCKS")) {  // NOLINT(concurrency-mt-unsafe)
       k.blocks_per_plane =
           static_cast<std::uint32_t>(std::strtoul(blocks, nullptr, 10));
     }
     k.jobs = std::max(1u, std::thread::hardware_concurrency());
-    if (const char* jobs = std::getenv("ACROSS_FTL_BENCH_JOBS")) {
+    if (const char* jobs =
+            std::getenv("ACROSS_FTL_BENCH_JOBS")) {  // NOLINT(concurrency-mt-unsafe)
       k.jobs = std::max(1u, static_cast<unsigned>(
                                 std::strtoul(jobs, nullptr, 10)));
     }

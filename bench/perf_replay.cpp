@@ -571,7 +571,9 @@ int main(int argc, char** argv) {
   std::printf("\n(b) GC victim selection, one plane (scan = legacy path)\n");
   picks.print(std::cout);
 
-  const char* json = std::getenv("ACROSS_FTL_PERF_JSON");
+  // getenv after the pool has been joined; no concurrent env access.
+  const char* json =
+      std::getenv("ACROSS_FTL_PERF_JSON");  // NOLINT(concurrency-mt-unsafe)
   write_json(json != nullptr ? json : "BENCH_perf.json", config, trace_name,
              rows, ckpt_rows, kCkptInterval, rel_rows, rel_config, victims,
              pipeline_rows, crashes, spec);

@@ -35,7 +35,8 @@ af::ssd::SsdConfig soak_config(bool wear_leveling) {
 }
 
 std::uint64_t op_budget() {
-  if (const char* env = std::getenv("SOAK_OPS")) {
+  // getenv runs once at startup, before any ThreadPool exists.
+  if (const char* env = std::getenv("SOAK_OPS")) {  // NOLINT(concurrency-mt-unsafe)
     const auto v = std::strtoull(env, nullptr, 10);
     if (v > 0) return v;
   }

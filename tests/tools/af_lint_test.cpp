@@ -5,12 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint.h"
+#include "lockorder.h"
+#include "model.h"
 
 namespace af::lint {
 namespace {
@@ -227,6 +230,246 @@ TEST(AfLint, TreeIsCleanRightNow) {
   // but through the library API so failures show up with gtest context.
   const auto findings = lint_tree(AF_LINT_REPO_ROOT);
   for (const auto& f : findings) ADD_FAILURE() << format(f);
+}
+
+// ---------------------------------------------------------------------------
+// v2: lexer-fixed literal/comment blind spots
+// ---------------------------------------------------------------------------
+
+TEST(AfLint, RawStringContentsNeverFire) {
+  // v1's per-line state machine reset string state at EOL, so a multi-line
+  // raw string's body leaked back into "code" and its std::thread /
+  // std::rand mentions fired. v2 lexes the raw string as one token.
+  const auto findings =
+      lint_fixture("literal_blindspots.txt", "src/ftl/literal_blindspots.cpp");
+  EXPECT_EQ(count_rule(findings, "no-raw-thread"), 0);
+  // Exactly one real finding: the entropy() call *outside* any literal. The
+  // "af_lint: allow(no-nondeterminism)" spelled inside the string literal
+  // right above it must not suppress it (v1 collected markers from raw
+  // lines, so it did).
+  EXPECT_EQ(count_rule(findings, "no-nondeterminism"), 1);
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(AfLint, AllowMarkerInsideBlockCommentCarriesToFirstCodeLine) {
+  const auto findings =
+      lint_fixture("block_comment_allow.txt", "src/sim/block_comment_allow.cpp");
+  // The first clock read is covered by the marker wrapped inside the
+  // multi-line block comment above it; the second one is past the
+  // carry-down window and must still fire.
+  EXPECT_EQ(count_rule(findings, "no-nondeterminism"), 1);
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// v2: lock-order
+// ---------------------------------------------------------------------------
+
+TEST(AfLint, LockOrderCycleIsDetected) {
+  const auto findings =
+      lint_fixture("lockorder_cycle.txt", "src/sim/lockorder_cycle.cpp");
+  EXPECT_EQ(count_rule(findings, "lock-order"), 1);
+  EXPECT_EQ(findings.size(), 1u);
+  for (const auto& f : findings) {
+    EXPECT_NE(f.message.find("cycle"), std::string::npos) << format(f);
+  }
+}
+
+TEST(AfLint, LockOrderInvertedPipelineShardEdgeIsDetected) {
+  const auto findings =
+      lint_fixture("lockorder_inverted.txt", "src/sim/lockorder_inverted.cpp");
+  EXPECT_EQ(count_rule(findings, "lock-order"), 1);
+  for (const auto& f : findings) {
+    EXPECT_NE(f.message.find("inverted"), std::string::npos) << format(f);
+  }
+}
+
+TEST(AfLint, LockOrderCleanHierarchyHasNoFindings) {
+  const auto findings =
+      lint_fixture("lockorder_clean.txt", "src/sim/lockorder_clean.cpp");
+  for (const auto& f : findings) ADD_FAILURE() << format(f);
+}
+
+TEST(LockOrder, CrossFileCycleIsDetected) {
+  // The two halves of the cycle live in different files: each class's
+  // method is defined out-of-line, and each acquires its own mutex before
+  // the other class's. Only a model spanning both files sees the cycle.
+  const std::vector<SourceFile> files = {
+      {"src/x/locks.h",
+       "#pragma once\n"
+       "namespace af::x {\n"
+       "class Left;\n"
+       "class Right {\n"
+       " public:\n"
+       "  void ping();\n"
+       "  Mutex mu_;\n"
+       "  Left* owner_ = nullptr;\n"
+       "};\n"
+       "class Left {\n"
+       " public:\n"
+       "  void ping();\n"
+       "  Mutex mu_;\n"
+       "  Right right_;\n"
+       "};\n"
+       "}  // namespace af::x\n"},
+      {"src/x/locks.cpp",
+       "#include \"x/locks.h\"\n"
+       "namespace af::x {\n"
+       "void Left::ping() {\n"
+       "  MutexLock a(mu_);\n"
+       "  MutexLock b(right_.mu_);\n"
+       "}\n"
+       "void Right::ping() {\n"
+       "  MutexLock b(mu_);\n"
+       "  MutexLock a(owner_->mu_);\n"
+       "}\n"
+       "}  // namespace af::x\n"}};
+  const auto findings =
+      lockorder::analyze(files, lockorder::default_hierarchy_unanchored());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-order");
+  EXPECT_NE(findings[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(LockOrder, RealTreeGraphHasAnchorEdgesAndNoCycles) {
+  // The acceptance anchor: the graph built from the real src/ tree must
+  // contain the documented pipeline-mutex -> range-lock-shard edge (and the
+  // order-mutex edge), and check() against the anchored hierarchy must be
+  // clean. If a refactor renames the members or breaks call resolution,
+  // this fails loudly instead of the analysis silently checking nothing.
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  const fs::path base = fs::path(AF_LINT_REPO_ROOT) / "src";
+  for (const auto& entry : fs::recursive_directory_iterator(base)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cpp") continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    files.push_back(SourceFile{
+        fs::relative(entry.path(), AF_LINT_REPO_ROOT).generic_string(),
+        ss.str()});
+  }
+  const Model model = Model::build(files);
+  const lockorder::Graph graph = lockorder::build_graph(model);
+  EXPECT_TRUE(
+      graph.has_edge("SsdPipeline::mu_", "RangeLockTable::Shard::mu"));
+  EXPECT_TRUE(
+      graph.has_edge("SsdPipeline::mu_", "RangeLockTable::order_mu_"));
+  const auto findings =
+      lockorder::check(graph, lockorder::default_hierarchy());
+  for (const auto& f : findings) ADD_FAILURE() << format(f);
+}
+
+// ---------------------------------------------------------------------------
+// v2: nondet-iteration-order
+// ---------------------------------------------------------------------------
+
+TEST(AfLint, NondetIterationIntoSinkIsFlagged) {
+  const auto findings =
+      lint_fixture("nondet_iter.txt", "src/ftl/nondet_iter.cpp");
+  // serialize_bad fires; the collect-then-sort pattern and the justified
+  // allow()-covered fold stay clean.
+  EXPECT_EQ(count_rule(findings, "nondet-iteration-order"), 1);
+  EXPECT_EQ(findings.size(), 1u);
+}
+
+TEST(AfLint, NondetIterationRuleOnlyCoversSrcAndBench) {
+  const auto findings =
+      lint_fixture("nondet_iter.txt", "tests/ftl/nondet_iter.cpp");
+  EXPECT_EQ(count_rule(findings, "nondet-iteration-order"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// v2: status-assigned-unchecked
+// ---------------------------------------------------------------------------
+
+TEST(AfLint, StatusAssignedUncheckedIsFlagged) {
+  const auto findings =
+      lint_fixture("status_unchecked.txt", "src/ssd/status_unchecked.cpp");
+  // bad() and reassigned() fire; comparison, return, argument passing,
+  // (void)-discard and the justified allow stay clean.
+  EXPECT_EQ(count_rule(findings, "status-assigned-unchecked"), 2);
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(AfLint, StatusRuleOnlyCoversSrc) {
+  const auto findings =
+      lint_fixture("status_unchecked.txt", "tests/ssd/status_unchecked.cpp");
+  EXPECT_EQ(count_rule(findings, "status-assigned-unchecked"), 0);
+}
+
+// ---------------------------------------------------------------------------
+// v2: SARIF + diff mode
+// ---------------------------------------------------------------------------
+
+TEST(AfLint, SarifGoldenOutput) {
+  const std::vector<Finding> fs = {
+      {"src/nand/flash_array.h", 12, "nodiscard-status",
+       "status-returning API 'program' (returns Status) must be "
+       "[[nodiscard]]"},
+      {"src/sim/pipeline.cpp", 0, "lock-order",
+       "lock acquisition cycle: \"a\" -> b"},
+  };
+  EXPECT_EQ(to_sarif(fs), read_fixture("golden.sarif"));
+}
+
+TEST(AfLint, SarifIsSchemaShaped) {
+  const std::string sarif = to_sarif({});
+  EXPECT_NE(sarif.find("\"$schema\""), std::string::npos);
+  EXPECT_NE(sarif.find("sarif-schema-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"af_lint\""), std::string::npos);
+  // Every rule the linter can emit is in the driver's rule table.
+  for (const auto& rule : rule_catalogue()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + rule.id + "\""), std::string::npos)
+        << rule.id;
+  }
+}
+
+TEST(AfLint, ParseUnifiedDiffExtractsAddedRanges) {
+  const std::string diff =
+      "diff --git a/src/x.cpp b/src/x.cpp\n"
+      "index 111..222 100644\n"
+      "--- a/src/x.cpp\n"
+      "+++ b/src/x.cpp\n"
+      "@@ -10,2 +12,3 @@ void f()\n"
+      "+a\n+b\n+c\n"
+      "@@ -40 +50 @@\n"
+      "+d\n"
+      "@@ -60,3 +70,0 @@\n"
+      "-gone\n-gone\n-gone\n"
+      "diff --git a/src/y.cpp b/src/y.cpp\n"
+      "--- a/src/y.cpp\n"
+      "+++ b/src/y.cpp\n"
+      "@@ -1,0 +2,2 @@\n"
+      "+e\n+f\n";
+  const ChangedLines changed = parse_unified_diff(diff);
+  EXPECT_TRUE(changed.covers("src/x.cpp", 12));
+  EXPECT_TRUE(changed.covers("src/x.cpp", 14));
+  EXPECT_FALSE(changed.covers("src/x.cpp", 11));
+  EXPECT_FALSE(changed.covers("src/x.cpp", 15));
+  EXPECT_TRUE(changed.covers("src/x.cpp", 50));
+  // A pure deletion (+70,0) contributes no lines.
+  EXPECT_FALSE(changed.covers("src/x.cpp", 70));
+  EXPECT_TRUE(changed.covers("src/y.cpp", 2));
+  EXPECT_TRUE(changed.covers("src/y.cpp", 3));
+  EXPECT_FALSE(changed.covers("src/y.cpp", 4));
+  EXPECT_FALSE(changed.covers("src/z.cpp", 1));
+}
+
+TEST(AfLint, DiffModeRestrictsFixtureFindingsToChangedLines) {
+  // A synthetic changed-lines set over a real fixture's findings: only the
+  // finding whose line is inside a changed range survives.
+  auto findings = lint_fixture("bad_space.txt", "src/sim/bad_space.cpp");
+  ASSERT_EQ(findings.size(), 4u);
+  const int keep_line = findings[1].line;
+  ChangedLines changed;
+  changed.ranges["src/sim/bad_space.cpp"].push_back({keep_line, keep_line});
+  const auto restricted = restrict_to_changed(std::move(findings), changed);
+  ASSERT_EQ(restricted.size(), 1u);
+  EXPECT_EQ(restricted[0].line, keep_line);
 }
 
 }  // namespace

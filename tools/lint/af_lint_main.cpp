@@ -1,14 +1,115 @@
-// af_lint CLI: `af_lint [repo-root]`. Scans src/, bench/, tests/, examples/
-// and tools/ for project-convention violations (see lint.h for the rule
-// catalogue) and exits non-zero on any finding. Wired into ctest as
+// af_lint CLI.
+//
+//   af_lint [repo-root] [--sarif <path>] [--diff <base-ref> | --diff-patch <file>]
+//
+// Scans src/, bench/, tests/, examples/ and tools/ for project-convention
+// violations (see lint.h for the rule catalogue) and exits non-zero on any
+// finding. --sarif writes a SARIF 2.1.0 log (always, findings or not) for
+// CI upload; --diff restricts findings to the lines `git diff
+// --unified=0 <base-ref>` reports as added/modified, which is the PR lint
+// mode — the full-tree run on the main branch still sees everything.
+// --diff-patch reads an already-generated unified diff from a file instead
+// of invoking git (used by the diff-mode ctest). Wired into ctest as
 // `af_lint_tree` so every build job enforces it.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "lint.h"
 
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [repo-root] [--sarif <path>] "
+               "[--diff <base-ref> | --diff-patch <file>]\n",
+               argv0);
+  return 2;
+}
+
+/// `git diff --unified=0` against `base_ref`, restricted to the linted
+/// directories. Returns false when git cannot be run.
+bool git_diff(const std::string& root, const std::string& base_ref,
+              std::string* out) {
+  const std::string cmd = "git -C '" + root +
+                          "' diff --unified=0 --no-color '" + base_ref +
+                          "' -- src bench tests examples tools 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return false;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = fread(buf, 1, sizeof buf, pipe)) > 0) out->append(buf, n);
+  return pclose(pipe) == 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const char* root = argc > 1 ? argv[1] : ".";
-  const auto findings = af::lint::lint_tree(root);
+  std::string root = ".";
+  std::string sarif_path;
+  std::string diff_ref;
+  std::string diff_patch;
+  bool root_seen = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--diff" && i + 1 < argc) {
+      diff_ref = argv[++i];
+    } else if (arg == "--diff-patch" && i + 1 < argc) {
+      diff_patch = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (!root_seen) {
+      root = arg;
+      root_seen = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!diff_ref.empty() && !diff_patch.empty()) return usage(argv[0]);
+
+  auto findings = af::lint::lint_tree(root);
+
+  if (!diff_ref.empty() || !diff_patch.empty()) {
+    std::string diff_text;
+    if (!diff_patch.empty()) {
+      std::ifstream in(diff_patch, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "af_lint: cannot read diff patch '%s'\n",
+                     diff_patch.c_str());
+        return 2;
+      }
+      std::stringstream ss;
+      ss << in.rdbuf();
+      diff_text = ss.str();
+    } else if (!git_diff(root, diff_ref, &diff_text)) {
+      std::fprintf(stderr, "af_lint: git diff against '%s' failed\n",
+                   diff_ref.c_str());
+      return 2;
+    }
+    const auto changed = af::lint::parse_unified_diff(diff_text);
+    const std::size_t total = findings.size();
+    findings = af::lint::restrict_to_changed(std::move(findings), changed);
+    std::fprintf(stderr, "af_lint: diff mode, %zu of %zu finding(s) on "
+                         "changed lines\n",
+                 findings.size(), total);
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "af_lint: cannot write SARIF to '%s'\n",
+                   sarif_path.c_str());
+      return 2;
+    }
+    out << af::lint::to_sarif(findings);
+  }
+
   for (const auto& f : findings) {
     std::fprintf(stderr, "%s\n", af::lint::format(f).c_str());
   }

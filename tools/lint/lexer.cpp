@@ -1,0 +1,335 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace af::lint {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-char operators, longest first so "<<=" wins over "<<" wins over "<".
+constexpr const char* kOperators[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*",
+};
+
+/// Literal encoding prefixes; an identifier equal to one of these directly
+/// followed by a quote is part of the literal, not a name.
+[[nodiscard]] bool is_literal_prefix(const std::string& id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L" || id == "R" ||
+         id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src), blank_(src) {}
+
+  Lexed run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        at_line_start_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_preprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(pos_);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char(pos_);
+        continue;
+      }
+      if (ident_start(c)) {
+        lex_ident_or_prefixed_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    return finish();
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void emit(Tok kind, std::size_t begin, std::size_t end, int start_line) {
+    Token t;
+    t.kind = kind;
+    t.text = src_.substr(begin, end - begin);
+    t.line = start_line;
+    t.end_line = line_;
+    out_.tokens.push_back(std::move(t));
+  }
+
+  /// Blanks [begin, end) in the code view, preserving newlines so the code
+  /// lines stay byte-aligned with the raw lines.
+  void blank(std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (blank_[i] != '\n') blank_[i] = ' ';
+    }
+  }
+
+  void advance_over(std::size_t end) {
+    for (; pos_ < end; ++pos_) {
+      if (src_[pos_] == '\n') ++line_;
+    }
+  }
+
+  void lex_line_comment() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    emit(Tok::kComment, begin, pos_, start);
+    blank(begin, pos_);
+  }
+
+  void lex_block_comment() {
+    const std::size_t begin = pos_;
+    const int start = line_;
+    pos_ += 2;
+    while (pos_ < src_.size() &&
+           !(src_[pos_] == '*' && peek(1) == '/')) {
+      if (src_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+    if (pos_ < src_.size()) pos_ += 2;  // closing */
+    emit(Tok::kComment, begin, pos_, start);
+    blank(begin, pos_);
+  }
+
+  /// `token_begin` may precede pos_ when an encoding prefix was consumed.
+  void lex_string(std::size_t token_begin) {
+    const int start = line_;
+    const std::size_t body = pos_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        ++pos_;
+        if (src_[pos_] == '\n') ++line_;  // line-continued literal
+      }
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    emit(Tok::kString, token_begin, pos_, start);
+    blank(body, pos_);
+  }
+
+  void lex_raw_string(std::size_t token_begin) {
+    // R"delim( ... )delim" — pos_ sits on the opening quote.
+    const int start = line_;
+    const std::size_t body = pos_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(src_[pos_++]);
+    }
+    if (pos_ < src_.size() && src_[pos_] == '(') ++pos_;
+    const std::string close = ")" + delim + "\"";
+    const std::size_t found = src_.find(close, pos_);
+    std::size_t end =
+        found == std::string::npos ? src_.size() : found + close.size();
+    advance_over(end);
+    emit(Tok::kRawString, token_begin, pos_, start);
+    blank(body, pos_);
+  }
+
+  void lex_char(std::size_t token_begin) {
+    const int start = line_;
+    const std::size_t body = pos_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    emit(Tok::kChar, token_begin, pos_, start);
+    blank(body, pos_);
+  }
+
+  void lex_ident_or_prefixed_literal() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_char(src_[pos_])) ++pos_;
+    const std::string id = src_.substr(begin, pos_ - begin);
+    if (pos_ < src_.size() && is_literal_prefix(id)) {
+      if (src_[pos_] == '"') {
+        if (id.back() == 'R') {
+          lex_raw_string(begin);
+        } else {
+          lex_string(begin);
+        }
+        return;
+      }
+      if (src_[pos_] == '\'' && id != "R" && id.back() != 'R') {
+        lex_char(begin);
+        return;
+      }
+    }
+    emit(Tok::kIdent, begin, pos_, line_);
+  }
+
+  void lex_number() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_char(c) || c == '.') {
+        // Exponent signs: 1e+5, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (peek(1) == '+' || peek(1) == '-')) {
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        continue;
+      }
+      // Digit separator 1'000'000 — a quote flanked by digits is part of the
+      // number, not a character literal.
+      if (c == '\'' && pos_ > begin &&
+          std::isalnum(static_cast<unsigned char>(peek(1)))) {
+        pos_ += 2;
+        continue;
+      }
+      break;
+    }
+    emit(Tok::kNumber, begin, pos_, line_);
+  }
+
+  void lex_punct() {
+    for (const char* op : kOperators) {
+      const std::size_t n = std::char_traits<char>::length(op);
+      if (src_.compare(pos_, n, op) == 0) {
+        emit(Tok::kPunct, pos_, pos_ + n, line_);
+        pos_ += n;
+        return;
+      }
+    }
+    emit(Tok::kPunct, pos_, pos_ + 1, line_);
+    ++pos_;
+  }
+
+  void lex_preprocessor() {
+    // One directive: through end-of-line, following backslash continuations.
+    // Comments inside are blanked (and emitted as comment tokens so
+    // suppressions work on directive lines); string literal bodies are
+    // blanked but stay inside the directive token.
+    const std::size_t begin = pos_;
+    const int start = line_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        // Continuation if the last non-ws char before the newline is '\'.
+        std::size_t back = pos_;
+        while (back > begin &&
+               (src_[back - 1] == ' ' || src_[back - 1] == '\t' ||
+                src_[back - 1] == '\r')) {
+          --back;
+        }
+        if (back > begin && src_[back - 1] == '\\') {
+          ++line_;
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (c == '/' && peek(1) == '/') {
+        const std::size_t cbegin = pos_;
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        emit(Tok::kComment, cbegin, pos_, line_);
+        blank(cbegin, pos_);
+        break;
+      }
+      if (c == '/' && peek(1) == '*') {
+        const std::size_t cbegin = pos_;
+        const int cstart = line_;
+        pos_ += 2;
+        while (pos_ < src_.size() && !(src_[pos_] == '*' && peek(1) == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        if (pos_ < src_.size()) pos_ += 2;
+        emit(Tok::kComment, cbegin, pos_, cstart);
+        blank(cbegin, pos_);
+        continue;
+      }
+      if (c == '"') {
+        const std::size_t sbegin = pos_;
+        ++pos_;
+        while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+          if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+          ++pos_;
+        }
+        if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+        blank(sbegin, pos_);
+        continue;
+      }
+      ++pos_;
+    }
+    emit(Tok::kPreprocessor, begin, pos_, start);
+    at_line_start_ = false;
+  }
+
+  Lexed finish() {
+    // Split raw and blanked text into aligned line vectors.
+    auto split = [](const std::string& s) {
+      std::vector<std::string> lines;
+      std::string cur;
+      for (char c : s) {
+        if (c == '\n') {
+          lines.push_back(cur);
+          cur.clear();
+        } else if (c != '\r') {
+          cur.push_back(c);
+        }
+      }
+      if (!cur.empty()) lines.push_back(cur);
+      return lines;
+    };
+    out_.raw_lines = split(src_);
+    out_.code_lines = split(blank_);
+    return std::move(out_);
+  }
+
+  const std::string& src_;
+  std::string blank_;  // src_ with comments/literal bodies spaced out
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+  Lexed out_;
+};
+
+}  // namespace
+
+Lexed lex(const std::string& content) { return Lexer(content).run(); }
+
+}  // namespace af::lint

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <regex>
@@ -9,93 +10,26 @@
 #include <sstream>
 #include <string_view>
 
+#include "lexer.h"
+#include "lockorder.h"
+#include "model.h"
+
 namespace af::lint {
 namespace {
 
 namespace fs = std::filesystem;
 
 // ---------------------------------------------------------------------------
-// File preprocessing
+// File preprocessing (lexer-backed)
 // ---------------------------------------------------------------------------
 
 struct FileView {
   std::string path;
-  std::vector<std::string> raw;   // original lines (suppressions live here)
-  std::vector<std::string> code;  // comments + string/char literals blanked
+  std::vector<std::string> raw;   // original lines
+  std::vector<std::string> code;  // comments + literal bodies blanked (lexer)
   std::vector<std::set<std::string>> allows;  // per-line allowed rules
   std::set<std::string> file_allows;
 };
-
-std::vector<std::string> split_lines(const std::string& content) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : content) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else if (c != '\r') {
-      cur.push_back(c);
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-/// Blanks comments and string/char literals so rule patterns never match
-/// inside them (the linter's own sources mention every pattern in strings).
-std::vector<std::string> strip_noncode(const std::vector<std::string>& raw) {
-  enum class State { kNormal, kBlockComment, kString, kChar };
-  State state = State::kNormal;
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  for (const std::string& line : raw) {
-    std::string code(line.size(), ' ');
-    for (std::size_t i = 0; i < line.size(); ++i) {
-      const char c = line[i];
-      const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-      switch (state) {
-        case State::kNormal:
-          if (c == '/' && next == '/') {
-            i = line.size();  // rest of line is a comment
-          } else if (c == '/' && next == '*') {
-            state = State::kBlockComment;
-            ++i;
-          } else if (c == '"') {
-            state = State::kString;
-          } else if (c == '\'') {
-            state = State::kChar;
-          } else {
-            code[i] = c;
-          }
-          break;
-        case State::kBlockComment:
-          if (c == '*' && next == '/') {
-            state = State::kNormal;
-            ++i;
-          }
-          break;
-        case State::kString:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '"') {
-            state = State::kNormal;
-          }
-          break;
-        case State::kChar:
-          if (c == '\\') {
-            ++i;
-          } else if (c == '\'') {
-            state = State::kNormal;
-          }
-          break;
-      }
-    }
-    // Literals do not span lines in this codebase; comments may.
-    if (state == State::kString || state == State::kChar) state = State::kNormal;
-    out.push_back(std::move(code));
-  }
-  return out;
-}
 
 /// Parses "rule1, rule2" out of an `allow(...)` / `allow-file(...)` marker.
 std::vector<std::string> parse_rule_list(const std::string& line,
@@ -114,31 +48,51 @@ std::vector<std::string> parse_rule_list(const std::string& line,
   return rules;
 }
 
-void collect_suppressions(FileView& f) {
+/// Suppressions come from *comment tokens only* — a marker spelled inside a
+/// string literal (the v1 blind spot) never suppresses anything. A line
+/// marker applies to its own line, then through the rest of the comment
+/// block (lines with no code) to the first code line below, so a wrapped
+/// justification comment still covers its target.
+void collect_suppressions(FileView& f, const std::vector<Token>& tokens) {
   f.allows.assign(f.raw.size(), {});
-  for (std::size_t i = 0; i < f.raw.size(); ++i) {
-    const std::string& line = f.raw[i];
-    static constexpr std::string_view kFileMarker = "af_lint: allow-file(";
-    static constexpr std::string_view kLineMarker = "af_lint: allow(";
-    if (const auto pos = line.find(kFileMarker); pos != std::string::npos) {
-      for (auto& r : parse_rule_list(line, pos + kFileMarker.size() - 1)) {
-        f.file_allows.insert(r);
-      }
+  const auto apply_line_marker = [&](const std::string& rule,
+                                     std::size_t idx) {
+    if (idx >= f.raw.size()) return;
+    f.allows[idx].insert(rule);
+    std::size_t j = idx + 1;
+    while (j < f.raw.size() &&
+           f.code[j].find_first_not_of(" \t") == std::string::npos) {
+      f.allows[j].insert(rule);
+      ++j;
     }
-    if (const auto pos = line.find(kLineMarker); pos != std::string::npos) {
-      for (auto& r : parse_rule_list(line, pos + kLineMarker.size() - 1)) {
-        // Applies to the marker's own line, then through the rest of the
-        // comment block (lines with no code) to the first code line below —
-        // so a wrapped justification comment still covers its target.
-        f.allows[i].insert(r);
-        std::size_t j = i + 1;
-        while (j < f.raw.size() &&
-               f.code[j].find_first_not_of(" \t") == std::string::npos) {
-          f.allows[j].insert(r);
-          ++j;
+    if (j < f.raw.size()) f.allows[j].insert(rule);
+  };
+  static constexpr std::string_view kFileMarker = "af_lint: allow-file(";
+  static constexpr std::string_view kLineMarker = "af_lint: allow(";
+  for (const Token& t : tokens) {
+    if (t.kind != Tok::kComment) continue;
+    // Scan the comment text line by line so a marker deep inside a block
+    // comment anchors to the line it is written on.
+    std::size_t offset = 0;
+    std::size_t begin = 0;
+    while (begin <= t.text.size()) {
+      const std::size_t nl = t.text.find('\n', begin);
+      const std::string line = t.text.substr(
+          begin, nl == std::string::npos ? std::string::npos : nl - begin);
+      const std::size_t idx = static_cast<std::size_t>(t.line - 1) + offset;
+      if (const auto pos = line.find(kFileMarker); pos != std::string::npos) {
+        for (auto& r : parse_rule_list(line, pos + kFileMarker.size() - 1)) {
+          f.file_allows.insert(r);
         }
-        if (j < f.raw.size()) f.allows[j].insert(r);
       }
+      if (const auto pos = line.find(kLineMarker); pos != std::string::npos) {
+        for (auto& r : parse_rule_list(line, pos + kLineMarker.size() - 1)) {
+          apply_line_marker(r, idx);
+        }
+      }
+      if (nl == std::string::npos) break;
+      begin = nl + 1;
+      ++offset;
     }
   }
 }
@@ -665,21 +619,292 @@ void rule_pipeline_guarded_state(const FileView& f, std::vector<Finding>& out) {
   }
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------------------
-// Entry points
+// Semantic rules (model-based)
 // ---------------------------------------------------------------------------
 
-std::vector<Finding> lint_content(const std::string& display_path,
-                                  const std::string& content) {
+std::size_t next_code_tok(const std::vector<Token>& toks, std::size_t i,
+                          std::size_t end) {
+  for (++i; i < end; ++i) {
+    if (is_code(toks[i])) return i;
+  }
+  return end;
+}
+
+bool tok_is(const Token& t, const char* s) {
+  return t.kind == Tok::kPunct && t.text == s;
+}
+
+bool is_unordered_container(const std::string& name) {
+  return name == "unordered_map" || name == "unordered_set" ||
+         name == "unordered_multimap" || name == "unordered_multiset";
+}
+
+bool type_head_is_unordered(const std::string& type_head) {
+  const std::size_t cut = type_head.rfind("::");
+  const std::string last =
+      cut == std::string::npos ? type_head : type_head.substr(cut + 2);
+  return is_unordered_container(last);
+}
+
+/// Identifiers that mean "this value reaches an ordered artifact": the
+/// serializer's byte sinks, table/CSV/JSON emitters, oracle updates,
+/// checkpoint writers, stdio. Exact names for the short sink APIs,
+/// substrings for the descriptive ones.
+bool is_sink_ident(const std::string& id, std::string* which) {
+  static const std::set<std::string> kExact = {
+      "u8",   "u16",  "u32",  "u64",      "add_row", "printf",
+      "fprintf", "cout", "cerr", "emit",  "encode",  "snapshot"};
+  if (kExact.count(id) != 0) {
+    *which = id;
+    return true;
+  }
+  std::string low;
+  low.reserve(id.size());
+  for (char c : id) low.push_back(static_cast<char>(
+      std::tolower(static_cast<unsigned char>(c))));
+  for (const char* sub :
+       {"sink", "oracle", "json", "serial", "checkpoint", "golden", "csv"}) {
+    if (low.find(sub) != std::string::npos) {
+      *which = id;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Resolves a `recv(.member)*` chain starting from the enclosing class to
+/// the final member's type head ("" when any hop fails to resolve).
+std::string chain_type_head(const Model& model, const std::string& cls,
+                            const std::vector<std::string>& chain) {
+  if (chain.empty()) return "";
+  const MemberVar* m = model.resolve_member(cls, chain[0]);
+  if (m == nullptr) return "";
+  for (std::size_t k = 1; k < chain.size(); ++k) {
+    const ClassInfo* c = model.resolve_class(m->type_head);
+    if (c == nullptr) return "";
+    m = model.resolve_member(c->name, chain[k]);
+    if (m == nullptr) return "";
+  }
+  return m->type_head;
+}
+
+/// nondet-iteration-order: range-for over an unordered container (member or
+/// in-body local) whose loop body reaches a serialization/ordering sink.
+/// The clean pattern — collect keys, std::sort, then emit — never fires,
+/// because the loop body itself only fills a vector.
+void rule_nondet_iteration(const Model& model, const FunctionInfo& fn,
+                           const std::vector<Token>& toks,
+                           std::vector<Finding>& out) {
+  // Locals of unordered type declared anywhere in this body:
+  // `std::unordered_map<K, V> name;` — template arguments skipped by
+  // angle-depth ('>>' closes two).
+  std::map<std::string, std::string> unordered_locals;
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (!is_code(t) || t.kind != Tok::kIdent ||
+        !is_unordered_container(t.text)) {
+      continue;
+    }
+    const std::string head = "std::" + t.text;
+    std::size_t j = next_code_tok(toks, i, fn.body_end);
+    if (j < fn.body_end && tok_is(toks[j], "<")) {
+      int angle = 1;
+      while (angle > 0 && (j = next_code_tok(toks, j, fn.body_end)) <
+                              fn.body_end) {
+        if (tok_is(toks[j], "<")) ++angle;
+        if (tok_is(toks[j], ">")) --angle;
+        if (tok_is(toks[j], ">>")) angle -= 2;
+      }
+      j = next_code_tok(toks, j, fn.body_end);
+    }
+    while (j < fn.body_end &&
+           (tok_is(toks[j], "&") || tok_is(toks[j], "*") ||
+            (toks[j].kind == Tok::kIdent && toks[j].text == "const"))) {
+      j = next_code_tok(toks, j, fn.body_end);
+    }
+    if (j < fn.body_end && toks[j].kind == Tok::kIdent) {
+      unordered_locals[toks[j].text] = head;
+    }
+  }
+
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    const Token& t = toks[i];
+    if (!is_code(t) || t.kind != Tok::kIdent || t.text != "for") continue;
+    std::size_t j = next_code_tok(toks, i, fn.body_end);
+    if (j >= fn.body_end || !tok_is(toks[j], "(")) continue;
+    // Find the top-level ':' and the closing ')' of the for-head. The lexer
+    // makes '::' one token, so a bare ':' is unambiguous.
+    int depth = 1;
+    std::size_t colon = 0;
+    std::size_t close = fn.body_end;
+    std::size_t k = j;
+    while (depth > 0 &&
+           (k = next_code_tok(toks, k, fn.body_end)) < fn.body_end) {
+      if (tok_is(toks[k], "(")) ++depth;
+      if (tok_is(toks[k], ")")) {
+        --depth;
+        if (depth == 0) close = k;
+      }
+      if (depth == 1 && colon == 0 && tok_is(toks[k], ":")) colon = k;
+    }
+    if (colon == 0 || close >= fn.body_end) continue;
+    // Range expression: a plain `recv(.member)*` chain, or a single name.
+    std::vector<std::string> chain;
+    bool resolvable = true;
+    for (std::size_t r = next_code_tok(toks, colon, fn.body_end); r < close;
+         r = next_code_tok(toks, r, fn.body_end)) {
+      const Token& rt = toks[r];
+      if (rt.kind == Tok::kIdent) {
+        chain.push_back(rt.text);
+      } else if (!tok_is(rt, ".") && !tok_is(rt, "->")) {
+        resolvable = false;  // calls, indexing, casts: out of scope
+        break;
+      }
+    }
+    if (!resolvable || chain.empty()) continue;
+    std::string head;
+    std::string container = chain.back();
+    if (chain.size() == 1 && unordered_locals.count(chain[0]) != 0) {
+      head = unordered_locals[chain[0]];
+    } else {
+      head = chain_type_head(model, fn.cls, chain);
+    }
+    if (!type_head_is_unordered(head)) continue;
+    // Loop body extent: braced block or single statement.
+    std::size_t b = next_code_tok(toks, close, fn.body_end);
+    std::size_t body_close = b;
+    if (b < fn.body_end && tok_is(toks[b], "{")) {
+      int bd = 1;
+      while (bd > 0 &&
+             (body_close = next_code_tok(toks, body_close, fn.body_end)) <
+                 fn.body_end) {
+        if (tok_is(toks[body_close], "{")) ++bd;
+        if (tok_is(toks[body_close], "}")) --bd;
+      }
+    } else {
+      while (body_close < fn.body_end && !tok_is(toks[body_close], ";")) {
+        body_close = next_code_tok(toks, body_close, fn.body_end);
+      }
+    }
+    std::string sink;
+    for (std::size_t s = b; s < body_close && s < fn.body_end;
+         s = next_code_tok(toks, s, fn.body_end)) {
+      if (toks[s].kind == Tok::kIdent && is_sink_ident(toks[s].text, &sink)) {
+        break;
+      }
+    }
+    if (sink.empty()) continue;
+    out.push_back(Finding{
+        fn.file, t.line, "nondet-iteration-order",
+        "iteration over unordered container '" + container +
+            "' (" + head + ") reaches ordering-sensitive sink '" + sink +
+            "' — hash iteration order is implementation-defined, so the "
+            "emitted bytes are not replay-stable; collect the keys, "
+            "std::sort, then emit (or justify with an af_lint allow)"});
+  }
+}
+
+/// status-assigned-unchecked: a Status / ReadStatus value stored into a
+/// local and never used again before its scope closes. Plain reassignment
+/// is not a use; comparison, return, argument passing, member access and
+/// (void)-cast all are.
+void rule_status_unchecked(const FunctionInfo& fn,
+                           const std::vector<Token>& toks,
+                           std::vector<Finding>& out) {
+  int depth = 0;
+  std::vector<std::size_t> code_idx;  // code-token indices in body order
+  for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+    if (is_code(toks[i])) code_idx.push_back(i);
+  }
+  for (std::size_t c = 0; c < code_idx.size(); ++c) {
+    const Token& t = toks[code_idx[c]];
+    if (tok_is(t, "{")) ++depth;
+    if (tok_is(t, "}")) --depth;
+    if (t.kind != Tok::kIdent ||
+        (t.text != "Status" && t.text != "ReadStatus")) {
+      continue;
+    }
+    if (c > 0) {
+      const Token& prev = toks[code_idx[c - 1]];
+      // `enum class Status`, `using Status = ...`, member access.
+      if (prev.kind == Tok::kIdent &&
+          (prev.text == "class" || prev.text == "struct" ||
+           prev.text == "enum" || prev.text == "using" ||
+           prev.text == "typename")) {
+        continue;
+      }
+      if (tok_is(prev, ".") || tok_is(prev, "->")) continue;
+    }
+    if (c + 2 >= code_idx.size()) continue;
+    const Token& name_tok = toks[code_idx[c + 1]];
+    const Token& init_tok = toks[code_idx[c + 2]];
+    if (name_tok.kind != Tok::kIdent) continue;
+    if (!tok_is(init_tok, "=") && !tok_is(init_tok, "{")) continue;
+    const int decl_depth = depth;
+    // Scan to the end of the enclosing scope for a use.
+    bool used = false;
+    int d = decl_depth;
+    for (std::size_t u = c + 2; u < code_idx.size(); ++u) {
+      const Token& ut = toks[code_idx[u]];
+      if (tok_is(ut, "{")) ++d;
+      if (tok_is(ut, "}")) {
+        --d;
+        if (d < decl_depth) break;
+      }
+      if (ut.kind != Tok::kIdent || ut.text != name_tok.text) continue;
+      const Token& pv = toks[code_idx[u - 1]];
+      if (tok_is(pv, ".") || tok_is(pv, "->")) continue;  // other object
+      if (u + 1 < code_idx.size() && tok_is(toks[code_idx[u + 1]], "=")) {
+        continue;  // plain reassignment launders, it does not check
+      }
+      used = true;
+      break;
+    }
+    if (used) continue;
+    out.push_back(Finding{
+        fn.file, name_tok.line, "status-assigned-unchecked",
+        "Status value '" + name_tok.text +
+            "' is assigned but never checked — the local assignment "
+            "launders [[nodiscard]] away while kNoSpace/kReadOnly goes "
+            "unhandled; compare it, return it, pass it on, or discard "
+            "explicitly with (void)"});
+  }
+}
+
+/// Runs the three semantic rules over a prebuilt model. `tree_mode` demands
+/// the lock-order anchor edge (full-tree runs only).
+std::vector<Finding> semantic_findings(const Model& model, bool tree_mode) {
+  std::vector<Finding> sem;
+  const lockorder::Hierarchy hierarchy =
+      tree_mode ? lockorder::default_hierarchy()
+                : lockorder::default_hierarchy_unanchored();
+  for (auto& f : lockorder::check(lockorder::build_graph(model), hierarchy)) {
+    if (starts_with(f.file, "src")) sem.push_back(std::move(f));
+  }
+  for (const FunctionInfo& fn : model.functions()) {
+    const std::vector<Token>* toks = model.tokens(fn.file);
+    if (toks == nullptr) continue;
+    if (starts_with(fn.file, "src/") || starts_with(fn.file, "bench/")) {
+      rule_nondet_iteration(model, fn, *toks, sem);
+    }
+    if (starts_with(fn.file, "src/")) {
+      rule_status_unchecked(fn, *toks, sem);
+    }
+  }
+  return sem;
+}
+
+FileView make_view(const std::string& path, const Lexed& lx) {
   FileView f;
-  f.path = display_path;
-  f.raw = split_lines(content);
-  f.code = strip_noncode(f.raw);
-  collect_suppressions(f);
+  f.path = path;
+  f.raw = lx.raw_lines;
+  f.code = lx.code_lines;
+  collect_suppressions(f, lx.tokens);
+  return f;
+}
 
-  std::vector<Finding> out;
+void run_line_rules(const FileView& f, std::vector<Finding>& out) {
   rule_pragma_once(f, out);
   rule_nodiscard_status(f, out);
   rule_nodiscard_recovery(f, out);
@@ -690,11 +915,42 @@ std::vector<Finding> lint_content(const std::string& display_path,
   rule_nodiscard_space_status(f, out);
   rule_bench_run_schemes(f, out);
   rule_pipeline_guarded_state(f, out);
+}
+
+void append_filtered(const FileView& f, std::vector<Finding>&& sem,
+                     std::vector<Finding>& out) {
+  for (auto& s : sem) {
+    const std::size_t idx =
+        s.line > 0 ? static_cast<std::size_t>(s.line - 1) : 0;
+    if (!allowed(f, s.rule, idx)) out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+std::vector<Finding> lint_content(const std::string& display_path,
+                                  const std::string& content) {
+  const Lexed lx = lex(content);
+  const FileView f = make_view(display_path, lx);
+  std::vector<Finding> out;
+  run_line_rules(f, out);
+  if (starts_with(display_path, "src/") ||
+      starts_with(display_path, "bench/")) {
+    const Model model =
+        Model::build({SourceFile{display_path, content}});
+    append_filtered(f, semantic_findings(model, /*tree_mode=*/false), out);
+  }
   return out;
 }
 
 std::vector<Finding> lint_tree(const std::string& root) {
   std::vector<Finding> out;
+  std::map<std::string, FileView> views;
+  std::vector<SourceFile> model_files;
   for (const char* dir : {"src", "bench", "tests", "examples", "tools"}) {
     const fs::path base = fs::path(root) / dir;
     if (!fs::exists(base)) continue;
@@ -707,10 +963,25 @@ std::vector<Finding> lint_tree(const std::string& root) {
       ss << in.rdbuf();
       const std::string display =
           fs::relative(entry.path(), root).generic_string();
-      auto findings = lint_content(display, ss.str());
-      out.insert(out.end(), std::make_move_iterator(findings.begin()),
-                 std::make_move_iterator(findings.end()));
+      std::string content = ss.str();
+      const Lexed lx = lex(content);
+      FileView view = make_view(display, lx);
+      run_line_rules(view, out);
+      if (starts_with(display, "src/") || starts_with(display, "bench/")) {
+        model_files.push_back(SourceFile{display, std::move(content)});
+      }
+      views.emplace(display, std::move(view));
     }
+  }
+  // Semantic rules run once over the shared src/+bench/ model, so the
+  // lock-order graph spans files; suppressions are honoured per file.
+  const Model model = Model::build(model_files);
+  for (auto& s : semantic_findings(model, /*tree_mode=*/true)) {
+    const auto it = views.find(s.file);
+    const std::size_t idx =
+        s.line > 0 ? static_cast<std::size_t>(s.line - 1) : 0;
+    if (it != views.end() && allowed(it->second, s.rule, idx)) continue;
+    out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
@@ -723,6 +994,218 @@ std::vector<Finding> lint_tree(const std::string& root) {
 std::string format(const Finding& f) {
   return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " +
          f.message;
+}
+
+// ---------------------------------------------------------------------------
+// CI-grade output: SARIF 2.1.0 + diff restriction
+// ---------------------------------------------------------------------------
+
+const std::vector<RuleMeta>& rule_catalogue() {
+  static const std::vector<RuleMeta> kRules = {
+      {"pragma-once", "every header uses #pragma once"},
+      {"nodiscard-status",
+       "status/result-returning APIs in src headers must be [[nodiscard]]"},
+      {"nodiscard-recovery",
+       "mount/recovery APIs must be [[nodiscard]] — recovery outcomes cannot "
+       "be silently ignored"},
+      {"check-side-effects",
+       "AF_CHECK / AF_CHECK_MSG conditions must be side-effect free"},
+      {"no-raw-thread",
+       "raw thread primitives only inside src/common (ThreadPool owns all "
+       "threads)"},
+      {"no-nondeterminism",
+       "nondeterministic sources only inside src/common (replays must be "
+       "bit-identical)"},
+      {"integrity-status",
+       "flash_read results carry the data-integrity verdict and must not be "
+       "discarded"},
+      {"nodiscard-space-status",
+       "capacity/throttle API results (admission, stall, tombstone seq) must "
+       "not be discarded"},
+      {"bench-run-schemes",
+       "multi-scheme benches go through bench::run_schemes, not hand-rolled "
+       "replay loops"},
+      {"pipeline-guarded-state",
+       "shared members in mutex-bearing ssd/sim headers need AF_GUARDED_BY / "
+       "std::atomic or a justified allow"},
+      {"lock-order",
+       "the cross-file lock acquisition graph must stay acyclic and respect "
+       "the pipeline-mutex -> range-lock-shard hierarchy"},
+      {"nondet-iteration-order",
+       "unordered-container iteration must not feed serialization/ordering "
+       "sinks — collect and sort first"},
+      {"status-assigned-unchecked",
+       "Status locals must be checked, propagated, or explicitly discarded"},
+  };
+  return kRules;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  const auto& rules = rule_catalogue();
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules.size(); ++i) rule_index[rules[i].id] = i;
+
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"af_lint\",\n"
+     << "          \"semanticVersion\": \"2.0.0\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\n"
+       << "              \"id\": \"" << json_escape(rules[i].id) << "\",\n"
+       << "              \"shortDescription\": { \"text\": \""
+       << json_escape(rules[i].summary) << "\" },\n"
+       << "              \"defaultConfiguration\": { \"level\": \"error\" }\n"
+       << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n";
+    if (const auto it = rule_index.find(f.rule); it != rule_index.end()) {
+      os << "          \"ruleIndex\": " << it->second << ",\n";
+    }
+    os << "          \"level\": \"error\",\n"
+       << "          \"message\": { \"text\": \"" << json_escape(f.message)
+       << "\" },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": \""
+       << json_escape(f.file) << "\", \"uriBaseId\": \"SRCROOT\" },\n"
+       << "                \"region\": { \"startLine\": "
+       << (f.line > 0 ? f.line : 1) << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+bool ChangedLines::covers(const std::string& file, int line) const {
+  const auto it = ranges.find(file);
+  if (it == ranges.end()) return false;
+  for (const auto& [first, last] : it->second) {
+    if (line >= first && line <= last) return true;
+  }
+  return false;
+}
+
+ChangedLines parse_unified_diff(const std::string& diff_text) {
+  ChangedLines out;
+  std::istringstream in(diff_text);
+  std::string line;
+  std::string current;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.rfind("+++ ", 0) == 0) {
+      std::string path = line.substr(4);
+      // Strip git's tab-separated metadata and the b/ prefix.
+      if (const auto tab = path.find('\t'); tab != std::string::npos) {
+        path = path.substr(0, tab);
+      }
+      if (path == "/dev/null") {
+        current.clear();
+      } else if (path.rfind("b/", 0) == 0) {
+        current = path.substr(2);
+      } else {
+        current = path;
+      }
+      continue;
+    }
+    if (current.empty() || line.rfind("@@", 0) != 0) continue;
+    // "@@ -a,b +c,d @@" — the added range is c..c+d-1 (d defaults to 1;
+    // d == 0 is a pure deletion and contributes nothing).
+    const std::size_t plus = line.find('+');
+    if (plus == std::string::npos) continue;
+    int start = 0;
+    int count = 1;
+    std::size_t i = plus + 1;
+    while (i < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[i]))) {
+      start = start * 10 + (line[i] - '0');
+      ++i;
+    }
+    if (i < line.size() && line[i] == ',') {
+      ++i;
+      count = 0;
+      while (i < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[i]))) {
+        count = count * 10 + (line[i] - '0');
+        ++i;
+      }
+    }
+    if (count > 0) {
+      out.ranges[current].push_back({start, start + count - 1});
+    }
+  }
+  for (auto& [path, ranges] : out.ranges) {
+    std::sort(ranges.begin(), ranges.end());
+  }
+  return out;
+}
+
+std::vector<Finding> restrict_to_changed(std::vector<Finding> findings,
+                                         const ChangedLines& changed) {
+  std::vector<Finding> out;
+  for (auto& f : findings) {
+    if (changed.covers(f.file, f.line)) out.push_back(std::move(f));
+  }
+  return out;
 }
 
 }  // namespace af::lint
