@@ -27,6 +27,16 @@
 // deterministic in config x trace x QD) plus service-latency percentiles.
 // The QD=1 row is the serial baseline the speedups are measured against.
 //
+// (g) prices the tail-latency subsystem (DESIGN.md §11): the same trace with
+// a fail-slow fault model injected (sick-die episodes at a latency
+// multiplier), replayed per deadline policy — off / preempt /
+// preempt+hedge — so the read p99/p999 reduction from GC suspend-resume and
+// hedged parity-reconstruct reads lands in the JSON's "tail" section.
+//
+// (h, --open-loop) replays through the pipeline in open-loop arrival mode:
+// requests issue at their trace timestamps instead of the closed-loop QD
+// window, and queueing delay is reported separately from service time.
+//
 // Knobs: ACROSS_FTL_BENCH_REQS / ACROSS_FTL_BENCH_BLOCKS as everywhere, plus
 //   ACROSS_FTL_PERF_JSON  output path (default BENCH_perf.json)
 #include <chrono>
@@ -159,6 +169,13 @@ struct PipelineRow {
   trace::PipelineReplayResult result;
 };
 
+struct TailRow {
+  std::string scheme;
+  std::string policy;  // "off" | "preempt" | "preempt+hedge"
+  double wall_s = 0;
+  trace::ReplayResult result;
+};
+
 void write_json(const std::string& path, const ssd::SsdConfig& config,
                 const char* trace_name, const std::vector<ReplayRow>& rows,
                 const std::vector<ReplayRow>& ckpt_rows,
@@ -167,6 +184,9 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
                 const ssd::SsdConfig& rel_config,
                 const std::vector<VictimRow>& victims,
                 const std::vector<PipelineRow>& pipeline_rows,
+                const std::vector<TailRow>& tail_rows,
+                const ssd::SsdConfig& tail_config,
+                const std::vector<PipelineRow>& open_rows,
                 const std::vector<CrashRow>& crashes,
                 const trace::PowerCutSpec& spec) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -335,6 +355,97 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
         i + 1 < pipeline_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  // Tail-latency chaos runs: fail-slow injected, one row per scheme x
+  // deadline policy. Every number except wall_s is simulated and
+  // deterministic in (config, trace); the perf gate fences the read p99.
+  // p99_vs_off is this row's read p99 relative to the same scheme's
+  // policy=off row — the measured tail reduction.
+  std::fprintf(f,
+               "  \"tail\": {\"slow_multiplier\": %.2f, "
+               "\"slow_episode_ops\": %llu, \"slow_gap_ops\": %llu, "
+               "\"slow_dies\": %u, \"read_deadline_us\": %llu, "
+               "\"hedge_after_us\": %llu, \"quarantine_misses\": %u, "
+               "\"replays\": [\n",
+               tail_config.faults.slow_multiplier,
+               static_cast<unsigned long long>(
+                   tail_config.faults.slow_episode_ops),
+               static_cast<unsigned long long>(tail_config.faults.slow_gap_ops),
+               tail_config.faults.slow_dies,
+               static_cast<unsigned long long>(
+                   tail_config.deadline.read_deadline_us),
+               static_cast<unsigned long long>(
+                   tail_config.deadline.hedge_after_us),
+               tail_config.deadline.quarantine_misses);
+  for (std::size_t i = 0; i < tail_rows.size(); ++i) {
+    const auto& row = tail_rows[i];
+    const auto reads = row.result.stats.all_reads();
+    double off_p99 = 0;
+    for (const auto& other : tail_rows) {
+      if (other.scheme == row.scheme && other.policy == "off") {
+        off_p99 = other.result.stats.all_reads().p99_ns();
+      }
+    }
+    const auto& tail = row.result.stats.tail();
+    const auto& gc_reads = row.result.stats.op_latency(ssd::OpKind::kGcRead);
+    const auto& hedge_reads =
+        row.result.stats.op_latency(ssd::OpKind::kRebuildRead);
+    std::fprintf(
+        f,
+        "    {\"scheme\": \"%s\", \"policy\": \"%s\", \"wall_s\": %.3f, "
+        "\"read_p50_ms\": %.4f, \"read_p99_ms\": %.4f, "
+        "\"read_p999_ms\": %.4f, \"read_max_ms\": %.4f, "
+        "\"p99_vs_off\": %.3f, \"gc_read_p99_ms\": %.4f, "
+        "\"hedge_read_p99_ms\": %.4f, \"erase_suspends\": %llu, "
+        "\"program_suspends\": %llu, \"resume_overhead_ms\": %.3f, "
+        "\"ceiling_hits\": %llu, \"nesting_hits\": %llu, "
+        "\"hedged_reads\": %llu, \"hedge_wins\": %llu, "
+        "\"deadline_misses\": %llu, \"deadline_retries\": %llu, "
+        "\"deadline_exceeded\": %llu, \"quarantines\": %llu, "
+        "\"unquarantines\": %llu}%s\n",
+        row.scheme.c_str(), row.policy.c_str(), row.wall_s,
+        reads.p50_ns() / 1e6, reads.p99_ns() / 1e6, reads.p999_ns() / 1e6,
+        reads.max_ns() / 1e6,
+        off_p99 > 0 ? reads.p99_ns() / off_p99 : 0.0,
+        gc_reads.percentile(99) / 1e6, hedge_reads.percentile(99) / 1e6,
+        static_cast<unsigned long long>(tail.erase_suspends),
+        static_cast<unsigned long long>(tail.program_suspends),
+        static_cast<double>(tail.resume_overhead_ns) / 1e6,
+        static_cast<unsigned long long>(tail.suspend_ceiling_hits),
+        static_cast<unsigned long long>(tail.suspend_nesting_hits),
+        static_cast<unsigned long long>(tail.hedged_reads),
+        static_cast<unsigned long long>(tail.hedge_wins),
+        static_cast<unsigned long long>(tail.deadline_misses),
+        static_cast<unsigned long long>(tail.deadline_retries),
+        static_cast<unsigned long long>(tail.deadline_exceeded),
+        static_cast<unsigned long long>(tail.quarantines),
+        static_cast<unsigned long long>(tail.unquarantines),
+        i + 1 < tail_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
+  if (!open_rows.empty()) {
+    // Open-loop arrivals: queueing delay priced separately from service
+    // time. Simulated numbers are deterministic in (config, trace) and
+    // independent of queue depth by construction.
+    std::fprintf(f, "  \"open_loop\": [\n");
+    for (std::size_t i = 0; i < open_rows.size(); ++i) {
+      const auto& r = open_rows[i].result;
+      std::fprintf(
+          f,
+          "    {\"scheme\": \"%s\", \"wall_s\": %.3f, \"requests\": %llu, "
+          "\"makespan_ms\": %.3f, \"queue_p50_ms\": %.4f, "
+          "\"queue_p99_ms\": %.4f, \"queue_max_ms\": %.4f, "
+          "\"service_p50_ms\": %.4f, \"service_p99_ms\": %.4f, "
+          "\"service_p999_ms\": %.4f}%s\n",
+          open_rows[i].scheme.c_str(), open_rows[i].wall_s,
+          static_cast<unsigned long long>(r.requests),
+          static_cast<double>(r.makespan_ns) / 1e6,
+          r.queue_delay.p50_ns() / 1e6, r.queue_delay.p99_ns() / 1e6,
+          r.queue_delay.max_ns() / 1e6, r.service.p50_ns() / 1e6,
+          r.service.p99_ns() / 1e6, r.service.p999_ns() / 1e6,
+          i + 1 < open_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+  }
   std::fprintf(f, "  \"victim_select\": [\n");
   for (std::size_t i = 0; i < victims.size(); ++i) {
     const auto& v = victims[i];
@@ -356,6 +467,7 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
 int main(int argc, char** argv) {
   trace::PowerCutSpec spec;
   bool power_cut = false;
+  bool open_loop = false;
   std::uint32_t scrub_budget = 8;
   std::uint32_t parity_width = 8;
   std::vector<std::uint32_t> queue_depths;
@@ -376,18 +488,24 @@ int main(int argc, char** argv) {
     } else if (arg == "--queue-depth" && i + 1 < argc) {
       queue_depths.push_back(
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10)));
+    } else if (arg == "--open-loop") {
+      open_loop = true;
     } else {
       std::fprintf(stderr,
                    "usage: perf_replay [--power-cut-at-op N] "
                    "[--power-cut-seed S] [--scrub-budget P] "
-                   "[--parity-width W] [--queue-depth D]...\n"
+                   "[--parity-width W] [--queue-depth D]... [--open-loop]\n"
                    "  N = 1-based flash op to kill power at "
                    "(0 = sample uniformly from S)\n"
                    "  P = scrub pages per tick for section (e), default 8\n"
                    "  W = parity stripe width incl. parity, default 8 "
                    "(0/1 = parity off)\n"
                    "  D = queue depths for the pipeline sweep (f), "
-                   "repeatable; default 1 4 16\n");
+                   "repeatable; default 1 4 16\n"
+                   "  --open-loop adds section (h): pipeline replay issuing "
+                   "at trace timestamps,\n"
+                   "  reporting queueing delay separately from service "
+                   "time\n");
       return 2;
     }
   }
@@ -555,6 +673,114 @@ int main(int argc, char** argv) {
               "throughput)\n");
   qd_table.print(std::cout);
 
+  // (g) Tail-latency chaos: a read-mostly, moderately loaded variant of the
+  // trace — the regime deadline scheduling targets; a write-saturated device
+  // is program-bound and host programs are never suspended — under an
+  // injected fail-slow fault model: two dies cycling through sick episodes
+  // at a 6x latency multiplier, per deadline policy. Parity stripes are on
+  // in every row so placement is identical and the rows differ only in the
+  // deadline machinery; the retry ladder is off (max_retries = 0) so
+  // recorded latencies compare the policies directly rather than folding
+  // re-issue time into the tail. All counters are deterministic in
+  // (config, trace).
+  auto tail_profile = trace::lun_profile(0, bench::knobs().requests);
+  tail_profile.name = "tail-readmostly";
+  tail_profile.write_ratio = 0.20;
+  tail_profile.mean_iat_ns = 3'000'000;
+  const auto tail_tr = trace::generate(tail_profile, addressable);
+  auto tail_base = config;
+  tail_base.integrity.parity_stripe_width = parity_width;
+  // Chip-rotating allocation in every row (hedging switches to it anyway —
+  // reconstruct peers must live on other chips), so the policy deltas are
+  // pure deadline machinery, not placement. The serial replay reads
+  // pipeline config for placement only.
+  tail_base.pipeline.queue_depth = 2;
+  tail_base.faults.slow_multiplier = 20.0;
+  tail_base.faults.slow_episode_ops = 600;
+  tail_base.faults.slow_gap_ops = 1200;
+  tail_base.faults.slow_dies = 2;
+  auto tail_armed = tail_base;
+  tail_armed.deadline.read_deadline_us = 5000;
+  tail_armed.deadline.max_retries = 0;
+  tail_armed.deadline.quarantine_misses = 40;
+  struct TailPolicy {
+    const char* name;
+    bool preempt;
+    bool hedge;
+  };
+  constexpr TailPolicy kPolicies[] = {{"off", false, false},
+                                      {"preempt", true, false},
+                                      {"preempt+hedge", true, true}};
+  std::vector<TailRow> tail_rows;
+  Table tail_table({"scheme", "policy", "read p99 ms", "p999 ms", "vs off",
+                    "suspends", "hedges", "wins", "quarantines", "wall (s)"});
+  for (auto kind : bench::all_schemes()) {
+    double off_p99 = 0;
+    for (const auto& policy : kPolicies) {
+      TailRow row;
+      row.policy = policy.name;
+      auto tail_config = policy.preempt ? tail_armed : tail_base;
+      tail_config.deadline.preempt = policy.preempt;
+      if (policy.hedge) tail_config.deadline.hedge_after_us = 5000;
+      const double t0 = now_s();
+      // Lighter aging than the default replay: the chaos rows measure
+      // fail-slow episodes, not GC-debt saturation, so the device starts
+      // with headroom and background reclamation stays sporadic.
+      trace::ReplayOptions tail_opts;
+      tail_opts.age_used = 0.60;
+      // af_lint: allow(bench-run-schemes) — timed one at a time, same as (a).
+      row.result = trace::replay(tail_config, kind, tail_tr, tail_opts);
+      row.wall_s = now_s() - t0;
+      row.scheme = row.result.scheme;
+      const auto reads = row.result.stats.all_reads();
+      if (!policy.preempt) off_p99 = reads.p99_ns();
+      const auto& tail = row.result.stats.tail();
+      tail_table.add_row(
+          {row.scheme, row.policy, Table::num(reads.p99_ns() / 1e6, 2),
+           Table::num(reads.p999_ns() / 1e6, 2),
+           Table::num(off_p99 > 0 ? reads.p99_ns() / off_p99 : 1.0, 2) + "x",
+           Table::num(tail.erase_suspends + tail.program_suspends),
+           Table::num(tail.hedged_reads), Table::num(tail.hedge_wins),
+           Table::num(tail.quarantines), Table::num(row.wall_s, 2)});
+      tail_rows.push_back(std::move(row));
+    }
+  }
+  std::printf("\n(g) tail-latency chaos (fail-slow x%.0f, deadline %llu us)\n",
+              tail_base.faults.slow_multiplier,
+              static_cast<unsigned long long>(
+                  tail_armed.deadline.read_deadline_us));
+  tail_table.print(std::cout);
+
+  // (h, --open-loop) Open-loop arrivals through the pipeline: requests issue
+  // at their trace timestamps, queueing delay reported separately from
+  // service time. Simulated numbers are QD-independent by construction.
+  std::vector<PipelineRow> open_rows;
+  if (open_loop) {
+    Table ol_table({"scheme", "queue p50 ms", "queue p99 ms", "service p50 ms",
+                    "service p99 ms", "wall (s)"});
+    for (auto kind : bench::all_schemes()) {
+      PipelineRow row;
+      auto ol_config = config;
+      ol_config.pipeline.open_loop = true;
+      ol_config.pipeline.queue_depth = 16;  // wall-clock only in open loop
+      const double t0 = now_s();
+      // af_lint: allow(bench-run-schemes) — timed one at a time, same as (a).
+      row.result = trace::replay_pipeline(ol_config, kind, tr);
+      row.wall_s = now_s() - t0;
+      row.scheme = row.result.result.scheme;
+      ol_table.add_row(
+          {row.scheme, Table::num(row.result.queue_delay.p50_ns() / 1e6, 3),
+           Table::num(row.result.queue_delay.p99_ns() / 1e6, 3),
+           Table::num(row.result.service.p50_ns() / 1e6, 3),
+           Table::num(row.result.service.p99_ns() / 1e6, 3),
+           Table::num(row.wall_s, 2)});
+      open_rows.push_back(std::move(row));
+    }
+    std::printf("\n(h) open-loop arrivals (trace timestamps, queueing "
+                "priced separately)\n");
+    ol_table.print(std::cout);
+  }
+
   // (b) Victim selection: legacy scan vs weight index, per pick.
   std::vector<VictimRow> victims;
   Table picks({"blocks/plane", "picks", "scan ns/pick", "indexed ns/pick",
@@ -574,8 +800,11 @@ int main(int argc, char** argv) {
   // getenv after the pool has been joined; no concurrent env access.
   const char* json =
       std::getenv("ACROSS_FTL_PERF_JSON");  // NOLINT(concurrency-mt-unsafe)
+  auto tail_json_config = tail_armed;
+  tail_json_config.deadline.hedge_after_us = 5000;
   write_json(json != nullptr ? json : "BENCH_perf.json", config, trace_name,
              rows, ckpt_rows, kCkptInterval, rel_rows, rel_config, victims,
-             pipeline_rows, crashes, spec);
+             pipeline_rows, tail_rows, tail_json_config, open_rows, crashes,
+             spec);
   return 0;
 }

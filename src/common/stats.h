@@ -61,12 +61,14 @@ class LogHistogram {
   }
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
   [[nodiscard]] double mean() const {
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0;
   }
 
   /// Approximate percentile (0 < p <= 100): midpoint of the bucket holding
-  /// the p-th sample.
+  /// the p-th sample. An empty histogram returns 0 — pair the query with
+  /// empty() to distinguish "no samples" from "all samples were 0".
   [[nodiscard]] double percentile(double p) const;
 
   void merge(const LogHistogram& o) {
@@ -105,10 +107,14 @@ class LatencyRecorder {
   }
 
   // Tail-latency accessors for the queue-depth sweeps (ns; p* approximate
-  // via the log2 histogram, max exact via the streaming summary).
+  // via the log2 histogram, max exact via the streaming summary). All
+  // return 0 on an empty distribution — check empty() first rather than
+  // treating that 0 as a measured latency.
+  [[nodiscard]] bool empty() const { return hist_.empty(); }
   [[nodiscard]] double p50_ns() const { return hist_.percentile(50); }
   [[nodiscard]] double p95_ns() const { return hist_.percentile(95); }
   [[nodiscard]] double p99_ns() const { return hist_.percentile(99); }
+  [[nodiscard]] double p999_ns() const { return hist_.percentile(99.9); }
   [[nodiscard]] double max_ns() const { return latency_.max(); }
 
   void merge(const LatencyRecorder& o) {

@@ -1,6 +1,9 @@
 #include "nand/faults.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace af::nand {
 
@@ -73,6 +76,68 @@ std::uint32_t FaultModel::raw_bit_errors(double lambda) {
     cdf += p;
   }
   return k;
+}
+
+void FaultModel::init_slow(std::uint64_t total_dies) {
+  if (!cfg_.slow_enabled() || total_dies == 0) return;
+  slow_.assign(static_cast<std::size_t>(total_dies), DieSlowState{});
+  // The afflicted set is a contiguous window of `slow_dies` dies at a seeded
+  // rotation of the die index space: exact count, deterministic in the seed,
+  // and independent of query order.
+  std::uint64_t h = cfg_.seed ^ 0x51C4D1E5u;
+  slow_rotation_ = splitmix64(h) % total_dies;
+}
+
+bool FaultModel::slow_die(std::uint64_t die) const {
+  if (slow_.empty()) return false;
+  const std::uint64_t total = slow_.size();
+  const std::uint64_t pos = (die + total - slow_rotation_ % total) % total;
+  return pos < std::min<std::uint64_t>(cfg_.slow_dies, total);
+}
+
+void FaultModel::advance_slow(DieSlowState& die, std::uint64_t die_index,
+                              std::uint64_t clock) {
+  if (!die.init) {
+    // Die-keyed stream: two models with the same config agree on every die's
+    // schedule no matter which dies are queried first, and the op/BER
+    // streams are never touched.
+    std::uint64_t h = cfg_.seed ^ 0xFA11510Bu ^ die_index;
+    die.rng = Rng(splitmix64(h));
+    die.sick = false;
+    die.next_edge = 0;
+    die.init = true;
+  }
+  while (clock >= die.next_edge) {
+    die.sick = !die.sick && cfg_.slow_episodes_enabled();
+    const std::uint64_t mean =
+        die.sick ? cfg_.slow_episode_ops
+                 : std::max<std::uint64_t>(1, cfg_.slow_gap_ops);
+    // Exponential interval lengths, minimum one op so the schedule advances.
+    const double u = std::max(1e-12, die.rng.uniform());
+    const auto len = static_cast<std::uint64_t>(
+        std::max(1.0, -std::log(u) * static_cast<double>(mean)));
+    die.next_edge += len;
+  }
+}
+
+bool FaultModel::die_sick(std::uint64_t die, std::uint64_t clock) {
+  if (!cfg_.slow_episodes_enabled() || !slow_die(die)) return false;
+  AF_CHECK(die < slow_.size());
+  DieSlowState& state = slow_[static_cast<std::size_t>(die)];
+  advance_slow(state, die, clock);
+  return state.sick;
+}
+
+double FaultModel::slow_factor(std::uint64_t die, std::uint64_t clock) {
+  if (slow_.empty() || !slow_die(die)) return 1.0;
+  double factor = die_sick(die, clock) ? cfg_.slow_multiplier : 1.0;
+  if (cfg_.slow_ramp_enabled() && clock > cfg_.slow_onset_ops) {
+    const double ramp =
+        1.0 + cfg_.slow_ramp_per_1k *
+                  (static_cast<double>(clock - cfg_.slow_onset_ops) / 1000.0);
+    factor *= std::min(ramp, cfg_.slow_ramp_cap);
+  }
+  return factor;
 }
 
 }  // namespace af::nand

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -75,6 +76,31 @@ struct FaultConfig {
   /// Cap on raw bit errors drawn for a single sensing attempt.
   std::uint32_t ber_cap = 64;
 
+  // --- Fail-slow model (tail-latency subsystem, DESIGN.md §11) -------------
+  // Dies that are not broken, merely slow: transient "sick die" episodes
+  // multiply cell-op latencies for a bounded op-count window, and an optional
+  // permanent ramp models progressive fail-slow degradation. The schedule is
+  // drawn from a third, independent RNG stream keyed per die, so zero-config
+  // runs stay bit-identical and enabling fail-slow never perturbs the op- or
+  // bit-error-fault schedules.
+
+  /// Latency multiplier applied to cell time (sense/program/erase, not the
+  /// channel transfer) while a die is inside a sick episode. Values > 1.0
+  /// together with `slow_episode_ops` > 0 arm the transient model.
+  double slow_multiplier = 1.0;
+  /// Mean sick-episode length, in flash ops of the global op clock.
+  std::uint64_t slow_episode_ops = 0;
+  /// Mean healthy gap between episodes of one afflicted die, in flash ops.
+  std::uint64_t slow_gap_ops = 0;
+  /// Number of afflicted dies (chosen deterministically from the seed).
+  std::uint32_t slow_dies = 1;
+  /// Permanent fail-slow ramp: multiplier grows by `slow_ramp_per_1k` per
+  /// 1000 ops past `slow_onset_ops`, on afflicted dies only, clamped to
+  /// `slow_ramp_cap`. Zero keeps the ramp off.
+  double slow_ramp_per_1k = 0.0;
+  std::uint64_t slow_onset_ops = 0;
+  double slow_ramp_cap = 8.0;
+
   std::uint64_t seed = 0x5EEDFA17u;
 
   [[nodiscard]] bool ber_enabled() const {
@@ -82,9 +108,21 @@ struct FaultConfig {
            ber_wear > 0.0;
   }
 
+  [[nodiscard]] bool slow_episodes_enabled() const {
+    return slow_multiplier > 1.0 && slow_episode_ops > 0 && slow_dies > 0;
+  }
+
+  [[nodiscard]] bool slow_ramp_enabled() const {
+    return slow_ramp_per_1k > 0.0 && slow_dies > 0;
+  }
+
+  [[nodiscard]] bool slow_enabled() const {
+    return slow_episodes_enabled() || slow_ramp_enabled();
+  }
+
   [[nodiscard]] bool enabled() const {
     return program_fail > 0.0 || erase_fail > 0.0 || read_fail > 0.0 ||
-           wear_slope > 0.0 || ber_enabled();
+           wear_slope > 0.0 || ber_enabled() || slow_enabled();
   }
 };
 
@@ -127,14 +165,49 @@ class FaultModel {
   /// nothing, so a BER-free run never touches this stream either.
   [[nodiscard]] std::uint32_t raw_bit_errors(double lambda);
 
+  // --- Fail-slow ------------------------------------------------------------
+
+  /// Lays out the per-die episode schedules. Called once by the FlashArray
+  /// when the slow model is armed; a no-op (and never called) otherwise.
+  void init_slow(std::uint64_t total_dies);
+
+  /// Is this die one of the `slow_dies` afflicted dies? Pure in (config,
+  /// die) — the afflicted set is a seeded rotation of the die index space.
+  [[nodiscard]] bool slow_die(std::uint64_t die) const;
+
+  /// Is the die inside a sick episode at this op-clock instant? Queries must
+  /// be per-die monotonic in `clock` (the global op clock is), because the
+  /// episode schedule advances lazily. Pure in (config, die, clock).
+  [[nodiscard]] bool die_sick(std::uint64_t die, std::uint64_t clock);
+
+  /// Latency multiplier (>= 1.0) for a cell op on `die` at `clock`:
+  /// episode multiplier times the permanent ramp. 1.0 when the model is off
+  /// or the die is healthy; consumes no RNG from the op/BER streams.
+  [[nodiscard]] double slow_factor(std::uint64_t die, std::uint64_t clock);
+
  private:
   [[nodiscard]] bool draw(double p);
+
+  /// Alternating healthy-gap / sick-episode schedule of one afflicted die,
+  /// generated lazily along the op-clock axis from a die-keyed stream.
+  struct DieSlowState {
+    Rng rng{0};
+    std::uint64_t next_edge = 0;  // clock at which `sick` flips
+    bool sick = false;
+    bool init = false;
+  };
+
+  void advance_slow(DieSlowState& die, std::uint64_t die_index,
+                    std::uint64_t clock);
 
   FaultConfig cfg_;
   Rng rng_;
   /// Dedicated stream for bit-error draws: the op-failure schedule above is
   /// bit-identical whether or not the BER model is on, and vice versa.
   Rng ber_rng_;
+  /// Per-die fail-slow schedules; empty unless init_slow() armed the model.
+  std::vector<DieSlowState> slow_;
+  std::uint64_t slow_rotation_ = 0;  // seeded offset of the afflicted window
 };
 
 }  // namespace af::nand

@@ -21,6 +21,11 @@ struct Timing {
   /// Channel occupancy for moving one page between controller and chip.
   SimDuration transfer_ns_per_page = 20'000;  // 8 KiB over ~400 MB/s
   SimDuration dram_access_ns = 1'000;   // Table 1 "cache access" 0.001 ms
+  /// Overhead added to a suspended program/erase each time it resumes
+  /// (ONFI erase/program-suspend re-ramp cost). Only charged when the
+  /// deadline subsystem actually preempts an op, so the default pipeline is
+  /// unaffected by the value.
+  SimDuration suspend_resume_ns = 50'000;
 
   /// Presets matching common SSDsim cell configurations. `page_bytes` scales
   /// the bus transfer window.

@@ -13,8 +13,10 @@ namespace {
 std::uint32_t clamp_workers(const ssd::SsdConfig& config) {
   const auto& p = config.pipeline;
   if (!p.enabled()) return 1;
-  // More workers than in-flight requests can never all be busy.
-  return std::min(p.effective_workers(), p.queue_depth);
+  // More workers than in-flight requests can never all be busy. Open-loop
+  // mode can be enabled with queue_depth 0 (the window defaults to 1).
+  return std::min(p.effective_workers(),
+                  std::max<std::uint32_t>(1, p.queue_depth));
 }
 
 }  // namespace
@@ -23,6 +25,7 @@ SsdPipeline::SsdPipeline(const ssd::SsdConfig& config, ftl::SchemeKind kind)
     : queue_depth_(std::max<std::uint32_t>(1, config.pipeline.queue_depth)),
       worker_count_(clamp_workers(config)),
       enabled_(config.pipeline.enabled()),
+      open_loop_(config.pipeline.open_loop),
       device_(config, kind),
       locks_(std::uint64_t{std::max<std::uint32_t>(
                  1, config.pipeline.region_pages)} *
@@ -167,26 +170,34 @@ void SsdPipeline::capture_pre_stamps(Request& req) {
 }
 
 void SsdPipeline::device_stage(Request& req) {
-  // Slot gate: with queue_depth simulated requests outstanding, the next one
-  // issues when the earliest of them completes.
-  SimTime slot_gate = 0;
-  if (slots_.size() >= queue_depth_) {
-    slot_gate = slots_.top();
-    slots_.pop();
+  const SimTime trace_arrival = req.io.arrival;
+  if (open_loop_) {
+    // Open-loop arrivals: the trace timestamp is the submission instant;
+    // only dependency ordering can push the issue later. No slot gate, no
+    // issue chaining — the simulated schedule is queue_depth-independent.
+    req.io.arrival = std::max(trace_arrival, dependency_gate(req));
+  } else {
+    // Slot gate: with queue_depth simulated requests outstanding, the next
+    // one issues when the earliest of them completes.
+    SimTime slot_gate = 0;
+    if (slots_.size() >= queue_depth_) {
+      slot_gate = slots_.top();
+      slots_.pop();
+    }
+    req.io.arrival =
+        std::max({last_issue_, slot_gate, dependency_gate(req)});
   }
-  req.io.arrival =
-      std::max({last_issue_, slot_gate, dependency_gate(req)});
   capture_pre_stamps(req);
   req.completion = device_.submit_deferred(req.io, &req.plan);
   last_issue_ = req.io.arrival;
   const SimTime done = req.completion.done;
-  slots_.push(done);
+  if (!open_loop_) slots_.push(done);
   all_done_gate_ = std::max(all_done_gate_, done);
   if (req.ticket.barrier) {
     barrier_gate_ = std::max(barrier_gate_, done);
     region_gates_.clear();  // the barrier supersedes every per-region gate
     slots_ = {};            // everything older has logically completed
-    slots_.push(done);
+    if (!open_loop_) slots_.push(done);
   } else {
     for (std::uint64_t region : req.ticket.regions) {
       RegionGate& gate = region_gates_[region];
@@ -198,6 +209,7 @@ void SsdPipeline::device_stage(Request& req) {
   CompletionRecord& rec = records_[req.seq];
   rec.submitted = req.io.arrival;
   rec.done = done;
+  rec.queue_delay = open_loop_ ? req.io.arrival - trace_arrival : 0;
   rec.cls = req.completion.cls;
   rec.accepted = req.completion.accepted;
   rec.data_lost = req.completion.data_lost;

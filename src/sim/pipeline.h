@@ -56,9 +56,14 @@ class SsdPipeline {
   /// Per-request outcome, indexed by submission sequence. `submitted` /
   /// `done` are the simulated device issue/completion times (deterministic);
   /// requests still queued when a power cut hit stay `executed = false`.
+  /// `queue_delay` is submitted − trace arrival: zero in closed-loop mode
+  /// (arrival timestamps are ignored there), and the time a request waited
+  /// behind dependencies in open-loop mode — reported separately from the
+  /// service time (done − submitted) so queueing is priced, not hidden.
   struct CompletionRecord {
     SimTime submitted = 0;
     SimTime done = 0;
+    SimDuration queue_delay = 0;
     ssd::ReqClass cls = ssd::ReqClass::kNormalRead;
     bool executed = false;
     bool accepted = false;
@@ -172,6 +177,7 @@ class SsdPipeline {
   const std::uint32_t queue_depth_;
   const std::uint32_t worker_count_;
   const bool enabled_;
+  const bool open_loop_;
 
   // Written by the device stage under mu_ (workers) or by the quiescent
   // owner thread (age/reset/accessors); the submit()/mu_ handoff publishes

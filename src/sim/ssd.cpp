@@ -132,6 +132,24 @@ Ssd::Completion Ssd::submit_impl(const ftl::IoRequest& req,
   }
   engine_->set_request_class(cls);
 
+  // Deadline ledger (DESIGN.md §11): every attempt gets a fresh in-simulated-
+  // time budget measured from its issue point — never from a wall clock.
+  // Zero-default: with config.deadline unarmed, budget_ns stays 0, no ledger
+  // is ever set, and the engine's scheduling paths are byte-identical to the
+  // pre-deadline behaviour.
+  const ssd::SsdConfig::DeadlineConfig& dl = engine_->config().deadline;
+  const bool is_read = !req.write && !req.trim;
+  const SimDuration budget_ns =
+      req.trim ? 0
+               : (is_read ? dl.read_deadline_us : dl.write_deadline_us) * 1000;
+  auto arm_ledger = [&](SimTime issue) {
+    engine_->set_deadline_ledger(ssd::Engine::DeadlineLedger{
+        issue + budget_ns,
+        is_read && dl.hedge_after_us > 0 ? issue + dl.hedge_after_us * 1000
+                                         : SimTime{0}});
+  };
+  if (budget_ns > 0) arm_ledger(req.arrival);
+
   Completion completion;
   completion.cls = cls;
   const std::uint64_t lost_before = engine_->stats().faults().lost_pages;
@@ -155,11 +173,37 @@ Ssd::Completion Ssd::submit_impl(const ftl::IoRequest& req,
   } else if (req.write) {
     if (oracle_) oracle_->on_write(req.range);
     completion.done = scheme_->write(req, req.arrival);
+    // Writes are never re-issued (the mutation landed); a busted budget is
+    // surfaced as an SLO escalation, data fully intact.
+    if (budget_ns > 0 && completion.done > req.arrival + budget_ns) {
+      completion.status = ssd::Status::kDeadlineExceeded;
+      ++engine_->stats().tail().deadline_exceeded;
+    }
   } else {
     ftl::ReadPlan local_plan;
     ftl::ReadPlan* plan = plan_out != nullptr ? plan_out : &local_plan;
-    completion.done =
-        scheme_->read(req, req.arrival, oracle_ ? plan : nullptr);
+    SimTime issue = req.arrival;
+    completion.done = scheme_->read(req, issue, oracle_ ? plan : nullptr);
+    if (budget_ns > 0) {
+      // Retry-with-backoff ladder: a read busting its budget is re-issued —
+      // each re-issue re-walks the mapping and the flash, charging real
+      // device time — after an exponentially growing backoff, with a fresh
+      // budget, betting that the stall (a sick-die episode, a background
+      // burst) has drained. A read still late after max_retries attempts
+      // escalates to kDeadlineExceeded; its data is correct regardless.
+      for (std::uint32_t k = 0;
+           completion.done > issue + budget_ns && k < dl.max_retries; ++k) {
+        ++engine_->stats().tail().deadline_retries;
+        issue = completion.done + dl.retry_backoff_us * 1000 * (1ull << k);
+        arm_ledger(issue);
+        plan->observed.clear();
+        completion.done = scheme_->read(req, issue, oracle_ ? plan : nullptr);
+      }
+      if (completion.done > issue + budget_ns) {
+        completion.status = ssd::Status::kDeadlineExceeded;
+        ++engine_->stats().tail().deadline_exceeded;
+      }
+    }
     if (oracle_ && plan_out == nullptr) {
       for (const auto& obs : plan->observed) {
         const std::uint64_t expected = oracle_->expected(obs.sector);
@@ -171,6 +215,7 @@ Ssd::Completion Ssd::submit_impl(const ftl::IoRequest& req,
                    "read plan did not cover the whole request");
     }
   }
+  if (budget_ns > 0) engine_->set_deadline_ledger(std::nullopt);
   engine_->set_request_class(std::nullopt);
 
   AF_CHECK(completion.done >= req.arrival);

@@ -162,13 +162,59 @@ struct SsdConfig {
     /// request. Dependency gating (and therefore simulated timing) keys off
     /// the same regions, so this knob is part of the determinism tuple.
     std::uint32_t region_pages = 1;
+    /// Open-loop arrivals: issue each request at its trace timestamp (still
+    /// honoring dependency ordering) instead of the closed-loop QD window,
+    /// so queueing delay is measured rather than suppressed. Simulated
+    /// results become independent of queue_depth.
+    bool open_loop = false;
 
-    [[nodiscard]] bool enabled() const { return queue_depth > 1; }
+    [[nodiscard]] bool enabled() const { return queue_depth > 1 || open_loop; }
     [[nodiscard]] std::uint32_t effective_workers() const {
       return workers > 0 ? workers : 2;
     }
   };
   PipelineConfig pipeline;
+
+  /// Tail-latency / deadline subsystem (DESIGN.md §11). Zero-default: with
+  /// both deadlines at 0 no ledger is kept, no background op is ever
+  /// suspended, no hedge fires and no die is quarantined, so a
+  /// default-config run is bit-identical to a build without the subsystem.
+  /// All times are simulated; the subsystem keys off request arrival
+  /// timestamps and the engine op-clock, never a wall clock.
+  struct DeadlineConfig {
+    /// Simulated completion budget for a read/write request, measured from
+    /// its arrival timestamp. 0 = no deadline for that direction.
+    std::uint64_t read_deadline_us = 0;
+    std::uint64_t write_deadline_us = 0;
+    /// Fire a hedged parity-reconstruct read when the primary sensing would
+    /// finish later than arrival + this (requires parity stripes). 0 = off.
+    std::uint64_t hedge_after_us = 0;
+    /// Retry-with-backoff ladder for reads that still miss their deadline:
+    /// up to this many re-issues before the completion surfaces
+    /// Status::kDeadlineExceeded.
+    std::uint32_t max_retries = 2;
+    /// Backoff before retry k is 2^k × this (simulated).
+    std::uint64_t retry_backoff_us = 50;
+    /// Allow foreground reads to suspend in-flight background erase/program
+    /// ops (GC, wear leveling, scrub relocation, checkpoint journal) when
+    /// the read would otherwise miss its deadline.
+    bool preempt = false;
+    /// Starvation guard: after this many suspensions one victim op runs to
+    /// completion (further preemptions refused).
+    std::uint32_t suspend_ceiling = 8;
+    /// Max preempting reads stacked on one suspended op at a time.
+    std::uint32_t suspend_nesting_cap = 4;
+    /// Quarantine a die after this many deadline-missing flash reads while
+    /// the die is inside a fail-slow episode; allocation steers away until
+    /// the episode ends. 0 = quarantine off.
+    std::uint32_t quarantine_misses = 0;
+
+    [[nodiscard]] bool enabled() const {
+      return read_deadline_us > 0 || write_deadline_us > 0;
+    }
+    [[nodiscard]] bool hedging() const { return hedge_after_us > 0; }
+  };
+  DeadlineConfig deadline;
 
   /// Across-FTL design-choice toggles (ablation knobs; DESIGN.md §ablations).
   struct AcrossPolicy {

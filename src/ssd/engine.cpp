@@ -60,6 +60,12 @@ Engine::Engine(const SsdConfig& config, nand::FlashArray image, bool adopted)
     stripes_ = std::make_unique<StripeTracker>(
         config_.integrity.parity_stripe_width);
   }
+  if (config_.deadline.quarantine_misses > 0) {
+    const std::uint64_t dies =
+        config_.geometry.total_chips() * config_.geometry.dies_per_chip;
+    die_misses_.assign(dies, 0);
+    die_quarantined_.assign(dies, 0);
+  }
   if (adopted) {
     // Re-derive the degradation verdict the crashed device had reached.
     const std::uint32_t floor = gc_trigger_blocks() + config_.gc_reserve_blocks +
@@ -93,7 +99,7 @@ ReadResult Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
   array_.note_read(ppn);
   if (ber_on) ++stats_.faults().read_disturb_reads;
   stats_.count_flash_op(kind);
-  SimTime done = timeline_.schedule_read(config_.geometry.decode(ppn), ready);
+  SimTime done = sched_read(ppn, kind, ready);
   // Transient read failures recover through read-retry: re-sense the same
   // page (tuned reference voltages); each retry costs a full read on the
   // page's chip and channel.
@@ -102,16 +108,18 @@ ReadResult Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
     if (ber_on) ++stats_.faults().read_disturb_reads;
     stats_.count_flash_op(kind);
     ++stats_.faults().read_retries;
-    done = timeline_.schedule_read(config_.geometry.decode(ppn), done);
+    done = sched_read(ppn, kind, done);
   }
-  if (!ber_on) return {done, ReadStatus::kOk};
+  if (!ber_on) return {maybe_hedge(ppn, done), ReadStatus::kOk};
 
   // Latent bit errors: one Poisson draw per sensing at the page's current
   // intensity. Within the ECC engine's strength the read just succeeds.
   const SsdConfig::IntegrityConfig& icfg = config_.integrity;
   std::uint32_t errors = array_.draw_read_errors(ppn);
   stats_.faults().raw_bit_errors += errors;
-  if (errors <= icfg.ecc_correctable_bits) return {done, ReadStatus::kOk};
+  if (errors <= icfg.ecc_correctable_bits) {
+    return {maybe_hedge(ppn, done), ReadStatus::kOk};
+  }
 
   // ECC read-retry ladder: each step re-senses with tuned reference
   // voltages — a full extra read — and sees the page's error intensity
@@ -123,12 +131,12 @@ ReadResult Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
     ++stats_.faults().read_disturb_reads;
     stats_.count_flash_op(kind);
     ++stats_.faults().ecc_retry_steps;
-    done = timeline_.schedule_read(config_.geometry.decode(ppn), done);
+    done = sched_read(ppn, kind, done);
     errors = array_.faults().raw_bit_errors(array_.page_ber(ppn) * scale);
     stats_.faults().raw_bit_errors += errors;
     if (errors <= icfg.ecc_correctable_bits) {
       ++stats_.faults().ecc_retry_recoveries;
-      return {done, ReadStatus::kEccRetried};
+      return {maybe_hedge(ppn, done), ReadStatus::kEccRetried};
     }
   }
   ++stats_.faults().uncorrectable_reads;
@@ -151,7 +159,7 @@ ReadResult Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
         ++stats_.faults().read_disturb_reads;
         stats_.count_flash_op(OpKind::kRebuildRead);
         ++stats_.faults().parity_rebuild_reads;
-        done = timeline_.schedule_read(config_.geometry.decode(peer), done);
+        done = sched_read(peer, OpKind::kRebuildRead, done, /*account=*/false);
       };
       for (const Ppn peer : stripe->members) {
         if (peer.get() == ppn.get()) continue;
@@ -183,7 +191,146 @@ ReadResult Engine::flash_read(Ppn ppn, OpKind kind, SimTime ready) {
 
 SimTime Engine::mount_read(Ppn ppn, SimTime ready) {
   stats_.count_flash_op(OpKind::kMountRead);
-  return timeline_.schedule_read(config_.geometry.decode(ppn), ready);
+  return sched_read(ppn, OpKind::kMountRead, ready, /*account=*/false);
+}
+
+// --- Tail-latency subsystem (DESIGN.md §11) ----------------------------------
+
+double Engine::slow_of(const nand::PhysAddr& a) {
+  if (!config_.faults.slow_enabled()) return 1.0;
+  return array_.faults().slow_factor(die_of(a), array_.op_clock());
+}
+
+SimTime Engine::sched_read(Ppn ppn, OpKind kind, SimTime ready, bool account) {
+  const nand::PhysAddr addr = config_.geometry.decode(ppn);
+  const double slow = slow_of(addr);
+  const std::uint64_t chip = config_.geometry.chip_index(addr);
+  SimTime done = 0;
+  bool scheduled = false;
+  if (ledger_ && config_.deadline.preempt) {
+    nand::SuspendSlot* slot = array_.suspend_slot(chip);
+    if (slot != nullptr && slot->end <= ready) {
+      array_.disarm_suspendable(chip);  // the victim already completed
+      slot = nullptr;
+    }
+    if (slot != nullptr) {
+      // Queueing estimate behind the in-flight background op (unscaled cell
+      // time — the policy question is "would the wait bust the deadline",
+      // and the wait is dominated by the victim's remaining window).
+      const SimTime est = std::max(ready, timeline_.chip_free_at(chip)) +
+                          config_.timing.read_ns +
+                          config_.timing.transfer_ns_per_page;
+      if (est > ledger_->deadline) {
+        TailStats& tail = stats_.tail();
+        nand::SuspendCounters& ctr = array_.suspend_counters();
+        // Stacked suspension: this read lands before the previous
+        // preemption's resume point, deepening the suspend stack.
+        const std::uint32_t nested =
+            ready < slot->front ? slot->nested + 1 : 1;
+        if (slot->suspends >= config_.deadline.suspend_ceiling) {
+          // Starvation guard: the victim has been pushed back enough times;
+          // it now runs to completion and this read queues like any other.
+          ++tail.suspend_ceiling_hits;
+          ++ctr.ceiling_hits;
+        } else if (nested > config_.deadline.suspend_nesting_cap) {
+          ++tail.suspend_nesting_hits;
+          ++ctr.nesting_hits;
+        } else {
+          slot->nested = nested;
+          ++slot->suspends;
+          if (slot->kind == nand::SuspendSlot::Kind::kErase) {
+            ++tail.erase_suspends;
+            ++ctr.erase_suspends;
+          } else {
+            ++tail.program_suspends;
+            ++ctr.program_suspends;
+          }
+          tail.resume_overhead_ns += config_.timing.suspend_resume_ns;
+          ctr.resume_overhead_ns += config_.timing.suspend_resume_ns;
+          done = timeline_
+                     .schedule_preempting_read(addr, ready, slow, *slot,
+                                               config_.timing.suspend_resume_ns)
+                     .done;
+          scheduled = true;
+        }
+      }
+    }
+  }
+  if (!scheduled) done = timeline_.schedule_read(addr, ready, slow);
+  stats_.note_op_latency(kind, done - ready);
+  if (account && ledger_ && done > ledger_->deadline) {
+    note_deadline_miss(die_of(addr));
+  }
+  return done;
+}
+
+SimTime Engine::maybe_hedge(Ppn ppn, SimTime done) {
+  if (!ledger_ || ledger_->hedge_at == 0 || stripes_ == nullptr) return done;
+  if (done <= ledger_->hedge_at) return done;
+  const StripeTracker::Stripe* stripe = stripes_->stripe_of(ppn);
+  if (stripe == nullptr) return done;
+  // Race the stalled primary with a parity reconstruct from the stripe's
+  // peers, launched at the hedge point. The peer sensings fan out across
+  // their own chips (each scheduled from the same start), so the reconstruct
+  // completes when the slowest peer does; the first of the two completions
+  // wins. Both paths' device time is charged — hedging buys latency with
+  // bandwidth. Peer payloads XOR to the primary's, so the oracle is
+  // indifferent to which side won.
+  ++stats_.tail().hedged_reads;
+  SimTime hedge_done = ledger_->hedge_at;
+  auto peer_sense = [&](Ppn peer) {
+    array_.note_read(peer);
+    if (config_.faults.ber_enabled()) ++stats_.faults().read_disturb_reads;
+    stats_.count_flash_op(OpKind::kRebuildRead);
+    const SimTime t =
+        sched_read(peer, OpKind::kRebuildRead, ledger_->hedge_at,
+                   /*account=*/false);
+    hedge_done = std::max(hedge_done, t);
+  };
+  for (const Ppn peer : stripe->members) {
+    if (peer.get() == ppn.get()) continue;
+    peer_sense(peer);
+  }
+  peer_sense(stripe->parity);
+  if (hedge_done < done) {
+    ++stats_.tail().hedge_wins;
+    return hedge_done;
+  }
+  return done;
+}
+
+void Engine::note_deadline_miss(std::uint64_t die) {
+  ++stats_.tail().deadline_misses;
+  if (die_misses_.empty()) return;
+  ++die_misses_[die];
+  update_quarantine(die);
+}
+
+void Engine::update_quarantine(std::uint64_t die) {
+  if (die_quarantined_.empty()) return;
+  // Quarantine keys off the episode state, not the miss count alone: a miss
+  // burst caused by queueing (not sickness) must not banish a healthy die,
+  // and a die whose episode ended is readmitted on the next look.
+  const bool sick = config_.faults.slow_episodes_enabled() &&
+                    array_.faults().die_sick(die, array_.op_clock());
+  if (die_quarantined_[die] == 0) {
+    if (sick && die_misses_[die] >= config_.deadline.quarantine_misses) {
+      die_quarantined_[die] = 1;
+      ++quarantined_count_;
+      ++stats_.tail().quarantines;
+    }
+  } else if (!sick) {
+    die_quarantined_[die] = 0;
+    --quarantined_count_;
+    ++stats_.tail().unquarantines;
+    die_misses_[die] = 0;
+  }
+}
+
+std::uint64_t Engine::quarantined_dies() const { return quarantined_count_; }
+
+bool Engine::die_quarantined(std::uint64_t die) const {
+  return !die_quarantined_.empty() && die_quarantined_[die] != 0;
 }
 
 Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
@@ -204,8 +351,20 @@ Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
     if (kind == OpKind::kDataWrite && current_class_) {
       stats_.count_class_flush(*current_class_);
     }
-    const SimTime done =
-        timeline_.schedule_program(config_.geometry.decode(ppn), ready);
+    const nand::PhysAddr addr = config_.geometry.decode(ppn);
+    const ResourceTimeline::Span span =
+        timeline_.schedule_program_span(addr, ready, slow_of(addr));
+    // Background programs (GC/wear migrations, checkpoint-journal appends)
+    // are fair game for foreground preemption; host-visible data/map/parity
+    // programs are themselves latency-bearing and never suspend.
+    if (config_.deadline.preempt &&
+        (in_gc_ || owner.kind == nand::PageOwner::Kind::kCkpt)) {
+      array_.arm_suspendable(config_.geometry.chip_index(addr),
+                             nand::SuspendSlot::Kind::kProgram, span.start,
+                             span.done);
+    }
+    const SimTime done = span.done;
+    stats_.note_op_latency(kind, done - ready);
     if (ok) {
       // Fresh programs carry full weight until the owning scheme pushes a
       // sub-page liveness via note_page_weight(). No victim-index push: the
@@ -379,19 +538,43 @@ std::uint64_t Engine::pick_plane(Stream stream) {
   // chip, so a naive round-robin lands consecutive programs on the same chip
   // and they serialize in the timeline. With a concurrent host queue the
   // allocator instead walks planes chip-rotating (channel-first allocation),
-  // so simultaneous in-flight programs spread across chips. The serial path
-  // keeps the legacy walk: at QD<=1 the order never changes timing, and the
-  // committed tables depend on the legacy data placement.
-  const bool stripe = config_.pipeline.enabled();
+  // so simultaneous in-flight programs spread across chips. Hedged reads
+  // (DESIGN.md §11) need the same layout: consecutive programs form parity
+  // stripes, and a reconstruct can only beat a stalled primary when the
+  // stripe's peers live on other chips — hedging against peers stuck behind
+  // the primary's own busy chip is a guaranteed loss. The serial,
+  // non-hedging path keeps the legacy walk: at QD<=1 the order never
+  // changes timing, and the committed tables depend on the legacy placement.
+  const bool stripe =
+      config_.pipeline.enabled() || config_.deadline.hedging();
   const std::uint64_t chips = config_.geometry.total_chips();
   const std::uint64_t planes_per_chip = planes / chips;
   for (std::uint64_t i = 0; i < planes; ++i) {
     const std::uint64_t v = (rr_plane_ + i) % planes;
     const std::uint64_t plane =
         stripe ? (v % chips) * planes_per_chip + v / chips : v;
-    if (plane_has_space(plane, stream)) {
-      rr_plane_ = (v + 1) % planes;
-      return plane;
+    if (!plane_has_space(plane, stream)) continue;
+    if (quarantined_count_ > 0) {
+      // Quarantine steering: re-check the die's episode first (it may have
+      // ended — readmit), then skip planes on dies still under quarantine.
+      const std::uint64_t die = plane / config_.geometry.planes_per_die;
+      update_quarantine(die);
+      if (die_quarantined_[die] != 0) continue;
+    }
+    rr_plane_ = (v + 1) % planes;
+    return plane;
+  }
+  // Steering fallback: when the healthy dies have no space left, capacity
+  // beats latency — take any plane, quarantined or not.
+  if (quarantined_count_ > 0) {
+    for (std::uint64_t i = 0; i < planes; ++i) {
+      const std::uint64_t v = (rr_plane_ + i) % planes;
+      const std::uint64_t plane =
+          stripe ? (v % chips) * planes_per_chip + v / chips : v;
+      if (plane_has_space(plane, stream)) {
+        rr_plane_ = (v + 1) % planes;
+        return plane;
+      }
     }
   }
   for (std::uint64_t p = 0; p < planes; ++p) {
@@ -704,9 +887,18 @@ SimTime Engine::run_gc(std::uint64_t plane, SimTime ready) {
     // raw page in the block; stripes touching it lose their protection now.
     break_stripes_in(flat);
 
-    clock = timeline_.schedule_erase(
-        config_.geometry.decode(Ppn{flat * config_.geometry.pages_per_block}),
-        clock);
+    {
+      const nand::PhysAddr eaddr = config_.geometry.decode(
+          Ppn{flat * config_.geometry.pages_per_block});
+      const ResourceTimeline::Span span =
+          timeline_.schedule_erase_span(eaddr, clock, slow_of(eaddr));
+      if (config_.deadline.preempt) {
+        array_.arm_suspendable(config_.geometry.chip_index(eaddr),
+                               nand::SuspendSlot::Kind::kErase, span.start,
+                               span.done);
+      }
+      clock = span.done;
+    }
     if (array_.erase_block(flat)) {
       stats_.count_erase();
       planes_[plane].free_blocks.push_back(victim);
@@ -803,9 +995,18 @@ SimTime Engine::wear_level(std::uint64_t plane, SimTime clock) {
     // over the block lapse now.
     if (gc_flush_ && array_.power_cut_armed()) gc_flush_(plane, clock);
     break_stripes_in(flat);
-    clock = timeline_.schedule_erase(
-        config_.geometry.decode(Ppn{flat * config_.geometry.pages_per_block}),
-        clock);
+    {
+      const nand::PhysAddr eaddr = config_.geometry.decode(
+          Ppn{flat * config_.geometry.pages_per_block});
+      const ResourceTimeline::Span span =
+          timeline_.schedule_erase_span(eaddr, clock, slow_of(eaddr));
+      if (config_.deadline.preempt) {
+        array_.arm_suspendable(config_.geometry.chip_index(eaddr),
+                               nand::SuspendSlot::Kind::kErase, span.start,
+                               span.done);
+      }
+      clock = span.done;
+    }
     if (array_.erase_block(flat)) {
       stats_.count_erase();
       planes_[plane].free_blocks.push_back(cold);
@@ -936,7 +1137,7 @@ SimTime Engine::scrub_read(Ppn ppn, SimTime ready) {
   array_.note_read(ppn);
   if (config_.faults.ber_enabled()) ++stats_.faults().read_disturb_reads;
   stats_.count_flash_op(OpKind::kScrubRead);
-  return timeline_.schedule_read(config_.geometry.decode(ppn), ready);
+  return sched_read(ppn, OpKind::kScrubRead, ready, /*account=*/false);
 }
 
 SimTime Engine::scrub_relocate(Ppn ppn, SimTime ready) {

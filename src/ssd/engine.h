@@ -264,6 +264,32 @@ class Engine final : private MapIo {
   /// Attribute subsequent data programs to this request class (Figure 4c).
   void set_request_class(std::optional<ReqClass> c) { current_class_ = c; }
 
+  // --- Tail-latency subsystem (DESIGN.md §11) -------------------------------
+
+  /// In-simulated-time deadline ledger for the request currently being
+  /// serviced. While set, foreground reads that would otherwise finish past
+  /// `deadline` may suspend in-flight background erase/program ops
+  /// (config.deadline.preempt) and fire hedged parity-reconstruct reads once
+  /// they slip past `hedge_at` (config.deadline.hedging()); reads finishing
+  /// late are counted as misses and feed die quarantine. Cleared between
+  /// requests; never set unless config.deadline.enabled().
+  struct DeadlineLedger {
+    SimTime deadline = 0;
+    SimTime hedge_at = 0;  ///< 0 = hedging off for this request
+  };
+  void set_deadline_ledger(std::optional<DeadlineLedger> ledger) {
+    ledger_ = ledger;
+  }
+  [[nodiscard]] const std::optional<DeadlineLedger>& deadline_ledger() const {
+    return ledger_;
+  }
+
+  /// Dies currently quarantined (allocation steered away). Empty unless
+  /// config.deadline.quarantine_misses > 0 and misses accumulated.
+  [[nodiscard]] std::uint64_t quarantined_dies() const;
+  /// True when `die` (flat index, chip-major) is quarantined right now.
+  [[nodiscard]] bool die_quarantined(std::uint64_t die) const;
+
   /// Total GC passes run.
   [[nodiscard]] std::uint64_t gc_runs() const { return gc_runs_; }
 
@@ -414,6 +440,33 @@ class Engine final : private MapIo {
   /// No-op for blocks that cannot be victims right now (active, retired,
   /// never written) — each of those states re-pushes on exit.
   void push_victim_key(std::uint64_t plane, std::uint32_t block);
+
+  // --- Tail-latency helpers (DESIGN.md §11) ---------------------------------
+
+  /// Flat die index (chip-major) of a physical address.
+  [[nodiscard]] std::uint64_t die_of(const nand::PhysAddr& a) const {
+    return config_.geometry.chip_index(a) * config_.geometry.dies_per_chip +
+           a.die;
+  }
+  /// Fail-slow latency multiplier for `a` at the array's current op-clock.
+  /// Exactly 1.0 — and query-free, so the lazy episode schedules never
+  /// materialize — with the model unconfigured.
+  [[nodiscard]] double slow_of(const nand::PhysAddr& a);
+  /// Deadline-aware read scheduling: applies the fail-slow multiplier, may
+  /// suspend an armed background erase/program when queueing behind it would
+  /// miss the ledger, records the op-kind service time, and (when `account`)
+  /// books a deadline miss against the page's die. With no ledger set this
+  /// degrades to a plain schedule_read.
+  [[nodiscard]] SimTime sched_read(Ppn ppn, OpKind kind, SimTime ready,
+                                   bool account = true);
+  /// Hedged parity-reconstruct read racing a primary whose completion
+  /// slipped past the ledger's hedge point; returns the winner's completion.
+  [[nodiscard]] SimTime maybe_hedge(Ppn ppn, SimTime done);
+  void note_deadline_miss(std::uint64_t die);
+  /// Re-evaluates one die's quarantine verdict against its episode state:
+  /// quarantines a sick die whose miss count reached the threshold, readmits
+  /// a quarantined die whose episode ended.
+  void update_quarantine(std::uint64_t die);
   /// Compacts a plane's victim heap back to one fresh entry per candidate
   /// block (stale snapshots accumulate between GC passes).
   void rebuild_victim_heap(std::uint64_t plane);
@@ -448,6 +501,14 @@ class Engine final : private MapIo {
   bool read_only_ = false;
   std::uint64_t gc_runs_ = 0;
   std::optional<ReqClass> current_class_;
+  // Tail-latency state (DESIGN.md §11): the per-request deadline ledger and
+  // the per-die quarantine book. The ledger is only ever set by the facade
+  // when config_.deadline.enabled(); the quarantine vectors stay empty unless
+  // quarantine_misses is configured — default runs allocate and touch nothing.
+  std::optional<DeadlineLedger> ledger_;
+  std::vector<std::uint32_t> die_misses_;
+  std::vector<std::uint8_t> die_quarantined_;
+  std::uint64_t quarantined_count_ = 0;
 };
 
 }  // namespace af::ssd

@@ -114,6 +114,24 @@ struct FaultRecoveryStats {
   }
 };
 
+/// Tail-latency subsystem accounting (DESIGN.md §11). All zero unless
+/// config.deadline arms the ledger / preemption / hedging / quarantine, so a
+/// default-config run carries no trace of the subsystem.
+struct TailStats {
+  std::uint64_t erase_suspends = 0;    // background erases preempted
+  std::uint64_t program_suspends = 0;  // background programs preempted
+  std::uint64_t resume_overhead_ns = 0;  // total re-ramp cost charged
+  std::uint64_t suspend_ceiling_hits = 0;  // preemptions refused (starvation guard)
+  std::uint64_t suspend_nesting_hits = 0;  // preemptions refused (stack cap)
+  std::uint64_t hedged_reads = 0;      // parity-reconstruct hedges fired
+  std::uint64_t hedge_wins = 0;        // hedges that beat the primary sensing
+  std::uint64_t deadline_misses = 0;   // flash reads finishing past the ledger
+  std::uint64_t deadline_retries = 0;  // retry-ladder re-issues
+  std::uint64_t deadline_exceeded = 0; // requests escalated to kDeadlineExceeded
+  std::uint64_t quarantines = 0;       // dies steered away from
+  std::uint64_t unquarantines = 0;     // dies readmitted after episodes end
+};
+
 class DeviceStats {
  public:
   // --- Flash operations ----------------------------------------------------
@@ -168,6 +186,19 @@ class DeviceStats {
   FaultRecoveryStats& faults() { return faults_; }
   [[nodiscard]] const FaultRecoveryStats& faults() const { return faults_; }
 
+  TailStats& tail() { return tail_; }
+  [[nodiscard]] const TailStats& tail() const { return tail_; }
+
+  /// Per-op-kind simulated service-time histogram (ready → done of the
+  /// scheduled flash op). Feeds perf_replay's op-kind latency section; never
+  /// printed by the legacy tables, so recording is output-neutral for them.
+  void note_op_latency(OpKind kind, SimDuration ns) {
+    op_latency_[idx(kind)].add(ns);
+  }
+  [[nodiscard]] const LogHistogram& op_latency(OpKind kind) const {
+    return op_latency_[idx(kind)];
+  }
+
   /// Aggregate latency across all request classes.
   [[nodiscard]] LatencyRecorder all_reads() const;
   [[nodiscard]] LatencyRecorder all_writes() const;
@@ -197,6 +228,9 @@ class DeviceStats {
   std::uint64_t peak_map_bytes_ = 0;
   AcrossStats across_;
   FaultRecoveryStats faults_;
+  TailStats tail_;
+  std::array<LogHistogram, static_cast<std::size_t>(OpKind::kKindCount)>
+      op_latency_{};
 };
 
 }  // namespace af::ssd

@@ -22,6 +22,10 @@ enum class [[nodiscard]] Status : std::uint8_t {
   /// The device is in read-only degradation (block retirement ate the spare
   /// capacity some plane needs to keep GC viable). Permanent.
   kReadOnly,
+  /// The request completed, but later than its simulated deadline even after
+  /// the bounded retry ladder (tail subsystem, DESIGN.md §11). The data is
+  /// intact — this is a latency SLO escalation, not a data-loss verdict.
+  kDeadlineExceeded,
 };
 
 [[nodiscard]] constexpr const char* to_string(Status s) {
@@ -32,6 +36,8 @@ enum class [[nodiscard]] Status : std::uint8_t {
       return "no-space";
     case Status::kReadOnly:
       return "read-only";
+    case Status::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
 }

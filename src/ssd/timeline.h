@@ -16,25 +16,59 @@
 #include "nand/geometry.h"
 #include "nand/timing.h"
 
+namespace af::nand {
+struct SuspendSlot;
+}  // namespace af::nand
+
 namespace af::ssd {
 
 class ResourceTimeline {
  public:
   ResourceTimeline(const nand::Geometry& geometry, const nand::Timing& timing);
 
+  /// A scheduled op's occupancy window on its chip: [start, done).
+  struct Span {
+    SimTime start = 0;
+    SimTime done = 0;
+  };
+
   /// Read: chip senses the page, then the channel streams it out.
-  /// Returns completion time of the data transfer.
+  /// Returns completion time of the data transfer. `slow` (>= 1.0) scales
+  /// the cell-sensing time — the fail-slow model's latency multiplier; the
+  /// channel transfer is unaffected. 1.0 (the default) reproduces the
+  /// pre-fail-slow arithmetic exactly.
   [[nodiscard]] SimTime schedule_read(const nand::PhysAddr& addr,
-                                      SimTime ready);
+                                      SimTime ready, double slow = 1.0);
 
   /// Program: channel streams data in, then the chip programs the cells.
   /// Returns completion time of the program.
   [[nodiscard]] SimTime schedule_program(const nand::PhysAddr& addr,
-                                         SimTime ready);
+                                         SimTime ready, double slow = 1.0);
 
   /// Erase occupies only the chip.
   [[nodiscard]] SimTime schedule_erase(const nand::PhysAddr& addr,
-                                       SimTime ready);
+                                       SimTime ready, double slow = 1.0);
+
+  /// Span-returning variants for callers that arm suspend slots: the window
+  /// [start, done) is what a preempting read slices into.
+  [[nodiscard]] Span schedule_program_span(const nand::PhysAddr& addr,
+                                           SimTime ready, double slow = 1.0);
+  [[nodiscard]] Span schedule_erase_span(const nand::PhysAddr& addr,
+                                         SimTime ready, double slow = 1.0);
+
+  /// Foreground read preempting the suspendable background op recorded in
+  /// `slot` (which must still be in flight: ready < slot.end). The read
+  /// senses at max(ready, slot.front) instead of waiting for slot.end; the
+  /// victim's completion is pushed out by the sensing time plus
+  /// `resume_overhead`, and the chip's busy-until follows the victim. The
+  /// caller counts the suspension and enforces ceiling/nesting caps.
+  struct PreemptedRead {
+    SimTime done = 0;         ///< transfer completion of the foreground read
+    SimTime victim_done = 0;  ///< pushed-out completion of the suspended op
+  };
+  [[nodiscard]] PreemptedRead schedule_preempting_read(
+      const nand::PhysAddr& addr, SimTime ready, double slow,
+      nand::SuspendSlot& slot, SimDuration resume_overhead);
 
   [[nodiscard]] SimTime chip_free_at(std::uint64_t chip_idx) const {
     return chip_busy_until_[chip_idx];

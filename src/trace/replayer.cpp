@@ -77,6 +77,12 @@ PipelineReplayResult replay_pipeline(const ssd::SsdConfig& config,
   out.verified_sectors = pipeline.verified_sectors();
   out.makespan_ns = pipeline.makespan_ns();
   out.requests = pipeline.submitted();
+  out.open_loop = config.pipeline.open_loop;
+  for (const auto& rec : pipeline.records()) {
+    if (!rec.executed) continue;
+    out.queue_delay.record(rec.queue_delay, 1);
+    out.service.record(rec.done - rec.submitted, 1);
+  }
   return out;
 }
 

@@ -63,6 +63,16 @@ struct PipelineReplayResult {
   /// requests / (makespan_ns / 1e9) — the fio-style QD-sweep throughput.
   std::uint64_t makespan_ns = 0;
   std::uint64_t requests = 0;
+  /// True when config.pipeline.open_loop drove arrivals from the trace
+  /// timestamps instead of the closed-loop window.
+  bool open_loop = false;
+  /// Per-request decomposition over executed requests: queueing delay
+  /// (issue − trace arrival; identically 0 in closed-loop mode, where trace
+  /// arrivals are ignored) and service time (done − issue). Open-loop runs
+  /// report the two separately so queue buildup is priced, not folded into
+  /// the device latency.
+  LatencyRecorder queue_delay;
+  LatencyRecorder service;
 
   [[nodiscard]] double sim_requests_per_s() const {
     return makespan_ns > 0 ? static_cast<double>(requests) * 1e9 /

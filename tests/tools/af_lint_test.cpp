@@ -401,6 +401,32 @@ TEST(AfLint, StatusRuleOnlyCoversSrc) {
 }
 
 // ---------------------------------------------------------------------------
+// deadline-clock
+// ---------------------------------------------------------------------------
+
+TEST(AfLint, DeadlineClockFlagsHostTimePrimitives) {
+  const auto findings =
+      lint_fixture("bad_deadline.txt", "src/ssd/bad_deadline.cpp");
+  // sleep_for+chrono (one finding per line), timespec, clock_gettime fire;
+  // the justified allow stays clean.
+  EXPECT_EQ(count_rule(findings, "deadline-clock"), 3);
+}
+
+TEST(AfLint, DeadlineClockOnlyCoversSsdAndSim) {
+  // The strict clock ban is scoped to the deadline/simulated-time layers —
+  // elsewhere the broader no-nondeterminism rule is the authority.
+  const auto in_ftl =
+      lint_fixture("bad_deadline.txt", "src/ftl/bad_deadline.cpp");
+  EXPECT_EQ(count_rule(in_ftl, "deadline-clock"), 0);
+  const auto in_tests =
+      lint_fixture("bad_deadline.txt", "tests/ssd/bad_deadline.cpp");
+  EXPECT_EQ(count_rule(in_tests, "deadline-clock"), 0);
+  const auto in_sim =
+      lint_fixture("bad_deadline.txt", "src/sim/bad_deadline.cpp");
+  EXPECT_EQ(count_rule(in_sim, "deadline-clock"), 3);
+}
+
+// ---------------------------------------------------------------------------
 // v2: SARIF + diff mode
 // ---------------------------------------------------------------------------
 

@@ -380,6 +380,40 @@ void rule_no_nondeterminism(const FileView& f, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: deadline-clock
+// ---------------------------------------------------------------------------
+
+void rule_deadline_clock(const FileView& f, std::vector<Finding>& out) {
+  // The deadline subsystem (DESIGN.md §11) budgets reads in simulated
+  // nanoseconds: ledger arming, hedge thresholds and suspend decisions are
+  // all SimTime arithmetic. Any host-clock primitive inside src/ssd or
+  // src/sim — even a "harmless" sleep in a debug hook — couples tail-latency
+  // decisions to wall time, which breaks the replay-bit-identical contract
+  // and makes hedges fire nondeterministically under sanitizer or CI load.
+  // Stricter than no-nondeterminism on purpose: here even std::chrono
+  // durations and sleeps are out; timing comes from nand/timing.h constants.
+  if (!starts_with(f.path, "src/ssd/") && !starts_with(f.path, "src/sim/")) {
+    return;
+  }
+  static const char* kPatterns[] = {
+      "std::chrono",   "sleep_for(", "sleep_until(",
+      "clock_gettime", "nanosleep",  "timespec",
+  };
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    for (const char* p : kPatterns) {
+      if (f.code[i].find(p) != std::string::npos) {
+        report(f, out, i, "deadline-clock",
+               std::string("host-clock primitive '") + p +
+                   "' in the deadline/simulated-time subsystem — deadlines "
+                   "are SimTime arithmetic on the DeadlineLedger, never "
+                   "wall time");
+        break;  // one finding per line, whichever pattern hits first
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: integrity-status
 // ---------------------------------------------------------------------------
 
@@ -911,6 +945,7 @@ void run_line_rules(const FileView& f, std::vector<Finding>& out) {
   rule_check_side_effects(f, out);
   rule_no_raw_thread(f, out);
   rule_no_nondeterminism(f, out);
+  rule_deadline_clock(f, out);
   rule_integrity_status(f, out);
   rule_nodiscard_space_status(f, out);
   rule_bench_run_schemes(f, out);
@@ -1036,6 +1071,9 @@ const std::vector<RuleMeta>& rule_catalogue() {
        "sinks — collect and sort first"},
       {"status-assigned-unchecked",
        "Status locals must be checked, propagated, or explicitly discarded"},
+      {"deadline-clock",
+       "deadline/simulated-time code in src/ssd + src/sim must not touch "
+       "host clocks or sleeps — deadlines are SimTime arithmetic"},
   };
   return kRules;
 }

@@ -55,6 +55,13 @@
 //                      (void)-discarded — the assignment launders the
 //                      [[nodiscard]] away, and an unchecked kNoSpace /
 //                      kReadOnly is a silently ignored admission verdict
+//   deadline-clock     host-clock primitives (std::chrono, sleep_for/until,
+//                      clock_gettime, nanosleep, timespec) inside src/ssd +
+//                      src/sim — deadline arming, hedge thresholds and
+//                      suspend decisions are SimTime arithmetic on the
+//                      DeadlineLedger; wall time there breaks bit-identical
+//                      replay (stricter than no-nondeterminism: even chrono
+//                      durations and sleeps are out)
 //
 // Suppressions (each needs a justification in the same comment; markers are
 // recognized in comments only — never inside string literals):

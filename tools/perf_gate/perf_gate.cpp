@@ -11,9 +11,18 @@
 //      threshold. These numbers are deterministic in (config, trace, QD),
 //      so any drift at equal request counts is a behaviour change, not
 //      noise. Also skipped across differing request counts.
-//   3. Within the candidate alone: every pipeline row at queue depth >= 4
+//   3. Tail-latency chaos read p99 per (scheme, policy) ("tail" section):
+//      candidate p99 must not grow beyond --max-regression. Latency fence —
+//      the regression direction is UP, unlike the throughput checks. Skipped
+//      when either file predates the tail section, or across differing
+//      request counts.
+//   4. Within the candidate alone: every pipeline row at queue depth >= 4
 //      must hold speedup_vs_qd1 >= --min-qd-speedup (default 2.0) — the
 //      concurrency win the pipeline exists to deliver (DESIGN.md §10).
+//   5. Within the candidate alone: for each scheme in the tail section, the
+//      full preempt+hedge policy must leave read p99 no worse than the off
+//      row (within --max-regression) — the machinery must never hurt the
+//      tail it exists to protect (DESIGN.md §11).
 //
 // The parser covers exactly the JSON subset perf_replay emits (objects,
 // arrays, strings, numbers, booleans); it is not a general JSON library.
@@ -274,6 +283,74 @@ void check_pipeline_cross(const Json& base, const Json& cand, Gate* gate) {
   }
 }
 
+void check_tail_cross(const Json& base, const Json& cand, Gate* gate) {
+  const Json* base_sec = base.find("tail");
+  const Json* cand_sec = cand.find("tail");
+  if (base_sec == nullptr || cand_sec == nullptr) return;  // older file
+  const Json* base_rows = base_sec->find("replays");
+  const Json* cand_rows = cand_sec->find("replays");
+  if (base_rows == nullptr || cand_rows == nullptr) return;
+  std::printf("tail-latency chaos read p99 (ms; lower is better)\n");
+  std::printf("  %-28s %12s %12s %9s\n", "scheme / policy", "baseline",
+              "candidate", "delta");
+  for (const Json& b : base_rows->array) {
+    const std::string scheme = b.str_or("scheme", "?");
+    const std::string policy = b.str_or("policy", "?");
+    const Json* match = nullptr;
+    for (const Json& c : cand_rows->array) {
+      if (c.str_or("scheme", "") == scheme &&
+          c.str_or("policy", "") == policy) {
+        match = &c;
+      }
+    }
+    if (match == nullptr) {
+      gate->fail("tail row %s/%s missing from candidate", scheme.c_str(),
+                 policy.c_str());
+      continue;
+    }
+    char label[64];
+    std::snprintf(label, sizeof label, "%s %s", scheme.c_str(),
+                  policy.c_str());
+    // Latency fence: p99 going UP is the regression (these are simulated,
+    // deterministic numbers — drift at equal request counts is a behaviour
+    // change, and the log2-bucketed percentiles only move when behaviour
+    // does).
+    const double delta = delta_row(label, b.num_or("read_p99_ms", 0),
+                                   match->num_or("read_p99_ms", 0));
+    if (delta > gate->max_regression) {
+      gate->fail("%s tail read p99 regressed %.1f%% (limit %.0f%%)", label,
+                 delta * 100, gate->max_regression * 100);
+    }
+  }
+}
+
+void check_tail_policy(const Json& cand, Gate* gate) {
+  const Json* sec = cand.find("tail");
+  const Json* rows = sec != nullptr ? sec->find("replays") : nullptr;
+  if (rows == nullptr) return;  // older candidate
+  std::printf("candidate tail policy invariant (preempt+hedge p99 <= off)\n");
+  for (const Json& r : rows->array) {
+    if (r.str_or("policy", "") != "preempt+hedge") continue;
+    const std::string scheme = r.str_or("scheme", "?");
+    const Json* off = nullptr;
+    for (const Json& o : rows->array) {
+      if (o.str_or("scheme", "") == scheme && o.str_or("policy", "") == "off")
+        off = &o;
+    }
+    if (off == nullptr) continue;
+    const double hedged = r.num_or("read_p99_ms", 0);
+    const double base = off->num_or("read_p99_ms", 0);
+    std::printf("  %-28s off %.2f ms -> hedged %.2f ms\n", scheme.c_str(),
+                base, hedged);
+    // The full policy must never make the tail worse than doing nothing
+    // (tolerance covers log2-bucket quantisation at small request counts).
+    if (base > 0 && hedged > base * (1 + gate->max_regression)) {
+      gate->fail("%s preempt+hedge read p99 %.2f ms worse than off %.2f ms",
+                 scheme.c_str(), hedged, base);
+    }
+  }
+}
+
 void check_qd_speedup(const Json& cand, Gate* gate) {
   const Json* rows = cand.find("pipeline");
   if (rows == nullptr) {
@@ -332,6 +409,7 @@ int main(int argc, char** argv) {
   if (base_reqs == cand_reqs) {
     check_wall_replays(base, cand, &gate);
     check_pipeline_cross(base, cand, &gate);
+    check_tail_cross(base, cand, &gate);
   } else {
     std::printf(
         "cross-file throughput compare skipped: baseline measured %.0f "
@@ -339,6 +417,7 @@ int main(int argc, char** argv) {
         base_reqs, cand_reqs);
   }
   check_qd_speedup(cand, &gate);
+  check_tail_policy(cand, &gate);
 
   if (gate.failures > 0) {
     std::fprintf(stderr, "perf_gate: %d check(s) failed\n", gate.failures);
