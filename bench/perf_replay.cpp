@@ -37,6 +37,12 @@
 // requests issue at their trace timestamps instead of the closed-loop QD
 // window, and queueing delay is reported separately from service time.
 //
+// (i) prices multi-tenant QoS isolation (DESIGN.md §12): a read-mostly
+// victim mixed with a write-flooding noisy neighbor, replayed per policy —
+// off / streams / streams+bucket — plus a solo and a solo-mixed row whose
+// numbers must match exactly (the mixer + tenant plumbing with QoS off is a
+// byte-identical no-op). Lands in the JSON's "qos" section.
+//
 // Knobs: ACROSS_FTL_BENCH_REQS / ACROSS_FTL_BENCH_BLOCKS as everywhere, plus
 //   ACROSS_FTL_PERF_JSON  output path (default BENCH_perf.json)
 #include <chrono>
@@ -50,7 +56,9 @@
 #include "common.h"
 #include "common/rng.h"
 #include "ssd/engine.h"
+#include "trace/mixer.h"
 #include "trace/profiles.h"
+#include "trace/synth.h"
 
 namespace {
 
@@ -176,6 +184,15 @@ struct TailRow {
   trace::ReplayResult result;
 };
 
+struct QosRow {
+  std::string scheme;
+  std::string workload;  // "solo" | "solo-mixed" | "mixed"
+  std::string policy;    // "-" | "off" | "streams" | "streams+bucket"
+  double wall_s = 0;
+  bool mixed = false;  // per-tenant stats valid only on mixed rows
+  trace::ReplayResult result;
+};
+
 void write_json(const std::string& path, const ssd::SsdConfig& config,
                 const char* trace_name, const std::vector<ReplayRow>& rows,
                 const std::vector<ReplayRow>& ckpt_rows,
@@ -187,6 +204,8 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
                 const std::vector<TailRow>& tail_rows,
                 const ssd::SsdConfig& tail_config,
                 const std::vector<PipelineRow>& open_rows,
+                const std::vector<QosRow>& qos_rows,
+                const ssd::SsdConfig& qos_config,
                 const std::vector<CrashRow>& crashes,
                 const trace::PowerCutSpec& spec) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -446,6 +465,56 @@ void write_json(const std::string& path, const ssd::SsdConfig& config,
     }
     std::fprintf(f, "  ],\n");
   }
+  // Multi-tenant QoS isolation: per-tenant tails and GC interference per
+  // policy. Simulated numbers are deterministic in (config, traces); the
+  // perf gate fences the solo == solo-mixed bit-identity pair and the
+  // noisy-neighbor containment (streams+bucket must not be worse than off).
+  std::fprintf(f,
+               "  \"qos\": {\"rate_sectors_per_s\": %llu, "
+               "\"burst_sectors\": %llu, \"gc_debt_sectors_per_page\": %u, "
+               "\"capacity_share_millis\": %u, \"replays\": [\n",
+               static_cast<unsigned long long>(
+                   qos_config.qos.rate_sectors_per_s),
+               static_cast<unsigned long long>(qos_config.qos.burst_sectors),
+               qos_config.qos.gc_debt_sectors_per_page,
+               qos_config.qos.capacity_share_millis);
+  for (std::size_t i = 0; i < qos_rows.size(); ++i) {
+    const auto& row = qos_rows[i];
+    double victim_p99 = 0, victim_mean = 0, victim_waf = 0, noisy_p99 = 0,
+           noisy_waf = 0;
+    std::uint64_t victim_gc = 0, stalls = 0, rejected = 0;
+    if (row.mixed) {
+      const auto& victim = row.result.stats.tenants()[0];
+      const auto& noisy = row.result.stats.tenants()[1];
+      victim_p99 = victim.read_latency.p99_ns();
+      victim_mean = victim.read_latency.latency().mean();
+      victim_waf = victim.waf();
+      victim_gc = victim.gc_pages;
+      noisy_p99 = noisy.read_latency.p99_ns();
+      noisy_waf = noisy.waf();
+      stalls = noisy.throttle_stalls;
+      rejected = noisy.rejected_writes;
+    } else {
+      const auto reads = row.result.stats.all_reads();
+      victim_p99 = reads.p99_ns();
+      victim_mean = reads.latency().mean();
+    }
+    std::fprintf(
+        f,
+        "    {\"scheme\": \"%s\", \"workload\": \"%s\", "
+        "\"policy\": \"%s\", \"wall_s\": %.3f, "
+        "\"victim_read_p99_ms\": %.4f, \"victim_read_mean_ms\": %.4f, "
+        "\"victim_waf\": %.4f, \"victim_gc_pages\": %llu, "
+        "\"noisy_read_p99_ms\": %.4f, \"noisy_waf\": %.4f, "
+        "\"throttle_stalls\": %llu, \"rejected_writes\": %llu}%s\n",
+        row.scheme.c_str(), row.workload.c_str(), row.policy.c_str(),
+        row.wall_s, victim_p99 / 1e6, victim_mean / 1e6, victim_waf,
+        static_cast<unsigned long long>(victim_gc), noisy_p99 / 1e6,
+        noisy_waf, static_cast<unsigned long long>(stalls),
+        static_cast<unsigned long long>(rejected),
+        i + 1 < qos_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]},\n");
   std::fprintf(f, "  \"victim_select\": [\n");
   for (std::size_t i = 0; i < victims.size(); ++i) {
     const auto& v = victims[i];
@@ -781,6 +850,97 @@ int main(int argc, char** argv) {
     ol_table.print(std::cout);
   }
 
+  // (i) Multi-tenant QoS isolation: victim + noisy neighbor per policy,
+  // bracketed by the solo / solo-mixed bit-identity pair. Workload shape
+  // mirrors bench/ablate_tenants: a small hot noisy footprint so relocation
+  // picks blocks written during the run, aging deep enough that GC stays
+  // live. All simulated numbers are deterministic in (config, traces).
+  auto qos_victim_profile = trace::lun_profile(0, bench::knobs().requests);
+  qos_victim_profile.name = "qos-victim";
+  qos_victim_profile.write_ratio = 0.20;
+  qos_victim_profile.mean_iat_ns = 3'000'000;
+  qos_victim_profile.footprint_fraction = 0.5;
+  const auto qos_victim_tr = trace::generate(qos_victim_profile, addressable);
+  auto qos_noisy_profile = trace::lun_profile(1, bench::knobs().requests);
+  qos_noisy_profile.name = "qos-noisy";
+  qos_noisy_profile.write_ratio = 0.90;
+  qos_noisy_profile.mean_iat_ns = 300'000;
+  qos_noisy_profile.footprint_fraction = 0.08;
+  qos_noisy_profile.zipf_theta = 1.1;
+  const auto qos_noisy_tr = trace::generate(qos_noisy_profile, addressable);
+  const auto qos_mixed_tr = trace::mix({qos_victim_tr, qos_noisy_tr});
+  const auto qos_solo_mixed_tr = trace::mix({qos_victim_tr});
+  trace::ReplayOptions qos_opts;
+  qos_opts.age_used = 0.85;
+  auto qos_armed = config;
+  qos_armed.qos.tenants = 2;
+  qos_armed.qos.per_tenant_streams = true;
+  qos_armed.qos.rate_sectors_per_s = 8'000;
+  qos_armed.qos.burst_sectors = 2'000;
+  qos_armed.qos.gc_debt_sectors_per_page = 16;
+  qos_armed.qos.capacity_share_millis = 600;
+  struct QosPolicyRow {
+    const char* name;
+    bool streams;
+    bool bucket;
+  };
+  constexpr QosPolicyRow kQosPolicies[] = {{"off", false, false},
+                                           {"streams", true, false},
+                                           {"streams+bucket", true, true}};
+  std::vector<QosRow> qos_rows;
+  Table qos_table({"scheme", "workload", "policy", "victim p99 ms",
+                   "victim mean ms", "victim WAF", "victim GC", "noisy p99 ms",
+                   "stalls", "wall (s)"});
+  for (auto kind : bench::all_schemes()) {
+    const struct {
+      const char* workload;
+      const trace::Trace* tr;
+    } solo_pair[] = {{"solo", &qos_victim_tr}, {"solo-mixed", &qos_solo_mixed_tr}};
+    for (const auto& sp : solo_pair) {
+      QosRow row;
+      row.workload = sp.workload;
+      row.policy = "-";
+      const double t0 = now_s();
+      // af_lint: allow(bench-run-schemes) — timed one at a time, same as (a).
+      row.result = trace::replay(config, kind, *sp.tr, qos_opts);
+      row.wall_s = now_s() - t0;
+      row.scheme = row.result.scheme;
+      const auto reads = row.result.stats.all_reads();
+      qos_table.add_row({row.scheme, row.workload, row.policy,
+                         Table::num(reads.p99_ns() / 1e6, 2),
+                         Table::num(reads.latency().mean() / 1e6, 2), "-", "-",
+                         "-", "-", Table::num(row.wall_s, 2)});
+      qos_rows.push_back(std::move(row));
+    }
+    for (const auto& policy : kQosPolicies) {
+      QosRow row;
+      row.workload = "mixed";
+      row.policy = policy.name;
+      row.mixed = true;
+      auto qos_config = config;
+      qos_config.qos.tenants = 2;
+      qos_config.qos.per_tenant_streams = policy.streams;
+      if (policy.bucket) qos_config.qos = qos_armed.qos;
+      const double t0 = now_s();
+      // af_lint: allow(bench-run-schemes) — timed one at a time, same as (a).
+      row.result = trace::replay(qos_config, kind, qos_mixed_tr, qos_opts);
+      row.wall_s = now_s() - t0;
+      row.scheme = row.result.scheme;
+      const auto& victim = row.result.stats.tenants()[0];
+      const auto& noisy = row.result.stats.tenants()[1];
+      qos_table.add_row(
+          {row.scheme, row.workload, row.policy,
+           Table::num(victim.read_latency.p99_ns() / 1e6, 2),
+           Table::num(victim.read_latency.latency().mean() / 1e6, 2),
+           Table::num(victim.waf(), 2), Table::num(victim.gc_pages),
+           Table::num(noisy.read_latency.p99_ns() / 1e6, 2),
+           Table::num(noisy.throttle_stalls), Table::num(row.wall_s, 2)});
+      qos_rows.push_back(std::move(row));
+    }
+  }
+  std::printf("\n(i) multi-tenant QoS isolation (victim + noisy neighbor)\n");
+  qos_table.print(std::cout);
+
   // (b) Victim selection: legacy scan vs weight index, per pick.
   std::vector<VictimRow> victims;
   Table picks({"blocks/plane", "picks", "scan ns/pick", "indexed ns/pick",
@@ -804,7 +964,7 @@ int main(int argc, char** argv) {
   tail_json_config.deadline.hedge_after_us = 5000;
   write_json(json != nullptr ? json : "BENCH_perf.json", config, trace_name,
              rows, ckpt_rows, kCkptInterval, rel_rows, rel_config, victims,
-             pipeline_rows, tail_rows, tail_json_config, open_rows, crashes,
-             spec);
+             pipeline_rows, tail_rows, tail_json_config, open_rows, qos_rows,
+             qos_armed, crashes, spec);
   return 0;
 }

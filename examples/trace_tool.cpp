@@ -3,14 +3,20 @@
 //
 //   $ ./trace_tool gen lun3 50000 out.trace    # synthesize a lun3-like trace
 //   $ ./trace_tool stat out.trace              # characterise any trace file
+//   $ ./trace_tool mix 1 mixed.trace a.trace b.trace   # interleave tenants
+#include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/table.h"
 #include "trace/characterize.h"
+#include "trace/mixer.h"
 #include "trace/profiles.h"
 #include "trace/reader.h"
 #include "trace/synth.h"
@@ -20,10 +26,16 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  trace_tool gen <lun1..lun6> <requests> <out-file> [trim%%]\n"
+               "  trace_tool gen <lun1..lun6> <requests> <out-file> [trim%%]"
+               " [tenant]\n"
                "    trim%% (0..50, default 0): fraction of requests emitted as\n"
                "    TRIM records ('T' lines in the native format)\n"
-               "  trace_tool stat <trace-file>\n");
+               "    tenant (0..65535, default 0): tag every record with this\n"
+               "    tenant id (emits the optional 5th trace column)\n"
+               "  trace_tool stat <trace-file>\n"
+               "  trace_tool mix <seed> <out-file> <in1> <in2> [in3...]\n"
+               "    deterministic timestamp-merge of the inputs; records from\n"
+               "    input k are re-tagged tenant=k\n");
   return 2;
 }
 
@@ -50,7 +62,12 @@ int main(int argc, char** argv) {
       profile.trim_fraction = trim_pct / 100.0;
     }
     // A 16 GiB addressable span, page-aligned.
-    const auto tr = trace::generate(profile, 16ull << 21);
+    auto tr = trace::generate(profile, 16ull << 21);
+    if (argc >= 7) {
+      const auto tenant = std::strtoull(argv[6], nullptr, 10);
+      if (tenant > 0xffffull) return usage();
+      for (auto& rec : tr) rec.tenant = static_cast<std::uint16_t>(tenant);
+    }
     std::ofstream out(argv[4]);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", argv[4]);
@@ -123,7 +140,84 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(bounds.max_data_sector),
                    static_cast<unsigned long long>(bounds.max_sector));
     }
+    // Per-tenant breakdown, printed only for tenant-tagged traces so the
+    // legacy single-tenant output stays untouched.
+    std::map<std::uint16_t, std::array<std::uint64_t, 3>> tenants;
+    for (const auto& rec : tr) {
+      auto& row = tenants[rec.tenant];
+      ++row[0];
+      if (rec.write && !rec.trim) ++row[1];
+      row[2] += rec.sectors;
+    }
+    const bool tagged = tenants.size() > 1 || tenants.begin()->first != 0;
+    if (tagged) {
+      Table per_tenant({"tenant", "# of Req.", "Write R", "Sectors"});
+      for (const auto& [tenant, row] : tenants) {
+        per_tenant.add_row(
+            {std::to_string(tenant), Table::num(row[0]),
+             Table::percent(static_cast<double>(row[1]) /
+                            static_cast<double>(row[0])),
+             Table::num(row[2])});
+      }
+      // Tenant ids are small dense slot indices everywhere else in the tree
+      // (mixer slots, qos.tenants); a huge id almost always means a column
+      // slipped (e.g. a timestamp parsed as the tenant field).
+      if (tenants.rbegin()->first > 255) {
+        std::fprintf(stderr,
+                     "warning: tenant id %u looks out of range for a slot "
+                     "index — malformed tenant column?\n",
+                     tenants.rbegin()->first);
+      }
+      table.print(std::cout);
+      per_tenant.print(std::cout);
+      return 0;
+    }
     table.print(std::cout);
+    return 0;
+  }
+
+  if (mode == "mix") {
+    if (argc < 6) return usage();
+    const std::uint64_t seed = std::strtoull(argv[2], nullptr, 10);
+    std::vector<trace::Trace> inputs;
+    for (int i = 4; i < argc; ++i) {
+      std::uint64_t skipped = 0;
+      auto tr = trace::read_file(argv[i], &skipped);
+      if (skipped > 0) {
+        std::fprintf(stderr, "skipped %llu malformed line%s in %s\n",
+                     static_cast<unsigned long long>(skipped),
+                     skipped == 1 ? "" : "s", argv[i]);
+      }
+      if (tr.empty()) {
+        std::fprintf(stderr, "no records in %s\n", argv[i]);
+        return 1;
+      }
+      if (!std::is_sorted(tr.begin(), tr.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.timestamp < b.timestamp;
+                          })) {
+        std::fprintf(stderr,
+                     "warning: %s is not timestamp-sorted; sorting before "
+                     "the merge\n",
+                     argv[i]);
+        std::stable_sort(tr.begin(), tr.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.timestamp < b.timestamp;
+                         });
+      }
+      inputs.push_back(std::move(tr));
+    }
+    trace::MixerOptions options;
+    options.seed = seed;
+    const trace::Trace mixed = trace::mix(inputs, options);
+    std::ofstream out(argv[3]);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", argv[3]);
+      return 1;
+    }
+    trace::write_native(out, mixed);
+    std::printf("mixed %zu inputs into %zu records at %s\n", inputs.size(),
+                mixed.size(), argv[3]);
     return 0;
   }
   return usage();

@@ -19,6 +19,10 @@ struct IoRequest {
   /// transferring data. `write` is false for trims (last field so existing
   /// {arrival, write, range} aggregate initializers stay valid).
   bool trim = false;
+  /// Issuing tenant for multi-tenant QoS (DESIGN.md §12); ignored (and 0)
+  /// unless config.qos names more than one tenant. Appended after `trim`
+  /// for the same aggregate-initializer reason.
+  std::uint16_t tenant = 0;
 
   [[nodiscard]] SectorCount sectors() const { return range.size(); }
 };

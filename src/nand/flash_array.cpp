@@ -88,7 +88,8 @@ std::uint32_t FlashArray::draw_read_errors(Ppn ppn) {
 }
 
 bool FlashArray::program(Ppn ppn, PageOwner owner, const OobExtra* extra,
-                         std::uint64_t stripe) {
+                         std::uint64_t stripe, std::uint8_t stream,
+                         std::uint16_t tenant) {
   const std::size_t i = index(ppn);
   AF_CHECK_MSG(pages_[i] == PageState::kFree, "program of non-free page");
   const std::uint64_t b = geom_.block_of(ppn);
@@ -135,6 +136,8 @@ bool FlashArray::program(Ppn ppn, PageOwner owner, const OobExtra* extra,
   rec.owner = owner;
   rec.seq = seq;
   rec.stripe = stripe;
+  rec.stream = stream;
+  rec.tenant = tenant;
   if (extra != nullptr) {
     rec.range_begin = extra->range_begin;
     rec.range_end = extra->range_end;

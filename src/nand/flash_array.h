@@ -92,6 +92,12 @@ struct OobRecord {
   /// stripe they were programmed into; a kParity owner's page carries its
   /// own stripe id here too. Recovery regroups stripes from these stamps.
   std::uint64_t stripe = 0;
+  /// Write-stream slot the page was allocated from and the tenant it belongs
+  /// to (DESIGN.md §12). Both 0 on single-tenant builds; recovery re-adopts
+  /// partially-written blocks as stream frontiers and rebuilds per-tenant
+  /// accounting from these stamps.
+  std::uint8_t stream = 0;
+  std::uint16_t tenant = 0;
 
   [[nodiscard]] bool written() const { return seq != 0; }
 };
@@ -213,11 +219,15 @@ class FlashArray {
   /// kInvalid for GC to reclaim. The caller must re-program elsewhere.
   /// `extra` carries the spare-area mapping payload for across/packed pages;
   /// `stripe` (nonzero with parity striping on) is stamped into the OOB so
-  /// stripe membership survives power loss.
+  /// stripe membership survives power loss, and `stream`/`tenant` stamp the
+  /// allocation stream slot and owning tenant the same way (both 0 outside
+  /// multi-tenant QoS runs).
   /// Throws PowerLoss (after tearing the page) if an armed cut fires here.
   [[nodiscard]] bool program(Ppn ppn, PageOwner owner,
                              const OobExtra* extra = nullptr,
-                             std::uint64_t stripe = 0);
+                             std::uint64_t stripe = 0,
+                             std::uint8_t stream = 0,
+                             std::uint16_t tenant = 0);
 
   /// Marks a valid page as invalid (its logical owner moved elsewhere).
   /// RAM-side bookkeeping only: the OOB record stays until erase, which is

@@ -19,6 +19,14 @@ std::uint32_t clamp_workers(const ssd::SsdConfig& config) {
                   std::max<std::uint32_t>(1, p.queue_depth));
 }
 
+std::uint32_t fair_window(const ssd::SsdConfig& config) {
+  const ssd::SsdConfig::QosPolicy& qos = config.qos;
+  if (!qos.enabled() || !qos.fair_share) return 1;
+  return std::max<std::uint32_t>(
+      1, std::max<std::uint32_t>(1, config.pipeline.queue_depth) /
+             qos.tenants);
+}
+
 }  // namespace
 
 SsdPipeline::SsdPipeline(const ssd::SsdConfig& config, ftl::SchemeKind kind)
@@ -26,10 +34,15 @@ SsdPipeline::SsdPipeline(const ssd::SsdConfig& config, ftl::SchemeKind kind)
       worker_count_(clamp_workers(config)),
       enabled_(config.pipeline.enabled()),
       open_loop_(config.pipeline.open_loop),
+      tenant_window_(fair_window(config)),
       device_(config, kind),
       locks_(std::uint64_t{std::max<std::uint32_t>(
                  1, config.pipeline.region_pages)} *
              config.geometry.sectors_per_page()) {
+  const ssd::SsdConfig::QosPolicy& qos = config.qos;
+  if (enabled_ && !open_loop_ && qos.enabled() && qos.fair_share) {
+    tenant_slots_.resize(qos.tenants);
+  }
   if (enabled_) {
     pool_ = std::make_unique<ThreadPool>(worker_count_);
     for (std::uint32_t i = 0; i < worker_count_; ++i) {
@@ -66,6 +79,7 @@ void SsdPipeline::reset_measurement() {
   verified_sectors_ = 0;
   lost_requests_ = 0;
   slots_ = {};
+  for (auto& heap : tenant_slots_) heap = {};
   region_gates_.clear();
   barrier_gate_ = 0;
   all_done_gate_ = 0;
@@ -184,6 +198,17 @@ void SsdPipeline::device_stage(Request& req) {
       slot_gate = slots_.top();
       slots_.pop();
     }
+    // Fair-share gate: tenant t additionally waits for its own oldest
+    // completion once it holds tenant_window_ slots, capping the share of
+    // the submission window a flooding tenant can occupy.
+    if (!tenant_slots_.empty()) {
+      auto& mine = tenant_slots_[std::min<std::size_t>(
+          req.io.tenant, tenant_slots_.size() - 1)];
+      if (mine.size() >= tenant_window_) {
+        slot_gate = std::max(slot_gate, mine.top());
+        mine.pop();
+      }
+    }
     req.io.arrival =
         std::max({last_issue_, slot_gate, dependency_gate(req)});
   }
@@ -192,12 +217,25 @@ void SsdPipeline::device_stage(Request& req) {
   last_issue_ = req.io.arrival;
   const SimTime done = req.completion.done;
   if (!open_loop_) slots_.push(done);
+  if (!open_loop_ && !tenant_slots_.empty()) {
+    tenant_slots_[std::min<std::size_t>(req.io.tenant,
+                                        tenant_slots_.size() - 1)]
+        .push(done);
+  }
   all_done_gate_ = std::max(all_done_gate_, done);
   if (req.ticket.barrier) {
     barrier_gate_ = std::max(barrier_gate_, done);
     region_gates_.clear();  // the barrier supersedes every per-region gate
     slots_ = {};            // everything older has logically completed
     if (!open_loop_) slots_.push(done);
+    if (!tenant_slots_.empty()) {
+      for (auto& heap : tenant_slots_) heap = {};
+      if (!open_loop_) {
+        tenant_slots_[std::min<std::size_t>(req.io.tenant,
+                                            tenant_slots_.size() - 1)]
+            .push(done);
+      }
+    }
   } else {
     for (std::uint64_t region : req.ticket.regions) {
       RegionGate& gate = region_gates_[region];

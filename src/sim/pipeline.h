@@ -178,6 +178,8 @@ class SsdPipeline {
   const std::uint32_t worker_count_;
   const bool enabled_;
   const bool open_loop_;
+  /// Fair-share per-tenant slot cap (1 when fair share is unarmed).
+  const std::uint32_t tenant_window_;
 
   // Written by the device stage under mu_ (workers) or by the quiescent
   // owner thread (age/reset/accessors); the submit()/mu_ handoff publishes
@@ -208,6 +210,13 @@ class SsdPipeline {
   // Simulated closed-loop gates, mutated only in device order.
   std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> slots_
       AF_GUARDED_BY(mu_);
+  // Fair-share submission gate (DESIGN.md §12): per-tenant slot heaps, sized
+  // only when config.qos arms fair_share in closed-loop mode. Tenant t may
+  // hold at most tenant_window_ of the queue_depth simulated slots, so one
+  // flooding tenant cannot occupy the whole submission window.
+  std::vector<std::priority_queue<SimTime, std::vector<SimTime>,
+                                  std::greater<>>>
+      tenant_slots_ AF_GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, RegionGate> region_gates_
       AF_GUARDED_BY(mu_);
   SimTime barrier_gate_ AF_GUARDED_BY(mu_) = 0;

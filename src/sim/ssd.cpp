@@ -1,6 +1,7 @@
 #include "sim/ssd.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.h"
 #include "common/rng.h"
@@ -22,6 +23,11 @@ Ssd::Ssd(std::unique_ptr<ssd::Engine> engine, ftl::SchemeKind kind,
          const ssd::Oracle* oracle_seed)
     : engine_(std::move(engine)) {
   scheme_ = ftl::make_scheme(kind, *engine_);
+  const ssd::SsdConfig::QosPolicy& qos = engine_->config().qos;
+  if (qos.bucket_enabled()) {
+    buckets_.assign(qos.tenants,
+                    TenantBucket{static_cast<double>(qos.burst_sectors), 0});
+  }
   if (engine_->config().track_payload) {
     // A mount continues the pre-crash stamp sequence (the adopted flash
     // image still carries the old stamps); a fresh device starts at 1.
@@ -88,11 +94,110 @@ Ssd::Completion Ssd::submit_deferred(const ftl::IoRequest& req,
   return submit_impl(req, plan_out);
 }
 
-Ssd::Completion Ssd::submit_impl(const ftl::IoRequest& req,
+bool Ssd::admits_later(const Deferred& a, const Deferred& b) {
+  return a.admit_at != b.admit_at ? a.admit_at > b.admit_at : a.seq > b.seq;
+}
+
+Ssd::Completion Ssd::submit_impl(const ftl::IoRequest& host_req,
                                  ftl::ReadPlan* plan_out) {
-  AF_CHECK_MSG(!req.range.empty(), "empty request");
-  AF_CHECK_MSG(req.range.end <= engine_->config().logical_sectors(),
+  AF_CHECK_MSG(!host_req.range.empty(), "empty request");
+  AF_CHECK_MSG(host_req.range.end <= engine_->config().logical_sectors(),
                "request beyond logical capacity");
+
+  const ssd::SsdConfig::QosPolicy& qos = engine_->config().qos;
+  // Token-bucket admission shaping, serial (trace-timed) path only — the
+  // pipeline's QoS lever is its fair-share issue gate. A write finding its
+  // tenant's bucket dry is not executed now with a fudged timestamp: it is
+  // parked and enters the device when simulated time reaches its admit
+  // point, because the resource timeline books ops in submission order and
+  // an eagerly-booked far-future program would serialize every
+  // later-submitted request (other tenants included) behind it.
+  if (plan_out == nullptr && !buckets_.empty()) {
+    flush_deferred(host_req.arrival);
+    if (host_req.write && !host_req.trim && !aging_) {
+      const auto tenant = static_cast<std::uint16_t>(
+          std::min<std::uint32_t>(host_req.tenant, qos.tenants - 1));
+      TenantBucket& bucket = buckets_[tenant];
+      if (host_req.arrival > bucket.last) {
+        const double refill =
+            static_cast<double>(host_req.arrival - bucket.last) *
+            static_cast<double>(qos.rate_sectors_per_s) / 1e9;
+        bucket.tokens = std::min(static_cast<double>(qos.burst_sectors),
+                                 bucket.tokens + refill);
+        bucket.last = host_req.arrival;
+      }
+      // The write charges its transfer size plus a surcharge for the GC
+      // debt its tenant has accrued (relocations of the tenant's pages
+      // since its last charge), so a noisy neighbor pays for the collection
+      // churn it causes. Reads are not metered: they consume no program
+      // bandwidth and create no debt.
+      double cost = static_cast<double>(host_req.range.size());
+      if (qos.gc_debt_sectors_per_page > 0) {
+        cost += static_cast<double>(engine_->drain_gc_debt_pages(tenant) *
+                                    qos.gc_debt_sectors_per_page);
+      }
+      if (bucket.tokens >= cost) {
+        bucket.tokens -= cost;
+      } else {
+        // Dry: the refill is anchored at bucket.last — which may already
+        // sit in the future, so earlier stalls accumulate and a flooding
+        // tenant is paced at the configured rate rather than each request
+        // paying one isolated delay.
+        const double deficit = cost - bucket.tokens;
+        const SimTime admit_at =
+            bucket.last +
+            static_cast<SimDuration>(
+                deficit * 1e9 / static_cast<double>(qos.rate_sectors_per_s) +
+                1.0);
+        bucket.tokens = 0;
+        bucket.last = admit_at;
+        ssd::TenantStats& ts = engine_->stats().tenant(tenant);
+        ++ts.throttle_stalls;
+        ts.throttle_stall_ns +=
+            static_cast<std::uint64_t>(admit_at - host_req.arrival);
+        deferred_.push_back(Deferred{host_req, admit_at, deferred_seq_++});
+        std::push_heap(deferred_.begin(), deferred_.end(), admits_later);
+        // The held write is acknowledged optimistically: capacity checks
+        // run when it actually enters the device, and its full accounting
+        // (latency anchored at the original arrival) lands at flush time.
+        Completion held;
+        held.cls = ftl::classify(host_req, scheme_->page_geometry());
+        held.done = admit_at;
+        held.latency = admit_at - host_req.arrival;
+        return held;
+      }
+    }
+  }
+  return service(host_req, plan_out, host_req.arrival);
+}
+
+void Ssd::flush_deferred(SimTime now) {
+  while (!deferred_.empty() && deferred_.front().admit_at <= now) {
+    std::pop_heap(deferred_.begin(), deferred_.end(), admits_later);
+    Deferred held = std::move(deferred_.back());
+    deferred_.pop_back();
+    const SimTime anchor = held.req.arrival;
+    held.req.arrival = held.admit_at;
+    (void)service(held.req, nullptr, anchor);
+  }
+}
+
+void Ssd::drain_admission() {
+  flush_deferred(std::numeric_limits<SimTime>::max());
+}
+
+Ssd::Completion Ssd::service(const ftl::IoRequest& req,
+                             ftl::ReadPlan* plan_out, SimTime anchor) {
+  const ssd::SsdConfig::QosPolicy& qos = engine_->config().qos;
+  std::uint16_t tenant = ssd::kNoTenant;
+  if (qos.enabled() && !aging_) {
+    // Unknown tenant ids clamp into the configured table rather than assert:
+    // a trace mixing more tenants than the device was configured for is a
+    // host-side mistake, not a device invariant violation.
+    tenant = static_cast<std::uint16_t>(
+        std::min<std::uint32_t>(req.tenant, qos.tenants - 1));
+  }
+  if (qos.enabled()) engine_->set_tenant(tenant);
 
   const ssd::ReqClass cls = ftl::classify(req, scheme_->page_geometry());
   const bool mutates = req.write || req.trim;
@@ -128,6 +233,24 @@ Ssd::Completion Ssd::submit_impl(const ftl::IoRequest& req,
       rejected.accepted = false;
       rejected.status = admit;
       return rejected;
+    }
+    // Per-tenant capacity share (DESIGN.md §12): a tenant over its quota is
+    // refused with kNoSpace while the others keep writing — per-tenant
+    // graceful degradation instead of device-wide backpressure. Checked
+    // after the device-wide admission so a globally-full device reports the
+    // same status it always did.
+    if (tenant != ssd::kNoTenant) {
+      const ssd::Status quota = engine_->admit_tenant_write(
+          tenant, scheme_->unmapped_pages(req.range));
+      if (quota != ssd::Status::kOk) {
+        ++engine_->stats().tenant(tenant).rejected_writes;
+        Completion rejected;
+        rejected.cls = cls;
+        rejected.done = req.arrival;
+        rejected.accepted = false;
+        rejected.status = quota;
+        return rejected;
+      }
     }
   }
   engine_->set_request_class(cls);
@@ -219,10 +342,24 @@ Ssd::Completion Ssd::submit_impl(const ftl::IoRequest& req,
   engine_->set_request_class(std::nullopt);
 
   AF_CHECK(completion.done >= req.arrival);
-  completion.latency = completion.done - req.arrival;
+  // Latency is measured from the host's original arrival, so an admission
+  // stall shows up in the tenant's tail instead of silently vanishing.
+  completion.latency = completion.done - anchor;
   completion.data_lost =
       engine_->stats().faults().lost_pages > lost_before;
   engine_->stats().record_request(cls, completion.latency, req.range.size());
+  if (tenant != ssd::kNoTenant && !req.trim) {
+    ssd::TenantStats& ts = engine_->stats().tenant(tenant);
+    if (req.write) {
+      ++ts.writes;
+      ts.write_sectors += req.range.size();
+      ts.write_latency.record(completion.latency, req.range.size());
+    } else {
+      ++ts.reads;
+      ts.read_sectors += req.range.size();
+      ts.read_latency.record(completion.latency, req.range.size());
+    }
+  }
   if (mutates && checkpointer_) checkpointer_->note_write(completion.done);
   // Background refresh rides the request stream like the checkpointer does;
   // its reads/programs count as physical ops, so an armed power cut can
@@ -249,6 +386,11 @@ void Ssd::age(double used_fraction, double live_fraction, std::uint64_t seed) {
   AF_CHECK(footprint > 0);
 
   Rng rng(seed);
+  // Aging traffic is device prehistory, not any tenant's I/O: it bypasses
+  // QoS shaping and lands untenanted, so no tenant starts measurement with
+  // the aged footprint counted against its capacity share or its bucket
+  // pre-drained by fill writes all stamped arrival 0.
+  aging_ = true;
   // Page-aligned fill: sequential first pass establishes the live set, then
   // random overwrites age the device (invalidations + GC) until the used
   // target is reached.
@@ -266,6 +408,7 @@ void Ssd::age(double used_fraction, double live_fraction, std::uint64_t seed) {
     if (!submit(req).accepted) break;  // device degraded mid-aging
     ++overwrites;
   }
+  aging_ = false;
   AF_LOG_INFO("aged device: used=%.3f live=%.3f overwrites=%llu",
               engine_->array().used_fraction(),
               engine_->array().valid_fraction(),
@@ -275,6 +418,15 @@ void Ssd::age(double used_fraction, double live_fraction, std::uint64_t seed) {
 void Ssd::reset_measurement() {
   engine_->stats().reset();
   engine_->timeline().reset();
+  // Buckets restart full on the reset clock: aging traffic must not leave a
+  // tenant pre-throttled (or pre-refilled into the future) when measurement
+  // starts at simulated time 0 again.
+  const ssd::SsdConfig::QosPolicy& qos = engine_->config().qos;
+  for (TenantBucket& bucket : buckets_) {
+    bucket = TenantBucket{static_cast<double>(qos.burst_sectors), 0};
+  }
+  deferred_.clear();
+  deferred_seq_ = 0;
 }
 
 void Ssd::snapshot_map_footprint() {

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "ftl/request.h"
 #include "ftl/scheme.h"
@@ -87,6 +88,11 @@ class Ssd {
   /// aging so measured runs start from a clean clock).
   void reset_measurement();
 
+  /// Admits every write still held back by a dry token bucket (end of
+  /// trace: no later submission will advance simulated time past their
+  /// admit points). No-op unless QoS throttling deferred something.
+  void drain_admission();
+
   [[nodiscard]] const ssd::DeviceStats& stats() const {
     return engine_->stats();
   }
@@ -120,11 +126,46 @@ class Ssd {
  private:
   class OracleStamps;  // adapts Oracle to ftl::StampProvider
 
+  /// Token-bucket state for one tenant (DESIGN.md §12). Refilled lazily at
+  /// request arrival in simulated time; a dry bucket converts the deficit
+  /// into a deterministic admission stall. Allocated only when config.qos
+  /// arms a rate.
+  struct TenantBucket {
+    double tokens = 0;
+    SimTime last = 0;
+  };
+
+  /// A write held back by a dry token bucket: it enters the device at
+  /// `admit_at`, not at submission. Keeping stalled writes out of the
+  /// resource timeline until simulated time catches up preserves the
+  /// timeline's in-order booking invariant — booking a far-future program
+  /// eagerly would serialize every later-submitted request behind it.
+  struct Deferred {
+    ftl::IoRequest req;  ///< original arrival kept for latency accounting
+    SimTime admit_at = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break for equal admit times
+  };
+
   /// Common body of submit() and submit_deferred(): `plan_out == nullptr`
   /// verifies reads inline (the serial path, byte-for-byte the pre-pipeline
   /// behaviour); otherwise the plan is exported for deferred verification.
-  [[nodiscard]] Completion submit_impl(const ftl::IoRequest& req,
+  [[nodiscard]] Completion submit_impl(const ftl::IoRequest& host_req,
                                        ftl::ReadPlan* plan_out);
+
+  /// Everything past admission shaping: capacity checks, execution, stats.
+  /// `anchor` is the host's original arrival — latency is measured from it,
+  /// so an admission stall shows up in the tenant's recorded tail.
+  [[nodiscard]] Completion service(const ftl::IoRequest& req,
+                                   ftl::ReadPlan* plan_out, SimTime anchor);
+
+  /// Runs every deferred write whose admit time has been reached. Called
+  /// before each serial submission so bookings stay in nondecreasing
+  /// simulated-time order.
+  void flush_deferred(SimTime now);
+
+  /// Min-heap order for `deferred_`: earliest admit time first, submission
+  /// order breaking ties.
+  [[nodiscard]] static bool admits_later(const Deferred& a, const Deferred& b);
 
   /// Shared tail of both construction paths: scheme, oracle, checkpointer.
   Ssd(std::unique_ptr<ssd::Engine> engine, ftl::SchemeKind kind,
@@ -139,6 +180,14 @@ class Ssd {
   std::unique_ptr<ssd::Checkpointer> checkpointer_;
   std::unique_ptr<ssd::ScrubScheduler> scrubber_;
   std::uint64_t verified_sectors_ = 0;
+  std::vector<TenantBucket> buckets_;
+  std::vector<Deferred> deferred_;  ///< min-heap on (admit_at, seq)
+  std::uint64_t deferred_seq_ = 0;
+  /// True while age() runs: aging traffic is device prehistory, not any
+  /// tenant's I/O — it bypasses buckets, quotas and per-tenant accounting
+  /// and lands untenanted (kNoTenant) so no tenant inherits the aged
+  /// footprint against its capacity share.
+  bool aging_ = false;
 };
 
 }  // namespace af::sim

@@ -216,6 +216,51 @@ struct SsdConfig {
   };
   DeadlineConfig deadline;
 
+  /// Multi-tenant QoS isolation (DESIGN.md §12). Zero-default: with
+  /// `tenants <= 1` no stream table is grown, no token bucket is consulted,
+  /// no fair-share gate arms and no per-tenant stats are allocated, so a
+  /// default-config run is bit-identical to a build without the subsystem.
+  /// All pacing is simulated time keyed off request arrival timestamps.
+  struct QosPolicy {
+    /// Number of tenants sharing the device. 0 or 1 = subsystem off.
+    std::uint32_t tenants = 0;
+    /// Give each tenant its own data-write stream (frontier blocks per
+    /// plane), so tenants never co-mingle pages in a block and GC relocates
+    /// — and charges — each tenant's garbage separately.
+    bool per_tenant_streams = true;
+    /// Split each tenant's stream in two: host writes go to the hot
+    /// frontier, GC relocations of that tenant's pages to the cold one
+    /// (generational separation within the tenant).
+    bool hot_cold_split = false;
+    /// Token-bucket admission, per tenant: sustained rate and burst depth in
+    /// sectors. A request finding the bucket dry is stalled (simulated) until
+    /// its tokens accrue; the stall rides the recorded latency. 0 rate =
+    /// bucket off (that tenant is unpaced).
+    std::uint64_t rate_sectors_per_s = 0;
+    std::uint64_t burst_sectors = 0;
+    /// GC-debt surcharge: each page GC relocates on behalf of a tenant adds
+    /// this many sectors of extra token cost to that tenant's next writes
+    /// (the noisy neighbor pays for its own garbage). 0 = no surcharge.
+    std::uint32_t gc_debt_sectors_per_page = 0;
+    /// Per-tenant capacity share as a fraction of logical pages ×1000 (e.g.
+    /// 600 = 60%). A tenant whose live footprint would exceed its share gets
+    /// kNoSpace while the others keep writing. 0 = no per-tenant quota.
+    std::uint32_t capacity_share_millis = 0;
+    /// Fair-share submission gate in the pipeline: cap each tenant's
+    /// in-flight requests at queue_depth / tenants (min 1), so a QD-hogging
+    /// tenant queues behind its own window instead of starving the others.
+    bool fair_share = false;
+
+    [[nodiscard]] bool enabled() const { return tenants > 1; }
+    [[nodiscard]] bool streams_enabled() const {
+      return enabled() && per_tenant_streams;
+    }
+    [[nodiscard]] bool bucket_enabled() const {
+      return enabled() && rate_sectors_per_s > 0;
+    }
+  };
+  QosPolicy qos;
+
   /// Across-FTL design-choice toggles (ablation knobs; DESIGN.md §ablations).
   struct AcrossPolicy {
     /// Remap across-page writes at all; false degrades to baseline servicing

@@ -25,6 +25,11 @@ Engine::Engine(const SsdConfig& config, nand::FlashArray image, bool adopted)
                    array_.geometry().page_bytes == config_.geometry.page_bytes,
                "mounted flash image does not match the configured geometry");
   const auto planes = config_.geometry.total_planes();
+  if (config_.qos.streams_enabled()) {
+    stream_slots_ += config_.qos.tenants * (config_.qos.hot_cold_split ? 2 : 1);
+    // The OOB stream stamp is a byte; plenty for any sane tenant count.
+    AF_CHECK_MSG(stream_slots_ <= 0xff, "too many tenant stream slots");
+  }
   planes_.resize(planes);
   for (std::uint64_t p = 0; p < planes; ++p) {
     PlaneState& plane = planes_[p];
@@ -42,8 +47,14 @@ Engine::Engine(const SsdConfig& config, nand::FlashArray image, bool adopted)
         plane.free_blocks.push_back(b);
       }
     }
-    plane.active.fill(kNoBlock);
+    plane.active.assign(stream_slots_, kNoBlock);
     plane.gc_victim = kNoBlock;
+  }
+  if (config_.qos.enabled()) {
+    page_tenant_.assign(config_.geometry.total_pages(), kNoTenant);
+    tenant_live_pages_.assign(config_.qos.tenants, 0);
+    tenant_gc_debt_.assign(config_.qos.tenants, 0);
+    stats_.init_tenants(config_.qos.tenants);
   }
   page_weight_.assign(config_.geometry.total_pages(), 0);
   cached_weight_.assign(planes * config_.geometry.blocks_per_plane, 0);
@@ -333,20 +344,25 @@ bool Engine::die_quarantined(std::uint64_t die) const {
   return !die_quarantined_.empty() && die_quarantined_[die] != 0;
 }
 
-Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
+Engine::Programmed Engine::program_on(std::uint64_t plane, std::uint32_t slot,
                                       nand::PageOwner owner, OpKind kind,
                                       SimTime ready,
-                                      const nand::OobExtra* oob) {
+                                      const nand::OobExtra* oob,
+                                      std::uint16_t tenant) {
   const std::uint32_t attempts =
       1 + std::max(1u, config_.faults.max_program_retries);
   for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
-    if (!plane_has_space(plane, stream)) plane = pick_plane(stream);
-    const Ppn ppn = take_frontier(plane, stream);
+    if (!plane_has_space(plane, slot)) plane = pick_plane(slot);
+    const Ppn ppn = take_frontier(plane, slot);
     // Durable stripe stamp: members carry the open stripe's id, the parity
     // page the id of the stripe it is sealing.
     const std::uint64_t stripe_id =
         stripes_ ? (in_parity_ ? sealing_stripe_ : stripes_->open_id()) : 0;
-    const bool ok = array_.program(ppn, owner, oob, stripe_id);
+    // Tenant stamped 1-based so recovery can tell tenant 0 from an
+    // engine-owned (untenanted) page.
+    const bool ok = array_.program(
+        ppn, owner, oob, stripe_id, static_cast<std::uint8_t>(slot),
+        tenant == kNoTenant ? 0 : static_cast<std::uint16_t>(tenant + 1));
     stats_.count_flash_op(kind);
     if (kind == OpKind::kDataWrite && current_class_) {
       stats_.count_class_flush(*current_class_);
@@ -371,6 +387,10 @@ Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
       // page's block is active, and re-indexes when it stops being so.
       page_weight_[ppn.get()] = static_cast<std::uint16_t>(kFullPageWeight);
       cached_weight_[config_.geometry.block_of(ppn)] += kFullPageWeight;
+      if (!page_tenant_.empty() && tenant != kNoTenant) {
+        page_tenant_[ppn.get()] = tenant;
+        ++tenant_live_pages_[tenant];
+      }
       // Torn programs never join a stripe; only a completed page is worth
       // protecting (its stamp is unreadable anyway).
       if (stripes_ && !in_parity_) {
@@ -385,9 +405,8 @@ Engine::Programmed Engine::program_on(std::uint64_t plane, Stream stream,
     // fresh block, charging the wasted program time.
     ++stats_.faults().program_faults;
     ++stats_.faults().program_retries;
-    const std::uint32_t torn =
-        planes_[plane].active[static_cast<std::size_t>(stream)];
-    planes_[plane].active[static_cast<std::size_t>(stream)] = kNoBlock;
+    const std::uint32_t torn = planes_[plane].active[slot];
+    planes_[plane].active[slot] = kNoBlock;
     push_victim_key(plane, torn);  // the abandoned block is a candidate now
     ready = done;
     AF_LOG_DEBUG("program fault on ppn %llu (attempt %u); reallocating",
@@ -402,7 +421,17 @@ Engine::Programmed Engine::flash_program(Stream stream, nand::PageOwner owner,
                                          OpKind kind, SimTime ready,
                                          const nand::OobExtra* oob,
                                          const std::vector<std::uint64_t>* stamps) {
-  const std::uint64_t first_plane = pick_plane(stream);
+  // Tenant routing (DESIGN.md §12): host data programs carry the facade's
+  // current tenant into the tenant's own stream slot; during relocation the
+  // moved page keeps the tenant it already had. Engine-owned streams
+  // (GC/map/parity) stay untenanted.
+  std::uint32_t slot = slot_of(stream);
+  std::uint16_t tenant = kNoTenant;
+  if (config_.qos.enabled() && stream == Stream::kData) {
+    tenant = in_gc_ ? gc_relocating_tenant_ : current_tenant_;
+    slot = data_slot(tenant);
+  }
+  const std::uint64_t first_plane = pick_plane(slot);
   // GC-debt pacing: host data programs (never GC's own, never map/parity
   // traffic) absorb a stall proportional to how far the target plane has
   // sunk below its trigger + window. The stall is simulated time only — it
@@ -418,7 +447,10 @@ Engine::Programmed Engine::flash_program(Stream stream, nand::PageOwner owner,
     }
   }
   const Programmed programmed =
-      program_on(first_plane, stream, owner, kind, ready, oob);
+      program_on(first_plane, slot, owner, kind, ready, oob, tenant);
+  if (tenant != kNoTenant && !in_gc_) {
+    ++stats_.tenant(tenant).host_pages;
+  }
   // Payload lands with the program: the GC pass below can be interrupted by
   // power-cut injection, and a completed program must never be recovered
   // without its data.
@@ -447,6 +479,15 @@ void Engine::invalidate(Ppn ppn) {
   page_weight_[ppn.get()] = 0;
   AF_CHECK_MSG(cached_weight_[flat] >= weight, "block weight underflow");
   cached_weight_[flat] -= weight;
+  if (!page_tenant_.empty()) {
+    const std::uint16_t tenant = page_tenant_[ppn.get()];
+    if (tenant != kNoTenant) {
+      AF_CHECK_MSG(tenant_live_pages_[tenant] > 0,
+                   "tenant live-page count underflow");
+      --tenant_live_pages_[tenant];
+      page_tenant_[ppn.get()] = kNoTenant;
+    }
+  }
   array_.invalidate(ppn);
   push_victim_key(config_.geometry.plane_of(ppn),
                   static_cast<std::uint32_t>(
@@ -470,6 +511,43 @@ Status Engine::admit_write(std::uint64_t pages) const {
     return Status::kNoSpace;
   }
   return Status::kOk;
+}
+
+Status Engine::admit_tenant_write(std::uint16_t tenant,
+                                  std::uint64_t pages) const {
+  const SsdConfig::QosPolicy& qos = config_.qos;
+  if (!qos.enabled() || qos.capacity_share_millis == 0 ||
+      tenant >= tenant_live_pages_.size()) {
+    return Status::kOk;
+  }
+  const std::uint64_t limit =
+      config_.logical_pages() * qos.capacity_share_millis / 1000;
+  if (tenant_live_pages_[tenant] + pages > limit) return Status::kNoSpace;
+  return Status::kOk;
+}
+
+std::uint64_t Engine::drain_gc_debt_pages(std::uint16_t tenant) {
+  if (tenant >= tenant_gc_debt_.size()) return 0;
+  const std::uint64_t debt = tenant_gc_debt_[tenant];
+  tenant_gc_debt_[tenant] = 0;
+  return debt;
+}
+
+std::uint32_t Engine::data_slot(std::uint16_t tenant) const {
+  if (!config_.qos.streams_enabled() || tenant == kNoTenant) {
+    return slot_of(Stream::kData);
+  }
+  AF_CHECK_MSG(tenant < config_.qos.tenants, "tenant id out of range");
+  return static_cast<std::uint32_t>(kStreamCount) +
+         tenant * (config_.qos.hot_cold_split ? 2u : 1u);
+}
+
+std::uint32_t Engine::gc_slot(std::uint16_t tenant) const {
+  if (!config_.qos.streams_enabled() || !config_.qos.hot_cold_split ||
+      tenant == kNoTenant) {
+    return slot_of(Stream::kGc);
+  }
+  return data_slot(tenant) + 1;
 }
 
 SimDuration Engine::throttle_delay(std::uint64_t plane) const {
@@ -519,9 +597,9 @@ void Engine::map_dram_access(std::uint64_t n) { stats_.count_dram_access(n); }
 
 // --- Allocation ------------------------------------------------------------------
 
-bool Engine::plane_has_space(std::uint64_t plane, Stream stream) const {
+bool Engine::plane_has_space(std::uint64_t plane, std::uint32_t slot) const {
   const PlaneState& st = planes_[plane];
-  const std::uint32_t active = st.active[static_cast<std::size_t>(stream)];
+  const std::uint32_t active = st.active[slot];
   if (active != kNoBlock) {
     const std::uint64_t flat =
         plane * config_.geometry.blocks_per_plane + active;
@@ -532,7 +610,7 @@ bool Engine::plane_has_space(std::uint64_t plane, Stream stream) const {
   return !st.free_blocks.empty();
 }
 
-std::uint64_t Engine::pick_plane(Stream stream) {
+std::uint64_t Engine::pick_plane(std::uint32_t slot) {
   const std::uint64_t planes = config_.geometry.total_planes();
   // Flat plane indices are chip-major (geometry.h): planes p..p+3 share one
   // chip, so a naive round-robin lands consecutive programs on the same chip
@@ -553,7 +631,7 @@ std::uint64_t Engine::pick_plane(Stream stream) {
     const std::uint64_t v = (rr_plane_ + i) % planes;
     const std::uint64_t plane =
         stripe ? (v % chips) * planes_per_chip + v / chips : v;
-    if (!plane_has_space(plane, stream)) continue;
+    if (!plane_has_space(plane, slot)) continue;
     if (quarantined_count_ > 0) {
       // Quarantine steering: re-check the die's episode first (it may have
       // ended — readmit), then skip planes on dies still under quarantine.
@@ -571,7 +649,7 @@ std::uint64_t Engine::pick_plane(Stream stream) {
       const std::uint64_t v = (rr_plane_ + i) % planes;
       const std::uint64_t plane =
           stripe ? (v % chips) * planes_per_chip + v / chips : v;
-      if (plane_has_space(plane, stream)) {
+      if (plane_has_space(plane, slot)) {
         rr_plane_ = (v + 1) % planes;
         return plane;
       }
@@ -581,16 +659,16 @@ std::uint64_t Engine::pick_plane(Stream stream) {
     AF_LOG_WARN("plane %llu: free=%llu retired=%u active[%d]=%u",
                 static_cast<unsigned long long>(p),
                 static_cast<unsigned long long>(free_blocks(p)),
-                planes_[p].retired, static_cast<int>(stream),
-                planes_[p].active[static_cast<std::size_t>(stream)]);
+                planes_[p].retired, static_cast<int>(slot),
+                planes_[p].active[slot]);
   }
   AF_CHECK_MSG(false, "no plane has free space — device over-filled");
   return 0;
 }
 
-Ppn Engine::take_frontier(std::uint64_t plane, Stream stream) {
+Ppn Engine::take_frontier(std::uint64_t plane, std::uint32_t slot) {
   PlaneState& st = planes_[plane];
-  std::uint32_t& active = st.active[static_cast<std::size_t>(stream)];
+  std::uint32_t& active = st.active[slot];
 
   if (active != kNoBlock) {
     const std::uint64_t flat =
@@ -820,6 +898,53 @@ void Engine::rebuild_victim_state() {
   }
 }
 
+void Engine::rebuild_qos_state() {
+  if (!config_.qos.enabled()) return;
+  // Pass 1: per-page tenant ownership and live-page counts, re-derived from
+  // the durable OOB stamps (1-based; 0 marks engine-owned pages). Quota
+  // accounting therefore survives power loss with no extra journaling.
+  std::fill(page_tenant_.begin(), page_tenant_.end(), kNoTenant);
+  std::fill(tenant_live_pages_.begin(), tenant_live_pages_.end(),
+            std::uint64_t{0});
+  for (std::uint64_t p = 0; p < config_.geometry.total_pages(); ++p) {
+    const Ppn ppn{p};
+    if (array_.state(ppn) != nand::PageState::kValid) continue;
+    const nand::OobRecord& oob = array_.oob(ppn);
+    if (oob.tenant == 0) continue;
+    const auto tenant = static_cast<std::uint16_t>(oob.tenant - 1);
+    AF_CHECK_MSG(tenant < config_.qos.tenants, "OOB tenant out of range");
+    page_tenant_[p] = tenant;
+    ++tenant_live_pages_[tenant];
+  }
+  if (!config_.qos.streams_enabled()) return;
+  // Pass 2: re-adopt partially written blocks as per-slot frontiers, so a
+  // remount keeps filling tenant-homogeneous blocks instead of abandoning
+  // every partial block to GC and mixing tenants into whatever opens next.
+  // The slot comes from the durable stream stamp of the block's newest
+  // page; a torn tail leaves the block unadopted (its frontier is suspect
+  // and GC reclaims it). Per (plane, slot) the newest stamp wins — that
+  // block was the slot's active frontier at the cut.
+  const std::uint32_t per_block = config_.geometry.pages_per_block;
+  for (std::uint64_t plane = 0; plane < planes_.size(); ++plane) {
+    std::vector<std::uint64_t> best_seq(stream_slots_, 0);
+    for (std::uint32_t b = 0; b < config_.geometry.blocks_per_plane; ++b) {
+      const std::uint64_t flat = plane * config_.geometry.blocks_per_plane + b;
+      const nand::BlockInfo& info = array_.block(flat);
+      if (info.retired || info.written == 0 || info.written >= per_block) {
+        continue;
+      }
+      const Ppn tail{flat * per_block + info.written - 1};
+      const nand::OobRecord& oob = array_.oob(tail);
+      if (oob.torn) continue;
+      const std::uint32_t slot = oob.stream;
+      if (slot >= stream_slots_) continue;
+      if (info.max_seq <= best_seq[slot]) continue;
+      best_seq[slot] = info.max_seq;
+      planes_[plane].active[slot] = b;
+    }
+  }
+}
+
 void Engine::verify_victim_accounting() const {
   const auto& geom = config_.geometry;
   const std::uint64_t blocks = geom.total_planes() * geom.blocks_per_plane;
@@ -1044,15 +1169,20 @@ Engine::Programmed Engine::gc_program(std::uint64_t plane,
                                       nand::PageOwner owner, SimTime ready,
                                       const nand::OobExtra* oob) {
   AF_CHECK_MSG(in_gc_, "gc_program outside GC");
+  // Relocations of a tenant's pages stay tenant-affine: under hot_cold_split
+  // they fill the tenant's cold slot (and are re-stamped with the tenant),
+  // keeping blocks tenant-homogeneous through GC churn.
+  const std::uint16_t tenant = gc_relocating_tenant_;
+  const std::uint32_t slot = gc_slot(tenant);
   std::uint64_t target = plane;
-  if (wear_target_ != kNoPlane && plane_has_space(wear_target_, Stream::kGc)) {
+  if (wear_target_ != kNoPlane && plane_has_space(wear_target_, slot)) {
     target = wear_target_;  // best-effort: never eat another plane's reserve
   }
-  if (!plane_has_space(target, Stream::kGc)) {
+  if (!plane_has_space(target, slot)) {
     // Reserve exhausted in this plane (pathological); spill anywhere.
-    target = pick_plane(Stream::kGc);
+    target = pick_plane(slot);
   }
-  return program_on(target, Stream::kGc, owner, OpKind::kGcWrite, ready, oob);
+  return program_on(target, slot, owner, OpKind::kGcWrite, ready, oob, tenant);
 }
 
 void Engine::relocate_page(Ppn live, std::uint64_t plane, SimTime& clock) {
@@ -1096,7 +1226,20 @@ void Engine::relocate_page(Ppn live, std::uint64_t plane, SimTime& clock) {
       invalidate(live);
     }
   } else {
+    // Scheme-owned data page: remember whose page is moving so the nested
+    // gc_program (reached via the relocator's engine calls) lands it in the
+    // owning tenant's slot and charges that tenant's GC debt — not the
+    // tenant whose foreground write happened to trigger this GC.
+    if (!page_tenant_.empty()) {
+      const std::uint16_t tenant = page_tenant_[live.get()];
+      gc_relocating_tenant_ = tenant;
+      if (tenant != kNoTenant) {
+        ++stats_.tenant(tenant).gc_pages;
+        ++tenant_gc_debt_[tenant];
+      }
+    }
     relocator_(live, owner, clock);
+    gc_relocating_tenant_ = kNoTenant;
   }
 }
 
@@ -1106,7 +1249,7 @@ void Engine::seal_stripe(SimTime ready) {
   in_parity_ = true;
   sealing_stripe_ = open.id;
   const Programmed parity =
-      program_on(pick_plane(Stream::kParity), Stream::kParity,
+      program_on(pick_plane(slot_of(Stream::kParity)), slot_of(Stream::kParity),
                  nand::PageOwner::parity(open.id), OpKind::kParityWrite, ready,
                  /*oob=*/nullptr);
   in_parity_ = false;

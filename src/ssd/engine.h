@@ -31,9 +31,19 @@ namespace af::ssd {
 /// translation pages and parity pages each fill their own active block per
 /// plane (parity separated so a stripe's members and its parity never share
 /// a block — one block failure must not take both).
+///
+/// The enum names the four fixed streams; under multi-tenant QoS
+/// (config.qos.streams_enabled(), DESIGN.md §12) the engine grows a runtime
+/// stream table past them — one (or two, hot/cold) data slots per tenant —
+/// and Stream::kData programs are routed to the current tenant's slot, so
+/// schemes keep passing the enum and never learn about tenants.
 enum class Stream : std::uint8_t { kData = 0, kGc, kMap, kParity, kStreamCount };
 constexpr std::size_t kStreamCount =
     static_cast<std::size_t>(Stream::kStreamCount);
+
+/// "No tenant" marker for engine-internal attribution (map/ckpt/parity
+/// pages, single-tenant builds).
+inline constexpr std::uint16_t kNoTenant = 0xffff;
 
 class StripeTracker;
 
@@ -264,6 +274,51 @@ class Engine final : private MapIo {
   /// Attribute subsequent data programs to this request class (Figure 4c).
   void set_request_class(std::optional<ReqClass> c) { current_class_ = c; }
 
+  // --- Multi-tenant QoS (DESIGN.md §12) -------------------------------------
+
+  /// Attribute subsequent host data programs to this tenant: they allocate
+  /// from the tenant's stream slot (config.qos.streams_enabled()) and are
+  /// stamped into page/OOB tenant bookkeeping. Ignored — cheap store only —
+  /// unless config.qos.enabled(). The facade sets it per request, mirroring
+  /// set_request_class.
+  void set_tenant(std::uint16_t tenant) { current_tenant_ = tenant; }
+
+  /// Per-tenant capacity-share admission on top of admit_write(): kNoSpace
+  /// once the tenant's live footprint plus `pages` would exceed its share of
+  /// logical pages (config.qos.capacity_share_millis). kOk whenever quotas
+  /// are unconfigured — pure arithmetic, no state change.
+  [[nodiscard]] Status admit_tenant_write(std::uint16_t tenant,
+                                          std::uint64_t pages) const;
+
+  /// Live data pages currently attributed to `tenant` (0 with QoS off).
+  [[nodiscard]] std::uint64_t tenant_live_pages(std::uint16_t tenant) const {
+    return tenant < tenant_live_pages_.size() ? tenant_live_pages_[tenant] : 0;
+  }
+
+  /// Returns and clears the pages GC relocated on `tenant`'s behalf since
+  /// the last drain. The facade converts this into a token-bucket surcharge
+  /// (config.qos.gc_debt_sectors_per_page) so the tenant that dirtied the
+  /// blocks pays for their reclamation.
+  std::uint64_t drain_gc_debt_pages(std::uint16_t tenant);
+
+  /// Total stream slots (fixed streams + tenant data slots).
+  [[nodiscard]] std::uint32_t stream_slot_count() const { return stream_slots_; }
+  /// Slot a host data program of `tenant` allocates from.
+  [[nodiscard]] std::uint32_t data_slot(std::uint16_t tenant) const;
+  /// Tenant attributed to a valid page, or kNoTenant (engine-owned pages,
+  /// QoS off). Exposed for tests and recovery verification.
+  [[nodiscard]] std::uint16_t page_tenant(Ppn ppn) const {
+    return page_tenant_.empty() ? kNoTenant : page_tenant_[ppn.get()];
+  }
+
+  /// Mount-time QoS rebuild from OOB stamps: re-derives page→tenant
+  /// attribution and per-tenant live-page counts, and re-adopts
+  /// partially-written blocks as their stream slot's active frontier (the
+  /// stamped slot of the block's newest page). Recovery calls this before
+  /// rebuild_victim_state() so adopted frontiers leave the victim heaps.
+  /// No-op unless config.qos.enabled().
+  void rebuild_qos_state();
+
   // --- Tail-latency subsystem (DESIGN.md §11) -------------------------------
 
   /// In-simulated-time deadline ledger for the request currently being
@@ -349,8 +404,10 @@ class Engine final : private MapIo {
  private:
   struct PlaneState {
     std::vector<std::uint32_t> free_blocks;  // block ids within plane
-    // Active (partially filled) block per stream; kInvalidBlock when none.
-    std::array<std::uint32_t, kStreamCount> active;
+    // Active (partially filled) block per stream slot (stream_slots_
+    // entries: the four fixed streams plus any tenant data slots);
+    // kNoBlock when none.
+    std::vector<std::uint32_t> active;
     // Victim currently being drained by resumable partial GC.
     std::uint32_t gc_victim;
     // Grown bad blocks no longer in service (spare-capacity accounting).
@@ -369,17 +426,29 @@ class Engine final : private MapIo {
   void map_flash_invalidate(Ppn ppn) override;
   void map_dram_access(std::uint64_t n) override;
 
-  /// Returns the PPN to program next for (plane, stream); opens a new active
+  /// Fixed-stream slot index (tenant routing happens in the callers that
+  /// hold the tenant: flash_program and gc_program).
+  [[nodiscard]] static constexpr std::uint32_t slot_of(Stream stream) {
+    return static_cast<std::uint32_t>(stream);
+  }
+  /// Slot a GC relocation of `tenant`'s page programs into: the tenant's
+  /// cold slot under hot_cold_split, the shared kGc slot otherwise.
+  [[nodiscard]] std::uint32_t gc_slot(std::uint16_t tenant) const;
+
+  /// Returns the PPN to program next for (plane, slot); opens a new active
   /// block from the free list when needed.
-  Ppn take_frontier(std::uint64_t plane, Stream stream);
+  Ppn take_frontier(std::uint64_t plane, std::uint32_t slot);
 
   /// Program with bounded retry-with-reallocation: a failed (torn) program
   /// abandons the active block, charges the wasted program time, and
   /// re-programs on a fresh block — spilling to another plane if this one
-  /// runs dry. Shared by host/map programs and GC migrations.
-  [[nodiscard]] Programmed program_on(std::uint64_t plane, Stream stream,
+  /// runs dry. Shared by host/map programs and GC migrations. `tenant`
+  /// (kNoTenant for engine-owned pages) feeds the OOB stamp and the
+  /// per-tenant live-page accounting.
+  [[nodiscard]] Programmed program_on(std::uint64_t plane, std::uint32_t slot,
                                       nand::PageOwner owner, OpKind kind,
-                                      SimTime ready, const nand::OobExtra* oob);
+                                      SimTime ready, const nand::OobExtra* oob,
+                                      std::uint16_t tenant = kNoTenant);
 
   /// Shared body of the two constructors; `adopted` distinguishes a fresh
   /// array from a crash-survivor image.
@@ -404,13 +473,14 @@ class Engine final : private MapIo {
   /// through the scheme's relocator).
   void relocate_page(Ppn live, std::uint64_t plane, SimTime& clock);
 
-  /// Picks the plane for the next allocation of `stream`: round-robin over
+  /// Picks the plane for the next allocation of `slot`: round-robin over
   /// planes with usable space. Pure striping balances *capacity* across
   /// planes — load-aware policies starve busy planes of writes and let
   /// per-plane occupancy skew until GC cannot reclaim them.
-  std::uint64_t pick_plane(Stream stream);
+  std::uint64_t pick_plane(std::uint32_t slot);
 
-  [[nodiscard]] bool plane_has_space(std::uint64_t plane, Stream stream) const;
+  [[nodiscard]] bool plane_has_space(std::uint64_t plane,
+                                     std::uint32_t slot) const;
 
   /// Runs GC on `plane` until its free-block count clears the threshold.
   [[nodiscard]] SimTime run_gc(std::uint64_t plane, SimTime ready);
@@ -501,6 +571,19 @@ class Engine final : private MapIo {
   bool read_only_ = false;
   std::uint64_t gc_runs_ = 0;
   std::optional<ReqClass> current_class_;
+  // Multi-tenant QoS state (DESIGN.md §12). stream_slots_ is kStreamCount on
+  // single-tenant builds; the per-page tenant map and per-tenant counters
+  // stay empty unless config_.qos.enabled() — default runs allocate and
+  // touch nothing.
+  std::uint32_t stream_slots_ = static_cast<std::uint32_t>(kStreamCount);
+  std::uint16_t current_tenant_ = 0;
+  // Tenant whose page is being relocated right now (GC/scrub), so the
+  // relocation program lands in that tenant's (cold) slot and is re-stamped
+  // with the same tenant; kNoTenant outside relocation.
+  std::uint16_t gc_relocating_tenant_ = kNoTenant;
+  std::vector<std::uint16_t> page_tenant_;
+  std::vector<std::uint64_t> tenant_live_pages_;
+  std::vector<std::uint64_t> tenant_gc_debt_;
   // Tail-latency state (DESIGN.md §11): the per-request deadline ledger and
   // the per-die quarantine book. The ledger is only ever set by the facade
   // when config_.deadline.enabled(); the quarantine vectors stay empty unless

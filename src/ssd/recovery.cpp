@@ -214,7 +214,13 @@ RecoveryReport Recovery::mount(Engine& engine, RecoverableMapping& scheme) {
     }
   }
 
-  // --- 5. GC victim state ---------------------------------------------------
+  // --- 5. QoS tenant state --------------------------------------------------
+  // Re-derive per-tenant page ownership and re-adopt per-slot write
+  // frontiers from OOB stamps, before the victim rebuild so adopted active
+  // blocks are excluded from the victim heaps.
+  engine.rebuild_qos_state();
+
+  // --- 6. GC victim state ---------------------------------------------------
   engine.rebuild_victim_state();
 
   report.flash_reads = report.checkpoint_pages_read + report.pages_scanned;

@@ -47,6 +47,10 @@ double DeviceStats::total_io_time_ns() const {
   return all_reads().latency().sum() + all_writes().latency().sum();
 }
 
-void DeviceStats::reset() { *this = DeviceStats{}; }
+void DeviceStats::reset() {
+  const std::size_t tenants = tenants_.size();
+  *this = DeviceStats{};
+  tenants_.assign(tenants, TenantStats{});
+}
 
 }  // namespace af::ssd

@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/types.h"
@@ -132,6 +133,33 @@ struct TailStats {
   std::uint64_t unquarantines = 0;     // dies readmitted after episodes end
 };
 
+/// Per-tenant accounting for the multi-tenant QoS subsystem (DESIGN.md §12).
+/// Only allocated when config.qos names more than one tenant, so the
+/// single-tenant default carries no trace of it.
+struct TenantStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t read_sectors = 0;
+  std::uint64_t write_sectors = 0;
+  /// Data-page programs issued on the tenant's behalf (host writes).
+  std::uint64_t host_pages = 0;
+  /// The tenant's pages relocated by GC — its share of write amplification,
+  /// charged to the page's owner, not to whoever triggered the collection.
+  std::uint64_t gc_pages = 0;
+  std::uint64_t throttle_stalls = 0;    // token-bucket admission stalls
+  std::uint64_t throttle_stall_ns = 0;  // total simulated stall injected
+  std::uint64_t rejected_writes = 0;    // capacity-share kNoSpace rejections
+  LatencyRecorder read_latency;
+  LatencyRecorder write_latency;
+
+  /// Per-tenant write amplification: (host + GC programs) / host programs.
+  [[nodiscard]] double waf() const {
+    return host_pages != 0 ? static_cast<double>(host_pages + gc_pages) /
+                                 static_cast<double>(host_pages)
+                           : 0.0;
+  }
+};
+
 class DeviceStats {
  public:
   // --- Flash operations ----------------------------------------------------
@@ -189,6 +217,15 @@ class DeviceStats {
   TailStats& tail() { return tail_; }
   [[nodiscard]] const TailStats& tail() const { return tail_; }
 
+  // --- Multi-tenant QoS (DESIGN.md §12) -------------------------------------
+  /// Sizes the per-tenant table; reset() preserves the sizing so aging
+  /// warm-up can be discarded without losing the tenant layout.
+  void init_tenants(std::size_t n) { tenants_.assign(n, TenantStats{}); }
+  TenantStats& tenant(std::size_t i) { return tenants_[i]; }
+  [[nodiscard]] const std::vector<TenantStats>& tenants() const {
+    return tenants_;
+  }
+
   /// Per-op-kind simulated service-time histogram (ready → done of the
   /// scheduled flash op). Feeds perf_replay's op-kind latency section; never
   /// printed by the legacy tables, so recording is output-neutral for them.
@@ -231,6 +268,7 @@ class DeviceStats {
   TailStats tail_;
   std::array<LogHistogram, static_cast<std::size_t>(OpKind::kKindCount)>
       op_latency_{};
+  std::vector<TenantStats> tenants_;
 };
 
 }  // namespace af::ssd

@@ -16,9 +16,13 @@ struct TraceRecord {
   SectorAddr offset = 0;  // 512 B sectors
   SectorCount sectors = 0;
   /// TRIM/discard: the range's logical pages are unmapped instead of
-  /// written. `write` is false for trim records (last field so existing
+  /// written. `write` is false for trim records (appended so existing
   /// {ts, write, offset, sectors} aggregate initializers stay valid).
   bool trim = false;
+  /// Tenant id for multi-tenant QoS (DESIGN.md §12). 0 is the default
+  /// tenant; single-tenant traces never mention it (last field so existing
+  /// aggregate initializers stay valid).
+  std::uint16_t tenant = 0;
 
   [[nodiscard]] SectorRange range() const {
     return SectorRange::of(offset, sectors);

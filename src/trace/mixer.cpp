@@ -1,0 +1,58 @@
+#include "trace/mixer.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace af::trace {
+
+Trace mix(const std::vector<Trace>& inputs, const MixerOptions& options) {
+  AF_CHECK_MSG(inputs.size() <= 0xffffu, "mixer: too many tenants");
+  std::size_t total = 0;
+  for (const Trace& in : inputs) {
+    AF_CHECK_MSG(std::is_sorted(in.begin(), in.end(),
+                                [](const TraceRecord& a, const TraceRecord& b) {
+                                  return a.timestamp < b.timestamp;
+                                }),
+                 "mixer: input trace not sorted by timestamp");
+    total += in.size();
+  }
+
+  // K-way merge over per-tenant cursors. At each step the candidate set is
+  // every tenant whose head record carries the minimum timestamp; one of
+  // them is drawn with the seeded RNG. The RNG is consumed only on genuine
+  // ties (candidates > 1), so a mix whose timestamps never collide is
+  // independent of the seed.
+  Trace out;
+  out.reserve(total);
+  std::vector<std::size_t> cursor(inputs.size(), 0);
+  std::vector<std::size_t> candidates;
+  Rng rng(options.seed);
+  while (out.size() < total) {
+    SimTime best = 0;
+    candidates.clear();
+    for (std::size_t t = 0; t < inputs.size(); ++t) {
+      if (cursor[t] >= inputs[t].size()) continue;
+      const SimTime ts = inputs[t][cursor[t]].timestamp;
+      if (candidates.empty() || ts < best) {
+        best = ts;
+        candidates.assign(1, t);
+      } else if (ts == best) {
+        candidates.push_back(t);
+      }
+    }
+    const std::size_t pick =
+        candidates.size() == 1
+            ? candidates.front()
+            : candidates[static_cast<std::size_t>(rng.below(
+                  static_cast<std::uint64_t>(candidates.size())))];
+    TraceRecord rec = inputs[pick][cursor[pick]++];
+    if (options.retag_tenants) rec.tenant = static_cast<std::uint16_t>(pick);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace af::trace

@@ -1,0 +1,31 @@
+// Deterministic multi-tenant trace mixer (DESIGN.md §12).
+//
+// Interleaves N per-tenant traces into one tenant-tagged stream ordered by
+// timestamp. Ties are broken by a seeded per-record draw so no tenant is
+// systematically first at equal arrival times, yet the interleave is a pure
+// function of (inputs, seed): the same mix is byte-identical at any job
+// count, on any host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace af::trace {
+
+struct MixerOptions {
+  /// Seed for the tie-break draws (equal-timestamp records only).
+  std::uint64_t seed = 1;
+  /// Re-stamp each input's records with its slot index (0..N-1). Off keeps
+  /// whatever tenant ids the inputs already carry (pre-tagged traces).
+  bool retag_tenants = true;
+};
+
+/// Merges `inputs[i]` (each already timestamp-sorted; asserted) into one
+/// trace sorted by timestamp, tagging records of `inputs[i]` with tenant id
+/// `i` (unless retag_tenants is off). Stable within a tenant: a tenant's
+/// records keep their relative order.
+Trace mix(const std::vector<Trace>& inputs, const MixerOptions& options = {});
+
+}  // namespace af::trace

@@ -147,6 +147,18 @@ Trace read_native(std::istream& in, std::uint64_t* skipped) {
       ++bad;
       continue;
     }
+    // Optional 5th column: tenant id (multi-tenant mixes). Absent on
+    // single-tenant traces, so legacy files parse unchanged; a trailing
+    // field that is not a small integer rejects the line like any other
+    // malformed token.
+    std::uint64_t tenant = 0;
+    if (ss >> tenant) {
+      if (tenant > 0xffffu || !(ss >> std::ws).eof()) {
+        ++bad;
+        continue;
+      }
+      rec.tenant = static_cast<std::uint16_t>(tenant);
+    }
     rec.write = (kind == "W");
     rec.trim = (kind == "T");
     trace.push_back(rec);
@@ -157,11 +169,20 @@ Trace read_native(std::istream& in, std::uint64_t* skipped) {
 }
 
 void write_native(std::ostream& out, const Trace& trace) {
-  out << "# kind offset_sectors size_sectors timestamp_ns\n";
+  // The tenant column is emitted only when some record actually carries a
+  // non-zero tenant id, so single-tenant traces stay byte-identical to
+  // pre-tenant builds.
+  const bool tenants =
+      std::any_of(trace.begin(), trace.end(),
+                  [](const TraceRecord& rec) { return rec.tenant != 0; });
+  out << (tenants ? "# kind offset_sectors size_sectors timestamp_ns tenant\n"
+                  : "# kind offset_sectors size_sectors timestamp_ns\n");
   for (const auto& rec : trace) {
     const char kind = rec.trim ? 'T' : (rec.write ? 'W' : 'R');
     out << kind << ' ' << rec.offset << ' ' << rec.sectors << ' '
-        << rec.timestamp << '\n';
+        << rec.timestamp;
+    if (tenants) out << ' ' << rec.tenant;
+    out << '\n';
   }
 }
 

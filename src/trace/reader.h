@@ -7,8 +7,9 @@
 //    seconds, offset and size in bytes, iotype R/W. Drop the real trace
 //    files in and the benches run against them instead of the synthetic
 //    profiles.
-//  * a native whitespace format (`W|R|T offset_sectors size_sectors ts_ns`,
-//    T = TRIM/discard) used by the examples and tests.
+//  * a native whitespace format (`W|R|T offset_sectors size_sectors ts_ns
+//    [tenant]`, T = TRIM/discard; the optional trailing tenant column is
+//    written only for multi-tenant mixes) used by the examples and tests.
 #pragma once
 
 #include <iosfwd>

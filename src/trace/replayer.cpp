@@ -43,12 +43,15 @@ ReplayResult replay(const ssd::SsdConfig& config, ftl::SchemeKind kind,
 
   std::uint64_t lost_requests = 0;
   for (const auto& rec : trace) {
-    ftl::IoRequest req{rec.timestamp, rec.write, rec.range(), rec.trim};
+    ftl::IoRequest req{rec.timestamp, rec.write, rec.range(), rec.trim, rec.tenant};
     // Rejected writes (read-only degradation under fault injection) are
     // accounted in stats().faults().rejected_writes, which the benches
     // report; the replay itself carries on serving reads.
     if (ssd.submit(req).data_lost) ++lost_requests;
   }
+  // Writes still parked by a dry token bucket enter the device now — the
+  // trace ended, so no later arrival will advance simulated time for them.
+  ssd.drain_admission();
   ssd.snapshot_map_footprint();
   ReplayResult result = snapshot_result(ssd);
   result.lost_requests = lost_requests;
@@ -64,7 +67,7 @@ PipelineReplayResult replay_pipeline(const ssd::SsdConfig& config,
     pipeline.reset_measurement();
   }
   for (const auto& rec : trace) {
-    pipeline.submit({rec.timestamp, rec.write, rec.range(), rec.trim});
+    pipeline.submit({rec.timestamp, rec.write, rec.range(), rec.trim, rec.tenant});
   }
   pipeline.drain();
   pipeline.device().snapshot_map_footprint();
@@ -105,7 +108,7 @@ CrashReplayResult replay_with_power_cut(const ssd::SsdConfig& config,
     }
     probe.engine().array().arm_power_cut(nand::PowerCutPlan{});
     for (const auto& rec : trace) {
-      (void)probe.submit({rec.timestamp, rec.write, rec.range(), rec.trim});
+      (void)probe.submit({rec.timestamp, rec.write, rec.range(), rec.trim, rec.tenant});
     }
     const std::uint64_t horizon = probe.engine().array().ops_since_arm();
     AF_CHECK_MSG(horizon > 0, "trace issued no flash ops to cut");
@@ -144,7 +147,7 @@ CrashReplayResult replay_with_power_cut(const ssd::SsdConfig& config,
       // the first flash op a trim can issue, so a cut mid-trim always
       // recovers with the unmap in force — matching the already-zeroed
       // shadow.
-      (void)device->submit({rec.timestamp, rec.write, rec.range(), rec.trim});
+      (void)device->submit({rec.timestamp, rec.write, rec.range(), rec.trim, rec.tenant});
     } catch (const nand::PowerLoss& loss) {
       AF_CHECK(loss.op_index == resolved.at_op);
       out.crashed = true;
@@ -219,7 +222,7 @@ CrashReplayResult replay_with_power_cut(const ssd::SsdConfig& config,
   mounted->reset_measurement();
   for (std::size_t i = resume_from; i < trace.size(); ++i) {
     const TraceRecord& rec = trace[i];
-    (void)mounted->submit({rec.timestamp, rec.write, rec.range(), rec.trim});
+    (void)mounted->submit({rec.timestamp, rec.write, rec.range(), rec.trim, rec.tenant});
   }
   mounted->snapshot_map_footprint();
   out.result = snapshot_result(*mounted);

@@ -1,0 +1,128 @@
+// trace::mix — the deterministic multi-tenant interleaver (DESIGN.md §12).
+// The contract under test: the mix is a pure function of (inputs, seed) —
+// byte-identical across runs and job counts — sorted by timestamp, stable
+// within each tenant, and tenant-tagged by slot index unless retagging is
+// off.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "trace/mixer.h"
+#include "trace/profiles.h"
+#include "trace/synth.h"
+
+namespace af {
+namespace {
+
+bool same_record(const trace::TraceRecord& a, const trace::TraceRecord& b) {
+  return a.timestamp == b.timestamp && a.write == b.write &&
+         a.offset == b.offset && a.sectors == b.sectors && a.trim == b.trim &&
+         a.tenant == b.tenant;
+}
+
+bool same_trace(const trace::Trace& a, const trace::Trace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!same_record(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+trace::Trace synth_input(std::uint32_t lun, std::uint64_t requests) {
+  auto profile = trace::lun_profile(lun, requests);
+  return trace::generate(profile, /*addressable_sectors=*/1 << 16);
+}
+
+TEST(Mixer, SameSeedByteIdentical) {
+  const auto a = synth_input(0, 400);
+  const auto b = synth_input(1, 400);
+  const auto first = trace::mix({a, b});
+  const auto second = trace::mix({a, b});
+  EXPECT_TRUE(same_trace(first, second));
+}
+
+TEST(Mixer, OutputSortedAndComplete) {
+  const auto a = synth_input(0, 300);
+  const auto b = synth_input(1, 500);
+  const auto mixed = trace::mix({a, b});
+  ASSERT_EQ(mixed.size(), a.size() + b.size());
+  for (std::size_t i = 1; i < mixed.size(); ++i) {
+    EXPECT_LE(mixed[i - 1].timestamp, mixed[i].timestamp);
+  }
+  std::size_t from_a = 0;
+  std::size_t from_b = 0;
+  for (const auto& rec : mixed) {
+    if (rec.tenant == 0) ++from_a;
+    if (rec.tenant == 1) ++from_b;
+  }
+  EXPECT_EQ(from_a, a.size());
+  EXPECT_EQ(from_b, b.size());
+}
+
+TEST(Mixer, StableWithinTenant) {
+  const auto a = synth_input(0, 300);
+  const auto b = synth_input(1, 300);
+  const auto mixed = trace::mix({a, b});
+  // Each tenant's records must come out in their original relative order.
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  for (const auto& rec : mixed) {
+    if (rec.tenant == 0) {
+      ASSERT_LT(ia, a.size());
+      EXPECT_EQ(rec.offset, a[ia].offset);
+      EXPECT_EQ(rec.timestamp, a[ia].timestamp);
+      ++ia;
+    } else {
+      ASSERT_LT(ib, b.size());
+      EXPECT_EQ(rec.offset, b[ib].offset);
+      EXPECT_EQ(rec.timestamp, b[ib].timestamp);
+      ++ib;
+    }
+  }
+}
+
+TEST(Mixer, SingleInputIsIdentityModuloTag) {
+  const auto a = synth_input(2, 250);
+  const auto mixed = trace::mix({a});
+  ASSERT_EQ(mixed.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    trace::TraceRecord want = a[i];
+    want.tenant = 0;
+    EXPECT_TRUE(same_record(mixed[i], want)) << "record " << i;
+  }
+}
+
+TEST(Mixer, RetagOffPreservesInputTenants) {
+  trace::Trace a{{10, true, 0, 8, false, /*tenant=*/7}};
+  trace::Trace b{{20, false, 64, 8, false, /*tenant=*/3}};
+  trace::MixerOptions options;
+  options.retag_tenants = false;
+  const auto mixed = trace::mix({a, b}, options);
+  ASSERT_EQ(mixed.size(), 2u);
+  EXPECT_EQ(mixed[0].tenant, 7);
+  EXPECT_EQ(mixed[1].tenant, 3);
+}
+
+TEST(Mixer, TieBreakDeterministicPerSeed) {
+  // All records collide on one timestamp: the interleave is pure tie-break.
+  trace::Trace a;
+  trace::Trace b;
+  for (int i = 0; i < 64; ++i) {
+    a.push_back({100, true, static_cast<SectorAddr>(8 * i), 8});
+    b.push_back({100, true, static_cast<SectorAddr>(8 * i), 8});
+  }
+  const auto mixed_s1 = trace::mix({a, b});
+  EXPECT_TRUE(same_trace(mixed_s1, trace::mix({a, b})));
+  // A tie-only mix must not degenerate into strict tenant-0-first order —
+  // the seeded draw interleaves the streams.
+  bool interleaved = false;
+  for (std::size_t i = 0; i + 1 < mixed_s1.size() && !interleaved; ++i) {
+    if (mixed_s1[i].tenant == 1 && mixed_s1[i + 1].tenant == 0) {
+      interleaved = true;
+    }
+  }
+  EXPECT_TRUE(interleaved);
+}
+
+}  // namespace
+}  // namespace af

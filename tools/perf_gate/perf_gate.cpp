@@ -23,6 +23,17 @@
 //      full preempt+hedge policy must leave read p99 no worse than the off
 //      row (within --max-regression) — the machinery must never hurt the
 //      tail it exists to protect (DESIGN.md §11).
+//   6. Multi-tenant QoS victim read p99 per (scheme, workload, policy)
+//      ("qos" section): latency fence like 3, skipped when either file
+//      predates the section or across differing request counts.
+//   7. Within the candidate alone: each scheme's qos solo and solo-mixed
+//      rows must match EXACTLY — routing a single-tenant trace through the
+//      mixer and tenant plumbing with QoS off is a bit-identical no-op
+//      (DESIGN.md §12).
+//   8. Within the candidate alone: each scheme's streams+bucket victim read
+//      p99/mean must be no worse than its off row (within --max-regression)
+//      — the containment machinery must never hurt the tenant it exists to
+//      protect.
 //
 // The parser covers exactly the JSON subset perf_replay emits (objects,
 // arrays, strings, numbers, booleans); it is not a general JSON library.
@@ -351,6 +362,119 @@ void check_tail_policy(const Json& cand, Gate* gate) {
   }
 }
 
+void check_qos_cross(const Json& base, const Json& cand, Gate* gate) {
+  const Json* base_sec = base.find("qos");
+  const Json* cand_sec = cand.find("qos");
+  if (base_sec == nullptr || cand_sec == nullptr) return;  // older file
+  const Json* base_rows = base_sec->find("replays");
+  const Json* cand_rows = cand_sec->find("replays");
+  if (base_rows == nullptr || cand_rows == nullptr) return;
+  std::printf("qos victim read p99 (ms; lower is better)\n");
+  for (const Json& b : base_rows->array) {
+    const std::string scheme = b.str_or("scheme", "?");
+    const std::string workload = b.str_or("workload", "?");
+    const std::string policy = b.str_or("policy", "?");
+    const Json* match = nullptr;
+    for (const Json& c : cand_rows->array) {
+      if (c.str_or("scheme", "") == scheme &&
+          c.str_or("workload", "") == workload &&
+          c.str_or("policy", "") == policy) {
+        match = &c;
+      }
+    }
+    if (match == nullptr) {
+      gate->fail("qos row %s/%s/%s missing from candidate", scheme.c_str(),
+                 workload.c_str(), policy.c_str());
+      continue;
+    }
+    char label[96];
+    std::snprintf(label, sizeof label, "%s %s %s", scheme.c_str(),
+                  workload.c_str(), policy.c_str());
+    const double delta = delta_row(label, b.num_or("victim_read_p99_ms", 0),
+                                   match->num_or("victim_read_p99_ms", 0));
+    if (delta > gate->max_regression) {
+      gate->fail("%s qos victim read p99 regressed %.1f%% (limit %.0f%%)",
+                 label, delta * 100, gate->max_regression * 100);
+    }
+  }
+}
+
+void check_qos_identity(const Json& cand, Gate* gate) {
+  const Json* sec = cand.find("qos");
+  const Json* rows = sec != nullptr ? sec->find("replays") : nullptr;
+  if (rows == nullptr) return;  // older candidate
+  std::printf("candidate qos zero-default identity (solo == solo-mixed)\n");
+  for (const Json& r : rows->array) {
+    if (r.str_or("workload", "") != "solo") continue;
+    const std::string scheme = r.str_or("scheme", "?");
+    const Json* twin = nullptr;
+    for (const Json& o : rows->array) {
+      if (o.str_or("scheme", "") == scheme &&
+          o.str_or("workload", "") == "solo-mixed") {
+        twin = &o;
+      }
+    }
+    if (twin == nullptr) {
+      gate->fail("%s qos solo-mixed row missing from candidate",
+                 scheme.c_str());
+      continue;
+    }
+    const double solo_p99 = r.num_or("victim_read_p99_ms", -1);
+    const double mixed_p99 = twin->num_or("victim_read_p99_ms", -2);
+    const double solo_mean = r.num_or("victim_read_mean_ms", -1);
+    const double mixed_mean = twin->num_or("victim_read_mean_ms", -2);
+    std::printf("  %-12s p99 %.4f/%.4f ms  mean %.4f/%.4f ms\n",
+                scheme.c_str(), solo_p99, mixed_p99, solo_mean, mixed_mean);
+    // Exact equality, no tolerance: the mixer + tenant-tagging path with a
+    // single tenant and QoS off must be a bit-identical no-op.
+    if (solo_p99 != mixed_p99 || solo_mean != mixed_mean) {
+      gate->fail("%s solo and solo-mixed qos rows differ — tenant plumbing "
+                 "is not a zero-default no-op",
+                 scheme.c_str());
+    }
+  }
+}
+
+void check_qos_containment(const Json& cand, Gate* gate) {
+  const Json* sec = cand.find("qos");
+  const Json* rows = sec != nullptr ? sec->find("replays") : nullptr;
+  if (rows == nullptr) return;  // older candidate
+  std::printf(
+      "candidate qos containment (streams+bucket victim p99 <= off)\n");
+  for (const Json& r : rows->array) {
+    if (r.str_or("policy", "") != "streams+bucket") continue;
+    const std::string scheme = r.str_or("scheme", "?");
+    const Json* off = nullptr;
+    for (const Json& o : rows->array) {
+      if (o.str_or("scheme", "") == scheme && o.str_or("policy", "") == "off")
+        off = &o;
+    }
+    if (off == nullptr) continue;
+    const double contained = r.num_or("victim_read_p99_ms", 0);
+    const double base = off->num_or("victim_read_p99_ms", 0);
+    const double contained_mean = r.num_or("victim_read_mean_ms", 0);
+    const double base_mean = off->num_or("victim_read_mean_ms", 0);
+    std::printf(
+        "  %-12s p99 %.2f -> %.2f ms  mean %.2f -> %.2f ms\n",
+        scheme.c_str(), base, contained, base_mean, contained_mean);
+    // The full policy must never leave the victim worse off than no policy
+    // at all. (streams-only is deliberately unfenced: changing allocation
+    // spread can shift the tail either way before the bucket paces the
+    // neighbor.)
+    if (base > 0 && contained > base * (1 + gate->max_regression)) {
+      gate->fail("%s streams+bucket victim read p99 %.2f ms worse than off "
+                 "%.2f ms",
+                 scheme.c_str(), contained, base);
+    }
+    if (base_mean > 0 &&
+        contained_mean > base_mean * (1 + gate->max_regression)) {
+      gate->fail("%s streams+bucket victim read mean %.2f ms worse than off "
+                 "%.2f ms",
+                 scheme.c_str(), contained_mean, base_mean);
+    }
+  }
+}
+
 void check_qd_speedup(const Json& cand, Gate* gate) {
   const Json* rows = cand.find("pipeline");
   if (rows == nullptr) {
@@ -410,6 +534,7 @@ int main(int argc, char** argv) {
     check_wall_replays(base, cand, &gate);
     check_pipeline_cross(base, cand, &gate);
     check_tail_cross(base, cand, &gate);
+    check_qos_cross(base, cand, &gate);
   } else {
     std::printf(
         "cross-file throughput compare skipped: baseline measured %.0f "
@@ -418,6 +543,8 @@ int main(int argc, char** argv) {
   }
   check_qd_speedup(cand, &gate);
   check_tail_policy(cand, &gate);
+  check_qos_identity(cand, &gate);
+  check_qos_containment(cand, &gate);
 
   if (gate.failures > 0) {
     std::fprintf(stderr, "perf_gate: %d check(s) failed\n", gate.failures);
